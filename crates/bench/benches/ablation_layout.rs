@@ -1,0 +1,71 @@
+//! Ablation — data-layout effects: the AOS-vs-SOA gap that drives the
+//! paper's Fig. 4 analysis, isolated from everything else, plus the raw
+//! cost of the AOS->SOA transposition itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use finbench_bench::sizes::BS_OPTIONS;
+use finbench_core::black_scholes::{reference, soa};
+use finbench_core::workload::{MarketParams, OptionBatchSoa, WorkloadRanges};
+use finbench_simd::F64v;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let m = MarketParams::PAPER;
+    let base = OptionBatchSoa::random(BS_OPTIONS, 9, WorkloadRanges::default());
+
+    let mut g = c.benchmark_group("ablation_layout");
+    g.throughput(Throughput::Elements(BS_OPTIONS as u64));
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+
+    // SIMD pricing on AOS (strided gathers) vs SOA (unit stride).
+    let mut aos = base.to_aos();
+    g.bench_function("simd_on_aos_gathers", |b| {
+        b.iter(|| reference::price_aos_simd_gather::<8>(&mut aos, m))
+    });
+    let mut s = base.clone();
+    g.bench_function("simd_on_soa_unit_stride", |b| {
+        b.iter(|| soa::price_soa_simd::<8>(&mut s, m))
+    });
+
+    // The transposition cost itself — what the paper's "if the data is
+    // already provided in SOA format by the previous stage" remark prices.
+    let aos2 = base.to_aos();
+    g.bench_function("aos_to_soa_transform", |b| {
+        b.iter(|| black_box(aos2.to_soa()))
+    });
+    g.bench_function("soa_to_aos_transform", |b| {
+        b.iter(|| black_box(base.to_aos()))
+    });
+
+    // Raw gather/scatter microcost at both widths.
+    let flat: Vec<f64> = (0..BS_OPTIONS * 5).map(|i| i as f64).collect();
+    g.bench_function("gather_stride5_w8", |b| {
+        b.iter(|| {
+            let mut acc = F64v::<8>::zero();
+            let mut i = 0;
+            while i + 8 * 5 <= flat.len() {
+                acc += F64v::<8>::gather_strided(&flat, i, 5);
+                i += 40;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("unit_load_w8", |b| {
+        b.iter(|| {
+            let mut acc = F64v::<8>::zero();
+            let mut i = 0;
+            while i + 8 <= BS_OPTIONS {
+                acc += F64v::<8>::load(&flat, i);
+                i += 8;
+            }
+            black_box(acc)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

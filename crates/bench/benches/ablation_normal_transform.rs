@@ -1,0 +1,54 @@
+//! Ablation — normal-variate transform choice: inverse-CDF (vectorizable,
+//! the MKL default the paper's Table II measures) vs the branchy Marsaglia
+//! polar method, on top of both base generators.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use finbench_rng::normal::{fill_standard_normal_icdf, fill_standard_normal_icdf_batch, fill_standard_normal_icdf_fast, fill_standard_normal_polar};
+use finbench_rng::{Mt19937_64, Philox4x32};
+
+const N: usize = 1 << 18;
+
+fn bench(c: &mut Criterion) {
+    let mut buf = vec![0.0; N];
+    let mut g = c.benchmark_group("ablation_normal_transform");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+
+    let mut mt = Mt19937_64::new(1);
+    g.bench_function("mt64_icdf_scalar", |b| {
+        b.iter(|| fill_standard_normal_icdf(&mut mt, &mut buf))
+    });
+
+    let mut mt = Mt19937_64::new(2);
+    let mut scratch = vec![0.0; 4096];
+    g.bench_function("mt64_icdf_batched", |b| {
+        b.iter(|| fill_standard_normal_icdf_batch(&mut mt, &mut buf, &mut scratch))
+    });
+
+    let mut mt = Mt19937_64::new(9);
+    g.bench_function("mt64_icdf_fast_acklam", |b| {
+        b.iter(|| fill_standard_normal_icdf_fast(&mut mt, &mut buf))
+    });
+
+    let mut mt = Mt19937_64::new(3);
+    g.bench_function("mt64_polar", |b| {
+        b.iter(|| fill_standard_normal_polar(&mut mt, &mut buf))
+    });
+
+    let mut px = Philox4x32::new(4);
+    g.bench_function("philox_icdf_scalar", |b| {
+        b.iter(|| fill_standard_normal_icdf(&mut px, &mut buf))
+    });
+
+    let mut px = Philox4x32::new(5);
+    g.bench_function("philox_polar", |b| {
+        b.iter(|| fill_standard_normal_polar(&mut px, &mut buf))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

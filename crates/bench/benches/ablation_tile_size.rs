@@ -1,0 +1,63 @@
+//! Ablation — binomial register-tile depth sweep.
+//!
+//! DESIGN.md calls out `TS` as the tunable of the paper's novel tiling
+//! ("tune the problem based on register file size, cache size, or
+//! both"). This sweep regenerates the tradeoff: small tiles re-touch
+//! `Call` too often, huge tiles spill the wavefront out of registers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use finbench_core::binomial::tiled::{reduce_tiled, reduce_tiled_fma};
+use finbench_core::binomial::simd::reduce_simd;
+use finbench_simd::F64v;
+use std::hint::black_box;
+
+const N: usize = 1024;
+
+fn leaves() -> Vec<F64v<8>> {
+    (0..=N)
+        .map(|j| F64v([j as f64 * 0.01; 8]))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_tile_size");
+    g.throughput(Throughput::Elements(8)); // 8 options per reduction
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+
+    let base = leaves();
+    g.bench_function("untiled", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut call| black_box(reduce_simd(&mut call, N, 0.5002, 0.4988)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    macro_rules! ts_case {
+        ($($ts:literal),*) => {$(
+            g.bench_function(format!("ts{}", $ts), |b| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut call| black_box(reduce_tiled::<8, $ts>(&mut call, N, 0.5002, 0.4988)),
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        )*};
+    }
+    ts_case!(1, 2, 4, 8, 16, 32);
+
+    g.bench_function("ts8_fma", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut call| black_box(reduce_tiled_fma::<8, 8>(&mut call, N, 0.5002, 0.4988)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Fig. 4 — Black-Scholes optimization ladder (options/second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use finbench_bench::sizes::BS_OPTIONS;
+use finbench_core::black_scholes::{reference, soa, vml};
+use finbench_core::workload::{MarketParams, OptionBatchSoa, WorkloadRanges};
+
+fn bench(c: &mut Criterion) {
+    let m = MarketParams::PAPER;
+    let base = OptionBatchSoa::random(BS_OPTIONS, 1, WorkloadRanges::default());
+
+    let mut g = c.benchmark_group("fig4_black_scholes");
+    g.throughput(Throughput::Elements(BS_OPTIONS as u64));
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+
+    let mut aos = base.to_aos();
+    g.bench_function("basic_scalar_aos", |b| {
+        b.iter(|| reference::price_aos::<f64>(&mut aos, m))
+    });
+
+    let mut aos2 = base.to_aos();
+    g.bench_function("basic_simd_aos_gather", |b| {
+        b.iter(|| reference::price_aos_simd_gather::<8>(&mut aos2, m))
+    });
+
+    let mut s1 = base.clone();
+    g.bench_function("intermediate_scalar_soa", |b| {
+        b.iter(|| soa::price_soa_scalar(&mut s1, m))
+    });
+
+    let mut s2 = base.clone();
+    g.bench_function("intermediate_simd_soa_w4", |b| {
+        b.iter(|| soa::price_soa_simd::<4>(&mut s2, m))
+    });
+
+    let mut s3 = base.clone();
+    g.bench_function("intermediate_simd_soa_w8", |b| {
+        b.iter(|| soa::price_soa_simd::<8>(&mut s3, m))
+    });
+
+    let mut s4 = base.clone();
+    g.bench_function("advanced_erf_parity_w8", |b| {
+        b.iter(|| soa::price_soa_simd_erf_parity::<8>(&mut s4, m))
+    });
+
+    let mut s5 = base.clone();
+    let mut ws = vml::VmlWorkspace::with_capacity(BS_OPTIONS);
+    g.bench_function("advanced_vml_batch", |b| {
+        b.iter(|| vml::price_soa_vml(&mut s5, m, &mut ws))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Fig. 5 — binomial-tree optimization ladder at 1024/2048 time steps
+//! (options/second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use finbench_bench::sizes::BINOMIAL_OPTIONS;
+use finbench_core::binomial::{reference, simd, tiled};
+use finbench_core::workload::{MarketParams, OptionBatchSoa, WorkloadRanges};
+
+fn batch() -> OptionBatchSoa {
+    let mut b = OptionBatchSoa::random(BINOMIAL_OPTIONS, 2, WorkloadRanges::default());
+    for t in &mut b.t {
+        *t = 1.0;
+    }
+    b
+}
+
+fn bench(c: &mut Criterion) {
+    let m = MarketParams::PAPER;
+    for n_steps in [1024usize, 2048] {
+        let mut g = c.benchmark_group(format!("fig5_binomial_{n_steps}"));
+        g.throughput(Throughput::Elements(BINOMIAL_OPTIONS as u64));
+        g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(300));
+        g.measurement_time(std::time::Duration::from_secs(1));
+
+        let mut b0 = batch();
+        g.bench_with_input(BenchmarkId::new("basic_reference", n_steps), &n_steps, |b, &n| {
+            b.iter(|| reference::price_batch(&mut b0, m, n))
+        });
+
+        let mut b1 = batch();
+        g.bench_with_input(
+            BenchmarkId::new("intermediate_simd_w8", n_steps),
+            &n_steps,
+            |b, &n| b.iter(|| simd::price_batch_simd::<8>(&mut b1, m, n, true)),
+        );
+
+        let mut b2 = batch();
+        g.bench_with_input(
+            BenchmarkId::new("advanced_tiled_w8_ts4", n_steps),
+            &n_steps,
+            |b, &n| b.iter(|| tiled::price_batch_tiled::<8, 4>(&mut b2, m, n, true)),
+        );
+
+        let mut b3 = batch();
+        g.bench_with_input(
+            BenchmarkId::new("advanced_tiled_w8_ts8", n_steps),
+            &n_steps,
+            |b, &n| b.iter(|| tiled::price_batch_tiled::<8, 8>(&mut b3, m, n, true)),
+        );
+
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Fig. 6 — Brownian-bridge optimization ladder (64-step paths/second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use finbench_bench::sizes::BRIDGE_PATHS;
+use finbench_core::brownian_bridge::{interleaved, reference, simd, BridgePlan};
+use finbench_rng::normal::fill_standard_normal_icdf;
+use finbench_rng::{Mt19937_64, StreamFamily};
+
+fn bench(c: &mut Criterion) {
+    let plan = BridgePlan::new(6, 1.0); // 64 steps, the Fig. 6 setting
+    let per = plan.randoms_per_path();
+    let points = plan.points();
+    let n_paths = BRIDGE_PATHS;
+
+    let mut rng = Mt19937_64::new(3);
+    let mut randoms = vec![0.0; n_paths * per];
+    fill_standard_normal_icdf(&mut rng, &mut randoms);
+    let transposed = simd::transpose_randoms::<8>(&randoms, per);
+    let fam = StreamFamily::new(7);
+
+    let mut g = c.benchmark_group("fig6_brownian_bridge");
+    g.throughput(Throughput::Elements(n_paths as u64));
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+
+    let mut out = vec![0.0; n_paths * points];
+    g.bench_function("basic_scalar", |b| {
+        b.iter(|| reference::build_paths::<f64>(&plan, &randoms, &mut out, n_paths))
+    });
+
+    g.bench_function("intermediate_simd_w8", |b| {
+        b.iter(|| simd::build_paths_simd::<8>(&plan, &transposed, &mut out, n_paths))
+    });
+
+    g.bench_function("advanced_interleaved_rng", |b| {
+        b.iter(|| interleaved::build_paths_interleaved::<8>(&plan, &fam, &mut out, n_paths))
+    });
+
+    let mut stats = vec![0.0; n_paths];
+    g.bench_function("advanced_cache_to_cache", |b| {
+        b.iter(|| {
+            interleaved::simulate_fused::<8>(
+                &plan,
+                &fam,
+                n_paths,
+                &mut stats,
+                interleaved::path_average,
+            )
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

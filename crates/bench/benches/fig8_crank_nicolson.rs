@@ -1,0 +1,33 @@
+//! Fig. 8 — Crank-Nicolson American puts: scalar PSOR vs wavefront vs
+//! wavefront + data transform (options/second; step count reduced from
+//! the paper's 1000 to keep the bench wall time sane).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use finbench_core::crank_nicolson::{CnProblem, PsorKind};
+use finbench_core::workload::MarketParams;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut prob = CnProblem::paper(MarketParams::PAPER, 1.0);
+    prob.n_steps = 200;
+
+    let mut g = c.benchmark_group("fig8_crank_nicolson");
+    g.throughput(Throughput::Elements(1));
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    for (label, kind) in [
+        ("basic_scalar_psor", PsorKind::Reference),
+        ("advanced_wavefront", PsorKind::Wavefront),
+        ("advanced_wavefront_soa", PsorKind::WavefrontSoa),
+    ] {
+        let p = prob.clone();
+        g.bench_function(label, |b| b.iter(|| black_box(p.solve(kind))));
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

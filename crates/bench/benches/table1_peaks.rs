@@ -1,0 +1,60 @@
+//! Table I — machine-model evaluation throughput: how fast the analytic
+//! model itself regenerates every figure (it is used inside test loops,
+//! so it should be effectively free), plus the scalar math kernels that
+//! everything else leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use finbench_machine::figures;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_model");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+
+    g.bench_function("regenerate_all_figures", |b| {
+        b.iter(|| {
+            black_box(figures::fig4());
+            black_box(figures::fig5(1024));
+            black_box(figures::fig5(2048));
+            black_box(figures::fig6());
+            black_box(figures::fig8());
+            black_box(figures::table2());
+            black_box(figures::ninja_summary());
+        })
+    });
+    g.finish();
+
+    // The scalar special functions, per-call.
+    let mut g = c.benchmark_group("scalar_math");
+    g.throughput(Throughput::Elements(1024));
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+
+    let xs: Vec<f64> = (0..1024).map(|i| -4.0 + i as f64 * (8.0 / 1024.0)).collect();
+    g.bench_function("exp", |b| {
+        b.iter(|| xs.iter().map(|&x| finbench_math::exp(x)).sum::<f64>())
+    });
+    g.bench_function("ln", |b| {
+        b.iter(|| xs.iter().map(|&x| finbench_math::ln(x.abs() + 0.1)).sum::<f64>())
+    });
+    g.bench_function("norm_cdf", |b| {
+        b.iter(|| xs.iter().map(|&x| finbench_math::norm_cdf(x)).sum::<f64>())
+    });
+    g.bench_function("erf", |b| {
+        b.iter(|| xs.iter().map(|&x| finbench_math::erf(x)).sum::<f64>())
+    });
+    g.bench_function("inv_norm_cdf", |b| {
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| finbench_math::inv_norm_cdf((x + 4.5) / 9.5))
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

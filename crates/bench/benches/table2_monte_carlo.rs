@@ -1,0 +1,51 @@
+//! Table II rows 1–2 — Monte-Carlo European pricing, streamed vs
+//! computed RNG (path-steps/second; divide by 262,144 for the paper's
+//! options/second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use finbench_bench::sizes::MC_PATHS;
+use finbench_core::monte_carlo::{reference, simd, GbmTerminal};
+use finbench_core::workload::MarketParams;
+use finbench_rng::normal::fill_standard_normal_icdf;
+use finbench_rng::{Mt19937_64, StreamFamily};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let m = MarketParams::PAPER;
+    let g = GbmTerminal::new(1.0, m);
+    let mut rng = Mt19937_64::new(5);
+    let mut randoms = vec![0.0; MC_PATHS];
+    fill_standard_normal_icdf(&mut rng, &mut randoms);
+    let fam = StreamFamily::new(5);
+
+    let mut grp = c.benchmark_group("table2_monte_carlo");
+    grp.throughput(Throughput::Elements(MC_PATHS as u64));
+    grp.sample_size(10);
+    grp.warm_up_time(std::time::Duration::from_millis(300));
+    grp.measurement_time(std::time::Duration::from_secs(1));
+
+    grp.bench_function("scalar_stream_rng", |b| {
+        b.iter(|| black_box(reference::paths_streamed::<f64>(100.0, 100.0, g, &randoms)))
+    });
+
+    grp.bench_function("simd_stream_rng", |b| {
+        b.iter(|| black_box(simd::paths_streamed_simd::<8>(100.0, 100.0, g, &randoms)))
+    });
+
+    grp.bench_function("simd_computed_rng", |b| {
+        b.iter(|| {
+            black_box(simd::paths_computed_simd::<8>(
+                100.0, 100.0, g, &fam, 0, MC_PATHS,
+            ))
+        })
+    });
+
+    grp.bench_function("antithetic", |b| {
+        b.iter(|| black_box(simd::paths_antithetic::<8>(100.0, 100.0, g, &randoms)))
+    });
+
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

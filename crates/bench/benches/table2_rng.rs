@@ -1,0 +1,61 @@
+//! Table II rows 3–4 — raw uniform and normal generation rates
+//! (numbers/second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use finbench_bench::sizes::RNG_N;
+use finbench_rng::normal::{fill_standard_normal_icdf, fill_standard_normal_icdf_batch, fill_standard_normal_polar};
+use finbench_rng::uniform::fill_uniform;
+use finbench_rng::{Mt19937, Mt19937_64, Philox4x32, RngCore64};
+use std::hint::black_box;
+
+struct Mt32As64(Mt19937);
+impl RngCore64 for Mt32As64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut buf = vec![0.0; RNG_N];
+    let mut g = c.benchmark_group("table2_rng");
+    g.throughput(Throughput::Elements(RNG_N as u64));
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+
+    let mut mt64 = Mt19937_64::new(1);
+    g.bench_function("uniform_mt19937_64", |b| {
+        b.iter(|| fill_uniform(&mut mt64, black_box(&mut buf)))
+    });
+
+    let mut mt32 = Mt32As64(Mt19937::new(1));
+    g.bench_function("uniform_mt19937", |b| {
+        b.iter(|| fill_uniform(&mut mt32, black_box(&mut buf)))
+    });
+
+    let mut px = Philox4x32::new(1);
+    g.bench_function("uniform_philox4x32", |b| {
+        b.iter(|| fill_uniform(&mut px, black_box(&mut buf)))
+    });
+
+    let mut mt = Mt19937_64::new(2);
+    g.bench_function("normal_icdf", |b| {
+        b.iter(|| fill_standard_normal_icdf(&mut mt, black_box(&mut buf)))
+    });
+
+    let mut mt = Mt19937_64::new(3);
+    let mut scratch = vec![0.0; 4096];
+    g.bench_function("normal_icdf_batch", |b| {
+        b.iter(|| fill_standard_normal_icdf_batch(&mut mt, black_box(&mut buf), &mut scratch))
+    });
+
+    let mut mt = Mt19937_64::new(4);
+    g.bench_function("normal_polar", |b| {
+        b.iter(|| fill_standard_normal_polar(&mut mt, black_box(&mut buf)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! # finbench-bench
+//!
+//! Criterion benchmark harness: one bench target per table/figure of the
+//! paper plus ablations of the design choices DESIGN.md calls out.
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | `fig4_black_scholes` | Fig. 4 optimization ladder |
+//! | `fig5_binomial` | Fig. 5 ladder at 1024/2048 steps |
+//! | `fig6_brownian_bridge` | Fig. 6 ladder (64-step paths) |
+//! | `table2_monte_carlo` | Tab. II rows 1–2 |
+//! | `table2_rng` | Tab. II rows 3–4 |
+//! | `fig8_crank_nicolson` | Fig. 8 ladder |
+//! | `table1_peaks` | Tab. I machine-model evaluation throughput |
+//! | `ablation_tile_size` | binomial tile-depth sweep (TS) |
+//! | `ablation_layout` | AOS vs SOA stride sweep |
+//! | `ablation_normal_transform` | ICDF vs polar normal generation |
+//!
+//! Run everything with `cargo bench --workspace`; each group reports
+//! throughput in elements/second so the ladders compare directly with the
+//! `finbench` CLI's native section.
+
+/// Shared workload sizes for the bench targets (kept small enough that a
+/// full `cargo bench` pass completes in minutes on one core).
+pub mod sizes {
+    /// Options per Black-Scholes batch.
+    pub const BS_OPTIONS: usize = 65_536;
+    /// Options per binomial batch (multiple of the 8-wide groups).
+    pub const BINOMIAL_OPTIONS: usize = 16;
+    /// Paths per Brownian-bridge batch.
+    pub const BRIDGE_PATHS: usize = 8_192;
+    /// Paths per Monte-Carlo measurement.
+    pub const MC_PATHS: usize = 1 << 18;
+    /// Numbers per RNG fill.
+    pub const RNG_N: usize = 1 << 20;
+}

@@ -1,0 +1,197 @@
+//! Trinomial-tree pricing — the other lattice method of the paper's
+//! Fig. 1 taxonomy, included as the natural ablation partner of the
+//! binomial kernel: same backward-reduction dataflow (so the same tiling
+//! ideas apply), three children per node, and markedly faster
+//! convergence in `N`.
+//!
+//! Boyle's parameterization: over each step the price moves up by
+//! `u = e^(σ√(2Δt))`, stays, or moves down by `1/u`, with
+//!
+//! ```text
+//! pu = ((e^(rΔt/2) − e^(−σ√(Δt/2))) / (e^(σ√(Δt/2)) − e^(−σ√(Δt/2))))²
+//! pd = ((e^(σ√(Δt/2)) − e^(rΔt/2)) / (e^(σ√(Δt/2)) − e^(−σ√(Δt/2))))²
+//! pm = 1 − pu − pd
+//! ```
+
+use crate::workload::MarketParams;
+use finbench_math::exp;
+
+/// Precomputed trinomial lattice parameters (probabilities already
+/// discounted by `e^(−rΔt)`, like the binomial `puByDf`).
+#[derive(Debug, Clone, Copy)]
+pub struct TriParams {
+    /// Up factor `e^(σ√(2Δt))`.
+    pub u: f64,
+    /// Discounted up probability.
+    pub pu_by_df: f64,
+    /// Discounted middle probability.
+    pub pm_by_df: f64,
+    /// Discounted down probability.
+    pub pd_by_df: f64,
+}
+
+impl TriParams {
+    /// Lattice parameters for expiry `t` over `n` steps.
+    ///
+    /// # Panics
+    /// If `n == 0`, `t <= 0`, or the parameters imply a negative
+    /// probability (too-coarse grid for the given `r`, `σ`).
+    pub fn new(market: MarketParams, t: f64, n: usize) -> Self {
+        assert!(n > 0, "trinomial tree needs at least one step");
+        assert!(t > 0.0, "expiry must be positive");
+        let dt = t / n as f64;
+        let a = exp(market.r * dt / 2.0);
+        let sp = exp(market.sigma * (dt / 2.0).sqrt());
+        let sm = 1.0 / sp;
+        let denom = sp - sm;
+        let pu = ((a - sm) / denom).powi(2);
+        let pd = ((sp - a) / denom).powi(2);
+        let pm = 1.0 - pu - pd;
+        assert!(
+            pu >= 0.0 && pd >= 0.0 && pm >= 0.0,
+            "degenerate trinomial probabilities: pu={pu} pm={pm} pd={pd}"
+        );
+        let df = exp(-market.r * dt);
+        Self {
+            u: exp(market.sigma * (2.0 * dt).sqrt()),
+            pu_by_df: pu * df,
+            pm_by_df: pm * df,
+            pd_by_df: pd * df,
+        }
+    }
+}
+
+/// Price a European option on an `n`-step trinomial lattice.
+pub fn price_european(
+    s: f64,
+    x: f64,
+    t: f64,
+    market: MarketParams,
+    n: usize,
+    is_call: bool,
+) -> f64 {
+    let p = TriParams::new(market, t, n);
+    // Leaves: 2n+1 nodes, price = s * u^(j-n) for j = 0..=2n.
+    let mut value: Vec<f64> = (0..=2 * n)
+        .map(|j| {
+            let price = s * p.u.powi(j as i32 - n as i32);
+            if is_call {
+                (price - x).max(0.0)
+            } else {
+                (x - price).max(0.0)
+            }
+        })
+        .collect();
+    for i in (0..n).rev() {
+        for j in 0..=2 * i {
+            value[j] =
+                p.pu_by_df * value[j + 2] + p.pm_by_df * value[j + 1] + p.pd_by_df * value[j];
+        }
+    }
+    value[0]
+}
+
+/// Price an American option on an `n`-step trinomial lattice.
+pub fn price_american(
+    s: f64,
+    x: f64,
+    t: f64,
+    market: MarketParams,
+    n: usize,
+    is_call: bool,
+) -> f64 {
+    let p = TriParams::new(market, t, n);
+    let payoff = |price: f64| {
+        if is_call {
+            (price - x).max(0.0)
+        } else {
+            (x - price).max(0.0)
+        }
+    };
+    let mut value: Vec<f64> = (0..=2 * n)
+        .map(|j| payoff(s * p.u.powi(j as i32 - n as i32)))
+        .collect();
+    for i in (0..n).rev() {
+        for j in 0..=2 * i {
+            let cont =
+                p.pu_by_df * value[j + 2] + p.pm_by_df * value[j + 1] + p.pd_by_df * value[j];
+            let price = s * p.u.powi(j as i32 - i as i32);
+            value[j] = cont.max(payoff(price));
+        }
+    }
+    value[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::black_scholes::price_single;
+
+    const M: MarketParams = MarketParams { r: 0.05, sigma: 0.2 };
+
+    #[test]
+    fn probabilities_form_a_distribution() {
+        let p = TriParams::new(M, 1.0, 500);
+        let df = exp(-M.r * (1.0 / 500.0));
+        let total = p.pu_by_df + p.pm_by_df + p.pd_by_df;
+        assert!((total - df).abs() < 1e-14);
+        assert!(p.u > 1.0);
+    }
+
+    #[test]
+    fn converges_to_black_scholes() {
+        let (bs_call, bs_put) = price_single(100.0, 95.0, 1.0, M);
+        let call = price_european(100.0, 95.0, 1.0, M, 500, true);
+        let put = price_european(100.0, 95.0, 1.0, M, 500, false);
+        assert!((call - bs_call).abs() < 0.01, "{call} vs {bs_call}");
+        assert!((put - bs_put).abs() < 0.01, "{put} vs {bs_put}");
+    }
+
+    #[test]
+    fn converges_faster_than_binomial_at_equal_steps() {
+        // The trinomial's extra degree of freedom buys ~one order of
+        // accuracy at matched N on ATM contracts.
+        let (bs_call, _) = price_single(100.0, 100.0, 1.0, M);
+        let n = 100;
+        let tri_err = (price_european(100.0, 100.0, 1.0, M, n, true) - bs_call).abs();
+        let bin_err =
+            (crate::binomial::reference::price_european(100.0, 100.0, 1.0, M, n, true) - bs_call)
+                .abs();
+        assert!(tri_err < bin_err, "tri {tri_err} vs bin {bin_err}");
+    }
+
+    #[test]
+    fn american_matches_binomial_american() {
+        let tri = price_american(100.0, 100.0, 1.0, M, 1000, false);
+        let bin = crate::binomial::american::price_american::<f64>(100.0, 100.0, 1.0, M, 2000, false);
+        assert!((tri - bin).abs() < 0.01, "tri {tri} vs bin {bin}");
+    }
+
+    #[test]
+    fn american_dominates_european() {
+        for (s, x) in [(80.0, 100.0), (100.0, 100.0), (120.0, 100.0)] {
+            let am = price_american(s, x, 1.0, M, 200, false);
+            let eu = price_european(s, x, 1.0, M, 200, false);
+            assert!(am >= eu - 1e-10, "s={s}");
+            assert!(am >= (x - s).max(0.0) - 1e-10);
+        }
+    }
+
+    #[test]
+    fn one_step_tree_by_hand() {
+        let p = TriParams::new(M, 1.0, 1);
+        let (s, x) = (100.0, 100.0);
+        let up = (s * p.u - x).max(0.0);
+        let mid = (s - x).max(0.0);
+        let dn = (s / p.u - x).max(0.0);
+        let want = p.pu_by_df * up + p.pm_by_df * mid + p.pd_by_df * dn;
+        let got = price_european(s, x, 1.0, M, 1, true);
+        assert!((got - want).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_panics() {
+        TriParams::new(M, 1.0, 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! SOA Black-Scholes kernels: the intermediate (SIMD across options) and
+//! advanced (erf + call/put parity) levels, plus thread-parallel drivers.
+
+use crate::workload::{MarketParams, OptionBatchSoa};
+use finbench_math as fm;
+use finbench_simd::math::{verf, vexp, vln, vnorm_cdf};
+use finbench_simd::F64v;
+use rayon::prelude::*;
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Scalar loop over the SOA layout — same arithmetic as the AOS reference,
+/// unit-stride accesses. Isolates the layout effect from vectorization.
+pub fn price_soa_scalar(batch: &mut OptionBatchSoa, market: MarketParams) {
+    let r = market.r;
+    let sig = market.sigma;
+    let sig22 = sig * sig * 0.5;
+    for i in 0..batch.len() {
+        let (s, x, t) = (batch.s[i], batch.x[i], batch.t[i]);
+        let qlog = fm::ln(s / x);
+        let denom = 1.0 / (sig * t.sqrt());
+        let d1 = (qlog + (r + sig22) * t) * denom;
+        let d2 = (qlog + (r - sig22) * t) * denom;
+        let xexp = x * fm::exp(-(r * t));
+        batch.call[i] = s * fm::norm_cdf(d1) - xexp * fm::norm_cdf(d2);
+        batch.put[i] = xexp * fm::norm_cdf(-d2) - s * fm::norm_cdf(-d1);
+    }
+}
+
+/// Price one vector of `W` options (shared by the SIMD drivers below).
+#[inline(always)]
+fn price_vec_cnd<const W: usize>(
+    s: F64v<W>,
+    x: F64v<W>,
+    t: F64v<W>,
+    market: MarketParams,
+) -> (F64v<W>, F64v<W>) {
+    let r = market.r;
+    let sig = market.sigma;
+    let sig22 = sig * sig * 0.5;
+    let qlog = vln(s / x);
+    let denom = 1.0 / (t.sqrt() * sig);
+    let d1 = (qlog + t * (r + sig22)) * denom;
+    let d2 = (qlog + t * (r - sig22)) * denom;
+    let xexp = x * vexp(-(t * r));
+    let call = s * vnorm_cdf(d1) - xexp * vnorm_cdf(d2);
+    let put = xexp * vnorm_cdf(-d2) - s * vnorm_cdf(-d1);
+    (call, put)
+}
+
+/// The advanced vector body: `cnd → erf` substitution
+/// (`cnd(x) = (1 + erf(x/√2))/2`) plus call/put parity
+/// (`put = call − S + X·e^(−rT)`), cutting the per-option transcendental
+/// count from four `cnd` to two `erf`.
+#[inline(always)]
+fn price_vec_erf_parity<const W: usize>(
+    s: F64v<W>,
+    x: F64v<W>,
+    t: F64v<W>,
+    market: MarketParams,
+) -> (F64v<W>, F64v<W>) {
+    let r = market.r;
+    let sig = market.sigma;
+    let sig22 = sig * sig * 0.5;
+    let qlog = vln(s / x);
+    let denom = 1.0 / (t.sqrt() * sig);
+    let d1 = (qlog + t * (r + sig22)) * denom;
+    let d2 = (qlog + t * (r - sig22)) * denom;
+    let xexp = x * vexp(-(t * r));
+    let nd1 = (verf(d1 * FRAC_1_SQRT_2) + 1.0) * 0.5;
+    let nd2 = (verf(d2 * FRAC_1_SQRT_2) + 1.0) * 0.5;
+    let call = s * nd1 - xexp * nd2;
+    let put = call - s + xexp;
+    (call, put)
+}
+
+macro_rules! soa_simd_driver {
+    ($(#[$doc:meta])* $name:ident, $body:ident) => {
+        $(#[$doc])*
+        pub fn $name<const W: usize>(batch: &mut OptionBatchSoa, market: MarketParams) {
+            let n = batch.len();
+            let main = n - n % W;
+            let mut i = 0;
+            while i < main {
+                let s = F64v::<W>::load(&batch.s, i);
+                let x = F64v::<W>::load(&batch.x, i);
+                let t = F64v::<W>::load(&batch.t, i);
+                let (call, put) = $body(s, x, t, market);
+                call.store(&mut batch.call, i);
+                put.store(&mut batch.put, i);
+                i += W;
+            }
+            for j in main..n {
+                let (c, p) =
+                    super::price_single(batch.s[j], batch.x[j], batch.t[j], market);
+                batch.call[j] = c;
+                batch.put[j] = p;
+            }
+        }
+    };
+}
+
+soa_simd_driver!(
+    /// Intermediate level: SIMD across options on the SOA layout, one
+    /// option per lane, vector `cnd`.
+    price_soa_simd, price_vec_cnd
+);
+
+soa_simd_driver!(
+    /// Advanced level: SIMD + `erf` substitution + call/put parity.
+    price_soa_simd_erf_parity, price_vec_erf_parity
+);
+
+/// Thread-parallel driver over the advanced kernel using rayon (the
+/// paper's `#pragma omp parallel for` over the option loop). `W` is the
+/// SIMD width, `chunk` the per-task option count.
+pub fn par_price_soa<const W: usize>(batch: &mut OptionBatchSoa, market: MarketParams, chunk: usize) {
+    let chunk = chunk.max(1);
+    let (s, x, t) = (&batch.s, &batch.x, &batch.t);
+    batch
+        .call
+        .par_chunks_mut(chunk)
+        .zip(batch.put.par_chunks_mut(chunk))
+        .enumerate()
+        .for_each(|(ci, (call, put))| {
+            let base = ci * chunk;
+            let mut sub = OptionBatchSoa {
+                s: s[base..base + call.len()].to_vec(),
+                x: x[base..base + call.len()].to_vec(),
+                t: t[base..base + call.len()].to_vec(),
+                call: vec![0.0; call.len()],
+                put: vec![0.0; put.len()],
+            };
+            price_soa_simd_erf_parity::<W>(&mut sub, market);
+            call.copy_from_slice(&sub.call);
+            put.copy_from_slice(&sub.put);
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadRanges;
+
+    fn batch(n: usize) -> OptionBatchSoa {
+        OptionBatchSoa::random(n, 21, WorkloadRanges::default())
+    }
+
+    fn assert_close(a: &OptionBatchSoa, b: &OptionBatchSoa, tol: f64, label: &str) {
+        for i in 0..a.len() {
+            assert!(
+                (a.call[i] - b.call[i]).abs() <= tol * a.call[i].abs().max(1.0),
+                "{label} call {i}: {} vs {}",
+                a.call[i],
+                b.call[i]
+            );
+            assert!(
+                (a.put[i] - b.put[i]).abs() <= tol * a.put[i].abs().max(1.0),
+                "{label} put {i}: {} vs {}",
+                a.put[i],
+                b.put[i]
+            );
+        }
+    }
+
+    #[test]
+    fn soa_scalar_matches_aos_reference() {
+        let m = MarketParams::PAPER;
+        let mut soa = batch(501);
+        let mut aos = soa.to_aos();
+        price_soa_scalar(&mut soa, m);
+        crate::black_scholes::reference::price_aos::<f64>(&mut aos, m);
+        let aos_as_soa = aos.to_soa();
+        assert_close(&soa, &aos_as_soa, 1e-15, "scalar-vs-aos");
+    }
+
+    #[test]
+    fn simd_matches_scalar() {
+        let m = MarketParams::PAPER;
+        let mut a = batch(1001);
+        let mut b = a.clone();
+        price_soa_scalar(&mut a, m);
+        price_soa_simd::<8>(&mut b, m);
+        assert_close(&a, &b, 1e-13, "simd");
+    }
+
+    #[test]
+    fn erf_parity_matches_scalar() {
+        let m = MarketParams::PAPER;
+        let mut a = batch(1001);
+        let mut b = a.clone();
+        price_soa_scalar(&mut a, m);
+        price_soa_simd_erf_parity::<8>(&mut b, m);
+        assert_close(&a, &b, 1e-12, "erf-parity");
+    }
+
+    #[test]
+    fn widths_agree() {
+        let m = MarketParams::PAPER;
+        let mut a = batch(256);
+        let mut b = a.clone();
+        price_soa_simd::<4>(&mut a, m);
+        price_soa_simd::<8>(&mut b, m);
+        assert_close(&a, &b, 1e-15, "width");
+    }
+
+    #[test]
+    fn parallel_driver_matches_serial() {
+        let m = MarketParams::PAPER;
+        let mut a = batch(10_000);
+        let mut b = a.clone();
+        price_soa_simd_erf_parity::<8>(&mut a, m);
+        par_price_soa::<8>(&mut b, m, 512);
+        assert_close(&a, &b, 1e-15, "parallel");
+    }
+
+    #[test]
+    fn tiny_batches_hit_scalar_tail_only() {
+        let m = MarketParams::PAPER;
+        let mut a = batch(3);
+        let mut b = a.clone();
+        price_soa_scalar(&mut a, m);
+        price_soa_simd::<8>(&mut b, m);
+        assert_close(&a, &b, 1e-15, "tail");
+    }
+}

@@ -1,0 +1,313 @@
+//! Closed-form Black-Scholes sensitivities ("greeks") and implied
+//! volatility — an extension of the paper's Black-Scholes kernel that
+//! exercises the same math substrate (the paper's intro motivates risk
+//! management and model calibration as the driving workloads; greeks and
+//! implied vol are exactly those).
+
+use crate::workload::MarketParams;
+use finbench_math::{exp, ln, norm_cdf, norm_pdf};
+
+/// The five first-order sensitivities of a European option.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Greeks {
+    /// ∂V/∂S.
+    pub delta: f64,
+    /// ∂²V/∂S².
+    pub gamma: f64,
+    /// ∂V/∂σ (per 1.0 of vol, not per percentage point).
+    pub vega: f64,
+    /// ∂V/∂t (calendar decay, per year; negative of ∂V/∂T).
+    pub theta: f64,
+    /// ∂V/∂r.
+    pub rho: f64,
+}
+
+/// Which side of the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptionType {
+    /// Right to buy.
+    Call,
+    /// Right to sell.
+    Put,
+}
+
+fn d1_d2(s: f64, x: f64, t: f64, m: MarketParams) -> (f64, f64) {
+    let denom = 1.0 / (m.sigma * t.sqrt());
+    let d1 = (ln(s / x) + (m.r + 0.5 * m.sigma * m.sigma) * t) * denom;
+    (d1, d1 - m.sigma * t.sqrt())
+}
+
+/// Closed-form greeks for a European option.
+pub fn greeks(kind: OptionType, s: f64, x: f64, t: f64, m: MarketParams) -> Greeks {
+    let (d1, d2) = d1_d2(s, x, t, m);
+    let pdf1 = norm_pdf(d1);
+    let disc = exp(-m.r * t);
+    let gamma = pdf1 / (s * m.sigma * t.sqrt());
+    let vega = s * pdf1 * t.sqrt();
+    match kind {
+        OptionType::Call => Greeks {
+            delta: norm_cdf(d1),
+            gamma,
+            vega,
+            theta: -(s * pdf1 * m.sigma) / (2.0 * t.sqrt()) - m.r * x * disc * norm_cdf(d2),
+            rho: x * t * disc * norm_cdf(d2),
+        },
+        OptionType::Put => Greeks {
+            delta: norm_cdf(d1) - 1.0,
+            gamma,
+            vega,
+            theta: -(s * pdf1 * m.sigma) / (2.0 * t.sqrt()) + m.r * x * disc * norm_cdf(-d2),
+            rho: -x * t * disc * norm_cdf(-d2),
+        },
+    }
+}
+
+/// Invert Black-Scholes for volatility by safeguarded Newton iteration.
+///
+/// Returns `None` if `price` lies outside the arbitrage bounds for the
+/// contract (no vol can reproduce it).
+pub fn implied_vol(
+    kind: OptionType,
+    price: f64,
+    s: f64,
+    x: f64,
+    t: f64,
+    r: f64,
+) -> Option<f64> {
+    let disc = exp(-r * t);
+    let (lo_bound, hi_bound) = match kind {
+        OptionType::Call => ((s - x * disc).max(0.0), s),
+        OptionType::Put => ((x * disc - s).max(0.0), x * disc),
+    };
+    if !(price > lo_bound && price < hi_bound) {
+        return None;
+    }
+
+    let value = |sigma: f64| {
+        let m = MarketParams { r, sigma };
+        let (c, p) = crate::black_scholes::price_single(s, x, t, m);
+        match kind {
+            OptionType::Call => c,
+            OptionType::Put => p,
+        }
+    };
+
+    // Bracket then Newton with bisection fallback.
+    let (mut lo, mut hi) = (1e-6, 6.0);
+    if value(lo) > price || value(hi) < price {
+        return None;
+    }
+    let mut sigma = 0.3f64;
+    for _ in 0..100 {
+        let m = MarketParams { r, sigma };
+        let v = value(sigma);
+        let err = v - price;
+        if err.abs() < 1e-12 * price.max(1.0) {
+            return Some(sigma);
+        }
+        if err > 0.0 {
+            hi = sigma;
+        } else {
+            lo = sigma;
+        }
+        let vega = greeks(kind, s, x, t, m).vega;
+        let newton = sigma - err / vega;
+        sigma = if vega > 1e-12 && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+    }
+    Some(sigma)
+}
+
+/// SOA batch greeks: delta/gamma/vega for every option in the batch, one
+/// option per SIMD lane — the vectorized risk sweep a production book
+/// runs alongside pricing. Writes into caller-provided output slices
+/// (each `batch.len()` long).
+pub fn greeks_soa_simd<const W: usize>(
+    kind: OptionType,
+    batch: &crate::workload::OptionBatchSoa,
+    m: MarketParams,
+    delta: &mut [f64],
+    gamma: &mut [f64],
+    vega: &mut [f64],
+) {
+    use finbench_simd::math::{vexp, vln, vnorm_cdf};
+    use finbench_simd::F64v;
+
+    let n = batch.len();
+    assert!(
+        delta.len() == n && gamma.len() == n && vega.len() == n,
+        "output slices must match the batch"
+    );
+    let inv_sqrt_2pi = 1.0 / finbench_math::SQRT_2PI;
+    let main = n - n % W;
+    let mut i = 0;
+    while i < main {
+        let s = F64v::<W>::load(&batch.s, i);
+        let x = F64v::<W>::load(&batch.x, i);
+        let t = F64v::<W>::load(&batch.t, i);
+        let sqrt_t = t.sqrt();
+        let denom = 1.0 / (sqrt_t * m.sigma);
+        let d1 = (vln(s / x) + t * (m.r + 0.5 * m.sigma * m.sigma)) * denom;
+        let pdf1 = vexp(d1 * d1 * -0.5) * inv_sqrt_2pi;
+        let nd1 = vnorm_cdf(d1);
+
+        let dv = match kind {
+            OptionType::Call => nd1,
+            OptionType::Put => nd1 - 1.0,
+        };
+        dv.store(delta, i);
+        (pdf1 / (s * (m.sigma * 1.0) * sqrt_t)).store(gamma, i);
+        (s * pdf1 * sqrt_t).store(vega, i);
+        i += W;
+    }
+    for j in main..n {
+        let g = greeks(kind, batch.s[j], batch.x[j], batch.t[j], m);
+        delta[j] = g.delta;
+        gamma[j] = g.gamma;
+        vega[j] = g.vega;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::black_scholes::price_single;
+
+    const M: MarketParams = MarketParams { r: 0.05, sigma: 0.2 };
+
+    #[test]
+    fn call_delta_matches_finite_difference() {
+        let h = 1e-5;
+        for (s, x, t) in [(100.0, 100.0, 1.0), (80.0, 100.0, 0.5), (120.0, 100.0, 2.0)] {
+            let g = greeks(OptionType::Call, s, x, t, M);
+            let up = price_single(s + h, x, t, M).0;
+            let dn = price_single(s - h, x, t, M).0;
+            assert!((g.delta - (up - dn) / (2.0 * h)).abs() < 1e-6, "s={s}");
+        }
+    }
+
+    #[test]
+    fn gamma_matches_finite_difference() {
+        let h = 1e-4;
+        let (s, x, t) = (100.0, 95.0, 1.5);
+        let g = greeks(OptionType::Call, s, x, t, M);
+        let up = price_single(s + h, x, t, M).0;
+        let mid = price_single(s, x, t, M).0;
+        let dn = price_single(s - h, x, t, M).0;
+        let fd = (up - 2.0 * mid + dn) / (h * h);
+        assert!((g.gamma - fd).abs() < 1e-5);
+    }
+
+    #[test]
+    fn vega_matches_finite_difference() {
+        let h = 1e-6;
+        let (s, x, t) = (100.0, 105.0, 1.0);
+        let g = greeks(OptionType::Put, s, x, t, M);
+        let up = price_single(s, x, t, MarketParams { r: M.r, sigma: M.sigma + h }).1;
+        let dn = price_single(s, x, t, MarketParams { r: M.r, sigma: M.sigma - h }).1;
+        assert!((g.vega - (up - dn) / (2.0 * h)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rho_and_theta_match_finite_difference() {
+        let h = 1e-6;
+        let (s, x, t) = (100.0, 100.0, 1.0);
+        for kind in [OptionType::Call, OptionType::Put] {
+            let g = greeks(kind, s, x, t, M);
+            let pick = |c: f64, p: f64| match kind {
+                OptionType::Call => c,
+                OptionType::Put => p,
+            };
+            let (cu, pu) = price_single(s, x, t, MarketParams { r: M.r + h, sigma: M.sigma });
+            let (cd, pd) = price_single(s, x, t, MarketParams { r: M.r - h, sigma: M.sigma });
+            let fd_rho = (pick(cu, pu) - pick(cd, pd)) / (2.0 * h);
+            assert!((g.rho - fd_rho).abs() < 1e-5, "{kind:?} rho");
+
+            let (cu, pu) = price_single(s, x, t + h, M);
+            let (cd, pd) = price_single(s, x, t - h, M);
+            // theta is calendar decay: dV/dt = -dV/dT.
+            let fd_theta = -(pick(cu, pu) - pick(cd, pd)) / (2.0 * h);
+            assert!((g.theta - fd_theta).abs() < 1e-4, "{kind:?} theta");
+        }
+    }
+
+    #[test]
+    fn put_call_delta_parity() {
+        let g_c = greeks(OptionType::Call, 90.0, 100.0, 2.0, M);
+        let g_p = greeks(OptionType::Put, 90.0, 100.0, 2.0, M);
+        assert!((g_c.delta - g_p.delta - 1.0).abs() < 1e-12);
+        assert!((g_c.gamma - g_p.gamma).abs() < 1e-12);
+        assert!((g_c.vega - g_p.vega).abs() < 1e-12);
+    }
+
+    #[test]
+    fn implied_vol_round_trip() {
+        for sigma in [0.05, 0.2, 0.6, 1.5] {
+            let m = MarketParams { r: 0.03, sigma };
+            for (s, x, t) in [(100.0, 100.0, 1.0), (100.0, 130.0, 0.5), (50.0, 40.0, 3.0)] {
+                let (c, p) = price_single(s, x, t, m);
+                // The vol information lives in the *time value*
+                // (price − intrinsic bound); when it underflows, no solver
+                // can recover sigma from the price at double precision —
+                // skip those quotes, as any production quoter would.
+                let disc = (-0.03f64 * t).exp();
+                let c_tv = c - (s - x * disc).max(0.0);
+                let p_tv = p - (x * disc - s).max(0.0);
+                if c_tv > 1e-8 {
+                    let iv_c = implied_vol(OptionType::Call, c, s, x, t, 0.03).unwrap();
+                    assert!((iv_c - sigma).abs() < 1e-8, "call sigma={sigma} got {iv_c}");
+                }
+                if p_tv > 1e-8 {
+                    let iv_p = implied_vol(OptionType::Put, p, s, x, t, 0.03).unwrap();
+                    assert!((iv_p - sigma).abs() < 1e-8, "put sigma={sigma} got {iv_p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn implied_vol_rejects_arbitrage_prices() {
+        assert!(implied_vol(OptionType::Call, 101.0, 100.0, 100.0, 1.0, 0.05).is_none());
+        assert!(implied_vol(OptionType::Call, 0.0, 100.0, 100.0, 1.0, 0.05).is_none());
+        // Below intrinsic for a deep ITM call.
+        assert!(implied_vol(OptionType::Call, 10.0, 100.0, 50.0, 1.0, 0.05).is_none());
+    }
+
+    #[test]
+    fn batch_greeks_match_scalar() {
+        use crate::workload::{OptionBatchSoa, WorkloadRanges};
+        let b = OptionBatchSoa::random(333, 8, WorkloadRanges::default());
+        for kind in [OptionType::Call, OptionType::Put] {
+            let mut delta = vec![0.0; b.len()];
+            let mut gamma = vec![0.0; b.len()];
+            let mut vega = vec![0.0; b.len()];
+            greeks_soa_simd::<8>(kind, &b, M, &mut delta, &mut gamma, &mut vega);
+            for i in 0..b.len() {
+                let g = greeks(kind, b.s[i], b.x[i], b.t[i], M);
+                assert!((delta[i] - g.delta).abs() < 1e-12, "{kind:?} delta {i}");
+                assert!(
+                    (gamma[i] - g.gamma).abs() < 1e-12 * g.gamma.max(1.0),
+                    "{kind:?} gamma {i}"
+                );
+                assert!(
+                    (vega[i] - g.vega).abs() < 1e-10 * g.vega.max(1.0),
+                    "{kind:?} vega {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output slices must match")]
+    fn batch_greeks_reject_short_outputs() {
+        use crate::workload::{OptionBatchSoa, WorkloadRanges};
+        let b = OptionBatchSoa::random(8, 1, WorkloadRanges::default());
+        let mut short = vec![0.0; 4];
+        let mut g = vec![0.0; 8];
+        let mut v = vec![0.0; 8];
+        greeks_soa_simd::<8>(OptionType::Call, &b, M, &mut short, &mut g, &mut v);
+    }
+}

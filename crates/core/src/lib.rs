@@ -1,0 +1,33 @@
+//! # finbench-core
+//!
+//! The six derivative-pricing kernels of the SC 2012 financial-analytics
+//! benchmark (Smelyanskiy et al.), each implemented at the paper's three
+//! optimization levels:
+//!
+//! | Kernel | Basic | Intermediate | Advanced |
+//! |---|---|---|---|
+//! | [`black_scholes`] | scalar AOS reference (Lis. 1) | AOS→SOA + SIMD across options | erf + call/put parity, VML-style batch |
+//! | [`binomial`] | scalar reference (Lis. 2) | SIMD across options | register/cache tiling (Lis. 3) |
+//! | [`brownian_bridge`] | scalar depth-level (Lis. 4) | SIMD across paths | interleaved RNG, cache-to-cache fusion |
+//! | [`monte_carlo`] | scalar path loop (Lis. 5) | SIMD + unrolled accumulators | streamed vs computed RNG drivers |
+//! | [`crank_nicolson`] | scalar PSOR (Lis. 6–7) | wavefront manual SIMD (Fig. 7) | skewed data layout |
+//! | RNG | scalar MT | vector ICDF batches | parallel streams — lives in `finbench-rng` |
+//!
+//! Every kernel's reference variant is additionally generic over
+//! [`finbench_math::Real`], so the same source instantiates both the `f64`
+//! production path and the op-counting audit path used to validate the
+//! machine model's cost descriptors.
+//!
+//! Shared infrastructure: [`workload`] (option-batch generators and
+//! AOS/SOA layouts) and [`greeks`] (closed-form sensitivities and implied
+//! volatility, an extension exercising the same math substrate).
+
+pub mod binomial;
+pub mod black_scholes;
+pub mod brownian_bridge;
+pub mod crank_nicolson;
+pub mod greeks;
+pub mod monte_carlo;
+pub mod workload;
+
+pub use workload::{MarketParams, OptionBatchAos, OptionBatchSoa, OptionRecord};

@@ -1,0 +1,299 @@
+//! Longstaff-Schwartz least-squares Monte Carlo for American options —
+//! the Monte-Carlo answer to the early-exercise problem the paper's
+//! lattice and PSOR kernels solve, closing the method triangle
+//! (lattice ↔ PDE ↔ simulation) for the one contract type all three can
+//! price.
+//!
+//! The algorithm (Longstaff & Rehman 2001, as presented in Glasserman —
+//! the paper's reference \[12\]):
+//!
+//! 1. simulate `n_paths` GBM paths on `n_steps` exercise dates;
+//! 2. walk backwards: at each date, regress the discounted future
+//!    cashflows of the in-the-money paths on polynomial basis functions
+//!    of the spot, giving an estimated continuation value `C(S)`;
+//! 3. exercise where the immediate payoff exceeds `C(S)`;
+//! 4. the price is the mean discounted cashflow.
+//!
+//! Basis: `{1, s, s²}` with `s = S/K` (normalizing keeps the normal
+//! equations well-conditioned), solved by Gaussian elimination with
+//! partial pivoting.
+
+use crate::workload::MarketParams;
+use finbench_math::exp;
+use finbench_rng::normal::fill_standard_normal_icdf;
+use finbench_rng::StreamFamily;
+
+/// Solve the 3×3 linear system `a·x = b` by Gaussian elimination with
+/// partial pivoting. Returns `None` when the system is (numerically)
+/// singular.
+pub fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        // Pivot.
+        let mut piv = col;
+        for row in col + 1..3 {
+            if a[row][col].abs() > a[piv][col].abs() {
+                piv = row;
+            }
+        }
+        if a[piv][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        // Eliminate.
+        for row in col + 1..3 {
+            let f = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot = pivot_rows[col];
+            for (k, cell) in rest[0].iter_mut().enumerate().skip(col) {
+                *cell -= f * pivot[k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back-substitute.
+    let mut x = [0.0; 3];
+    for col in (0..3).rev() {
+        let mut s = b[col];
+        for k in col + 1..3 {
+            s -= a[col][k] * x[k];
+        }
+        x[col] = s / a[col][col];
+    }
+    Some(x)
+}
+
+/// Least-squares fit of `y ≈ β₀ + β₁·s + β₂·s²` over the points
+/// `(s[i], y[i])`; returns the coefficients, or `None` with fewer than 3
+/// points or a singular design.
+pub fn fit_quadratic(s: &[f64], y: &[f64]) -> Option<[f64; 3]> {
+    assert_eq!(s.len(), y.len());
+    if s.len() < 3 {
+        return None;
+    }
+    // Normal equations: A = X^T X, rhs = X^T y with X rows (1, s, s^2).
+    let mut a = [[0.0f64; 3]; 3];
+    let mut rhs = [0.0f64; 3];
+    for (&si, &yi) in s.iter().zip(y) {
+        let basis = [1.0, si, si * si];
+        for r in 0..3 {
+            rhs[r] += basis[r] * yi;
+            for c in 0..3 {
+                a[r][c] += basis[r] * basis[c];
+            }
+        }
+    }
+    solve3(a, rhs)
+}
+
+/// Result of a Longstaff-Schwartz pricing run.
+#[derive(Debug, Clone, Copy)]
+pub struct LsmResult {
+    /// Price estimate.
+    pub price: f64,
+    /// Standard error of the estimate.
+    pub std_error: f64,
+    /// Paths simulated.
+    pub n_paths: usize,
+}
+
+/// Price an American put by least-squares Monte Carlo.
+///
+/// `n_steps` is the number of (equally spaced) exercise dates; the run is
+/// deterministic in `seed`.
+pub fn price_american_put_lsm(
+    s0: f64,
+    strike: f64,
+    expiry: f64,
+    market: MarketParams,
+    n_paths: usize,
+    n_steps: usize,
+    seed: u64,
+) -> LsmResult {
+    assert!(n_paths >= 8 && n_steps >= 1, "degenerate LSM configuration");
+    let dt = expiry / n_steps as f64;
+    let drift = (market.r - 0.5 * market.sigma * market.sigma) * dt;
+    let vol_dt = market.sigma * dt.sqrt();
+    let disc = exp(-market.r * dt);
+
+    // Simulate paths (path-major layout: spot[p * n_steps + t] holds the
+    // spot at date t+1).
+    let fam = StreamFamily::new(seed);
+    let mut spot = vec![0.0; n_paths * n_steps];
+    let mut z = vec![0.0; n_steps];
+    for p in 0..n_paths {
+        let mut rng = fam.stream(p as u64);
+        fill_standard_normal_icdf(&mut rng, &mut z);
+        let mut s = s0;
+        for (t, &zt) in z.iter().enumerate() {
+            s *= exp(drift + vol_dt * zt);
+            spot[p * n_steps + t] = s;
+        }
+    }
+
+    let payoff = |s: f64| (strike - s).max(0.0);
+
+    // Cashflows at the *latest* exercise decision per path, discounted to
+    // the current backward date as we walk.
+    let mut cashflow: Vec<f64> = (0..n_paths)
+        .map(|p| payoff(spot[p * n_steps + n_steps - 1]))
+        .collect();
+
+    // Reusable regression buffers.
+    let mut xs = Vec::with_capacity(n_paths);
+    let mut ys = Vec::with_capacity(n_paths);
+    let mut itm = Vec::with_capacity(n_paths);
+
+    for t in (0..n_steps - 1).rev() {
+        // Discount one step: cashflow now holds values as of date t+1.
+        for cf in cashflow.iter_mut() {
+            *cf *= disc;
+        }
+
+        xs.clear();
+        ys.clear();
+        itm.clear();
+        for p in 0..n_paths {
+            let s = spot[p * n_steps + t];
+            if payoff(s) > 0.0 {
+                xs.push(s / strike);
+                ys.push(cashflow[p]);
+                itm.push(p);
+            }
+        }
+
+        if let Some(beta) = fit_quadratic(&xs, &ys) {
+            for (&p, &sn) in itm.iter().zip(&xs) {
+                let s = sn * strike;
+                let continuation = beta[0] + beta[1] * sn + beta[2] * sn * sn;
+                let immediate = payoff(s);
+                if immediate > continuation {
+                    cashflow[p] = immediate;
+                }
+            }
+        }
+    }
+
+    // Discount the final step to today and aggregate.
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for cf in &cashflow {
+        let v = cf * disc;
+        sum += v;
+        sum_sq += v * v;
+    }
+    let n = n_paths as f64;
+    let mean = sum / n;
+    let var = (sum_sq / n - mean * mean).max(0.0);
+    LsmResult {
+        price: mean,
+        std_error: (var / n).sqrt(),
+        n_paths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: MarketParams = MarketParams { r: 0.05, sigma: 0.2 };
+
+    #[test]
+    fn solve3_known_system() {
+        // x + y + z = 6; 2y + 5z = -4; 2x + 5y - z = 27 =>
+        // x = 5, y = 3, z = -2.
+        let a = [[1.0, 1.0, 1.0], [0.0, 2.0, 5.0], [2.0, 5.0, -1.0]];
+        let b = [6.0, -4.0, 27.0];
+        let x = solve3(a, b).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve3_rejects_singular() {
+        let a = [[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [1.0, 0.0, 1.0]];
+        assert!(solve3(a, [1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn fit_recovers_exact_quadratic() {
+        let s: Vec<f64> = (0..50).map(|i| 0.5 + i as f64 * 0.02).collect();
+        let y: Vec<f64> = s.iter().map(|&x| 2.0 - 3.0 * x + 0.7 * x * x).collect();
+        let beta = fit_quadratic(&s, &y).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-9);
+        assert!((beta[1] + 3.0).abs() < 1e-9);
+        assert!((beta[2] - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_needs_enough_points() {
+        assert!(fit_quadratic(&[1.0, 2.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn lsm_matches_binomial_american_put() {
+        let lattice =
+            crate::binomial::american::price_american::<f64>(100.0, 100.0, 1.0, M, 2000, false);
+        let lsm = price_american_put_lsm(100.0, 100.0, 1.0, M, 100_000, 50, 42);
+        // LSM carries a small low bias (suboptimal exercise rule) plus MC
+        // noise; 4 stderr + 1% bias band.
+        let band = 4.0 * lsm.std_error + 0.01 * lattice;
+        assert!(
+            (lsm.price - lattice).abs() < band,
+            "lsm {} ± {} vs lattice {lattice}",
+            lsm.price,
+            lsm.std_error
+        );
+    }
+
+    #[test]
+    fn lsm_dominates_european_put() {
+        let (_, bs_put) = crate::black_scholes::price_single(100.0, 100.0, 1.0, M);
+        let lsm = price_american_put_lsm(100.0, 100.0, 1.0, M, 50_000, 50, 7);
+        assert!(
+            lsm.price > bs_put - 3.0 * lsm.std_error,
+            "lsm {} vs european {bs_put}",
+            lsm.price
+        );
+    }
+
+    #[test]
+    fn lsm_deterministic_in_seed() {
+        let a = price_american_put_lsm(90.0, 100.0, 0.5, M, 10_000, 20, 3);
+        let b = price_american_put_lsm(90.0, 100.0, 0.5, M, 10_000, 20, 3);
+        assert_eq!(a.price.to_bits(), b.price.to_bits());
+        let c = price_american_put_lsm(90.0, 100.0, 0.5, M, 10_000, 20, 4);
+        assert_ne!(a.price.to_bits(), c.price.to_bits());
+    }
+
+    #[test]
+    fn deep_itm_put_near_intrinsic() {
+        let lsm = price_american_put_lsm(40.0, 100.0, 1.0, M, 20_000, 25, 5);
+        assert!(
+            (lsm.price - 60.0).abs() < 0.5,
+            "deep ITM should pin to intrinsic: {}",
+            lsm.price
+        );
+    }
+
+    #[test]
+    fn otm_put_worth_little_but_positive() {
+        let lsm = price_american_put_lsm(200.0, 100.0, 0.5, M, 50_000, 25, 6);
+        assert!(lsm.price >= 0.0 && lsm.price < 0.05, "{}", lsm.price);
+    }
+
+    #[test]
+    fn more_exercise_dates_never_cheapen_much() {
+        // The American price is increasing in exercise opportunities up to
+        // MC noise; coarse (5 dates, Bermudan-ish) <= fine (50 dates).
+        let coarse = price_american_put_lsm(100.0, 100.0, 1.0, M, 60_000, 5, 11);
+        let fine = price_american_put_lsm(100.0, 100.0, 1.0, M, 60_000, 50, 11);
+        assert!(
+            fine.price > coarse.price - 3.0 * (coarse.std_error + fine.std_error),
+            "coarse {} fine {}",
+            coarse.price,
+            fine.price
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Workload generation and data layouts.
+//!
+//! The paper's Black-Scholes analysis hinges on the input layout: the
+//! reference code receives an **array of structures** (one record per
+//! option, Lis. 1) whose SIMD gathers cost "as many as vector length
+//! cachelines" per access, while the advanced code uses a **structure of
+//! arrays**. Both layouts are first-class here, with lossless conversion
+//! (the paper's "AOS to SOA transformation").
+//!
+//! Random workloads are generated from a seeded [`finbench_rng`] stream so
+//! every experiment is reproducible bit-for-bit.
+
+use finbench_rng::{uniform::fill_uniform_range, Mt19937_64};
+
+/// Per-batch market parameters. The paper assumes "r and sig are the same
+/// for all options".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarketParams {
+    /// Risk-free interest rate (continuous compounding).
+    pub r: f64,
+    /// Volatility of the underlying.
+    pub sigma: f64,
+}
+
+impl MarketParams {
+    /// The parameter point used throughout the paper-shaped experiments.
+    pub const PAPER: MarketParams = MarketParams { r: 0.02, sigma: 0.30 };
+}
+
+/// One option record in AOS layout: 3 input fields (24 bytes streamed in)
+/// and 2 output fields (16 bytes streamed out), exactly the traffic the
+/// paper's bandwidth bound `B/40` counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OptionRecord {
+    /// Spot price of the underlying.
+    pub s: f64,
+    /// Strike price.
+    pub x: f64,
+    /// Time to expiry in years.
+    pub t: f64,
+    /// Output: call price.
+    pub call: f64,
+    /// Output: put price.
+    pub put: f64,
+}
+
+/// Array-of-structures batch (the reference layout).
+#[derive(Debug, Clone, Default)]
+pub struct OptionBatchAos {
+    /// The option records.
+    pub opts: Vec<OptionRecord>,
+}
+
+/// Structure-of-arrays batch (the SIMD-friendly layout).
+#[derive(Debug, Clone, Default)]
+pub struct OptionBatchSoa {
+    /// Spot prices.
+    pub s: Vec<f64>,
+    /// Strike prices.
+    pub x: Vec<f64>,
+    /// Times to expiry.
+    pub t: Vec<f64>,
+    /// Output call prices.
+    pub call: Vec<f64>,
+    /// Output put prices.
+    pub put: Vec<f64>,
+}
+
+/// Parameter ranges for random workloads; defaults match the common
+/// NVIDIA/PARSEC Black-Scholes workload ranges the paper's kernels
+/// inherit (spot 5–30, strike 1–100, expiry 0.25–10 years).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadRanges {
+    /// Spot price range.
+    pub s: (f64, f64),
+    /// Strike range.
+    pub x: (f64, f64),
+    /// Expiry range in years.
+    pub t: (f64, f64),
+}
+
+impl Default for WorkloadRanges {
+    fn default() -> Self {
+        Self {
+            s: (5.0, 30.0),
+            x: (1.0, 100.0),
+            t: (0.25, 10.0),
+        }
+    }
+}
+
+impl OptionBatchSoa {
+    /// Allocate an all-zero batch of `n` options.
+    pub fn zeroed(n: usize) -> Self {
+        Self {
+            s: vec![0.0; n],
+            x: vec![0.0; n],
+            t: vec![0.0; n],
+            call: vec![0.0; n],
+            put: vec![0.0; n],
+        }
+    }
+
+    /// Generate a reproducible random batch of `n` options.
+    pub fn random(n: usize, seed: u64, ranges: WorkloadRanges) -> Self {
+        let mut batch = Self::zeroed(n);
+        let mut rng = Mt19937_64::new(seed);
+        fill_uniform_range(&mut rng, &mut batch.s, ranges.s.0, ranges.s.1);
+        fill_uniform_range(&mut rng, &mut batch.x, ranges.x.0, ranges.x.1);
+        fill_uniform_range(&mut rng, &mut batch.t, ranges.t.0, ranges.t.1);
+        batch
+    }
+
+    /// Number of options in the batch.
+    pub fn len(&self) -> usize {
+        self.s.len()
+    }
+
+    /// True when the batch holds no options.
+    pub fn is_empty(&self) -> bool {
+        self.s.is_empty()
+    }
+
+    /// Transpose to AOS layout (the inverse transformation).
+    pub fn to_aos(&self) -> OptionBatchAos {
+        let opts = (0..self.len())
+            .map(|i| OptionRecord {
+                s: self.s[i],
+                x: self.x[i],
+                t: self.t[i],
+                call: self.call[i],
+                put: self.put[i],
+            })
+            .collect();
+        OptionBatchAos { opts }
+    }
+}
+
+impl OptionBatchAos {
+    /// Generate a reproducible random batch of `n` options (same sequence
+    /// as [`OptionBatchSoa::random`] for the same seed).
+    pub fn random(n: usize, seed: u64, ranges: WorkloadRanges) -> Self {
+        OptionBatchSoa::random(n, seed, ranges).to_aos()
+    }
+
+    /// Number of options in the batch.
+    pub fn len(&self) -> usize {
+        self.opts.len()
+    }
+
+    /// True when the batch holds no options.
+    pub fn is_empty(&self) -> bool {
+        self.opts.is_empty()
+    }
+
+    /// The paper's AOS→SOA transformation.
+    pub fn to_soa(&self) -> OptionBatchSoa {
+        let n = self.len();
+        let mut soa = OptionBatchSoa::zeroed(n);
+        for (i, o) in self.opts.iter().enumerate() {
+            soa.s[i] = o.s;
+            soa.x[i] = o.x;
+            soa.t[i] = o.t;
+            soa.call[i] = o.call;
+            soa.put[i] = o.put;
+        }
+        soa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_batch_respects_ranges() {
+        let r = WorkloadRanges::default();
+        let b = OptionBatchSoa::random(10_000, 1, r);
+        assert_eq!(b.len(), 10_000);
+        assert!(b.s.iter().all(|&v| (r.s.0..r.s.1).contains(&v)));
+        assert!(b.x.iter().all(|&v| (r.x.0..r.x.1).contains(&v)));
+        assert!(b.t.iter().all(|&v| (r.t.0..r.t.1).contains(&v)));
+        assert!(b.call.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn random_batch_reproducible() {
+        let a = OptionBatchSoa::random(100, 42, WorkloadRanges::default());
+        let b = OptionBatchSoa::random(100, 42, WorkloadRanges::default());
+        assert_eq!(a.s, b.s);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.t, b.t);
+        let c = OptionBatchSoa::random(100, 43, WorkloadRanges::default());
+        assert_ne!(a.s, c.s);
+    }
+
+    #[test]
+    fn aos_soa_round_trip() {
+        let soa = OptionBatchSoa::random(257, 7, WorkloadRanges::default());
+        let aos = soa.to_aos();
+        let back = aos.to_soa();
+        assert_eq!(soa.s, back.s);
+        assert_eq!(soa.x, back.x);
+        assert_eq!(soa.t, back.t);
+        assert_eq!(aos.len(), 257);
+        assert!(!aos.is_empty());
+    }
+
+    #[test]
+    fn aos_random_matches_soa_random() {
+        let aos = OptionBatchAos::random(64, 5, WorkloadRanges::default());
+        let soa = OptionBatchSoa::random(64, 5, WorkloadRanges::default());
+        for i in 0..64 {
+            assert_eq!(aos.opts[i].s, soa.s[i]);
+            assert_eq!(aos.opts[i].x, soa.x[i]);
+        }
+    }
+
+    #[test]
+    fn empty_batches() {
+        let b = OptionBatchSoa::zeroed(0);
+        assert!(b.is_empty());
+        assert!(b.to_aos().is_empty());
+    }
+
+    #[test]
+    fn record_is_40_bytes() {
+        // 5 doubles = 40 bytes/option — the basis of the paper's
+        // bandwidth-bound performance model B/40.
+        assert_eq!(core::mem::size_of::<OptionRecord>(), 40);
+    }
+}

@@ -1,0 +1,43 @@
+//! # finbench
+//!
+//! A Rust reproduction of the SC 2012 financial-analytics benchmark
+//! *"Analysis and Optimization of Financial Analytics Benchmark on Modern
+//! Multi- and Many-core IA-Based Architectures"* (Smelyanskiy et al.):
+//! six derivative-pricing kernels, each implemented at the paper's
+//! basic/intermediate/advanced optimization levels, plus the architecture
+//! models that regenerate every figure and table.
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! * [`math`] — scalar special functions (`exp`, `ln`, `erf`, normal CDF
+//!   and its inverse) built from scratch, plus op-counting audit types.
+//! * [`simd`] — the `F64vec4`/`F64vec8` vector classes and vectorized
+//!   (SVML-style) + batch (VML-style) math.
+//! * [`rng`] — MT19937(-64) and Philox4x32 generators, uniform/normal
+//!   transforms, independent parallel streams.
+//! * [`parallel`] — the chunk-dispenser thread pool and rayon adapters.
+//! * [`core`] — the kernels: Black-Scholes, binomial tree, Brownian
+//!   bridge, Monte Carlo, Crank-Nicolson, and greeks/implied vol.
+//! * [`machine`] — SNB-EP/KNC architecture models and the figure
+//!   regeneration.
+//! * [`harness`] — the experiment drivers behind the `finbench` CLI.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use finbench::core::black_scholes::price_single;
+//! use finbench::core::workload::MarketParams;
+//!
+//! let market = MarketParams { r: 0.05, sigma: 0.2 };
+//! let (call, put) = price_single(100.0, 100.0, 1.0, market);
+//! assert!((call - 10.4505835).abs() < 1e-6);
+//! assert!((put - 5.5735260).abs() < 1e-6);
+//! ```
+
+pub use finbench_core as core;
+pub use finbench_harness as harness;
+pub use finbench_machine as machine;
+pub use finbench_math as math;
+pub use finbench_parallel as parallel;
+pub use finbench_rng as rng;
+pub use finbench_simd as simd;

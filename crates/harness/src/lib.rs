@@ -1,0 +1,52 @@
+//! # finbench-harness
+//!
+//! The experiment driver: one experiment per table/figure of the paper,
+//! each rendering (a) the machine-model regeneration of the paper's bars
+//! and (b) native measurements of this crate's real Rust kernels on the
+//! build host.
+//!
+//! Run via the `finbench` binary:
+//!
+//! ```text
+//! finbench all            # every experiment
+//! finbench fig4 fig5      # specific artifacts
+//! finbench table2 --quick # reduced native workload sizes
+//! finbench native         # native kernel ladders only
+//! finbench --csv out/     # also write CSV series
+//! ```
+
+pub mod experiments;
+pub mod native;
+pub mod render;
+pub mod timing;
+
+/// Global run options.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Shrink native workloads (CI-friendly).
+    pub quick: bool,
+    /// Directory for CSV exports (none = skip).
+    pub csv_dir: Option<String>,
+}
+
+/// All experiment ids, in paper order.
+pub const EXPERIMENTS: &[&str] = &[
+    "table1", "fig4", "fig5", "fig6", "table2", "fig8", "ninja", "qmc", "native",
+];
+
+/// Run one experiment by id; returns false for an unknown id.
+pub fn run_experiment(id: &str, opts: &RunOptions) -> bool {
+    match id {
+        "table1" => experiments::table1(opts),
+        "fig4" => experiments::fig4(opts),
+        "fig5" => experiments::fig5(opts),
+        "fig6" => experiments::fig6(opts),
+        "table2" => experiments::table2(opts),
+        "fig8" => experiments::fig8(opts),
+        "ninja" => experiments::ninja(opts),
+        "qmc" => experiments::qmc(opts),
+        "native" => experiments::native_all(opts),
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,47 @@
+//! The `finbench` experiment CLI.
+//!
+//! ```text
+//! finbench all                 # every table/figure + native runs
+//! finbench fig4 table2         # specific artifacts
+//! finbench native --quick      # reduced native workloads
+//! finbench all --csv results/  # also export CSV series
+//! ```
+
+use finbench_harness::{run_experiment, RunOptions, EXPERIMENTS};
+
+fn usage() -> ! {
+    eprintln!("usage: finbench [EXPERIMENT ...] [--quick] [--csv DIR]");
+    eprintln!("experiments: {} | all", EXPERIMENTS.join(" | "));
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = RunOptions::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" | "-q" => opts.quick = true,
+            "--csv" => match args.next() {
+                Some(dir) => opts.csv_dir = Some(dir),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    for id in &ids {
+        if !run_experiment(id, &opts) {
+            eprintln!("unknown experiment: {id}");
+            usage();
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Native measurements: run the real Rust kernels on the build host at
+//! every optimization level, reporting items/second.
+//!
+//! These are the "did the optimization ladder actually help on real
+//! silicon" numbers that complement the machine model's SNB-EP/KNC
+//! regeneration. Absolute values depend on the host; the *ladder shape*
+//! (SOA beats AOS, tiling beats plain SIMD, fused beats streamed) is the
+//! reproducible part and is what the integration tests assert.
+
+use crate::timing::throughput;
+use finbench_core::binomial;
+use finbench_core::black_scholes::{reference, soa, vml};
+use finbench_core::brownian_bridge::{interleaved, reference as bridge_ref, simd as bridge_simd, BridgePlan};
+use finbench_core::crank_nicolson::{CnProblem, PsorKind};
+use finbench_core::monte_carlo::{reference as mc_ref, simd as mc_simd, GbmTerminal};
+use finbench_core::workload::{MarketParams, OptionBatchSoa, WorkloadRanges};
+use finbench_rng::normal::{fill_standard_normal_icdf, fill_standard_normal_polar};
+use finbench_rng::uniform::fill_uniform;
+use finbench_rng::{Mt19937_64, Philox4x32, StreamFamily};
+
+const M: MarketParams = MarketParams::PAPER;
+
+fn min_secs(quick: bool) -> f64 {
+    if quick {
+        0.02
+    } else {
+        0.15
+    }
+}
+
+/// Black-Scholes ladder: options/second at each level.
+pub fn black_scholes_ladder(quick: bool) -> Vec<(String, f64)> {
+    let n = if quick { 20_000 } else { 400_000 };
+    let soa_batch = OptionBatchSoa::random(n, 1, WorkloadRanges::default());
+    let aos_batch = soa_batch.to_aos();
+    let secs = min_secs(quick);
+    let mut out = Vec::new();
+
+    let mut b = aos_batch.clone();
+    out.push((
+        "Basic: scalar AOS reference".into(),
+        throughput(n, secs, || reference::price_aos::<f64>(&mut b, M)),
+    ));
+    let mut b = aos_batch.clone();
+    out.push((
+        "Basic+: SIMD on AOS (gathers)".into(),
+        throughput(n, secs, || reference::price_aos_simd_gather::<8>(&mut b, M)),
+    ));
+    let mut b = soa_batch.clone();
+    out.push((
+        "Intermediate: scalar SOA".into(),
+        throughput(n, secs, || soa::price_soa_scalar(&mut b, M)),
+    ));
+    let mut b = soa_batch.clone();
+    out.push((
+        "Intermediate: SIMD SOA (W=4)".into(),
+        throughput(n, secs, || soa::price_soa_simd::<4>(&mut b, M)),
+    ));
+    let mut b = soa_batch.clone();
+    out.push((
+        "Intermediate: SIMD SOA (W=8)".into(),
+        throughput(n, secs, || soa::price_soa_simd::<8>(&mut b, M)),
+    ));
+    let mut b = soa_batch.clone();
+    out.push((
+        "Advanced: erf + parity (W=8)".into(),
+        throughput(n, secs, || soa::price_soa_simd_erf_parity::<8>(&mut b, M)),
+    ));
+    let mut b = soa_batch.clone();
+    let mut ws = vml::VmlWorkspace::with_capacity(n);
+    out.push((
+        "Advanced: VML-style batch".into(),
+        throughput(n, secs, || vml::price_soa_vml(&mut b, M, &mut ws)),
+    ));
+    let mut b = soa_batch.clone();
+    out.push((
+        "Advanced + rayon threads".into(),
+        throughput(n, secs, || soa::par_price_soa::<8>(&mut b, M, 4096)),
+    ));
+    out
+}
+
+/// Binomial-tree ladder: options/second at `n_steps` time steps.
+pub fn binomial_ladder(quick: bool) -> Vec<(String, f64)> {
+    let n_steps = if quick { 256 } else { 1024 };
+    let n_opts = if quick { 16 } else { 64 };
+    let mut batch = OptionBatchSoa::random(n_opts, 2, WorkloadRanges::default());
+    for t in &mut batch.t {
+        *t = 1.0;
+    }
+    let secs = min_secs(quick);
+    let mut out = Vec::new();
+
+    let mut b = batch.clone();
+    out.push((
+        "Basic: scalar reference".into(),
+        throughput(n_opts, secs, || binomial::reference::price_batch(&mut b, M, n_steps)),
+    ));
+    let mut b = batch.clone();
+    out.push((
+        "Intermediate: SIMD across options (W=8)".into(),
+        throughput(n_opts, secs, || {
+            binomial::simd::price_batch_simd::<8>(&mut b, M, n_steps, true)
+        }),
+    ));
+    let mut b = batch.clone();
+    out.push((
+        "Advanced: register tiling (W=8, TS=4)".into(),
+        throughput(n_opts, secs, || {
+            binomial::tiled::price_batch_tiled::<8, 4>(&mut b, M, n_steps, true)
+        }),
+    ));
+    let mut b = batch.clone();
+    out.push((
+        "Advanced: register tiling (W=8, TS=8)".into(),
+        throughput(n_opts, secs, || {
+            binomial::tiled::price_batch_tiled::<8, 8>(&mut b, M, n_steps, true)
+        }),
+    ));
+    out
+}
+
+/// Brownian-bridge ladder: paths/second for a 64-step bridge.
+pub fn brownian_ladder(quick: bool) -> Vec<(String, f64)> {
+    let plan = BridgePlan::new(6, 1.0);
+    let n_paths = if quick { 4_096 } else { 65_536 };
+    let per = plan.randoms_per_path();
+    let points = plan.points();
+    let secs = min_secs(quick);
+
+    let mut rng = Mt19937_64::new(3);
+    let mut randoms = vec![0.0; n_paths * per];
+    fill_standard_normal_icdf(&mut rng, &mut randoms);
+    let transposed = bridge_simd::transpose_randoms::<8>(&randoms, per);
+    let fam = StreamFamily::new(77);
+
+    // NOTE: the first two rows consume pre-generated normals (the paper's
+    // Fig. 6 timings exclude RNG generation); the advanced rows generate
+    // their normals inline, so on hosts where the inverse-CDF transform is
+    // slow they can sit *below* the streamed rows — compare them against
+    // each other, and see the `ablation_normal_transform` bench for the
+    // transform cost itself.
+    let mut out = Vec::new();
+    let mut buf = vec![0.0; n_paths * points];
+    out.push((
+        "Basic: scalar depth-level".into(),
+        throughput(n_paths, secs, || {
+            bridge_ref::build_paths::<f64>(&plan, &randoms, &mut buf, n_paths)
+        }),
+    ));
+    out.push((
+        "Intermediate: SIMD across paths (W=8)".into(),
+        throughput(n_paths, secs, || {
+            bridge_simd::build_paths_simd::<8>(&plan, &transposed, &mut buf, n_paths)
+        }),
+    ));
+    out.push((
+        "Advanced: interleaved RNG (incl. RNG gen)".into(),
+        throughput(n_paths, secs, || {
+            interleaved::build_paths_interleaved::<8>(&plan, &fam, &mut buf, n_paths)
+        }),
+    ));
+    let mut stats = vec![0.0; n_paths];
+    out.push((
+        "Advanced: cache-to-cache fused (incl. RNG gen)".into(),
+        throughput(n_paths, secs, || {
+            interleaved::simulate_fused::<8>(&plan, &fam, n_paths, &mut stats, interleaved::path_average)
+        }),
+    ));
+    out
+}
+
+/// Monte-Carlo rates: paths/second, streamed vs computed RNG, plus the
+/// per-option rate at the paper's 256k path length.
+pub fn monte_carlo_ladder(quick: bool) -> Vec<(String, f64)> {
+    let n_paths = if quick { 1 << 17 } else { 1 << 21 };
+    let g = GbmTerminal::new(1.0, M);
+    let secs = min_secs(quick);
+
+    let mut rng = Mt19937_64::new(5);
+    let mut randoms = vec![0.0; n_paths];
+    fill_standard_normal_icdf(&mut rng, &mut randoms);
+    let fam = StreamFamily::new(5);
+
+    let mut out = Vec::new();
+    out.push((
+        "Basic: scalar streamed RNG (paths/s)".into(),
+        throughput(n_paths, secs, || {
+            std::hint::black_box(mc_ref::paths_streamed::<f64>(100.0, 100.0, g, &randoms));
+        }),
+    ));
+    out.push((
+        "SIMD streamed RNG (paths/s)".into(),
+        throughput(n_paths, secs, || {
+            std::hint::black_box(mc_simd::paths_streamed_simd::<8>(100.0, 100.0, g, &randoms));
+        }),
+    ));
+    out.push((
+        "SIMD computed RNG (paths/s)".into(),
+        throughput(n_paths, secs, || {
+            std::hint::black_box(mc_simd::paths_computed_simd::<8>(100.0, 100.0, g, &fam, 0, n_paths));
+        }),
+    ));
+    out.push((
+        "Antithetic variates (paths/s)".into(),
+        throughput(n_paths, secs, || {
+            std::hint::black_box(mc_simd::paths_antithetic::<8>(100.0, 100.0, g, &randoms));
+        }),
+    ));
+    out
+}
+
+/// Crank-Nicolson ladder: options/second (each "option" is a full
+/// 256-point × n-step PSOR solve).
+pub fn crank_nicolson_ladder(quick: bool) -> Vec<(String, f64)> {
+    let n_steps = if quick { 100 } else { 500 };
+    let mut prob = CnProblem::paper(M, 1.0);
+    prob.n_steps = n_steps;
+    let secs = min_secs(quick);
+
+    let mut out = Vec::new();
+    for (label, kind) in [
+        ("Basic: scalar PSOR", PsorKind::Reference),
+        ("Advanced: wavefront manual SIMD", PsorKind::Wavefront),
+        ("Advanced: + data transform", PsorKind::WavefrontSoa),
+    ] {
+        let p = prob.clone();
+        out.push((
+            label.to_string(),
+            throughput(1, secs, || {
+                std::hint::black_box(p.solve(kind));
+            }),
+        ));
+    }
+    out
+}
+
+/// Raw RNG rates (Table II rows 3-4): numbers/second.
+pub fn rng_rates(quick: bool) -> Vec<(String, f64)> {
+    let n = if quick { 1 << 18 } else { 1 << 22 };
+    let secs = min_secs(quick);
+    let mut buf = vec![0.0; n];
+    let mut out = Vec::new();
+
+    let mut mt = Mt19937_64::new(1);
+    out.push((
+        "uniform DP (MT19937-64)".into(),
+        throughput(n, secs, || fill_uniform(&mut mt, &mut buf)),
+    ));
+    let mut px = Philox4x32::new(1);
+    out.push((
+        "uniform DP (Philox4x32)".into(),
+        throughput(n, secs, || fill_uniform(&mut px, &mut buf)),
+    ));
+    let mut mt = Mt19937_64::new(2);
+    out.push((
+        "normal DP (ICDF)".into(),
+        throughput(n, secs, || fill_standard_normal_icdf(&mut mt, &mut buf)),
+    ));
+    let mut mt = Mt19937_64::new(3);
+    out.push((
+        "normal DP (polar)".into(),
+        throughput(n, secs, || fill_standard_normal_polar(&mut mt, &mut buf)),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ladders_produce_positive_rates() {
+        for ladder in [
+            black_scholes_ladder(true),
+            binomial_ladder(true),
+            brownian_ladder(true),
+            monte_carlo_ladder(true),
+            crank_nicolson_ladder(true),
+            rng_rates(true),
+        ] {
+            assert!(!ladder.is_empty());
+            for (label, rate) in &ladder {
+                assert!(rate.is_finite() && *rate > 0.0, "{label}: {rate}");
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Plain-text rendering: section headers, aligned tables, horizontal bar
+//! charts (the terminal stand-in for the paper's stacked bars), and CSV
+//! export.
+
+use std::fmt::Write as _;
+
+/// Format a throughput-style number with engineering grouping.
+pub fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "inf".into();
+    }
+    let a = v.abs();
+    if a >= 1e9 {
+        format!("{:.3}e9", v / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if a >= 1e4 {
+        format!("{:.1}K", v / 1e3)
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// A section banner.
+pub fn section(title: &str) -> String {
+    let bar = "=".repeat(title.len().max(8) + 4);
+    format!("\n{bar}\n  {title}\n{bar}\n")
+}
+
+/// Render an aligned table. `rows` may be shorter than `headers` rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (c, cell) in cells.iter().enumerate().take(cols) {
+            let _ = write!(out, "| {:<w$} ", cell, w = widths[c]);
+        }
+        out.push_str("|\n");
+    };
+    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let mut sep = String::new();
+    for w in &widths {
+        let _ = write!(sep, "|{}", "-".repeat(w + 2));
+    }
+    sep.push_str("|\n");
+    out.push_str(&sep);
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Horizontal bar chart: one bar per `(label, value)`, scaled to the
+/// maximum of `values` and `reference_max` (so sibling charts share a
+/// scale when desired).
+pub fn bar_chart(rows: &[(String, f64)], unit: &str, reference_max: Option<f64>) -> String {
+    const WIDTH: usize = 46;
+    let max = rows
+        .iter()
+        .map(|r| r.1)
+        .chain(reference_max)
+        .fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in rows {
+        let n = if max > 0.0 {
+            ((v / max) * WIDTH as f64).round() as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            out,
+            "  {:<label_w$}  {:>10} {unit}  |{}",
+            label,
+            fmt_num(*v),
+            "#".repeat(n.min(WIDTH)),
+        );
+    }
+    out
+}
+
+/// Serialize `(label, value)` rows to a two-column CSV string.
+pub fn to_csv(series_name: &str, rows: &[(String, f64)]) -> String {
+    let mut out = format!("label,{series_name}\n");
+    for (label, v) in rows {
+        let quoted = if label.contains(',') {
+            format!("\"{label}\"")
+        } else {
+            label.clone()
+        };
+        let _ = writeln!(out, "{quoted},{v}");
+    }
+    out
+}
+
+/// Write a CSV file into `dir` (created if needed); silently skipped when
+/// `dir` is `None`.
+pub fn maybe_write_csv(dir: &Option<String>, file: &str, contents: &str) {
+    if let Some(dir) = dir {
+        let _ = std::fs::create_dir_all(dir);
+        let path = std::path::Path::new(dir).join(file);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_num(1.5e9), "1.500e9");
+        assert_eq!(fmt_num(2.5e6), "2.50M");
+        assert_eq!(fmt_num(42_000.0), "42.0K");
+        assert_eq!(fmt_num(123.0), "123");
+        assert_eq!(fmt_num(1.25), "1.250");
+        assert_eq!(fmt_num(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows share the same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[2].contains("a"));
+        assert!(lines[3].contains("longer-name"));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let rows = vec![("half".to_string(), 50.0), ("full".to_string(), 100.0)];
+        let chart = bar_chart(&rows, "u", None);
+        let full_len = chart.lines().nth(1).unwrap().matches('#').count();
+        let half_len = chart.lines().next().unwrap().matches('#').count();
+        assert_eq!(full_len, 46);
+        assert_eq!(half_len, 23);
+    }
+
+    #[test]
+    fn bars_respect_reference_max() {
+        let rows = vec![("x".to_string(), 50.0)];
+        let chart = bar_chart(&rows, "u", Some(100.0));
+        assert_eq!(chart.lines().next().unwrap().matches('#').count(), 23);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let rows = vec![("plain".to_string(), 1.0), ("with,comma".to_string(), 2.0)];
+        let csv = to_csv("tput", &rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "label,tput");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",2");
+    }
+
+    #[test]
+    fn empty_chart_is_empty() {
+        assert_eq!(bar_chart(&[], "u", None), "");
+    }
+}

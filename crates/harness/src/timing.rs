@@ -1,0 +1,64 @@
+//! Wall-clock throughput measurement for the native runs.
+
+use std::time::Instant;
+
+/// Measure `items/second` for `body`, which processes `items` work units
+/// per call. The body is repeated until at least `min_secs` of wall time
+/// accumulates (with one untimed warmup call), and the best per-call rate
+/// is reported — the usual defense against scheduler noise on a shared
+/// host.
+pub fn throughput(items: usize, min_secs: f64, mut body: impl FnMut()) -> f64 {
+    body(); // warmup
+    let mut best = 0.0f64;
+    let mut spent = 0.0;
+    let mut reps = 0u32;
+    while spent < min_secs || reps < 2 {
+        let t0 = Instant::now();
+        body();
+        let dt = t0.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(items as f64 / dt);
+        spent += dt;
+        reps += 1;
+        if reps > 1000 {
+            break;
+        }
+    }
+    best
+}
+
+/// Measure a one-shot duration in seconds.
+pub fn time_once(body: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    body();
+    t0.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_positive_and_sane() {
+        let mut acc = 0u64;
+        let rate = throughput(1000, 0.01, || {
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+        });
+        assert!(rate > 0.0);
+        std::hint::black_box(acc);
+    }
+
+    #[test]
+    fn time_once_measures_something() {
+        let t = time_once(|| std::thread::sleep(std::time::Duration::from_millis(5)));
+        assert!(t >= 0.004, "{t}");
+    }
+
+    #[test]
+    fn throughput_runs_at_least_twice() {
+        let mut count = 0;
+        throughput(1, 0.0, || count += 1);
+        assert!(count >= 3); // warmup + >= 2 timed
+    }
+}

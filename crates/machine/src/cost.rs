@@ -1,0 +1,188 @@
+//! The per-item cycle cost model and bandwidth roofline.
+
+use crate::arch::ArchSpec;
+
+/// Cost descriptor of one kernel at one optimization level, per *item*
+/// (option, path, ...). Structural fields (flops, transcendental mix,
+//  bytes) come from the paper's own formulas; efficiency fields are the
+/// calibrated part.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelCost {
+    /// Plain double-precision flops per item (the paper's flop formulas).
+    pub flops: f64,
+    /// `exp`-class transcendental calls per item.
+    pub exps: f64,
+    /// Heavy transcendental calls per item (`erf`, `cnd`, `ln` — carry a
+    /// division).
+    pub heavies: f64,
+    /// Standalone divides/square roots per item.
+    pub slow_ops: f64,
+    /// Normal variates generated on the fly per item (0 when streamed).
+    pub rng_normals: f64,
+    /// DRAM bytes streamed per item (roofline input).
+    pub bytes: f64,
+    /// Effective SIMD lane utilization in (0, 1]: `1/width` for scalar
+    /// code, 1.0 for perfectly vectorized code, in between for partially
+    /// vectorized or ragged loops.
+    pub width_frac: f64,
+    /// Fraction of peak issue achieved by the flop stream (dependency
+    /// chains, load/store pressure): the "achievable vs deliverable"
+    /// efficiency of the paper's §III-B models.
+    pub ilp: f64,
+    /// Cache lines touched by gathers/scatters per item (AOS layouts).
+    pub gather_lines: f64,
+    /// Instruction-overhead multiplier (≥ 1) on the compute portion —
+    /// loop control, address arithmetic, masking; the quantity the
+    /// paper's "10x more instructions" observation lives in.
+    pub overhead: f64,
+}
+
+impl LevelCost {
+    /// A neutral descriptor (fully vectorized, no transcendentals).
+    pub const fn flops_only(flops: f64, bytes: f64) -> Self {
+        Self {
+            flops,
+            exps: 0.0,
+            heavies: 0.0,
+            slow_ops: 0.0,
+            rng_normals: 0.0,
+            bytes,
+            width_frac: 1.0,
+            ilp: 1.0,
+            gather_lines: 0.0,
+            overhead: 1.0,
+        }
+    }
+
+    /// Core-cycles per item on `arch`.
+    pub fn cycles_per_item(&self, arch: &ArchSpec) -> f64 {
+        let width = arch.simd_width_dp as f64;
+        let eff_lanes = (width * self.width_frac).max(1.0);
+        // 2 flops/lane/cycle at peak (mul+add ports or FMA).
+        let flop_cycles = self.flops / (2.0 * eff_lanes * self.ilp);
+        // Transcendentals: `cpe` is the full-vector per-element cost;
+        // partial vectorization scales it by 1/width_frac (scalar lanes
+        // pay the whole polynomial per element).
+        let transc_cycles = (self.exps * arch.exp_cpe
+            + self.heavies * arch.heavy_cpe
+            + self.slow_ops * arch.div_cpe)
+            / self.width_frac;
+        let gather_cycles = self.gather_lines * arch.gather_cycles_per_line;
+        let rng_cycles = self.rng_normals * arch.normal_rng_cpe;
+        (flop_cycles + transc_cycles + gather_cycles) * self.overhead + rng_cycles
+    }
+
+    /// Compute-bound throughput (items/s) on `arch`.
+    pub fn compute_bound(&self, arch: &ArchSpec) -> f64 {
+        arch.cycles_per_sec() / self.cycles_per_item(arch)
+    }
+
+    /// Bandwidth-bound throughput (items/s) on `arch`; infinite when the
+    /// item streams no DRAM traffic.
+    pub fn bandwidth_bound(&self, arch: &ArchSpec) -> f64 {
+        if self.bytes <= 0.0 {
+            f64::INFINITY
+        } else {
+            arch.bw_bytes_per_sec() / self.bytes
+        }
+    }
+
+    /// Modeled throughput: the roofline minimum.
+    pub fn throughput(&self, arch: &ArchSpec) -> f64 {
+        self.compute_bound(arch).min(self.bandwidth_bound(arch))
+    }
+
+    /// True when the bandwidth roof binds on `arch`.
+    pub fn is_bandwidth_bound(&self, arch: &ArchSpec) -> bool {
+        self.bandwidth_bound(arch) < self.compute_bound(arch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{KNC, SNB_EP};
+
+    #[test]
+    fn flops_only_at_full_efficiency_hits_peak() {
+        let c = LevelCost::flops_only(1e6, 0.0);
+        for arch in [&SNB_EP, &KNC] {
+            let gflops = c.throughput(arch) * 1e6 / 1e9;
+            assert!(
+                (gflops - arch.peak_dp_gflops()).abs() / arch.peak_dp_gflops() < 1e-12,
+                "{}: {gflops}",
+                arch.name
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_roof_binds_for_streaming_kernels() {
+        // 40 bytes/item, trivial compute: B/40 items per second — the
+        // paper's Black-Scholes bound.
+        let c = LevelCost::flops_only(10.0, 40.0);
+        assert!(c.is_bandwidth_bound(&SNB_EP));
+        let t = c.throughput(&SNB_EP);
+        assert!((t - 76e9 / 40.0).abs() < 1.0, "{t}");
+    }
+
+    #[test]
+    fn scalar_code_pays_full_width() {
+        let mut c = LevelCost::flops_only(1000.0, 0.0);
+        c.width_frac = 1.0 / SNB_EP.simd_width_dp as f64;
+        let scalar = c.throughput(&SNB_EP);
+        c.width_frac = 1.0;
+        let vector = c.throughput(&SNB_EP);
+        assert!((vector / scalar - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_and_gathers_cost_knc_more() {
+        let mut c = LevelCost::flops_only(100.0, 0.0);
+        c.gather_lines = 5.0;
+        let snb_pen = c.cycles_per_item(&SNB_EP) - LevelCost::flops_only(100.0, 0.0).cycles_per_item(&SNB_EP);
+        let knc_pen = c.cycles_per_item(&KNC) - LevelCost::flops_only(100.0, 0.0).cycles_per_item(&KNC);
+        assert!(knc_pen > 2.0 * snb_pen, "snb {snb_pen} knc {knc_pen}");
+    }
+
+    #[test]
+    fn rng_term_not_multiplied_by_overhead() {
+        let mut c = LevelCost::flops_only(0.0, 0.0);
+        c.rng_normals = 1.0;
+        c.overhead = 10.0;
+        // Only the RNG term remains; overhead must not scale it (the RNG
+        // is library code, already optimal).
+        assert!((c.cycles_per_item(&SNB_EP) - SNB_EP.normal_rng_cpe).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotonic_in_every_cost_field() {
+        let base = LevelCost {
+            flops: 100.0,
+            exps: 1.0,
+            heavies: 1.0,
+            slow_ops: 1.0,
+            rng_normals: 1.0,
+            bytes: 16.0,
+            width_frac: 0.5,
+            ilp: 0.8,
+            gather_lines: 1.0,
+            overhead: 1.5,
+        };
+        let t0 = base.throughput(&KNC);
+        for bump in [
+            LevelCost { flops: 200.0, ..base },
+            LevelCost { exps: 2.0, ..base },
+            LevelCost { heavies: 2.0, ..base },
+            LevelCost { slow_ops: 2.0, ..base },
+            LevelCost { rng_normals: 2.0, ..base },
+            LevelCost { gather_lines: 4.0, ..base },
+            LevelCost { overhead: 3.0, ..base },
+        ] {
+            assert!(bump.throughput(&KNC) < t0, "{bump:?}");
+        }
+        // And improving efficiency helps.
+        let better = LevelCost { width_frac: 1.0, ilp: 1.0, ..base };
+        assert!(better.throughput(&KNC) > t0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Per-figure modeled series and the §V summary statistics.
+//!
+//! Each function returns plain data; `finbench-harness` renders the ASCII
+//! bars/tables and the CSV files. Paper-reported reference values are
+//! attached wherever the paper states them (Table II exactly; figure
+//! anchors where the text gives numbers or ratios).
+
+use crate::arch::{ArchSpec, KNC, SNB_EP};
+use crate::kernels;
+
+/// One architecture's stacked-bar series for a figure.
+#[derive(Debug, Clone)]
+pub struct ArchSeries {
+    /// Architecture name.
+    pub arch: &'static str,
+    /// `(level label, modeled items/s)`, in the paper's stacking order.
+    pub levels: Vec<(&'static str, f64)>,
+    /// The binding roofline for the top level, if meaningful:
+    /// `(label, items/s)`.
+    pub bound: Option<(&'static str, f64)>,
+}
+
+/// A full modeled figure.
+#[derive(Debug, Clone)]
+pub struct FigureSeries {
+    /// Identifier (`fig4`, ...).
+    pub id: &'static str,
+    /// Title as in the paper.
+    pub title: String,
+    /// Unit of the y axis.
+    pub unit: &'static str,
+    /// One series per architecture.
+    pub series: Vec<ArchSeries>,
+}
+
+fn build_series(
+    arch: &'static ArchSpec,
+    levels: &[kernels::Level],
+    scale: f64,
+    bound: Option<(&'static str, f64)>,
+) -> ArchSeries {
+    ArchSeries {
+        arch: arch.name,
+        levels: levels
+            .iter()
+            .map(|l| (l.label, l.cost.throughput(arch) * scale))
+            .collect(),
+        bound,
+    }
+}
+
+/// Fig. 4: Black-Scholes, millions of options per second.
+pub fn fig4() -> FigureSeries {
+    let mut series = Vec::new();
+    for arch in [&SNB_EP, &KNC] {
+        let levels = kernels::black_scholes(arch);
+        let bound = levels[2].cost.bandwidth_bound(arch) * 1e-6;
+        series.push(build_series(arch, &levels, 1e-6, Some(("Bandwidth-bound", bound))));
+    }
+    FigureSeries {
+        id: "fig4",
+        title: "Performance of Black-Scholes".into(),
+        unit: "Mopts/s",
+        series,
+    }
+}
+
+/// Fig. 5: binomial tree, thousands of options per second, at `n` steps.
+pub fn fig5(n: usize) -> FigureSeries {
+    let mut series = Vec::new();
+    for arch in [&SNB_EP, &KNC] {
+        let levels = kernels::binomial(arch, n);
+        let bound = arch.peak_dp_gflops() * 1e9 / kernels::binomial_flops(n) * 1e-3;
+        series.push(build_series(arch, &levels, 1e-3, Some(("Compute-bound", bound))));
+    }
+    FigureSeries {
+        id: "fig5",
+        title: format!("Performance of Binomial Tree ({n} time steps)"),
+        unit: "Kopts/s",
+        series,
+    }
+}
+
+/// Fig. 6: Brownian bridge, millions of 64-step simulation paths per
+/// second.
+pub fn fig6() -> FigureSeries {
+    let mut series = Vec::new();
+    for arch in [&SNB_EP, &KNC] {
+        let levels = kernels::brownian_bridge(arch);
+        series.push(build_series(arch, &levels, 1e-6, None));
+    }
+    FigureSeries {
+        id: "fig6",
+        title: "Performance of 64-step double-precision Brownian bridge".into(),
+        unit: "Mpaths/s",
+        series,
+    }
+}
+
+/// Fig. 8: Crank-Nicolson American options, thousands of options per
+/// second (256 prices × 1000 steps).
+pub fn fig8() -> FigureSeries {
+    let mut series = Vec::new();
+    for arch in [&SNB_EP, &KNC] {
+        let levels = kernels::crank_nicolson(arch, 256, 1000);
+        series.push(build_series(arch, &levels, 1e-3, None));
+    }
+    FigureSeries {
+        id: "fig8",
+        title: "Performance of Crank-Nicolson American options (256 prices, 1000 steps)".into(),
+        unit: "Kopts/s",
+        series,
+    }
+}
+
+/// One row of the modeled Table II, with the paper's measured value.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Row label.
+    pub label: &'static str,
+    /// Modeled SNB-EP value.
+    pub snb_model: f64,
+    /// Paper SNB-EP value.
+    pub snb_paper: f64,
+    /// Modeled KNC value.
+    pub knc_model: f64,
+    /// Paper KNC value.
+    pub knc_paper: f64,
+}
+
+/// Table II: Monte-Carlo options/s (256k paths) and raw RNG rates.
+pub fn table2() -> Vec<Table2Row> {
+    let (snb_stream, snb_comp) = kernels::monte_carlo(&SNB_EP);
+    let (knc_stream, knc_comp) = kernels::monte_carlo(&KNC);
+    let per_opt = kernels::MC_PATHS_PER_OPTION;
+    vec![
+        Table2Row {
+            label: "options/sec (stream RNG)",
+            snb_model: snb_stream.throughput(&SNB_EP) / per_opt,
+            snb_paper: 29_813.0,
+            knc_model: knc_stream.throughput(&KNC) / per_opt,
+            knc_paper: 92_722.0,
+        },
+        Table2Row {
+            label: "options/sec (comp. RNG)",
+            snb_model: snb_comp.throughput(&SNB_EP) / per_opt,
+            snb_paper: 5_556.0,
+            knc_model: knc_comp.throughput(&KNC) / per_opt,
+            knc_paper: 16_366.0,
+        },
+        Table2Row {
+            label: "normally-dist. DP RNG/sec",
+            snb_model: SNB_EP.cycles_per_sec() / SNB_EP.normal_rng_cpe,
+            snb_paper: 1.79e9,
+            knc_model: KNC.cycles_per_sec() / KNC.normal_rng_cpe,
+            knc_paper: 5.21e9,
+        },
+        Table2Row {
+            label: "uniform DP RNG/sec",
+            snb_model: SNB_EP.cycles_per_sec() / SNB_EP.uniform_rng_cpe,
+            snb_paper: 13.31e9,
+            knc_model: KNC.cycles_per_sec() / KNC.uniform_rng_cpe,
+            knc_paper: 25.134e9,
+        },
+    ]
+}
+
+/// The §V conclusion statistics.
+#[derive(Debug, Clone)]
+pub struct NinjaSummary {
+    /// Per-kernel `(name, snb gap, knc gap)` — advanced/basic throughput.
+    pub gaps: Vec<(&'static str, f64, f64)>,
+    /// Mean Ninja gap on SNB-EP (paper: ~1.9x).
+    pub avg_snb: f64,
+    /// Mean Ninja gap on KNC (paper: ~4x).
+    pub avg_knc: f64,
+    /// Mean best-optimized KNC/SNB ratio on compute-bound kernels
+    /// (paper: ~2.5x).
+    pub compute_bound_ratio: f64,
+    /// Best-optimized KNC/SNB ratio on the bandwidth-bound kernel
+    /// (paper: ~2x).
+    pub bandwidth_bound_ratio: f64,
+}
+
+/// Compute the Ninja-gap summary across all five timed kernels.
+pub fn ninja_summary() -> NinjaSummary {
+    let tp = |levels: &[kernels::Level], i: usize, arch: &ArchSpec| {
+        levels[i].cost.throughput(arch)
+    };
+    let mut gaps = Vec::new();
+
+    let bs_s = kernels::black_scholes(&SNB_EP);
+    let bs_k = kernels::black_scholes(&KNC);
+    gaps.push((
+        "Black-Scholes",
+        tp(&bs_s, 2, &SNB_EP) / tp(&bs_s, 0, &SNB_EP),
+        tp(&bs_k, 2, &KNC) / tp(&bs_k, 0, &KNC),
+    ));
+
+    let bin_s = kernels::binomial(&SNB_EP, 1024);
+    let bin_k = kernels::binomial(&KNC, 1024);
+    gaps.push((
+        "Binomial tree",
+        tp(&bin_s, 3, &SNB_EP) / tp(&bin_s, 0, &SNB_EP),
+        tp(&bin_k, 3, &KNC) / tp(&bin_k, 0, &KNC),
+    ));
+
+    let bb_s = kernels::brownian_bridge(&SNB_EP);
+    let bb_k = kernels::brownian_bridge(&KNC);
+    gaps.push((
+        "Brownian bridge",
+        tp(&bb_s, 3, &SNB_EP) / tp(&bb_s, 0, &SNB_EP),
+        tp(&bb_k, 3, &KNC) / tp(&bb_k, 0, &KNC),
+    ));
+
+    // Monte Carlo reaches peak with basic pragmas: gap 1 by construction.
+    gaps.push(("Monte Carlo", 1.0, 1.0));
+
+    let cn_s = kernels::crank_nicolson(&SNB_EP, 256, 1000);
+    let cn_k = kernels::crank_nicolson(&KNC, 256, 1000);
+    gaps.push((
+        "Crank-Nicolson",
+        tp(&cn_s, 2, &SNB_EP) / tp(&cn_s, 0, &SNB_EP),
+        tp(&cn_k, 2, &KNC) / tp(&cn_k, 0, &KNC),
+    ));
+
+    let avg_snb = gaps.iter().map(|g| g.1).sum::<f64>() / gaps.len() as f64;
+    let avg_knc = gaps.iter().map(|g| g.2).sum::<f64>() / gaps.len() as f64;
+
+    // Best-optimized cross-architecture ratios.
+    let (mc_s, _) = kernels::monte_carlo(&SNB_EP);
+    let (mc_k, _) = kernels::monte_carlo(&KNC);
+    let compute_ratios = [
+        tp(&bin_k, 3, &KNC) / tp(&bin_s, 3, &SNB_EP),
+        mc_k.throughput(&KNC) / mc_s.throughput(&SNB_EP),
+        tp(&bb_k, 3, &KNC) / tp(&bb_s, 3, &SNB_EP),
+        tp(&cn_k, 2, &KNC) / tp(&cn_s, 2, &SNB_EP),
+    ];
+    let compute_bound_ratio = compute_ratios.iter().sum::<f64>() / compute_ratios.len() as f64;
+    let bandwidth_bound_ratio = tp(&bb_k, 1, &KNC) / tp(&bb_s, 1, &SNB_EP);
+
+    NinjaSummary {
+        gaps,
+        avg_snb,
+        avg_knc,
+        compute_bound_ratio,
+        bandwidth_bound_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figures_have_expected_shape() {
+        for fig in [fig4(), fig5(1024), fig5(2048), fig6(), fig8()] {
+            assert_eq!(fig.series.len(), 2, "{}", fig.id);
+            assert_eq!(fig.series[0].arch, "SNB-EP");
+            assert_eq!(fig.series[1].arch, "KNC");
+            for s in &fig.series {
+                assert!(!s.levels.is_empty());
+                for (label, v) in &s.levels {
+                    assert!(v.is_finite() && *v > 0.0, "{} {label}", fig.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table2_model_within_ten_percent_of_paper() {
+        for row in table2() {
+            assert!(
+                (row.snb_model - row.snb_paper).abs() / row.snb_paper < 0.10,
+                "{}: SNB {} vs {}",
+                row.label,
+                row.snb_model,
+                row.snb_paper
+            );
+            assert!(
+                (row.knc_model - row.knc_paper).abs() / row.knc_paper < 0.10,
+                "{}: KNC {} vs {}",
+                row.label,
+                row.knc_model,
+                row.knc_paper
+            );
+        }
+    }
+
+    #[test]
+    fn ninja_summary_matches_conclusion() {
+        let s = ninja_summary();
+        // §V: "On average, the Ninja gap is 1.9x for SNB-EP and 4x for
+        // KNC". The model's Black-Scholes gap runs high on KNC (the
+        // AOS->SOA jump alone is 10x), so the averages land somewhat
+        // above; assert the bands and the qualitative claim.
+        assert!((1.6..=2.6).contains(&s.avg_snb), "SNB avg {}", s.avg_snb);
+        assert!((3.2..=6.5).contains(&s.avg_knc), "KNC avg {}", s.avg_knc);
+        assert!(
+            s.avg_knc > 1.7 * s.avg_snb,
+            "in-order KNC must be less forgiving: {} vs {}",
+            s.avg_knc,
+            s.avg_snb
+        );
+        // "2.5x on compute bound kernels and 2x on bandwidth-bound".
+        assert!(
+            (2.0..=2.8).contains(&s.compute_bound_ratio),
+            "compute ratio {}",
+            s.compute_bound_ratio
+        );
+        assert!(
+            (1.85..=2.15).contains(&s.bandwidth_bound_ratio),
+            "bw ratio {}",
+            s.bandwidth_bound_ratio
+        );
+        // Every kernel's gap is >= 1 on both machines.
+        for (name, gs, gk) in &s.gaps {
+            assert!(*gs >= 1.0 && *gk >= 1.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn fig5_scales_inversely_with_steps() {
+        let f1 = fig5(1024);
+        let f2 = fig5(2048);
+        // 4x the flops => ~1/4 the throughput at every level.
+        for (s1, s2) in f1.series.iter().zip(&f2.series) {
+            for ((_, v1), (_, v2)) in s1.levels.iter().zip(&s2.levels) {
+                let ratio = v1 / v2;
+                assert!((3.8..=4.2).contains(&ratio), "{ratio}");
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # finbench-machine
+//!
+//! Analytical architecture models of the paper's two testbeds — the Intel
+//! Xeon E5-2680 ("SNB-EP") and the Xeon Phi Knights Corner coprocessor
+//! ("KNC") — and the roofline/instruction-throughput cost model that
+//! regenerates every performance figure and table of the paper.
+//!
+//! ## Why a model (the substitution)
+//!
+//! The paper is a tuning study on hardware that no longer exists; its
+//! *results* are throughput bars whose shape follows from a handful of
+//! architectural parameters the paper itself reasons with: peak flops
+//! (Table I), STREAM bandwidth, SIMD width, FMA availability, in-order vs
+//! out-of-order issue, and gather cost. This crate encodes:
+//!
+//! * [`arch`] — the Table I specifications verbatim, plus derived peaks;
+//! * [`cost`] — a per-item cycle model: flop issue, vectorized
+//!   transcendental throughput, RNG throughput, gather penalties,
+//!   instruction-overhead multipliers, and a bandwidth roofline;
+//! * [`kernels`] — one calibrated [`cost::LevelCost`] descriptor per
+//!   kernel per optimization level. Structural inputs (flop counts, byte
+//!   traffic, transcendental mix) come from the paper's own formulas and
+//!   are audited against `CountedF64` instrumented runs of the real
+//!   kernels; efficiency constants (ILP fractions, overhead multipliers)
+//!   are calibrated so the modeled bars land on the paper's reported
+//!   numbers — the calibration is *checked in* as tests, so any model
+//!   change that breaks a paper-reported ratio fails CI;
+//! * [`figures`] — the per-figure series (Figs. 4, 5, 6, 8, Tables I–II)
+//!   and the §V "Ninja gap" summary.
+
+pub mod arch;
+pub mod cost;
+pub mod figures;
+pub mod kernels;
+
+pub use arch::{ArchSpec, Issue, KNC, SNB_EP};
+pub use cost::LevelCost;
+pub use figures::{ArchSeries, FigureSeries};

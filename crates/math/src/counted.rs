@@ -1,0 +1,285 @@
+//! Operation-counting instrumented scalar.
+//!
+//! [`CountedF64`] behaves exactly like `f64` but tallies every arithmetic
+//! and transcendental operation into a thread-local [`OpCounts`]. Running
+//! the generic scalar kernels of `finbench-core` with it yields the *exact*
+//! dynamic operation mix of each benchmark, which the machine-model tests
+//! compare against the analytic cost formulas the paper reasons with
+//! ("about 200 ops" per Black-Scholes option, `3·N(N+1)/2` flops per
+//! binomial option, and so on).
+
+use crate::real::Real;
+use core::cell::Cell;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A tally of scalar operations, grouped the way the machine model charges
+/// them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Additions and subtractions (including negations).
+    pub adds: u64,
+    /// Multiplications.
+    pub muls: u64,
+    /// Divisions.
+    pub divs: u64,
+    /// Square roots.
+    pub sqrts: u64,
+    /// `exp` calls.
+    pub exps: u64,
+    /// `ln` calls.
+    pub logs: u64,
+    /// `erf` calls.
+    pub erfs: u64,
+    /// `norm_cdf` calls.
+    pub cnds: u64,
+    /// `max` / comparison-select operations.
+    pub maxs: u64,
+    /// Fused multiply-adds.
+    pub fmas: u64,
+}
+
+impl OpCounts {
+    /// Plain floating-point operations, counting an FMA as two flops and a
+    /// max as one — the convention of the paper's flop formulas, which
+    /// exclude transcendental interiors.
+    pub fn flops(&self) -> u64 {
+        self.adds + self.muls + self.divs + self.sqrts + self.maxs + 2 * self.fmas
+    }
+
+    /// Total operations including each transcendental counted as one call.
+    pub fn total_with_transcendentals(&self) -> u64 {
+        self.flops() + self.exps + self.logs + self.erfs + self.cnds
+    }
+
+    /// Transcendental call count.
+    pub fn transcendentals(&self) -> u64 {
+        self.exps + self.logs + self.erfs + self.cnds
+    }
+}
+
+thread_local! {
+    static COUNTS: Cell<OpCounts> = Cell::new(OpCounts::default());
+    /// When false, transcendental implementations do not count their own
+    /// interior arithmetic (they are charged as single calls).
+    static ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+#[inline]
+fn bump(f: impl FnOnce(&mut OpCounts)) {
+    if ENABLED.with(|e| e.get()) {
+        COUNTS.with(|c| {
+            let mut v = c.get();
+            f(&mut v);
+            c.set(v);
+        });
+    }
+}
+
+/// Reset the thread-local counters to zero.
+pub fn reset_counts() {
+    COUNTS.with(|c| c.set(OpCounts::default()));
+}
+
+/// Read the thread-local counters.
+pub fn read_counts() -> OpCounts {
+    COUNTS.with(|c| c.get())
+}
+
+/// Run `f` with fresh counters and return `(result, counts)`.
+pub fn counting<T>(f: impl FnOnce() -> T) -> (T, OpCounts) {
+    reset_counts();
+    let out = f();
+    (out, read_counts())
+}
+
+/// An `f64` wrapper that records every operation performed on it.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct CountedF64(pub f64);
+
+impl Add for CountedF64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        bump(|c| c.adds += 1);
+        Self(self.0 + rhs.0)
+    }
+}
+impl Sub for CountedF64 {
+    type Output = Self;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // op *counter* increments
+    fn sub(self, rhs: Self) -> Self {
+        bump(|c| c.adds += 1);
+        Self(self.0 - rhs.0)
+    }
+}
+impl Mul for CountedF64 {
+    type Output = Self;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // op *counter* increments
+    fn mul(self, rhs: Self) -> Self {
+        bump(|c| c.muls += 1);
+        Self(self.0 * rhs.0)
+    }
+}
+impl Div for CountedF64 {
+    type Output = Self;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // op *counter* increments
+    fn div(self, rhs: Self) -> Self {
+        bump(|c| c.divs += 1);
+        Self(self.0 / rhs.0)
+    }
+}
+impl Neg for CountedF64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        bump(|c| c.adds += 1);
+        Self(-self.0)
+    }
+}
+impl AddAssign for CountedF64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for CountedF64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for CountedF64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Real for CountedF64 {
+    #[inline]
+    fn of(x: f64) -> Self {
+        Self(x)
+    }
+    #[inline]
+    fn into_f64(self) -> f64 {
+        self.0
+    }
+    #[inline]
+    fn exp(self) -> Self {
+        bump(|c| c.exps += 1);
+        Self(crate::exp(self.0))
+    }
+    #[inline]
+    fn ln(self) -> Self {
+        bump(|c| c.logs += 1);
+        Self(crate::ln(self.0))
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        bump(|c| c.sqrts += 1);
+        Self(self.0.sqrt())
+    }
+    #[inline]
+    fn erf(self) -> Self {
+        bump(|c| c.erfs += 1);
+        Self(crate::erf(self.0))
+    }
+    #[inline]
+    fn norm_cdf(self) -> Self {
+        bump(|c| c.cnds += 1);
+        Self(crate::norm_cdf(self.0))
+    }
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        bump(|c| c.maxs += 1);
+        Self(self.0.max(other.0))
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        bump(|c| c.maxs += 1);
+        Self(self.0.abs())
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        bump(|c| c.fmas += 1);
+        Self(self.0.mul_add(a.0, b.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_simple_expression() {
+        let (val, counts) = counting(|| {
+            let a = CountedF64(2.0);
+            let b = CountedF64(3.0);
+            let c = a * b + a - b / a;
+            c.into_f64()
+        });
+        assert_eq!(val, 2.0 * 3.0 + 2.0 - 3.0 / 2.0);
+        assert_eq!(counts.muls, 1);
+        assert_eq!(counts.adds, 2); // one add, one sub
+        assert_eq!(counts.divs, 1);
+        assert_eq!(counts.flops(), 4);
+    }
+
+    #[test]
+    fn counts_transcendentals_as_calls() {
+        let (_, counts) = counting(|| {
+            let x = CountedF64(0.5);
+            let _ = x.exp();
+            let _ = x.ln();
+            let _ = x.erf();
+            let _ = x.norm_cdf();
+            let _ = x.sqrt();
+        });
+        assert_eq!(counts.exps, 1);
+        assert_eq!(counts.logs, 1);
+        assert_eq!(counts.erfs, 1);
+        assert_eq!(counts.cnds, 1);
+        assert_eq!(counts.sqrts, 1);
+        assert_eq!(counts.transcendentals(), 4);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let _ = counting(|| CountedF64(1.0) + CountedF64(2.0));
+        reset_counts();
+        assert_eq!(read_counts(), OpCounts::default());
+    }
+
+    #[test]
+    fn fma_counts_two_flops() {
+        let (_, counts) = counting(|| CountedF64(2.0).mul_add(CountedF64(3.0), CountedF64(4.0)));
+        assert_eq!(counts.fmas, 1);
+        assert_eq!(counts.flops(), 2);
+    }
+
+    #[test]
+    fn values_track_f64_semantics() {
+        let (v, _) = counting(|| {
+            let x = CountedF64(-2.0);
+            (x.abs() * x.abs()).sqrt().into_f64()
+        });
+        assert_eq!(v, 2.0);
+    }
+
+    #[test]
+    fn binomial_inner_step_cost() {
+        // One binomial-tree inner step is pu*a + pd*b: 2 muls + 1 add = 3
+        // flops — the basis of the paper's 3N(N+1)/2 formula.
+        let (_, counts) = counting(|| {
+            let pu = CountedF64(0.6);
+            let pd = CountedF64(0.4);
+            let a = CountedF64(10.0);
+            let b = CountedF64(11.0);
+            pu * a + pd * b
+        });
+        assert_eq!(counts.flops(), 3);
+    }
+}

@@ -1,0 +1,175 @@
+//! Double-precision `sin`/`cos` from scratch — completing the math
+//! substrate so the Box-Muller normal transform (the classic alternative
+//! to the inverse-CDF route the paper's MKL pipeline uses) needs no
+//! `std` trigonometry.
+//!
+//! Algorithm:
+//!
+//! 1. Cody-Waite range reduction modulo `π/2` with a two-part constant
+//!    (`FRAC_PI_2` + its representation residual): `x = n·π/2 + r`,
+//!    `|r| ≤ π/4`.
+//! 2. Taylor kernels on the reduced interval — with `|r| ≤ π/4` the
+//!    series through `r¹⁵/15!` (sin) and `r¹⁶/16!` (cos) are below one
+//!    ulp, and exact-rational Taylor coefficients cannot harbor
+//!    transcription errors the way minimax tables can.
+//! 3. Quadrant dispatch on `n mod 4`.
+//!
+//! Accuracy: ~1 ulp for `|x| ≲ 1e4`, degrading linearly with `|x|`
+//! beyond (the two-part reduction is not Payne-Hanek); the Box-Muller
+//! consumer only ever passes `x ∈ [0, 2π)`.
+
+/// High part of `π/2` (the f64 nearest value).
+const PIO2_HI: f64 = std::f64::consts::FRAC_PI_2;
+/// Residual `π/2 − PIO2_HI` to double-double accuracy.
+const PIO2_LO: f64 = 6.123_233_995_736_766e-17;
+/// `2/π` for computing the reduction quotient.
+const FRAC_2_PI: f64 = std::f64::consts::FRAC_2_PI;
+
+/// Taylor kernel for `sin r`, `|r| ≤ π/4` (terms through `r^15`).
+#[inline(always)]
+fn sin_kernel(r: f64) -> f64 {
+    let r2 = r * r;
+    // Exact Taylor coefficients 1/3!, 1/5!, ..., 1/15!, Horner in r².
+    let p = -1.0 / 1_307_674_368_000.0; // -1/15!
+    let p = p * r2 + 1.0 / 6_227_020_800.0; // +1/13!
+    let p = p * r2 - 1.0 / 39_916_800.0; // -1/11!
+    let p = p * r2 + 1.0 / 362_880.0; // +1/9!
+    let p = p * r2 - 1.0 / 5_040.0; // -1/7!
+    let p = p * r2 + 1.0 / 120.0; // +1/5!
+    let p = p * r2 - 1.0 / 6.0; // -1/3!
+    r + r * r2 * p
+}
+
+/// Taylor kernel for `cos r`, `|r| ≤ π/4` (terms through `r^16`).
+#[inline(always)]
+fn cos_kernel(r: f64) -> f64 {
+    let r2 = r * r;
+    let p = 1.0 / 20_922_789_888_000.0; // +1/16!
+    let p = p * r2 - 1.0 / 87_178_291_200.0; // -1/14!
+    let p = p * r2 + 1.0 / 479_001_600.0; // +1/12!
+    let p = p * r2 - 1.0 / 3_628_800.0; // -1/10!
+    let p = p * r2 + 1.0 / 40_320.0; // +1/8!
+    let p = p * r2 - 1.0 / 720.0; // -1/6!
+    let p = p * r2 + 1.0 / 24.0; // +1/4!
+    let p = p * r2 - 0.5; // -1/2!
+    1.0 + r2 * p
+}
+
+/// Simultaneous `(sin x, cos x)` — one range reduction, two kernels.
+///
+/// ```
+/// let (s, c) = finbench_math::sincos(1.0);
+/// assert!((s - 0.8414709848078965).abs() < 1e-15);
+/// assert!((c - 0.5403023058681398).abs() < 1e-15);
+/// ```
+#[inline]
+pub fn sincos(x: f64) -> (f64, f64) {
+    if !x.is_finite() {
+        return (f64::NAN, f64::NAN);
+    }
+    let n = (x * FRAC_2_PI).round();
+    let r = (x - n * PIO2_HI) - n * PIO2_LO;
+    let (s, c) = (sin_kernel(r), cos_kernel(r));
+    match (n as i64).rem_euclid(4) {
+        0 => (s, c),
+        1 => (c, -s),
+        2 => (-s, -c),
+        _ => (-c, s),
+    }
+}
+
+/// `sin x`.
+///
+/// ```
+/// assert!(finbench_math::sin(0.0) == 0.0);
+/// ```
+#[inline]
+pub fn sin(x: f64) -> f64 {
+    sincos(x).0
+}
+
+/// `cos x`.
+///
+/// ```
+/// assert!((finbench_math::cos(0.0) - 1.0).abs() < 1e-15);
+/// ```
+#[inline]
+pub fn cos(x: f64) -> f64 {
+    sincos(x).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let pi = std::f64::consts::PI;
+        assert!((sin(pi / 6.0) - 0.5).abs() < 1e-15);
+        assert!((cos(pi / 3.0) - 0.5).abs() < 1e-15);
+        assert!((sin(pi / 2.0) - 1.0).abs() < 1e-15);
+        assert!(cos(pi / 2.0).abs() < 1e-15);
+        assert!((sin(pi / 4.0) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn matches_std_over_box_muller_range() {
+        // The consumer range: [0, 2*pi).
+        let mut i = 0;
+        while i < 10_000 {
+            let x = i as f64 * (2.0 * std::f64::consts::PI / 10_000.0);
+            let (s, c) = sincos(x);
+            assert!((s - x.sin()).abs() < 2e-16, "sin({x})");
+            assert!((c - x.cos()).abs() < 2e-16, "cos({x})");
+            i += 1;
+        }
+    }
+
+    #[test]
+    fn matches_std_over_moderate_range() {
+        let mut x = -100.0;
+        while x < 100.0 {
+            let (s, c) = sincos(x);
+            assert!((s - x.sin()).abs() < 1e-13, "sin({x}): {s} vs {}", x.sin());
+            assert!((c - x.cos()).abs() < 1e-13, "cos({x})");
+            x += 0.0137;
+        }
+    }
+
+    #[test]
+    fn large_arguments_stay_bounded_and_close() {
+        // Two-part reduction: absolute error grows ~ 1e-16 * |x|.
+        for &x in &[1e4f64, -3.7e4, 9.9e5, -1e6] {
+            let (s, c) = sincos(x);
+            assert!(s.abs() <= 1.0 + 1e-12 && c.abs() <= 1.0 + 1e-12);
+            assert!((s - x.sin()).abs() < 1e-9, "sin({x})");
+            assert!((c - x.cos()).abs() < 1e-9, "cos({x})");
+        }
+    }
+
+    #[test]
+    fn pythagorean_identity() {
+        let mut x = -50.0;
+        while x < 50.0 {
+            let (s, c) = sincos(x);
+            assert!((s * s + c * c - 1.0).abs() < 1e-14, "x={x}");
+            x += 0.173;
+        }
+    }
+
+    #[test]
+    fn odd_even_symmetry() {
+        for i in 0..1000 {
+            let x = i as f64 * 0.011;
+            assert_eq!(sin(-x), -sin(x), "x={x}");
+            assert_eq!(cos(-x), cos(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn non_finite_inputs() {
+        assert!(sin(f64::NAN).is_nan());
+        assert!(cos(f64::INFINITY).is_nan());
+        assert!(sincos(f64::NEG_INFINITY).0.is_nan());
+    }
+}

@@ -1,0 +1,53 @@
+//! # finbench-parallel
+//!
+//! Thread-level parallelism substrate — the stand-in for the paper's
+//! `#pragma omp parallel for` (§III-B lists OpenMP pragmas as a *basic*
+//! optimization every kernel receives).
+//!
+//! Two interchangeable backends sit behind [`ExecPolicy`]:
+//!
+//! * **Own pool** ([`parallel_for_chunks`]) — a from-scratch dynamic
+//!   scheduler: `std::thread::scope` workers pulling fixed-size chunks off
+//!   a single `AtomicUsize` work index (the textbook chunk-dispenser from
+//!   *Rust Atomics and Locks*). This matches OpenMP's
+//!   `schedule(dynamic, chunk)` semantics and keeps the dependency
+//!   surface minimal.
+//! * **Rayon** — the ecosystem work-stealing pool, used by the kernels'
+//!   `par_*` entry points where a parallel iterator is the natural shape.
+//!
+//! Both backends are exercised by the same tests to guarantee identical
+//! results (the kernels are embarrassingly parallel across options/paths,
+//! so scheduling must never change output bits).
+
+pub mod pool;
+
+pub use pool::{parallel_for_chunks, parallel_map_reduce};
+
+/// Which execution backend a kernel driver should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// Single-threaded; the reference for equivalence tests.
+    Serial,
+    /// The crate's own chunk-dispenser pool with the given worker count
+    /// (0 = one worker per available CPU).
+    OwnPool(usize),
+    /// Rayon's global pool.
+    Rayon,
+}
+
+impl ExecPolicy {
+    /// Resolve the effective worker count for this policy.
+    pub fn workers(&self) -> usize {
+        match self {
+            ExecPolicy::Serial => 1,
+            ExecPolicy::OwnPool(0) => available_parallelism(),
+            ExecPolicy::OwnPool(n) => *n,
+            ExecPolicy::Rayon => rayon::current_num_threads(),
+        }
+    }
+}
+
+/// Number of CPUs the OS reports as available (≥ 1).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}

@@ -1,0 +1,270 @@
+//! The chunk-dispenser scheduler.
+//!
+//! A single `AtomicUsize` hands out fixed-size chunk indices to scoped
+//! worker threads — the minimal dynamic scheduler, equivalent to OpenMP's
+//! `schedule(dynamic, chunk)`. Reductions collect `(chunk_index, partial)`
+//! pairs and fold them in chunk order, so floating-point results are
+//! bit-identical regardless of thread count or scheduling interleavings —
+//! a property the kernel equivalence tests rely on.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Raw-pointer wrapper that asserts cross-thread transferability.
+///
+/// Workers only ever materialize *disjoint* chunk slices from it (see the
+/// SAFETY comments at the use sites).
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Process `data` in place in `chunk_size` pieces across `workers`
+/// threads. `body` receives the starting element index of the chunk and
+/// the mutable chunk slice.
+///
+/// `workers == 1` (or a single chunk) degenerates to a plain serial loop
+/// with no thread spawns.
+///
+/// ```
+/// let mut v = vec![1.0f64; 100];
+/// finbench_parallel::parallel_for_chunks(&mut v, 16, 4, |start, chunk| {
+///     for (i, x) in chunk.iter_mut().enumerate() {
+///         *x = (start + i) as f64;
+///     }
+/// });
+/// assert_eq!(v[37], 37.0);
+/// ```
+pub fn parallel_for_chunks<T, F>(data: &mut [T], chunk_size: usize, workers: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let n_chunks = len.div_ceil(chunk_size);
+    let workers = workers.max(1).min(n_chunks);
+
+    if workers == 1 {
+        for (c, chunk) in data.chunks_mut(chunk_size).enumerate() {
+            body(c * chunk_size, chunk);
+        }
+        return;
+    }
+
+    let next = AtomicUsize::new(0);
+    let base = SendPtr(data.as_mut_ptr());
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            // Capture the SendPtr wrapper itself, not its raw-pointer field
+            // (edition-2021 disjoint capture would otherwise move `*mut T`
+            // into the closure and lose the Send/Sync assertion).
+            let base = &base;
+            let next = &next;
+            let body = &body;
+            s.spawn(move || {
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let start = c * chunk_size;
+                    let end = (start + chunk_size).min(len);
+                    // SAFETY: `c` values are unique per fetch_add, so the
+                    // [start, end) ranges handed to workers are pairwise
+                    // disjoint sub-slices of `data`, which outlives the
+                    // scope; no two threads ever alias an element.
+                    let chunk =
+                        unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+                    body(start, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Map the index range `0..n` in `chunk_size` pieces across `workers`
+/// threads and fold the per-chunk partials with `reduce`.
+///
+/// The fold is performed **in chunk order**, so for non-associative
+/// floating-point reductions the result is independent of thread count —
+/// `parallel_map_reduce(n, c, 1, ..)` and `parallel_map_reduce(n, c, 8,
+/// ..)` return bit-identical values.
+///
+/// ```
+/// let total = finbench_parallel::parallel_map_reduce(
+///     1000, 64, 4,
+///     |range| range.map(|i| i as u64).sum::<u64>(),
+///     |a, b| a + b,
+///     0u64,
+/// );
+/// assert_eq!(total, 499_500);
+/// ```
+pub fn parallel_map_reduce<A, F, R>(
+    n: usize,
+    chunk_size: usize,
+    workers: usize,
+    map: F,
+    reduce: R,
+    identity: A,
+) -> A
+where
+    A: Send,
+    F: Fn(Range<usize>) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    if n == 0 {
+        return identity;
+    }
+    let n_chunks = n.div_ceil(chunk_size);
+    let workers = workers.max(1).min(n_chunks);
+
+    if workers == 1 {
+        let mut acc = identity;
+        for c in 0..n_chunks {
+            let start = c * chunk_size;
+            let end = (start + chunk_size).min(n);
+            acc = reduce(acc, map(start..end));
+        }
+        return acc;
+    }
+
+    let next = AtomicUsize::new(0);
+    let partials: Mutex<Vec<(usize, A)>> = Mutex::new(Vec::with_capacity(n_chunks));
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let start = c * chunk_size;
+                    let end = (start + chunk_size).min(n);
+                    let partial = map(start..end);
+                    partials.lock().unwrap().push((c, partial));
+                }
+            });
+        }
+    });
+
+    let mut parts = partials.into_inner().unwrap();
+    parts.sort_by_key(|&(c, _)| c);
+    let mut acc = identity;
+    for (_, p) in parts {
+        acc = reduce(acc, p);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_chunks_visits_every_element_once() {
+        for workers in [1, 2, 3, 8] {
+            for chunk in [1, 7, 64, 1000] {
+                let mut v = vec![0u32; 501];
+                parallel_for_chunks(&mut v, chunk, workers, |_, c| {
+                    for x in c {
+                        *x += 1;
+                    }
+                });
+                assert!(v.iter().all(|&x| x == 1), "workers={workers} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_chunks_passes_correct_offsets() {
+        let mut v = vec![0usize; 143];
+        parallel_for_chunks(&mut v, 10, 4, |start, c| {
+            for (i, x) in c.iter_mut().enumerate() {
+                *x = start + i;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i);
+        }
+    }
+
+    #[test]
+    fn for_chunks_empty_and_tiny() {
+        let mut empty: Vec<u8> = vec![];
+        parallel_for_chunks(&mut empty, 8, 4, |_, _| panic!("must not be called"));
+        let mut one = vec![5u8];
+        parallel_for_chunks(&mut one, 8, 4, |start, c| {
+            assert_eq!(start, 0);
+            c[0] = 9;
+        });
+        assert_eq!(one[0], 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn zero_chunk_size_panics() {
+        let mut v = vec![0u8; 4];
+        parallel_for_chunks(&mut v, 0, 2, |_, _| {});
+    }
+
+    #[test]
+    fn map_reduce_sums() {
+        for workers in [1, 2, 5] {
+            let s = parallel_map_reduce(
+                10_000,
+                97,
+                workers,
+                |r| r.map(|i| i as u64).sum::<u64>(),
+                |a, b| a + b,
+                0u64,
+            );
+            assert_eq!(s, 49_995_000);
+        }
+    }
+
+    #[test]
+    fn map_reduce_fp_determinism_across_worker_counts() {
+        // A deliberately ill-conditioned FP sum: ordering matters, so this
+        // only passes because partials are folded in chunk order.
+        let map = |r: Range<usize>| {
+            let mut s = 0.0f64;
+            for i in r {
+                s += 1.0 / (1.0 + i as f64).powi(2) * if i % 2 == 0 { 1e10 } else { 1e-10 };
+            }
+            s
+        };
+        let want = parallel_map_reduce(50_000, 64, 1, map, |a, b| a + b, 0.0);
+        for workers in [2, 3, 4, 7] {
+            let got = parallel_map_reduce(50_000, 64, workers, map, |a, b| a + b, 0.0);
+            assert_eq!(got.to_bits(), want.to_bits(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_empty() {
+        let s = parallel_map_reduce(0, 8, 4, |_| 1u32, |a, b| a + b, 100u32);
+        assert_eq!(s, 100);
+    }
+
+    #[test]
+    fn map_reduce_single_chunk() {
+        let s = parallel_map_reduce(5, 100, 4, |r| r.len(), |a, b| a + b, 0usize);
+        assert_eq!(s, 5);
+    }
+
+    #[test]
+    fn exec_policy_workers() {
+        use crate::ExecPolicy;
+        assert_eq!(ExecPolicy::Serial.workers(), 1);
+        assert_eq!(ExecPolicy::OwnPool(3).workers(), 3);
+        assert!(ExecPolicy::OwnPool(0).workers() >= 1);
+        assert!(ExecPolicy::Rayon.workers() >= 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! MT19937 — the classic 32-bit Mersenne twister (Matsumoto & Nishimura,
+//! 1998), implemented from scratch and validated against the canonical
+//! output sequence for the default seed 5489.
+//!
+//! This is the reference \[17\] of the paper; MKL's MT2203 variant differs
+//! only in state size and parameterization (see the crate docs for the
+//! substitution note).
+
+use crate::RngCore64;
+
+const N: usize = 624;
+const M: usize = 397;
+const MATRIX_A: u32 = 0x9908_B0DF;
+const UPPER_MASK: u32 = 0x8000_0000;
+const LOWER_MASK: u32 = 0x7FFF_FFFF;
+
+/// The MT19937 generator (period `2^19937 − 1`).
+#[derive(Clone)]
+pub struct Mt19937 {
+    state: [u32; N],
+    index: usize,
+}
+
+impl std::fmt::Debug for Mt19937 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mt19937").field("index", &self.index).finish_non_exhaustive()
+    }
+}
+
+impl Mt19937 {
+    /// Seed with the reference `init_genrand` procedure.
+    pub fn new(seed: u32) -> Self {
+        let mut state = [0u32; N];
+        state[0] = seed;
+        for i in 1..N {
+            state[i] = 1_812_433_253u32
+                .wrapping_mul(state[i - 1] ^ (state[i - 1] >> 30))
+                .wrapping_add(i as u32);
+        }
+        Self { state, index: N }
+    }
+
+    /// Regenerate the state block (the "twist").
+    fn twist(&mut self) {
+        for i in 0..N {
+            let x = (self.state[i] & UPPER_MASK) | (self.state[(i + 1) % N] & LOWER_MASK);
+            let mut x_a = x >> 1;
+            if x & 1 != 0 {
+                x_a ^= MATRIX_A;
+            }
+            self.state[i] = self.state[(i + M) % N] ^ x_a;
+        }
+        self.index = 0;
+    }
+
+    /// Next tempered 32-bit output.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        if self.index >= N {
+            self.twist();
+        }
+        let mut y = self.state[self.index];
+        self.index += 1;
+        y ^= y >> 11;
+        y ^= (y << 7) & 0x9D2C_5680;
+        y ^= (y << 15) & 0xEFC6_0000;
+        y ^ (y >> 18)
+    }
+}
+
+impl RngCore64 for Mt19937 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_sequence_seed_5489() {
+        // First ten outputs of mt19937ar with init_genrand(5489); these are
+        // the values every conforming implementation must produce.
+        let mut rng = Mt19937::new(5489);
+        let want: [u32; 10] = [
+            3499211612, 581869302, 3890346734, 3586334585, 545404204, 4161255391, 3922919429,
+            949333985, 2715962298, 1323567403,
+        ];
+        for (i, w) in want.into_iter().enumerate() {
+            assert_eq!(rng.next_u32(), w, "output {i}");
+        }
+    }
+
+    #[test]
+    fn survives_multiple_twists() {
+        let mut rng = Mt19937::new(1);
+        let mut acc = 0u64;
+        for _ in 0..(3 * 624 + 17) {
+            acc = acc.wrapping_add(rng.next_u32() as u64);
+        }
+        // Determinism across the twist boundary.
+        let mut rng2 = Mt19937::new(1);
+        let mut acc2 = 0u64;
+        for _ in 0..(3 * 624 + 17) {
+            acc2 = acc2.wrapping_add(rng2.next_u32() as u64);
+        }
+        assert_eq!(acc, acc2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Mt19937::new(1);
+        let mut b = Mt19937::new(2);
+        let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn u64_composition() {
+        let mut a = Mt19937::new(9);
+        let mut b = Mt19937::new(9);
+        let hi = b.next_u32() as u64;
+        let lo = b.next_u32() as u64;
+        assert_eq!(a.next_u64(), (hi << 32) | lo);
+    }
+
+    #[test]
+    fn uniform_bits_balanced() {
+        // Chi-square-ish sanity: each of the 32 bit positions should be set
+        // roughly half of the time over 20k draws.
+        let mut rng = Mt19937::new(20260707);
+        let mut ones = [0u32; 32];
+        let n = 20_000;
+        for _ in 0..n {
+            let x = rng.next_u32();
+            for (b, o) in ones.iter_mut().enumerate() {
+                *o += (x >> b) & 1;
+            }
+        }
+        for (b, &o) in ones.iter().enumerate() {
+            let frac = o as f64 / n as f64;
+            assert!((frac - 0.5).abs() < 0.02, "bit {b}: {frac}");
+        }
+    }
+}

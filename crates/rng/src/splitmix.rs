@@ -1,0 +1,92 @@
+//! SplitMix64 — the seeding/stream-derivation mixer.
+//!
+//! Used to expand a single user seed into state words for the Mersenne
+//! twisters and keys for Philox streams, so that near-identical user seeds
+//! still yield well-separated generator states.
+
+use crate::RngCore64;
+
+/// Steele, Lea & Flood's SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a mixer from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// One mixing step as a pure function (useful for deriving stream keys
+    /// without carrying state).
+    #[inline]
+    pub fn mix(z: u64) -> u64 {
+        let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl RngCore64 for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_first_output_for_zero_seed() {
+        // SplitMix64(0) first output is the mix of the golden-gamma
+        // increment; value cross-checked against the reference C code.
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn nearby_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let xa = a.next_u64();
+        let xb = b.next_u64();
+        assert_ne!(xa, xb);
+        // Hamming distance should be substantial (avalanche).
+        assert!((xa ^ xb).count_ones() > 16);
+    }
+
+    #[test]
+    fn mix_is_stateless_step() {
+        let z = 0xDEAD_BEEF_u64;
+        assert_eq!(SplitMix64::mix(z), SplitMix64::mix(z));
+        assert_ne!(SplitMix64::mix(z), SplitMix64::mix(z + 1));
+    }
+
+    #[test]
+    fn uniform_helpers_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.next_f64_open();
+            assert!(y > 0.0 && y < 1.0);
+        }
+    }
+}

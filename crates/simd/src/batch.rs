@@ -1,0 +1,159 @@
+//! Array-at-a-time math — the VML stand-in.
+//!
+//! Intel VML exposes `vdExp(n, a, y)`-style entry points that transform a
+//! whole array per call. Compared with inlined SVML-style lane math, the
+//! batch route trades *algorithmic restructuring of both code and data*
+//! plus a *larger cache footprint* (the paper's words, §IV-A3) for
+//! amortized call overhead — which is why VML wins on some kernels and
+//! loses on Black-Scholes. These functions reproduce that structure: one
+//! pass over the input slice per function, main loop in 8-wide vectors,
+//! scalar remainder tail.
+//!
+//! All functions panic if `src.len() != dst.len()`.
+
+use crate::math::{vexp, verf, vln, vnorm_cdf};
+use crate::vec::F64v;
+use finbench_math as fm;
+
+const W: usize = 8;
+
+macro_rules! batch_fn {
+    ($(#[$doc:meta])* $name:ident, $vfn:ident, $sfn:path) => {
+        $(#[$doc])*
+        pub fn $name(src: &[f64], dst: &mut [f64]) {
+            assert_eq!(src.len(), dst.len(), "batch math length mismatch");
+            let n = src.len();
+            let main = n - n % W;
+            let mut i = 0;
+            while i < main {
+                let v = F64v::<W>::load(src, i);
+                $vfn(v).store(dst, i);
+                i += W;
+            }
+            for j in main..n {
+                dst[j] = $sfn(src[j]);
+            }
+        }
+    };
+}
+
+batch_fn!(
+    /// `dst[i] = exp(src[i])` over the whole slice.
+    ///
+    /// ```
+    /// let src = [0.0, 1.0, 2.0];
+    /// let mut dst = [0.0; 3];
+    /// finbench_simd::batch::vd_exp(&src, &mut dst);
+    /// assert!((dst[1] - std::f64::consts::E).abs() < 1e-15);
+    /// ```
+    vd_exp, vexp, fm::exp
+);
+
+batch_fn!(
+    /// `dst[i] = ln(src[i])` over the whole slice (positive finite inputs).
+    vd_ln, vln, fm::ln
+);
+
+batch_fn!(
+    /// `dst[i] = erf(src[i])` over the whole slice.
+    vd_erf, verf, fm::erf
+);
+
+batch_fn!(
+    /// `dst[i] = norm_cdf(src[i])` over the whole slice.
+    vd_norm_cdf, vnorm_cdf, fm::norm_cdf
+);
+
+/// `dst[i] = sqrt(src[i])`.
+pub fn vd_sqrt(src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "batch math length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = s.sqrt();
+    }
+}
+
+/// `dst[i] = inv_norm_cdf(src[i])` — the batch inverse-transform used by
+/// the RNG's normal stream.
+pub fn vd_inv_norm_cdf(src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "batch math length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = fm::inv_norm_cdf(*s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| lo + (hi - lo) * i as f64 / (n.max(2) - 1) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn exp_batch_matches_scalar_incl_tail() {
+        // 67 elements: 8 full vectors + a 3-element scalar tail.
+        let src = ramp(67, -20.0, 20.0);
+        let mut dst = vec![0.0; 67];
+        vd_exp(&src, &mut dst);
+        for (s, d) in src.iter().zip(&dst) {
+            assert!(((d - fm::exp(*s)) / fm::exp(*s)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn ln_batch_matches_scalar() {
+        let src = ramp(100, 0.001, 1000.0);
+        let mut dst = vec![0.0; 100];
+        vd_ln(&src, &mut dst);
+        for (s, d) in src.iter().zip(&dst) {
+            assert!((d - fm::ln(*s)).abs() < 1e-13 * fm::ln(*s).abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn erf_and_cnd_batches() {
+        let src = ramp(33, -5.0, 5.0);
+        let mut e = vec![0.0; 33];
+        let mut c = vec![0.0; 33];
+        vd_erf(&src, &mut e);
+        vd_norm_cdf(&src, &mut c);
+        for i in 0..33 {
+            assert!((e[i] - fm::erf(src[i])).abs() < 4e-15);
+            assert!((c[i] - fm::norm_cdf(src[i])).abs() < 4e-15);
+        }
+    }
+
+    #[test]
+    fn sqrt_and_inv_cdf_batches() {
+        let src = ramp(17, 0.01, 0.99);
+        let mut q = vec![0.0; 17];
+        vd_inv_norm_cdf(&src, &mut q);
+        for i in 0..17 {
+            assert!((fm::norm_cdf(q[i]) - src[i]).abs() < 1e-13);
+        }
+        let mut r = vec![0.0; 17];
+        vd_sqrt(&src, &mut r);
+        for i in 0..17 {
+            assert_eq!(r[i], src[i].sqrt());
+        }
+    }
+
+    #[test]
+    fn empty_and_subvector_slices() {
+        let mut dst: Vec<f64> = vec![];
+        vd_exp(&[], &mut dst);
+        let src = [1.0, 2.0, 3.0];
+        let mut dst = [0.0; 3];
+        vd_exp(&src, &mut dst);
+        assert!((dst[2] - fm::exp(3.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut dst = [0.0; 2];
+        vd_exp(&[1.0, 2.0, 3.0], &mut dst);
+    }
+}

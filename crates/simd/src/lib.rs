@@ -1,0 +1,46 @@
+//! # finbench-simd
+//!
+//! Portable SIMD vector classes for the finbench suite — the Rust analog
+//! of the `F64vec4`/`F64vec8` C++ classes the paper builds its
+//! intermediate- and advanced-level kernels on (§III-B: "replacing scalar
+//! types with C++ classes for SIMD operations ... the resulting code
+//! appears practically identical to the scalar code").
+//!
+//! ## Design
+//!
+//! * [`F64v<N>`](F64v) is a `#[repr(transparent)]` wrapper over `[f64; N]`
+//!   with infix operator overloads. Every lane loop is a fixed-trip-count,
+//!   branch-free loop over `N` elements, the shape LLVM's auto-vectorizer
+//!   reliably turns into packed AVX/AVX-512 arithmetic at `opt-level=3`
+//!   (`std::simd` is still unstable on stable rustc, so we own this
+//!   substrate; see DESIGN.md).
+//! * [`F64vec4`]/[`F64vec8`] are the paper's two widths: 4 double lanes
+//!   (SNB-EP, 256-bit AVX) and 8 double lanes (KNC, 512-bit). Kernels are
+//!   generic over `N`, exactly as the paper swaps one class for the other
+//!   between platforms.
+//! * [`Mask<N>`](Mask) carries lane-wise comparison results; data-dependent
+//!   control flow is expressed with [`Mask::select`] blends so the math
+//!   kernels stay branch-free.
+//! * [`math`] lifts the scalar kernels of `finbench-math` lane-wise —
+//!   the stand-in for Intel SVML. [`batch`] provides array-at-a-time
+//!   entry points staging through caller-provided temporaries — the
+//!   stand-in for Intel VML (larger cache footprint, amortized call
+//!   overhead), letting the Black-Scholes experiment reproduce the paper's
+//!   SVML-vs-VML comparison.
+//! * Gather/scatter emulation ([`F64v::gather`], [`F64v::scatter`]) models
+//!   the strided AOS accesses whose cost the paper's Fig. 4 analysis
+//!   hinges on.
+
+// Lane loops are written as explicit index loops over fixed-size arrays —
+// the shape LLVM's auto-vectorizer handles most reliably — so the
+// `needless_range_loop` suggestion (iterator zips) would actively hurt here.
+#![allow(clippy::needless_range_loop)]
+
+pub mod batch;
+pub mod math;
+pub mod vec;
+
+pub use vec::{F64v, F64vec4, F64vec8, Mask};
+
+/// The widest vector used anywhere in the suite (KNC width).
+pub const MAX_LANES: usize = 8;

@@ -1,0 +1,62 @@
+//! Quickstart: price one European option five ways and watch every
+//! numerical method converge to the Black-Scholes closed form.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use finbench::core::binomial;
+use finbench::core::black_scholes::price_single;
+use finbench::core::crank_nicolson::{self, PsorKind};
+use finbench::core::monte_carlo::{reference::paths_streamed, GbmTerminal};
+use finbench::core::workload::MarketParams;
+use finbench::rng::{normal::fill_standard_normal_icdf, Mt19937_64};
+
+fn main() {
+    // The contract: a 1-year at-the-money put on a $100 stock,
+    // 20% vol, 5% rates.
+    let (s, k, t) = (100.0, 100.0, 1.0);
+    let market = MarketParams { r: 0.05, sigma: 0.2 };
+
+    println!("European put, S={s} K={k} T={t}, r={}, sigma={}\n", market.r, market.sigma);
+
+    // 1. Closed form (the oracle).
+    let (_, bs_put) = price_single(s, k, t, market);
+    println!("Black-Scholes closed form : {bs_put:.6}");
+
+    // 2. Binomial lattice, increasing resolution.
+    for n in [64, 256, 1024] {
+        let p = binomial::reference::price_european(s, k, t, market, n, false);
+        println!("Binomial tree (N={n:>5})   : {p:.6}  (err {:+.2e})", p - bs_put);
+    }
+
+    // 3. Crank-Nicolson finite differences (European mode).
+    let cn = crank_nicolson::price_put(s, k, t, market, PsorKind::Reference, false);
+    println!("Crank-Nicolson (256x1000) : {cn:.6}  (err {:+.2e})", cn - bs_put);
+
+    // 4. Monte Carlo with a seeded normal stream.
+    let mut rng = Mt19937_64::new(42);
+    let mut randoms = vec![0.0; 500_000];
+    fill_standard_normal_icdf(&mut rng, &mut randoms);
+    let g = GbmTerminal::new(t, market);
+    // Put payoff via parity of the sampled call: price the call then use
+    // parity — or sample the put directly by flipping the payoff; here we
+    // price the call and apply parity.
+    let sums = paths_streamed::<f64>(s, k, g, &randoms);
+    let (mc_call, se) = sums.price(market.r, t);
+    let mc_put = mc_call - s + k * (-market.r * t).exp();
+    println!("Monte Carlo (500k paths)  : {mc_put:.6}  (stderr {se:.4})");
+
+    // 5. American flavour: the early-exercise premium.
+    let am = binomial::american::price_american::<f64>(s, k, t, market, 1024, false);
+    println!("\nAmerican put (binomial)   : {am:.6}");
+    println!("Early-exercise premium    : {:.6}", am - bs_put);
+
+    let cn_am = crank_nicolson::price_put(s, k, t, market, PsorKind::WavefrontSoa, true);
+    println!("American put (CN + PSOR)  : {cn_am:.6}");
+
+    let lsm = finbench::core::monte_carlo::lsm::price_american_put_lsm(
+        s, k, t, market, 100_000, 50, 42,
+    );
+    println!("American put (LSM MC)     : {:.6}  (stderr {:.4})", lsm.price, lsm.std_error);
+}

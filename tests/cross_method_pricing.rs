@@ -1,0 +1,140 @@
+//! Cross-method integration tests: every numerical method in the suite
+//! must agree with every other on the contracts they can all price.
+//! The Black-Scholes closed form is the oracle for European options; the
+//! binomial lattice is the oracle for American ones.
+
+use finbench::core::binomial;
+use finbench::core::black_scholes::price_single;
+use finbench::core::crank_nicolson::{self, PsorKind};
+use finbench::core::monte_carlo::{reference::paths_streamed, simd::paths_streamed_simd, GbmTerminal};
+use finbench::core::workload::MarketParams;
+use finbench::rng::{normal::fill_standard_normal_icdf, Mt19937_64};
+
+const MARKETS: [MarketParams; 3] = [
+    MarketParams { r: 0.05, sigma: 0.2 },
+    MarketParams { r: 0.01, sigma: 0.45 },
+    MarketParams { r: 0.08, sigma: 0.15 },
+];
+
+const CONTRACTS: [(f64, f64, f64); 4] = [
+    (100.0, 100.0, 1.0),
+    (90.0, 100.0, 0.5),
+    (120.0, 100.0, 2.0),
+    (100.0, 80.0, 1.5),
+];
+
+#[test]
+fn binomial_converges_to_black_scholes_across_grid() {
+    for m in MARKETS {
+        for (s, k, t) in CONTRACTS {
+            let (bs_call, bs_put) = price_single(s, k, t, m);
+            let call = binomial::reference::price_european(s, k, t, m, 2048, true);
+            let put = binomial::reference::price_european(s, k, t, m, 2048, false);
+            assert!(
+                (call - bs_call).abs() < 0.02,
+                "call s={s} k={k} t={t} sigma={}: {call} vs {bs_call}",
+                m.sigma
+            );
+            assert!((put - bs_put).abs() < 0.02, "put s={s} k={k} t={t}");
+        }
+    }
+}
+
+#[test]
+fn crank_nicolson_european_matches_black_scholes() {
+    for m in MARKETS {
+        for (s, k, t) in CONTRACTS {
+            let (_, bs_put) = price_single(s, k, t, m);
+            let cn = crank_nicolson::price_put(s, k, t, m, PsorKind::Reference, false);
+            assert!(
+                (cn - bs_put).abs() < 0.05,
+                "s={s} k={k} t={t} sigma={}: {cn} vs {bs_put}",
+                m.sigma
+            );
+        }
+    }
+}
+
+#[test]
+fn crank_nicolson_american_matches_binomial() {
+    for m in MARKETS {
+        for (s, k, t) in CONTRACTS {
+            let lattice = binomial::american::price_american::<f64>(s, k, t, m, 2000, false);
+            let cn = crank_nicolson::price_put(s, k, t, m, PsorKind::Reference, true);
+            assert!(
+                (cn - lattice).abs() < 0.05,
+                "s={s} k={k} t={t} sigma={}: cn {cn} vs lattice {lattice}",
+                m.sigma
+            );
+        }
+    }
+}
+
+#[test]
+fn all_three_psor_kernels_price_identically() {
+    let m = MarketParams { r: 0.05, sigma: 0.3 };
+    let prob = crank_nicolson::CnProblem::paper(m, 1.0);
+    let a = prob.solve(PsorKind::Reference);
+    let b = prob.solve(PsorKind::Wavefront);
+    let c = prob.solve(PsorKind::WavefrontSoa);
+    for s in [70.0, 90.0, 100.0, 115.0, 140.0] {
+        let pa = a.price(s, 100.0);
+        let pb = b.price(s, 100.0);
+        let pc = c.price(s, 100.0);
+        // The scalar solver checks convergence every iteration, the
+        // wavefront every W — so they stop at slightly different points
+        // and the difference compounds over 1000 time steps. ~1e-6 per
+        // price is the observed drift; 1e-4 is a safe band.
+        assert!((pa - pb).abs() < 1e-4, "s={s}: {pa} vs {pb}");
+        // The two wavefront layouts run the identical iteration schedule.
+        assert!((pb - pc).abs() < 1e-12, "s={s}: {pb} vs {pc}");
+    }
+}
+
+#[test]
+fn monte_carlo_brackets_black_scholes() {
+    let mut rng = Mt19937_64::new(20120101);
+    let mut randoms = vec![0.0; 400_000];
+    fill_standard_normal_icdf(&mut rng, &mut randoms);
+    for m in MARKETS {
+        for (s, k, t) in CONTRACTS {
+            let (bs_call, _) = price_single(s, k, t, m);
+            let sums = paths_streamed::<f64>(s, k, GbmTerminal::new(t, m), &randoms);
+            let (price, se) = sums.price(m.r, t);
+            assert!(
+                (price - bs_call).abs() < 4.5 * se.max(1e-6),
+                "s={s} k={k} t={t} sigma={}: {price}±{se} vs {bs_call}",
+                m.sigma
+            );
+        }
+    }
+}
+
+#[test]
+fn simd_and_scalar_monte_carlo_agree_on_the_same_stream() {
+    let mut rng = Mt19937_64::new(7);
+    let mut randoms = vec![0.0; 100_000];
+    fill_standard_normal_icdf(&mut rng, &mut randoms);
+    let m = MARKETS[0];
+    for (s, k, t) in CONTRACTS {
+        let g = GbmTerminal::new(t, m);
+        let a = paths_streamed::<f64>(s, k, g, &randoms);
+        let b = paths_streamed_simd::<8>(s, k, g, &randoms);
+        assert!(((a.v0 - b.v0) / a.v0.max(1e-9)).abs() < 1e-12, "s={s} k={k}");
+    }
+}
+
+#[test]
+fn deep_moneyness_limits() {
+    // Far in/out of the money, every engine must pin to the arbitrage
+    // values.
+    let m = MarketParams { r: 0.05, sigma: 0.2 };
+    // Deep OTM call: worthless by every method.
+    let (bs, _) = price_single(1.0, 1000.0, 0.25, m);
+    assert!(bs < 1e-12);
+    let bin = binomial::reference::price_european(1.0, 1000.0, 0.25, m, 256, true);
+    assert!(bin < 1e-12);
+    // Deep ITM American put: intrinsic.
+    let am = binomial::american::price_american::<f64>(5.0, 1000.0, 1.0, m, 256, false);
+    assert!((am - 995.0).abs() < 1e-8);
+}

@@ -1,0 +1,169 @@
+//! The central contract of the benchmark: **optimization never changes
+//! the answer**. Every intermediate/advanced variant must reproduce its
+//! reference level — bit-for-bit where the arithmetic is identical
+//! (binomial tiling, PSOR wavefront, bridge SIMD), to tight tolerance
+//! where the operation order legitimately differs (transcendental-heavy
+//! Black-Scholes, Monte-Carlo reductions).
+
+use finbench::core::binomial;
+use finbench::core::black_scholes::{reference, soa, vml};
+use finbench::core::brownian_bridge::{reference as bref, simd as bsimd, BridgePlan};
+use finbench::core::crank_nicolson::reference::psor_sweep;
+use finbench::core::crank_nicolson::wavefront;
+use finbench::core::workload::{MarketParams, OptionBatchSoa, WorkloadRanges};
+use finbench::rng::{normal::fill_standard_normal_icdf, Mt19937_64};
+
+const M: MarketParams = MarketParams::PAPER;
+
+#[test]
+fn black_scholes_five_variants_agree() {
+    let n = 2048 + 3;
+    let base = OptionBatchSoa::random(n, 99, WorkloadRanges::default());
+
+    let mut scalar = base.clone();
+    soa::price_soa_scalar(&mut scalar, M);
+
+    let mut aos = base.to_aos();
+    reference::price_aos::<f64>(&mut aos, M);
+
+    let mut gather = base.to_aos();
+    reference::price_aos_simd_gather::<8>(&mut gather, M);
+
+    let mut simd = base.clone();
+    soa::price_soa_simd::<8>(&mut simd, M);
+
+    let mut parity = base.clone();
+    soa::price_soa_simd_erf_parity::<8>(&mut parity, M);
+
+    let mut batch = base.clone();
+    let mut ws = vml::VmlWorkspace::default();
+    vml::price_soa_vml(&mut batch, M, &mut ws);
+
+    for i in 0..n {
+        let want_c = scalar.call[i];
+        let want_p = scalar.put[i];
+        for (label, got_c, got_p) in [
+            ("aos", aos.opts[i].call, aos.opts[i].put),
+            ("gather", gather.opts[i].call, gather.opts[i].put),
+            ("simd", simd.call[i], simd.put[i]),
+            ("parity", parity.call[i], parity.put[i]),
+            ("vml", batch.call[i], batch.put[i]),
+        ] {
+            assert!(
+                (got_c - want_c).abs() <= 1e-11 * want_c.abs().max(1.0),
+                "{label} call {i}: {got_c} vs {want_c}"
+            );
+            assert!(
+                (got_p - want_p).abs() <= 1e-11 * want_p.abs().max(1.0),
+                "{label} put {i}: {got_p} vs {want_p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn binomial_tiling_is_bit_exact_for_many_shapes() {
+    let mut batch = OptionBatchSoa::random(24, 5, WorkloadRanges::default());
+    for t in &mut batch.t {
+        *t = 1.25;
+    }
+    for n_steps in [63usize, 64, 65, 200, 511, 513] {
+        let mut reference_b = batch.clone();
+        binomial::simd::price_batch_simd::<8>(&mut reference_b, M, n_steps, true);
+        let mut t4 = batch.clone();
+        binomial::tiled::price_batch_tiled::<8, 4>(&mut t4, M, n_steps, true);
+        let mut t16 = batch.clone();
+        binomial::tiled::price_batch_tiled::<8, 16>(&mut t16, M, n_steps, true);
+        for i in 0..batch.len() {
+            assert_eq!(
+                reference_b.call[i].to_bits(),
+                t4.call[i].to_bits(),
+                "TS=4 n={n_steps} i={i}"
+            );
+            assert_eq!(
+                reference_b.call[i].to_bits(),
+                t16.call[i].to_bits(),
+                "TS=16 n={n_steps} i={i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bridge_simd_is_bit_exact_vs_scalar() {
+    for depth in [1usize, 3, 6, 8] {
+        let plan = BridgePlan::new(depth, 2.5);
+        let per = plan.randoms_per_path();
+        let n_paths = 16;
+        let mut rng = Mt19937_64::new(depth as u64);
+        let mut randoms = vec![0.0; n_paths * per];
+        fill_standard_normal_icdf(&mut rng, &mut randoms);
+
+        let mut scalar_out = vec![0.0; n_paths * plan.points()];
+        bref::build_paths::<f64>(&plan, &randoms, &mut scalar_out, n_paths);
+
+        let transposed = bsimd::transpose_randoms::<8>(&randoms, per);
+        let mut simd_out = vec![0.0; n_paths * plan.points()];
+        bsimd::build_paths_simd::<8>(&plan, &transposed, &mut simd_out, n_paths);
+
+        assert_eq!(
+            scalar_out
+                .iter()
+                .zip(&simd_out)
+                .filter(|(a, b)| a.to_bits() != b.to_bits())
+                .count(),
+            0,
+            "depth {depth}"
+        );
+    }
+}
+
+#[test]
+fn psor_wavefront_blocks_are_bit_exact_vs_scalar_sweeps() {
+    // A CN-like system at several sizes and omega values.
+    for n in [16usize, 64, 256, 1024] {
+        for omega in [1.0, 1.3, 1.7] {
+            let mut state = 0xC0FFEE ^ n as u64;
+            let mut draw = || {
+                state = finbench::rng::SplitMix64::mix(state);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let u0: Vec<f64> = (0..n).map(|_| draw()).collect();
+            let b: Vec<f64> = (0..n).map(|_| draw()).collect();
+            let g: Vec<f64> = (0..n).map(|_| draw() * 0.8).collect();
+            let (alphah, coeff) = (0.35, 1.0 / 1.7);
+
+            let mut us = u0.clone();
+            for _ in 0..16 {
+                psor_sweep(&mut us, &b, &g, 1, n - 2, alphah, coeff, omega, true);
+            }
+
+            // 2 blocks of 8 lanes = exactly 16 wavefront iterations.
+            let mut uw = u0.clone();
+            wavefront::psor_solve_wavefront_fixed_blocks::<8>(
+                &mut uw, &b, &g, 1, n - 2, alphah, coeff, omega, true, 2,
+            );
+            for j in 0..n {
+                assert_eq!(
+                    us[j].to_bits(),
+                    uw[j].to_bits(),
+                    "n={n} omega={omega} j={j}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn workload_transposition_does_not_change_prices() {
+    // AOS->SOA->AOS->price == price->AOS path: layout is orthogonal to
+    // values.
+    let soa_batch = OptionBatchSoa::random(513, 77, WorkloadRanges::default());
+    let mut direct = soa_batch.clone();
+    soa::price_soa_scalar(&mut direct, M);
+
+    let mut round_trip = soa_batch.to_aos().to_soa();
+    soa::price_soa_scalar(&mut round_trip, M);
+    assert_eq!(direct.call, round_trip.call);
+    assert_eq!(direct.put, round_trip.put);
+}

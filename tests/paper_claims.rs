@@ -1,0 +1,141 @@
+//! End-to-end regeneration of the paper's quantitative claims through the
+//! public API — the integration-level counterpart of the calibration pins
+//! inside `finbench-machine`. Each test quotes the sentence from the
+//! paper it checks.
+
+use finbench::machine::{figures, kernels, KNC, SNB_EP};
+
+#[test]
+fn table1_system_configuration() {
+    // Table I: "Single Precision GFLOP/s 691 / 2127; Double 346 / 1063".
+    assert!((SNB_EP.peak_dp_gflops() - 346.0).abs() < 7.0);
+    assert!((KNC.peak_dp_gflops() - 1063.0).abs() < 55.0);
+    // "Bandwidth from STREAM 76 GB/s / 150 GB/s".
+    assert_eq!(SNB_EP.stream_bw_gbs, 76.0);
+    assert_eq!(KNC.stream_bw_gbs, 150.0);
+}
+
+#[test]
+fn fig4_bandwidth_bound_is_b_over_40() {
+    // §IV-A3: "the bandwidth-bound performance is B/40 options per
+    // second".
+    let fig = figures::fig4();
+    for s in &fig.series {
+        let (_, bound) = s.bound.expect("fig4 carries the bandwidth bound");
+        let arch = if s.arch == "SNB-EP" { &SNB_EP } else { &KNC };
+        let want = arch.bw_bytes_per_sec() / 40.0 * 1e-6;
+        assert!((bound - want).abs() / want < 1e-9, "{}", s.arch);
+    }
+}
+
+#[test]
+fn fig4_ladder_ordering_and_ratios() {
+    let fig = figures::fig4();
+    let snb = &fig.series[0];
+    let knc = &fig.series[1];
+    // "the reference version is 3x slower" on KNC.
+    let r = snb.levels[0].1 / knc.levels[0].1;
+    assert!((2.4..=3.6).contains(&r), "{r}");
+    // Monotone ladders.
+    for s in [snb, knc] {
+        assert!(s.levels[0].1 < s.levels[1].1 && s.levels[1].1 < s.levels[2].1);
+    }
+}
+
+#[test]
+fn fig5_compute_bound_follows_flop_formula() {
+    // §IV-B1: "This kernel requires ~ 3N(N+1)/2 floating point
+    // computations"; the upper bar is peak/flops.
+    for n in [1024usize, 2048] {
+        let fig = figures::fig5(n);
+        for s in &fig.series {
+            let arch = if s.arch == "SNB-EP" { &SNB_EP } else { &KNC };
+            let (_, bound) = s.bound.unwrap();
+            let want = arch.peak_dp_gflops() * 1e9 / kernels::binomial_flops(n) * 1e-3;
+            assert!((bound - want).abs() / want < 1e-9);
+            // every level sits below the bound
+            for (label, v) in &s.levels {
+                assert!(*v <= bound * 1.001, "{} {label}", s.arch);
+            }
+        }
+    }
+}
+
+#[test]
+fn fig6_crossover_structure() {
+    // §IV-C3: basic -> KNC slower; intermediate -> bandwidth-ratio;
+    // advanced -> compute-bound, 2x.
+    let fig = figures::fig6();
+    let snb = &fig.series[0];
+    let knc = &fig.series[1];
+    assert!(knc.levels[0].1 < snb.levels[0].1, "basic: KNC must trail");
+    let mid_ratio = knc.levels[1].1 / snb.levels[1].1;
+    assert!((1.8..=2.1).contains(&mid_ratio), "bw ratio {mid_ratio}");
+    let adv_ratio = knc.levels[3].1 / snb.levels[3].1;
+    assert!((1.8..=2.2).contains(&adv_ratio), "compute ratio {adv_ratio}");
+}
+
+#[test]
+fn table2_reproduces_paper_numbers() {
+    // Table II verbatim: 29,813 / 92,722 / 5,556 / 16,366 options/s and
+    // the RNG rows. Model within 10%.
+    for row in figures::table2() {
+        let snb_err = (row.snb_model - row.snb_paper).abs() / row.snb_paper;
+        let knc_err = (row.knc_model - row.knc_paper).abs() / row.knc_paper;
+        assert!(snb_err < 0.10, "{}: SNB {:.1}% off", row.label, snb_err * 100.0);
+        assert!(knc_err < 0.10, "{}: KNC {:.1}% off", row.label, knc_err * 100.0);
+    }
+}
+
+#[test]
+fn fig8_simd_gains() {
+    // §IV-E3: "the gain due to SIMD on the two architectures is about
+    // 3.1X and 4.1X respectively", with absolute levels 6.4K and 11.4K.
+    let fig = figures::fig8();
+    let snb = &fig.series[0];
+    let knc = &fig.series[1];
+    let snb_gain = snb.levels[2].1 / snb.levels[0].1;
+    let knc_gain = knc.levels[2].1 / knc.levels[0].1;
+    assert!((2.8..=3.4).contains(&snb_gain), "{snb_gain}");
+    assert!((3.8..=4.5).contains(&knc_gain), "{knc_gain}");
+    assert!((snb.levels[2].1 - 6.4).abs() < 0.7, "{}", snb.levels[2].1);
+    assert!((knc.levels[2].1 - 11.4).abs() < 1.2, "{}", knc.levels[2].1);
+}
+
+#[test]
+fn conclusion_ninja_gap_and_cross_arch_ratios() {
+    // §V: "On average, the Ninja gap is 1.9x for SNB-EP and 4x for KNC";
+    // "the best-optimized code on KNC achieves on average 2.5x on compute
+    // bound kernels and 2x on bandwidth-bound kernels".
+    let s = figures::ninja_summary();
+    assert!((1.6..=2.6).contains(&s.avg_snb), "SNB avg {}", s.avg_snb);
+    assert!((3.2..=6.5).contains(&s.avg_knc), "KNC avg {}", s.avg_knc);
+    assert!((2.0..=2.8).contains(&s.compute_bound_ratio));
+    assert!((1.85..=2.15).contains(&s.bandwidth_bound_ratio));
+}
+
+#[test]
+fn every_experiment_runs_end_to_end() {
+    // The harness must execute every registered experiment (quick mode).
+    let opts = finbench::harness::RunOptions {
+        quick: true,
+        csv_dir: None,
+    };
+    for id in finbench::harness::EXPERIMENTS {
+        assert!(finbench::harness::run_experiment(id, &opts), "{id}");
+    }
+    assert!(!finbench::harness::run_experiment("nonsense", &opts));
+}
+
+#[test]
+fn csv_export_writes_files() {
+    let dir = std::env::temp_dir().join(format!("finbench_csv_{}", std::process::id()));
+    let opts = finbench::harness::RunOptions {
+        quick: true,
+        csv_dir: Some(dir.to_string_lossy().into_owned()),
+    };
+    assert!(finbench::harness::run_experiment("fig4", &opts));
+    let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert!(entries.len() >= 2, "expected model CSVs, got {}", entries.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
