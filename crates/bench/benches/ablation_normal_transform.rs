@@ -3,7 +3,10 @@
 //! polar method, on top of both base generators.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use finbench_rng::normal::{fill_standard_normal_icdf, fill_standard_normal_icdf_batch, fill_standard_normal_icdf_fast, fill_standard_normal_polar};
+use finbench_rng::normal::{
+    fill_standard_normal_icdf, fill_standard_normal_icdf_batch, fill_standard_normal_icdf_fast,
+    fill_standard_normal_polar,
+};
 use finbench_rng::{Mt19937_64, Philox4x32};
 
 const N: usize = 1 << 18;

@@ -6,17 +6,15 @@
 //! `Call` too often, huge tiles spill the wavefront out of registers.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use finbench_core::binomial::tiled::{reduce_tiled, reduce_tiled_fma};
 use finbench_core::binomial::simd::reduce_simd;
+use finbench_core::binomial::tiled::{reduce_tiled, reduce_tiled_fma};
 use finbench_simd::F64v;
 use std::hint::black_box;
 
 const N: usize = 1024;
 
 fn leaves() -> Vec<F64v<8>> {
-    (0..=N)
-        .map(|j| F64v([j as f64 * 0.01; 8]))
-        .collect()
+    (0..=N).map(|j| F64v([j as f64 * 0.01; 8])).collect()
 }
 
 fn bench(c: &mut Criterion) {

@@ -24,9 +24,11 @@ fn bench(c: &mut Criterion) {
         g.measurement_time(std::time::Duration::from_secs(1));
 
         let mut b0 = batch();
-        g.bench_with_input(BenchmarkId::new("basic_reference", n_steps), &n_steps, |b, &n| {
-            b.iter(|| reference::price_batch(&mut b0, m, n))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("basic_reference", n_steps),
+            &n_steps,
+            |b, &n| b.iter(|| reference::price_batch(&mut b0, m, n)),
+        );
 
         let mut b1 = batch();
         g.bench_with_input(

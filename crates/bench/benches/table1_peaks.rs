@@ -33,12 +33,18 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(200));
     g.measurement_time(std::time::Duration::from_millis(600));
 
-    let xs: Vec<f64> = (0..1024).map(|i| -4.0 + i as f64 * (8.0 / 1024.0)).collect();
+    let xs: Vec<f64> = (0..1024)
+        .map(|i| -4.0 + i as f64 * (8.0 / 1024.0))
+        .collect();
     g.bench_function("exp", |b| {
         b.iter(|| xs.iter().map(|&x| finbench_math::exp(x)).sum::<f64>())
     });
     g.bench_function("ln", |b| {
-        b.iter(|| xs.iter().map(|&x| finbench_math::ln(x.abs() + 0.1)).sum::<f64>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| finbench_math::ln(x.abs() + 0.1))
+                .sum::<f64>()
+        })
     });
     g.bench_function("norm_cdf", |b| {
         b.iter(|| xs.iter().map(|&x| finbench_math::norm_cdf(x)).sum::<f64>())

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use finbench_bench::sizes::RNG_N;
-use finbench_rng::normal::{fill_standard_normal_icdf, fill_standard_normal_icdf_batch, fill_standard_normal_polar};
+use finbench_rng::normal::{
+    fill_standard_normal_icdf, fill_standard_normal_icdf_batch, fill_standard_normal_polar,
+};
 use finbench_rng::uniform::fill_uniform;
 use finbench_rng::{Mt19937, Mt19937_64, Philox4x32, RngCore64};
 use std::hint::black_box;

@@ -127,7 +127,10 @@ pub fn early_exercise_premium(
 mod tests {
     use super::*;
 
-    const M: MarketParams = MarketParams { r: 0.05, sigma: 0.2 };
+    const M: MarketParams = MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    };
 
     #[test]
     fn american_put_textbook_value() {
@@ -173,8 +176,28 @@ mod tests {
     #[test]
     fn premium_grows_with_rate_for_puts() {
         // Higher r makes waiting costlier for puts => larger premium.
-        let lo = early_exercise_premium(100.0, 100.0, 1.0, MarketParams { r: 0.01, sigma: 0.2 }, 400, false);
-        let hi = early_exercise_premium(100.0, 100.0, 1.0, MarketParams { r: 0.08, sigma: 0.2 }, 400, false);
+        let lo = early_exercise_premium(
+            100.0,
+            100.0,
+            1.0,
+            MarketParams {
+                r: 0.01,
+                sigma: 0.2,
+            },
+            400,
+            false,
+        );
+        let hi = early_exercise_premium(
+            100.0,
+            100.0,
+            1.0,
+            MarketParams {
+                r: 0.08,
+                sigma: 0.2,
+            },
+            400,
+            false,
+        );
         assert!(hi > lo, "lo={lo} hi={hi}");
     }
 

@@ -162,10 +162,7 @@ mod tests {
             let mut scalar = vec![0.0; 33];
             fill_leaves(&mut scalar, s[lane], x[lane], 32, &crr, true);
             for j in 0..=32 {
-                assert!(
-                    (v[j][lane] - scalar[j]).abs() < 1e-9,
-                    "lane {lane} j {j}"
-                );
+                assert!((v[j][lane] - scalar[j]).abs() < 1e-9, "lane {lane} j {j}");
             }
         }
     }

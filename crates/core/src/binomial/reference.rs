@@ -59,7 +59,10 @@ mod tests {
     use crate::workload::WorkloadRanges;
     use finbench_math::CountedF64;
 
-    const M: MarketParams = MarketParams { r: 0.05, sigma: 0.2 };
+    const M: MarketParams = MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    };
 
     #[test]
     fn converges_to_black_scholes() {

@@ -47,7 +47,11 @@ pub fn price_batch_simd<const W: usize>(
         let crr = CrrParams::new(market, batch.t[g], n);
         fill_leaves_simd(&mut call, &batch.s[g..], &batch.x[g..], n, &crr, is_call);
         let root = reduce_simd(&mut call, n, crr.pu_by_df, crr.pd_by_df);
-        let out = if is_call { &mut batch.call } else { &mut batch.put };
+        let out = if is_call {
+            &mut batch.call
+        } else {
+            &mut batch.put
+        };
         root.store(out, g);
         g += W;
     }
@@ -69,7 +73,10 @@ mod tests {
     use crate::binomial::reference;
     use crate::workload::WorkloadRanges;
 
-    const M: MarketParams = MarketParams { r: 0.05, sigma: 0.25 };
+    const M: MarketParams = MarketParams {
+        r: 0.05,
+        sigma: 0.25,
+    };
 
     fn uniform_expiry_batch(n_opts: usize) -> OptionBatchSoa {
         let mut b = OptionBatchSoa::random(n_opts, 17, WorkloadRanges::default());
@@ -121,7 +128,11 @@ mod tests {
         price_batch_simd::<8>(&mut b, M, 2048, true);
         for i in 0..8 {
             let (bs, _) = crate::black_scholes::price_single(b.s[i], b.x[i], 1.0, M);
-            assert!((b.call[i] - bs).abs() < 0.02, "lane {i}: {} vs {bs}", b.call[i]);
+            assert!(
+                (b.call[i] - bs).abs() < 0.02,
+                "lane {i}: {} vs {bs}",
+                b.call[i]
+            );
         }
     }
 }

@@ -135,7 +135,11 @@ pub fn price_batch_tiled<const W: usize, const TS: usize>(
         let crr = CrrParams::new(market, batch.t[g], n);
         fill_leaves_simd(&mut call, &batch.s[g..], &batch.x[g..], n, &crr, is_call);
         let root = reduce_tiled::<W, TS>(&mut call, n, crr.pu_by_df, crr.pd_by_df);
-        let out = if is_call { &mut batch.call } else { &mut batch.put };
+        let out = if is_call {
+            &mut batch.call
+        } else {
+            &mut batch.put
+        };
         root.store(out, g);
         g += W;
     }

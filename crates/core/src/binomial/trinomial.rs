@@ -127,7 +127,10 @@ mod tests {
     use super::*;
     use crate::black_scholes::price_single;
 
-    const M: MarketParams = MarketParams { r: 0.05, sigma: 0.2 };
+    const M: MarketParams = MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    };
 
     #[test]
     fn probabilities_form_a_distribution() {
@@ -154,16 +157,17 @@ mod tests {
         let (bs_call, _) = price_single(100.0, 100.0, 1.0, M);
         let n = 100;
         let tri_err = (price_european(100.0, 100.0, 1.0, M, n, true) - bs_call).abs();
-        let bin_err =
-            (crate::binomial::reference::price_european(100.0, 100.0, 1.0, M, n, true) - bs_call)
-                .abs();
+        let bin_err = (crate::binomial::reference::price_european(100.0, 100.0, 1.0, M, n, true)
+            - bs_call)
+            .abs();
         assert!(tri_err < bin_err, "tri {tri_err} vs bin {bin_err}");
     }
 
     #[test]
     fn american_matches_binomial_american() {
         let tri = price_american(100.0, 100.0, 1.0, M, 1000, false);
-        let bin = crate::binomial::american::price_american::<f64>(100.0, 100.0, 1.0, M, 2000, false);
+        let bin =
+            crate::binomial::american::price_american::<f64>(100.0, 100.0, 1.0, M, 2000, false);
         assert!((tri - bin).abs() < 0.01, "tri {tri} vs bin {bin}");
     }
 

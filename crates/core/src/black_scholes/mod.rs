@@ -63,7 +63,10 @@ mod tests {
             100.0,
             100.0,
             1.0,
-            MarketParams { r: 0.05, sigma: 0.2 },
+            MarketParams {
+                r: 0.05,
+                sigma: 0.2,
+            },
         );
         assert!((c - HULL_CALL).abs() < 1e-12, "call {c}");
         assert!((p - HULL_PUT).abs() < 1e-12, "put {p}");
@@ -71,7 +74,10 @@ mod tests {
 
     #[test]
     fn put_call_parity() {
-        let m = MarketParams { r: 0.03, sigma: 0.4 };
+        let m = MarketParams {
+            r: 0.03,
+            sigma: 0.4,
+        };
         for (s, x, t) in [(10.0, 12.0, 0.5), (25.0, 20.0, 3.0), (7.0, 7.0, 10.0)] {
             let (c, p) = price_single(s, x, t, m);
             let parity = s - x * (-m.r * t).exp();
@@ -94,7 +100,10 @@ mod tests {
 
     #[test]
     fn deep_itm_call_approaches_forward() {
-        let m = MarketParams { r: 0.02, sigma: 0.2 };
+        let m = MarketParams {
+            r: 0.02,
+            sigma: 0.2,
+        };
         let (c, _) = price_single(1000.0, 1.0, 1.0, m);
         let fwd = 1000.0 - 1.0 * (-0.02f64).exp();
         assert!((c - fwd).abs() < 1e-9);

@@ -26,7 +26,8 @@ pub fn price_aos<R: Real>(batch: &mut OptionBatchAos, market: MarketParams) {
 pub fn price_aos_simd_gather<const W: usize>(batch: &mut OptionBatchAos, market: MarketParams) {
     let n = batch.opts.len();
     let main = n - n % W;
-    let stride = core::mem::size_of::<crate::workload::OptionRecord>() / core::mem::size_of::<f64>();
+    let stride =
+        core::mem::size_of::<crate::workload::OptionRecord>() / core::mem::size_of::<f64>();
 
     // View the record array as a flat f64 buffer (layout asserted below).
     debug_assert_eq!(stride, 5);

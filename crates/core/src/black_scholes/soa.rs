@@ -3,9 +3,9 @@
 
 use crate::workload::{MarketParams, OptionBatchSoa};
 use finbench_math as fm;
+use finbench_parallel::parallel_for_chunks2;
 use finbench_simd::math::{verf, vexp, vln, vnorm_cdf};
 use finbench_simd::F64v;
-use rayon::prelude::*;
 
 const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
 
@@ -111,30 +111,30 @@ soa_simd_driver!(
     price_soa_simd_erf_parity, price_vec_erf_parity
 );
 
-/// Thread-parallel driver over the advanced kernel using rayon (the
-/// paper's `#pragma omp parallel for` over the option loop). `W` is the
-/// SIMD width, `chunk` the per-task option count.
-pub fn par_price_soa<const W: usize>(batch: &mut OptionBatchSoa, market: MarketParams, chunk: usize) {
+/// Thread-parallel driver over the advanced kernel on the workspace's
+/// own chunk-dispenser pool (the paper's `#pragma omp parallel for` over
+/// the option loop). `W` is the SIMD width, `chunk` the per-task option
+/// count; one worker per available CPU.
+pub fn par_price_soa<const W: usize>(
+    batch: &mut OptionBatchSoa,
+    market: MarketParams,
+    chunk: usize,
+) {
     let chunk = chunk.max(1);
-    let (s, x, t) = (&batch.s, &batch.x, &batch.t);
-    batch
-        .call
-        .par_chunks_mut(chunk)
-        .zip(batch.put.par_chunks_mut(chunk))
-        .enumerate()
-        .for_each(|(ci, (call, put))| {
-            let base = ci * chunk;
-            let mut sub = OptionBatchSoa {
-                s: s[base..base + call.len()].to_vec(),
-                x: x[base..base + call.len()].to_vec(),
-                t: t[base..base + call.len()].to_vec(),
-                call: vec![0.0; call.len()],
-                put: vec![0.0; put.len()],
-            };
-            price_soa_simd_erf_parity::<W>(&mut sub, market);
-            call.copy_from_slice(&sub.call);
-            put.copy_from_slice(&sub.put);
-        });
+    let workers = finbench_parallel::available_parallelism();
+    let OptionBatchSoa { s, x, t, call, put } = batch;
+    parallel_for_chunks2(call, put, chunk, workers, |base, call, put| {
+        let mut sub = OptionBatchSoa {
+            s: s[base..base + call.len()].to_vec(),
+            x: x[base..base + call.len()].to_vec(),
+            t: t[base..base + call.len()].to_vec(),
+            call: vec![0.0; call.len()],
+            put: vec![0.0; put.len()],
+        };
+        price_soa_simd_erf_parity::<W>(&mut sub, market);
+        call.copy_from_slice(&sub.call);
+        put.copy_from_slice(&sub.put);
+    });
 }
 
 #[cfg(test)]

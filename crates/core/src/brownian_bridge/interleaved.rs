@@ -26,7 +26,11 @@ pub fn build_paths_interleaved<const W: usize>(
     out: &mut [f64],
     n_paths: usize,
 ) {
-    assert_eq!(n_paths % W, 0, "n_paths must be a multiple of the SIMD width");
+    assert_eq!(
+        n_paths % W,
+        0,
+        "n_paths must be a multiple of the SIMD width"
+    );
     let points = plan.points();
     let per = plan.randoms_per_path();
     assert_eq!(out.len(), n_paths * points, "output buffer size mismatch");
@@ -50,7 +54,11 @@ pub fn simulate_fused<const W: usize>(
     out: &mut [f64],
     functional: impl Fn(&[F64v<W>]) -> F64v<W>,
 ) {
-    assert_eq!(n_paths % W, 0, "n_paths must be a multiple of the SIMD width");
+    assert_eq!(
+        n_paths % W,
+        0,
+        "n_paths must be a multiple of the SIMD width"
+    );
     assert_eq!(out.len(), n_paths, "one output per path");
     let points = plan.points();
     let per = plan.randoms_per_path();

@@ -122,7 +122,10 @@ mod tests {
     use crate::workload::MarketParams;
     use finbench_rng::StreamFamily;
 
-    const M: MarketParams = MarketParams { r: 0.05, sigma: 0.2 };
+    const M: MarketParams = MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    };
     const N_PATHS: usize = 65_536;
 
     fn price<F>(f: F) -> f64

@@ -23,7 +23,10 @@ use finbench_rng::Halton;
 /// The bridge depth may not exceed 6 (64 normals = 64 Halton dimensions).
 pub fn build_paths_qmc(plan: &BridgePlan, offset: u64, out: &mut [f64], n_paths: usize) {
     let per = plan.randoms_per_path();
-    assert!(per <= 64, "Halton driver supports up to 64 dimensions (depth <= 6)");
+    assert!(
+        per <= 64,
+        "Halton driver supports up to 64 dimensions (depth <= 6)"
+    );
     let points = plan.points();
     assert_eq!(out.len(), n_paths * points, "output buffer size mismatch");
 
@@ -32,11 +35,7 @@ pub fn build_paths_qmc(plan: &BridgePlan, offset: u64, out: &mut [f64], n_paths:
     let mut normals = vec![0.0; per];
     for p in 0..n_paths {
         halton.fill_normal(&mut normals, 1);
-        super::reference::build_path::<f64>(
-            plan,
-            &normals,
-            &mut out[p * points..(p + 1) * points],
-        );
+        super::reference::build_path::<f64>(plan, &normals, &mut out[p * points..(p + 1) * points]);
     }
 }
 
@@ -48,16 +47,21 @@ mod tests {
     use finbench_math::exp;
     use finbench_rng::{normal::fill_standard_normal_icdf, Mt19937_64};
 
-    const M: MarketParams = MarketParams { r: 0.05, sigma: 0.2 };
+    const M: MarketParams = MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    };
 
     /// Closed-form geometric-Asian call price (discrete monitoring on a
     /// uniform grid): Black-Scholes under adjusted vol and drift.
     fn geometric_asian_exact(s0: f64, k: f64, t: f64, steps: usize) -> f64 {
         let nf = steps as f64;
         let sig_g = M.sigma * ((nf + 1.0) * (2.0 * nf + 1.0) / (6.0 * nf * nf)).sqrt();
-        let mu_g =
-            0.5 * (M.r - 0.5 * M.sigma * M.sigma) * (nf + 1.0) / nf + 0.5 * sig_g * sig_g;
-        let m_g = MarketParams { r: mu_g, sigma: sig_g };
+        let mu_g = 0.5 * (M.r - 0.5 * M.sigma * M.sigma) * (nf + 1.0) / nf + 0.5 * sig_g * sig_g;
+        let m_g = MarketParams {
+            r: mu_g,
+            sigma: sig_g,
+        };
         let (raw, _) = price_single(s0, k, t, m_g);
         raw * exp((mu_g - M.r) * t)
     }

@@ -10,7 +10,11 @@ use finbench_math::Real;
 ///
 /// `out[0]` is pinned to 0; `out[k]` is `W(k·T/2^depth)`.
 pub fn build_path<R: Real>(plan: &BridgePlan, randoms: &[f64], out: &mut [f64]) -> usize {
-    assert_eq!(out.len(), plan.points(), "output must hold 2^depth + 1 points");
+    assert_eq!(
+        out.len(),
+        plan.points(),
+        "output must hold 2^depth + 1 points"
+    );
     assert!(
         randoms.len() >= plan.randoms_per_path(),
         "need {} randoms",
@@ -127,10 +131,7 @@ mod tests {
             }
             var /= n_paths as f64;
             // se of a variance estimate ~ var * sqrt(2/n) ~ 1%.
-            assert!(
-                (var - t_k).abs() < 0.06 * t_k,
-                "t={t_k} var={var}"
-            );
+            assert!((var - t_k).abs() < 0.06 * t_k, "t={t_k} var={var}");
         }
     }
 

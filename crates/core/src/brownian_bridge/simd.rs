@@ -13,7 +13,11 @@ use finbench_simd::F64v;
 /// Transpose a `[path][step]` random buffer into the `[step][lane]` group
 /// layout the SIMD kernel consumes (group-by-group).
 pub fn transpose_randoms<const W: usize>(randoms: &[f64], per_path: usize) -> Vec<f64> {
-    assert_eq!(randoms.len() % (per_path * W), 0, "buffer must hold whole groups");
+    assert_eq!(
+        randoms.len() % (per_path * W),
+        0,
+        "buffer must hold whole groups"
+    );
     let n_groups = randoms.len() / (per_path * W);
     let mut out = vec![0.0; randoms.len()];
     for g in 0..n_groups {
@@ -32,7 +36,10 @@ pub fn transpose_randoms<const W: usize>(randoms: &[f64], per_path: usize) -> Ve
 pub fn build_path_group<const W: usize>(plan: &BridgePlan, randoms: &[f64], out: &mut [f64]) {
     let points = plan.points();
     assert_eq!(out.len(), W * points, "output must hold W paths");
-    assert!(randoms.len() >= plan.randoms_per_path() * W, "not enough randoms");
+    assert!(
+        randoms.len() >= plan.randoms_per_path() * W,
+        "not enough randoms"
+    );
 
     let mut src: Vec<F64v<W>> = vec![F64v::zero(); points];
     let mut dst: Vec<F64v<W>> = vec![F64v::zero(); points];
@@ -71,7 +78,11 @@ pub fn build_paths_simd<const W: usize>(
     out: &mut [f64],
     n_paths: usize,
 ) {
-    assert_eq!(n_paths % W, 0, "n_paths must be a multiple of the SIMD width");
+    assert_eq!(
+        n_paths % W,
+        0,
+        "n_paths must be a multiple of the SIMD width"
+    );
     let points = plan.points();
     let per = plan.randoms_per_path();
     assert_eq!(out.len(), n_paths * points, "output buffer size mismatch");
@@ -96,9 +107,9 @@ mod tests {
         let buf: Vec<f64> = (0..per * 4 * 3).map(|i| i as f64).collect();
         let t = transpose_randoms::<4>(&buf, per);
         let back = transpose_randoms::<4>(&t, per); // wrong in general...
-        // transpose of [path][step] -> [step][lane]; applying the same map
-        // again restores the original because the group matrix is W x per
-        // vs per x W: verify element-wise instead.
+                                                    // transpose of [path][step] -> [step][lane]; applying the same map
+                                                    // again restores the original because the group matrix is W x per
+                                                    // vs per x W: verify element-wise instead.
         for g in 0..3 {
             for lane in 0..4 {
                 for step in 0..per {

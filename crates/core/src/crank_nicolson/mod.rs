@@ -160,13 +160,40 @@ impl CnProblem {
 
             let loops = match kind {
                 PsorKind::Reference => reference::psor_solve(
-                    &mut u, &b, &g, 1, m - 1, alphah, coeff, omega, self.american, self.eps,
+                    &mut u,
+                    &b,
+                    &g,
+                    1,
+                    m - 1,
+                    alphah,
+                    coeff,
+                    omega,
+                    self.american,
+                    self.eps,
                 ),
                 PsorKind::Wavefront => wavefront::psor_solve_wavefront::<8>(
-                    &mut u, &b, &g, 1, m - 1, alphah, coeff, omega, self.american, self.eps,
+                    &mut u,
+                    &b,
+                    &g,
+                    1,
+                    m - 1,
+                    alphah,
+                    coeff,
+                    omega,
+                    self.american,
+                    self.eps,
                 ),
                 PsorKind::WavefrontSoa => wavefront::psor_solve_wavefront_soa::<8>(
-                    &mut u, &b, &g, 1, m - 1, alphah, coeff, omega, self.american, self.eps,
+                    &mut u,
+                    &b,
+                    &g,
+                    1,
+                    m - 1,
+                    alphah,
+                    coeff,
+                    omega,
+                    self.american,
+                    self.eps,
                 ),
             };
             total_iters += loops;
@@ -207,10 +234,7 @@ impl CnSolution {
     pub fn price(&self, s: f64, strike: f64) -> f64 {
         let p = &self.problem;
         let x0 = ln(s / strike);
-        assert!(
-            x0 >= p.xmin && x0 <= p.xmax,
-            "spot outside grid: x0={x0}"
-        );
+        assert!(x0 >= p.xmin && x0 <= p.xmax, "spot outside grid: x0={x0}");
         let dx = p.dx();
         let f = (x0 - p.xmin) / dx;
         let j = (f.floor() as usize).min(p.n_points - 2);
@@ -241,7 +265,10 @@ pub fn price_put(
 mod tests {
     use super::*;
 
-    const M: MarketParams = MarketParams { r: 0.05, sigma: 0.2 };
+    const M: MarketParams = MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    };
 
     #[test]
     fn problem_parameters() {
@@ -263,7 +290,10 @@ mod tests {
             let k = p.k();
             let v = strike * p.payoff_u(x, 0.0) * exp(-0.5 * (k - 1.0) * x);
             let want = (strike - s).max(0.0);
-            assert!((v - want).abs() < 1e-9 * want.max(1.0), "x={x}: {v} vs {want}");
+            assert!(
+                (v - want).abs() < 1e-9 * want.max(1.0),
+                "x={x}: {v} vs {want}"
+            );
         }
     }
 
@@ -276,7 +306,8 @@ mod tests {
 
     #[test]
     fn american_put_matches_binomial() {
-        let bin = crate::binomial::american::price_american::<f64>(100.0, 100.0, 1.0, M, 2000, false);
+        let bin =
+            crate::binomial::american::price_american::<f64>(100.0, 100.0, 1.0, M, 2000, false);
         let cn = price_put(100.0, 100.0, 1.0, M, PsorKind::Reference, true);
         assert!((cn - bin).abs() < 0.02, "cn {cn} vs binomial {bin}");
     }

@@ -70,7 +70,9 @@ mod tests {
     /// Build a small diffusion-like test system with a known solution:
     /// solve (1+α)u - (α/2)(u₋+u₊) = b for b produced from a target u*.
     fn manufactured(n: usize, alpha: f64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
-        let target: Vec<f64> = (0..n).map(|j| (j as f64 * 0.37).sin().abs() + 0.5).collect();
+        let target: Vec<f64> = (0..n)
+            .map(|j| (j as f64 * 0.37).sin().abs() + 0.5)
+            .collect();
         let mut b = vec![0.0; n];
         for j in 1..n - 1 {
             b[j] = (1.0 + alpha) * target[j] - 0.5 * alpha * (target[j - 1] + target[j + 1]);
@@ -88,11 +90,25 @@ mod tests {
         u[0] = target[0];
         u[n - 1] = target[n - 1];
         let loops = psor_solve(
-            &mut u, &b, &g, 1, n - 2, alpha / 2.0, 1.0 / (1.0 + alpha), 1.2, false, 1e-28,
+            &mut u,
+            &b,
+            &g,
+            1,
+            n - 2,
+            alpha / 2.0,
+            1.0 / (1.0 + alpha),
+            1.2,
+            false,
+            1e-28,
         );
         assert!(loops < 10_000, "did not converge");
         for j in 0..n {
-            assert!((u[j] - target[j]).abs() < 1e-10, "j={j}: {} vs {}", u[j], target[j]);
+            assert!(
+                (u[j] - target[j]).abs() < 1e-10,
+                "j={j}: {} vs {}",
+                u[j],
+                target[j]
+            );
         }
     }
 
@@ -106,7 +122,16 @@ mod tests {
         let g: Vec<f64> = target.iter().map(|t| t + 0.25).collect(); // binds everywhere
         let mut u = g.clone();
         psor_solve(
-            &mut u, &b, &g, 1, n - 2, alpha / 2.0, 1.0 / (1.0 + alpha), 1.0, true, 1e-24,
+            &mut u,
+            &b,
+            &g,
+            1,
+            n - 2,
+            alpha / 2.0,
+            1.0 / (1.0 + alpha),
+            1.0,
+            true,
+            1e-24,
         );
         for j in 1..n - 1 {
             assert!(u[j] >= g[j] - 1e-12, "j={j}");
@@ -123,7 +148,17 @@ mod tests {
         let (_, b, g) = manufactured(n, alpha);
         let mut u1 = vec![1.0; n];
         let mut u2 = u1.clone();
-        psor_sweep(&mut u1, &b, &g, 1, n - 2, alpha / 2.0, 1.0 / (1.0 + alpha), 1.0, false);
+        psor_sweep(
+            &mut u1,
+            &b,
+            &g,
+            1,
+            n - 2,
+            alpha / 2.0,
+            1.0 / (1.0 + alpha),
+            1.0,
+            false,
+        );
         // Manual Gauss-Seidel.
         let coeff = 1.0 / (1.0 + alpha);
         for j in 1..=n - 2 {
@@ -143,7 +178,18 @@ mod tests {
         let (_, b, g) = manufactured(n, alpha);
         let run = |omega: f64| {
             let mut u = vec![0.0; n];
-            psor_solve(&mut u, &b, &g, 1, n - 2, alpha / 2.0, 1.0 / (1.0 + alpha), omega, false, 1e-26)
+            psor_solve(
+                &mut u,
+                &b,
+                &g,
+                1,
+                n - 2,
+                alpha / 2.0,
+                1.0 / (1.0 + alpha),
+                omega,
+                false,
+                1e-26,
+            )
         };
         let plain = run(1.0);
         let sor = run(1.5);
@@ -156,7 +202,17 @@ mod tests {
         let alpha = 0.3;
         let (target, b, g) = manufactured(n, alpha);
         let mut u = target.clone();
-        let err = psor_sweep(&mut u, &b, &g, 1, n - 2, alpha / 2.0, 1.0 / (1.0 + alpha), 1.0, false);
+        let err = psor_sweep(
+            &mut u,
+            &b,
+            &g,
+            1,
+            n - 2,
+            alpha / 2.0,
+            1.0 / (1.0 + alpha),
+            1.0,
+            false,
+        );
         assert!(err < 1e-25, "err {err}");
     }
 }

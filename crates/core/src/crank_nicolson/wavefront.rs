@@ -255,10 +255,11 @@ mod tests {
                 let err_s = scalar_k_sweeps(&mut us, &b, &g, lo, hi, 1.3, american, 8);
 
                 let mut uw = u0.clone();
-                let err_w = psor_block::<8>(&mut uw, lo, hi, ALPHAH, COEFF, 1.3, american, |s, w| {
-                    let j = s - 2 * w;
-                    (b[j], g[j])
-                });
+                let err_w =
+                    psor_block::<8>(&mut uw, lo, hi, ALPHAH, COEFF, 1.3, american, |s, w| {
+                        let j = s - 2 * w;
+                        (b[j], g[j])
+                    });
 
                 for j in 0..n {
                     assert_eq!(
@@ -269,7 +270,11 @@ mod tests {
                         uw[j]
                     );
                 }
-                assert_eq!(err_s.to_bits(), err_w.to_bits(), "error american={american} n={n}");
+                assert_eq!(
+                    err_s.to_bits(),
+                    err_w.to_bits(),
+                    "error american={american} n={n}"
+                );
             }
         }
     }
@@ -302,7 +307,9 @@ mod tests {
         let mut us = u0.clone();
         let err_s = scalar_k_sweeps(&mut us, &b, &g, 1, n - 2, 1.0, true, 1);
         let mut uw = u0.clone();
-        let err_w = psor_block::<1>(&mut uw, 1, n - 2, ALPHAH, COEFF, 1.0, true, |s, _| (b[s], g[s]));
+        let err_w = psor_block::<1>(&mut uw, 1, n - 2, ALPHAH, COEFF, 1.0, true, |s, _| {
+            (b[s], g[s])
+        });
         assert_eq!(err_s.to_bits(), err_w.to_bits());
         for j in 0..n {
             assert_eq!(us[j].to_bits(), uw[j].to_bits());
@@ -318,7 +325,12 @@ mod tests {
         psor_solve_wavefront::<4>(&mut u4, &b, &g, 1, n - 2, ALPHAH, COEFF, 1.4, true, 1e-26);
         psor_solve_wavefront::<8>(&mut u8, &b, &g, 1, n - 2, ALPHAH, COEFF, 1.4, true, 1e-26);
         for j in 0..n {
-            assert!((u4[j] - u8[j]).abs() < 1e-11, "j={j}: {} vs {}", u4[j], u8[j]);
+            assert!(
+                (u4[j] - u8[j]).abs() < 1e-11,
+                "j={j}: {} vs {}",
+                u4[j],
+                u8[j]
+            );
         }
     }
 
@@ -328,8 +340,20 @@ mod tests {
         let (u0, b, g) = test_system(n, 31);
         let mut ua = u0.clone();
         let mut ub = u0.clone();
-        let ia = psor_solve_wavefront::<8>(&mut ua, &b, &g, 1, n - 2, ALPHAH, COEFF, 1.2, true, 1e-24);
-        let ib = psor_solve_wavefront_soa::<8>(&mut ub, &b, &g, 1, n - 2, ALPHAH, COEFF, 1.2, true, 1e-24);
+        let ia =
+            psor_solve_wavefront::<8>(&mut ua, &b, &g, 1, n - 2, ALPHAH, COEFF, 1.2, true, 1e-24);
+        let ib = psor_solve_wavefront_soa::<8>(
+            &mut ub,
+            &b,
+            &g,
+            1,
+            n - 2,
+            ALPHAH,
+            COEFF,
+            1.2,
+            true,
+            1e-24,
+        );
         assert_eq!(ia, ib);
         for j in 0..n {
             assert_eq!(ua[j].to_bits(), ub[j].to_bits(), "j={j}");
@@ -359,7 +383,9 @@ mod tests {
         // Same manufactured diffusion system as the reference tests.
         let n = 64;
         let alpha = 0.8;
-        let target: Vec<f64> = (0..n).map(|j| (j as f64 * 0.37).sin().abs() + 0.5).collect();
+        let target: Vec<f64> = (0..n)
+            .map(|j| (j as f64 * 0.37).sin().abs() + 0.5)
+            .collect();
         let mut b = vec![0.0; n];
         for j in 1..n - 1 {
             b[j] = (1.0 + alpha) * target[j] - 0.5 * alpha * (target[j - 1] + target[j + 1]);
@@ -369,7 +395,16 @@ mod tests {
         u[0] = target[0];
         u[n - 1] = target[n - 1];
         let iters = psor_solve_wavefront::<8>(
-            &mut u, &b, &g, 1, n - 2, alpha / 2.0, 1.0 / (1.0 + alpha), 1.2, false, 1e-28,
+            &mut u,
+            &b,
+            &g,
+            1,
+            n - 2,
+            alpha / 2.0,
+            1.0 / (1.0 + alpha),
+            1.2,
+            false,
+            1e-28,
         );
         assert!(iters < 10_000);
         for j in 0..n {

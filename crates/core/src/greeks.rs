@@ -66,14 +66,7 @@ pub fn greeks(kind: OptionType, s: f64, x: f64, t: f64, m: MarketParams) -> Gree
 ///
 /// Returns `None` if `price` lies outside the arbitrage bounds for the
 /// contract (no vol can reproduce it).
-pub fn implied_vol(
-    kind: OptionType,
-    price: f64,
-    s: f64,
-    x: f64,
-    t: f64,
-    r: f64,
-) -> Option<f64> {
+pub fn implied_vol(kind: OptionType, price: f64, s: f64, x: f64, t: f64, r: f64) -> Option<f64> {
     let disc = exp(-r * t);
     let (lo_bound, hi_bound) = match kind {
         OptionType::Call => ((s - x * disc).max(0.0), s),
@@ -176,7 +169,10 @@ mod tests {
     use super::*;
     use crate::black_scholes::price_single;
 
-    const M: MarketParams = MarketParams { r: 0.05, sigma: 0.2 };
+    const M: MarketParams = MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    };
 
     #[test]
     fn call_delta_matches_finite_difference() {
@@ -206,8 +202,26 @@ mod tests {
         let h = 1e-6;
         let (s, x, t) = (100.0, 105.0, 1.0);
         let g = greeks(OptionType::Put, s, x, t, M);
-        let up = price_single(s, x, t, MarketParams { r: M.r, sigma: M.sigma + h }).1;
-        let dn = price_single(s, x, t, MarketParams { r: M.r, sigma: M.sigma - h }).1;
+        let up = price_single(
+            s,
+            x,
+            t,
+            MarketParams {
+                r: M.r,
+                sigma: M.sigma + h,
+            },
+        )
+        .1;
+        let dn = price_single(
+            s,
+            x,
+            t,
+            MarketParams {
+                r: M.r,
+                sigma: M.sigma - h,
+            },
+        )
+        .1;
         assert!((g.vega - (up - dn) / (2.0 * h)).abs() < 1e-5);
     }
 
@@ -221,8 +235,24 @@ mod tests {
                 OptionType::Call => c,
                 OptionType::Put => p,
             };
-            let (cu, pu) = price_single(s, x, t, MarketParams { r: M.r + h, sigma: M.sigma });
-            let (cd, pd) = price_single(s, x, t, MarketParams { r: M.r - h, sigma: M.sigma });
+            let (cu, pu) = price_single(
+                s,
+                x,
+                t,
+                MarketParams {
+                    r: M.r + h,
+                    sigma: M.sigma,
+                },
+            );
+            let (cd, pd) = price_single(
+                s,
+                x,
+                t,
+                MarketParams {
+                    r: M.r - h,
+                    sigma: M.sigma,
+                },
+            );
             let fd_rho = (pick(cu, pu) - pick(cd, pd)) / (2.0 * h);
             assert!((g.rho - fd_rho).abs() < 1e-5, "{kind:?} rho");
 

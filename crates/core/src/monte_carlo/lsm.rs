@@ -196,7 +196,10 @@ pub fn price_american_put_lsm(
 mod tests {
     use super::*;
 
-    const M: MarketParams = MarketParams { r: 0.05, sigma: 0.2 };
+    const M: MarketParams = MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    };
 
     #[test]
     fn solve3_known_system() {

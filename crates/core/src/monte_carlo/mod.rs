@@ -98,7 +98,11 @@ mod tests {
 
     #[test]
     fn path_sums_statistics() {
-        let s = PathSums { v0: 10.0, v1: 30.0, n: 5 };
+        let s = PathSums {
+            v0: 10.0,
+            v1: 30.0,
+            n: 5,
+        };
         assert!((s.mean() - 2.0).abs() < 1e-15);
         // var = 30/5 - 4 = 2; se = sqrt(2/5).
         assert!((s.std_error() - (2.0f64 / 5.0).sqrt()).abs() < 1e-15);
@@ -109,15 +113,36 @@ mod tests {
 
     #[test]
     fn merge_is_additive() {
-        let a = PathSums { v0: 1.0, v1: 2.0, n: 3 };
-        let b = PathSums { v0: 4.0, v1: 5.0, n: 6 };
+        let a = PathSums {
+            v0: 1.0,
+            v1: 2.0,
+            n: 3,
+        };
+        let b = PathSums {
+            v0: 4.0,
+            v1: 5.0,
+            n: 6,
+        };
         let m = a.merge(b);
-        assert_eq!(m, PathSums { v0: 5.0, v1: 7.0, n: 9 });
+        assert_eq!(
+            m,
+            PathSums {
+                v0: 5.0,
+                v1: 7.0,
+                n: 9
+            }
+        );
     }
 
     #[test]
     fn gbm_constants() {
-        let g = GbmTerminal::new(4.0, MarketParams { r: 0.05, sigma: 0.3 });
+        let g = GbmTerminal::new(
+            4.0,
+            MarketParams {
+                r: 0.05,
+                sigma: 0.3,
+            },
+        );
         assert!((g.v_rt_t - 0.6).abs() < 1e-15);
         assert!((g.mu_t - (0.05 - 0.045) * 4.0).abs() < 1e-15);
     }
@@ -126,7 +151,11 @@ mod tests {
     fn degenerate_variance_clamped() {
         // All-equal payoffs can give tiny negative variance from rounding;
         // std_error must clamp to zero, not NaN.
-        let s = PathSums { v0: 3.0, v1: 3.0, n: 3 };
+        let s = PathSums {
+            v0: 3.0,
+            v1: 3.0,
+            n: 3,
+        };
         assert_eq!(s.std_error(), 0.0);
     }
 }

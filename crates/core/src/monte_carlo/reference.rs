@@ -61,7 +61,10 @@ pub fn price_option_set_streamed(
     market: MarketParams,
     randoms: &[f64],
 ) -> Vec<PathSums> {
-    assert!(s.len() == x.len() && x.len() == t.len(), "ragged option arrays");
+    assert!(
+        s.len() == x.len() && x.len() == t.len(),
+        "ragged option arrays"
+    );
     (0..s.len())
         .map(|o| {
             let g = GbmTerminal::new(t[o], market);
@@ -76,7 +79,10 @@ mod tests {
     use crate::black_scholes::price_single;
     use finbench_rng::Mt19937_64;
 
-    const M: MarketParams = MarketParams { r: 0.05, sigma: 0.2 };
+    const M: MarketParams = MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    };
 
     fn normals(n: usize, seed: u64) -> Vec<f64> {
         let mut rng = Mt19937_64::new(seed);
@@ -122,7 +128,10 @@ mod tests {
         let b = paths_streamed::<f64>(s, x, g, &randoms);
         let (pa, sa) = a.price(M.r, t);
         let (pb, sb) = b.price(M.r, t);
-        assert!((pa - pb).abs() < 4.0 * (sa * sa + sb * sb).sqrt(), "{pa} vs {pb}");
+        assert!(
+            (pa - pb).abs() < 4.0 * (sa * sa + sb * sb).sqrt(),
+            "{pa} vs {pb}"
+        );
     }
 
     #[test]
@@ -139,13 +148,8 @@ mod tests {
     #[test]
     fn option_set_shares_the_stream() {
         let randoms = normals(10_000, 2);
-        let sums = price_option_set_streamed(
-            &[100.0, 100.0],
-            &[90.0, 110.0],
-            &[1.0, 1.0],
-            M,
-            &randoms,
-        );
+        let sums =
+            price_option_set_streamed(&[100.0, 100.0], &[90.0, 110.0], &[1.0, 1.0], M, &randoms);
         assert_eq!(sums.len(), 2);
         // Same randoms: the lower strike call must dominate path-by-path.
         assert!(sums[0].v0 > sums[1].v0);

@@ -52,7 +52,12 @@ pub fn paths_streamed_simd<const W: usize>(
         n: main as u64,
     };
     if main < n {
-        acc = acc.merge(super::reference::paths_streamed::<f64>(s, x, g, &randoms[main..]));
+        acc = acc.merge(super::reference::paths_streamed::<f64>(
+            s,
+            x,
+            g,
+            &randoms[main..],
+        ));
     }
     acc
 }
@@ -172,7 +177,10 @@ mod tests {
     use crate::workload::MarketParams;
     use finbench_rng::Mt19937_64;
 
-    const M: MarketParams = MarketParams { r: 0.05, sigma: 0.2 };
+    const M: MarketParams = MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    };
 
     fn normals(n: usize, seed: u64) -> Vec<f64> {
         let mut rng = Mt19937_64::new(seed);

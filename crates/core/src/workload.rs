@@ -24,7 +24,10 @@ pub struct MarketParams {
 
 impl MarketParams {
     /// The parameter point used throughout the paper-shaped experiments.
-    pub const PAPER: MarketParams = MarketParams { r: 0.02, sigma: 0.30 };
+    pub const PAPER: MarketParams = MarketParams {
+        r: 0.02,
+        sigma: 0.30,
+    };
 }
 
 /// One option record in AOS layout: 3 input fields (24 bytes streamed in)

@@ -15,12 +15,14 @@
 //!   (SVML-style) + batch (VML-style) math.
 //! * [`rng`] — MT19937(-64) and Philox4x32 generators, uniform/normal
 //!   transforms, independent parallel streams.
-//! * [`parallel`] — the chunk-dispenser thread pool and rayon adapters.
+//! * [`parallel`] — the chunk-dispenser thread pool.
 //! * [`core`] — the kernels: Black-Scholes, binomial tree, Brownian
 //!   bridge, Monte Carlo, Crank-Nicolson, and greeks/implied vol.
 //! * [`machine`] — SNB-EP/KNC architecture models and the figure
 //!   regeneration.
 //! * [`harness`] — the experiment drivers behind the `finbench` CLI.
+//! * [`telemetry`] — zero-dependency spans, counters, and histograms
+//!   wired through the pool, RNG, and harness (`FINBENCH_LOG` filter).
 //!
 //! ## Quickstart
 //!
@@ -41,3 +43,4 @@ pub use finbench_math as math;
 pub use finbench_parallel as parallel;
 pub use finbench_rng as rng;
 pub use finbench_simd as simd;
+pub use finbench_telemetry as telemetry;

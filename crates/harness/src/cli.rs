@@ -1,0 +1,155 @@
+//! Argument parsing for the `finbench` binary, split out of `main` so the
+//! flag grammar is unit-testable.
+
+use crate::{RunOptions, EXPERIMENTS};
+
+/// A fully parsed command line: which experiments to run and with what
+/// options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedArgs {
+    /// Experiment ids, deduplicated, in first-mention order.
+    pub ids: Vec<String>,
+    /// Run options threaded through every experiment.
+    pub opts: RunOptions,
+}
+
+/// What the binary should do, as decided by the arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliAction {
+    /// Run the given experiments.
+    Run(ParsedArgs),
+    /// Print the experiment ids and exit.
+    List,
+    /// Print usage and exit.
+    Help,
+}
+
+/// One-line usage string (the error path points people here).
+pub fn usage_line() -> String {
+    format!(
+        "usage: finbench [EXPERIMENT ...] [--quick] [--csv DIR] [--json FILE] [--report] [--list]\n\
+         experiments: {} | all",
+        EXPERIMENTS.join(" | ")
+    )
+}
+
+/// Parse the argument list (without the program name).
+///
+/// Rules:
+/// - `--help`/`-h` and `--list` short-circuit to [`CliAction::Help`] /
+///   [`CliAction::List`] regardless of other arguments.
+/// - `all` expands to every experiment id in paper order.
+/// - Duplicate ids are dropped, keeping the first mention's position.
+/// - Unknown flags and unknown experiment ids are errors, as is an empty
+///   experiment list.
+pub fn parse_args<I, S>(args: I) -> Result<CliAction, String>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let mut opts = RunOptions::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = args.into_iter().map(Into::into);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" | "-q" => opts.quick = true,
+            "--csv" => match args.next() {
+                Some(dir) => opts.csv_dir = Some(dir),
+                None => return Err("--csv requires a directory argument".into()),
+            },
+            "--json" => match args.next() {
+                Some(file) => opts.json = Some(file),
+                None => return Err("--json requires a file argument".into()),
+            },
+            "--report" => opts.report = true,
+            "--list" => return Ok(CliAction::List),
+            "--help" | "-h" => return Ok(CliAction::Help),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag: {other}"));
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        return Err("no experiments given".into());
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    } else {
+        for id in &ids {
+            if !EXPERIMENTS.contains(&id.as_str()) {
+                return Err(format!("unknown experiment: {id}"));
+            }
+        }
+    }
+    // Dedupe preserving first-mention order, so `finbench fig4 fig5 fig4`
+    // runs fig4 once.
+    let mut seen = std::collections::HashSet::new();
+    ids.retain(|id| seen.insert(id.clone()));
+    Ok(CliAction::Run(ParsedArgs { ids, opts }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> ParsedArgs {
+        match parse_args(args.iter().copied()).unwrap() {
+            CliAction::Run(p) => p,
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_ids_and_flags() {
+        let p = run(&["fig4", "--quick", "table2", "--csv", "out"]);
+        assert_eq!(p.ids, ["fig4", "table2"]);
+        assert!(p.opts.quick);
+        assert_eq!(p.opts.csv_dir.as_deref(), Some("out"));
+        assert_eq!(p.opts.json, None);
+        assert!(!p.opts.report);
+    }
+
+    #[test]
+    fn json_and_report_flags() {
+        let p = run(&["native", "--json", "out.jsonl", "--report"]);
+        assert_eq!(p.opts.json.as_deref(), Some("out.jsonl"));
+        assert!(p.opts.report);
+    }
+
+    #[test]
+    fn dedupes_preserving_first_mention_order() {
+        let p = run(&["fig5", "fig4", "fig5", "fig4", "fig5"]);
+        assert_eq!(p.ids, ["fig5", "fig4"]);
+    }
+
+    #[test]
+    fn all_expands_in_paper_order() {
+        let p = run(&["all", "--quick"]);
+        assert_eq!(p.ids, EXPERIMENTS);
+    }
+
+    #[test]
+    fn list_and_help_short_circuit() {
+        assert_eq!(parse_args(["--list"]), Ok(CliAction::List));
+        assert_eq!(parse_args(["--help"]), Ok(CliAction::Help));
+        assert_eq!(parse_args(["-h"]), Ok(CliAction::Help));
+        // Even with other junk present.
+        assert_eq!(parse_args(["bogus", "--list"]), Ok(CliAction::List));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(["--csv"]).is_err());
+        assert!(parse_args(["--json"]).is_err());
+        assert!(parse_args(["--frobnicate"]).is_err());
+        assert!(parse_args(["nosuch"]).is_err());
+        assert!(parse_args(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn audit_is_a_known_experiment() {
+        let p = run(&["audit"]);
+        assert_eq!(p.ids, ["audit"]);
+    }
+}

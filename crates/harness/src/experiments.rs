@@ -7,17 +7,15 @@ use crate::RunOptions;
 use finbench_machine::{figures, KNC, SNB_EP};
 
 fn print_figure(fig: &figures::FigureSeries, opts: &RunOptions) {
-    println!("{}", section(&format!("{} — {} [{}]", fig.id, fig.title, fig.unit)));
+    println!(
+        "{}",
+        section(&format!("{} — {} [{}]", fig.id, fig.title, fig.unit))
+    );
     // Shared scale across both architectures, like the paper's y axis.
     let max = fig
         .series
         .iter()
-        .flat_map(|s| {
-            s.levels
-                .iter()
-                .map(|l| l.1)
-                .chain(s.bound.map(|b| b.1))
-        })
+        .flat_map(|s| s.levels.iter().map(|l| l.1).chain(s.bound.map(|b| b.1)))
         .fold(0.0f64, f64::max);
     for s in &fig.series {
         println!("  [{}] (modeled)", s.arch);
@@ -49,7 +47,10 @@ pub fn table1(opts: &RunOptions) {
     let rows: Vec<Vec<String>> = vec![
         vec![
             "Sockets x Cores x SMT".into(),
-            format!("{}x{}x{}", SNB_EP.sockets, SNB_EP.cores_per_socket, SNB_EP.smt),
+            format!(
+                "{}x{}x{}",
+                SNB_EP.sockets, SNB_EP.cores_per_socket, SNB_EP.smt
+            ),
             format!("{}x{}x{}", KNC.sockets, KNC.cores_per_socket, KNC.smt),
         ],
         vec![
@@ -211,9 +212,7 @@ pub fn ninja(opts: &RunOptions) {
     let rows: Vec<Vec<String>> = s
         .gaps
         .iter()
-        .map(|(name, snb, knc)| {
-            vec![name.to_string(), format!("{snb:.2}x"), format!("{knc:.2}x")]
-        })
+        .map(|(name, snb, knc)| vec![name.to_string(), format!("{snb:.2}x"), format!("{knc:.2}x")])
         .collect();
     println!("{}", table(&["Kernel", "SNB-EP gap", "KNC gap"], &rows));
     println!(
@@ -236,7 +235,10 @@ pub fn qmc(opts: &RunOptions) {
     use finbench_math::{exp, ln};
     use finbench_rng::{normal::fill_standard_normal_icdf, Mt19937_64};
 
-    const M: MarketParams = MarketParams { r: 0.05, sigma: 0.2 };
+    const M: MarketParams = MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    };
     let (s0, k, t) = (100.0, 100.0, 1.0);
     let plan = BridgePlan::new(6, t);
     let steps = plan.steps();
@@ -245,7 +247,15 @@ pub fn qmc(opts: &RunOptions) {
         let nf = steps as f64;
         let sig_g = M.sigma * ((nf + 1.0) * (2.0 * nf + 1.0) / (6.0 * nf * nf)).sqrt();
         let mu_g = 0.5 * (M.r - 0.5 * M.sigma * M.sigma) * (nf + 1.0) / nf + 0.5 * sig_g * sig_g;
-        let (raw, _) = price_single(s0, k, t, MarketParams { r: mu_g, sigma: sig_g });
+        let (raw, _) = price_single(
+            s0,
+            k,
+            t,
+            MarketParams {
+                r: mu_g,
+                sigma: sig_g,
+            },
+        );
         raw * exp((mu_g - M.r) * t)
     };
 
@@ -267,9 +277,16 @@ pub fn qmc(opts: &RunOptions) {
         exp(-M.r * t) * sum / n as f64
     };
 
-    println!("{}", section("QMC convergence (extension): geometric Asian, 64 dates"));
+    println!(
+        "{}",
+        section("QMC convergence (extension): geometric Asian, 64 dates")
+    );
     println!("  exact price {exact:.6}\n");
-    let budgets: &[usize] = if opts.quick { &[512, 2048] } else { &[512, 2048, 8192, 32768] };
+    let budgets: &[usize] = if opts.quick {
+        &[512, 2048]
+    } else {
+        &[512, 2048, 8192, 32768]
+    };
     let mut rows = Vec::new();
     for &n in budgets {
         let mut qmc_paths = vec![0.0; n * plan.points()];
@@ -296,7 +313,98 @@ pub fn qmc(opts: &RunOptions) {
             format!("{:.1}x", mc_err / qmc_err.max(1e-12)),
         ]);
     }
-    println!("{}", table(&["paths", "|QMC err|", "|MC err|", "MC/QMC"], &rows));
+    println!(
+        "{}",
+        table(&["paths", "|QMC err|", "|MC err|", "MC/QMC"], &rows)
+    );
+}
+
+/// Dynamic per-option operation mix of the basic Black-Scholes kernel,
+/// measured by pricing `n_options` moderate options with
+/// [`finbench_math::CountedF64`]. Returns `(plain, expanded)` tallies
+/// summed over the batch: `plain` charges each transcendental as one
+/// call; `expanded` also tallies the interior polynomial arithmetic of
+/// each transcendental (one level deep), which is the convention behind
+/// the paper's "~200 operations per option" figure (§IV-A).
+pub fn black_scholes_op_mix(
+    n_options: usize,
+) -> (finbench_math::OpCounts, finbench_math::OpCounts) {
+    use finbench_core::black_scholes::price_single;
+    use finbench_core::workload::MarketParams;
+    use finbench_math::{counting, counting_expanded, CountedF64, Real};
+
+    let m = MarketParams::PAPER;
+    // Moderate moneyness and maturity keep |d1| small, so norm_cdf takes
+    // the paper-relevant Hart rational path, not the far-tail branch.
+    let run = || {
+        for i in 0..n_options {
+            let s = 90.0 + 20.0 * (i as f64 + 0.5) / n_options as f64;
+            let (c, p) = price_single(
+                CountedF64::of(s),
+                CountedF64::of(100.0),
+                CountedF64::of(1.0),
+                m,
+            );
+            std::hint::black_box((c.into_f64(), p.into_f64()));
+        }
+    };
+    let ((), plain) = counting(run);
+    let ((), expanded) = counting_expanded(run);
+    (plain, expanded)
+}
+
+/// Extension: dynamic op-count audit of the Black-Scholes kernel
+/// (the counted-arithmetic check behind the paper's flop estimates).
+pub fn audit(opts: &RunOptions) {
+    println!(
+        "{}",
+        section("Op-count audit — basic Black-Scholes kernel (counted arithmetic)")
+    );
+    let n = 64usize;
+    let (plain, expanded) = black_scholes_op_mix(n);
+    let per = |v: u64| format!("{:.2}", v as f64 / n as f64);
+    let rows: Vec<Vec<String>> = vec![
+        vec!["add/sub".into(), per(plain.adds), per(expanded.adds)],
+        vec!["mul".into(), per(plain.muls), per(expanded.muls)],
+        vec!["div".into(), per(plain.divs), per(expanded.divs)],
+        vec!["sqrt".into(), per(plain.sqrts), per(expanded.sqrts)],
+        vec!["max/cmp".into(), per(plain.maxs), per(expanded.maxs)],
+        vec!["exp calls".into(), per(plain.exps), per(expanded.exps)],
+        vec!["ln calls".into(), per(plain.logs), per(expanded.logs)],
+        vec!["erf calls".into(), per(plain.erfs), per(expanded.erfs)],
+        vec!["cnd calls".into(), per(plain.cnds), per(expanded.cnds)],
+        vec![
+            "total (calls as 1 op)".into(),
+            per(plain.total_with_transcendentals()),
+            per(expanded.total_with_transcendentals()),
+        ],
+    ];
+    println!("{}", table(&["per option", "plain", "expanded"], &rows));
+    println!(
+        "  Expanded total: ~{:.0} ops/option — paper §IV-A estimates ~200",
+        expanded.total_with_transcendentals() as f64 / n as f64
+    );
+    // Surface the mix through telemetry too: attributes on the enclosing
+    // experiment.audit span, per-op-class counters for the exporters.
+    let per_opt = |v: u64| v as f64 / n as f64;
+    finbench_telemetry::set_attr("options_priced", n);
+    finbench_telemetry::set_attr(
+        "ops_per_option_plain",
+        per_opt(plain.total_with_transcendentals()),
+    );
+    finbench_telemetry::set_attr(
+        "ops_per_option_expanded",
+        per_opt(expanded.total_with_transcendentals()),
+    );
+    finbench_telemetry::counter_add("audit.bs.flops_expanded", expanded.flops());
+    finbench_telemetry::counter_add("audit.bs.transcendentals", expanded.transcendentals());
+    finbench_telemetry::counter_add(
+        "audit.bs.total_ops_expanded",
+        expanded.total_with_transcendentals(),
+    );
+    println!("  (expansion tallies each transcendental's interior polynomial once,");
+    println!("  nested calls charged as single ops; see finbench-math::counting_expanded)");
+    let _ = opts;
 }
 
 /// All native ladders in one run.
@@ -344,4 +452,24 @@ pub fn native_all(opts: &RunOptions) {
         opts,
         "native_rng.csv",
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_mix_matches_paper_band() {
+        let n = 32;
+        let (plain, expanded) = black_scholes_op_mix(n);
+        // Four cnd calls per option in the basic kernel, exactly.
+        assert_eq!(plain.cnds, 4 * n as u64);
+        assert_eq!(plain.cnds, expanded.cnds);
+        // Plain tally: a few dozen ops when transcendentals count as one.
+        let plain_per = plain.total_with_transcendentals() / n as u64;
+        assert!((20..=60).contains(&plain_per), "plain {plain_per}");
+        // Expanded tally: the paper's ~200 ops/option (§IV-A).
+        let per = expanded.total_with_transcendentals() / n as u64;
+        assert!((180..=230).contains(&per), "expanded {per} ops/option");
+    }
 }

@@ -12,30 +12,53 @@
 //! finbench fig4 fig5      # specific artifacts
 //! finbench table2 --quick # reduced native workload sizes
 //! finbench native         # native kernel ladders only
+//! finbench audit          # dynamic op-count audit (paper Table III)
 //! finbench --csv out/     # also write CSV series
+//! finbench --json t.jsonl # export the telemetry trace as JSON lines
+//! finbench --report       # print the telemetry span tree after the run
 //! ```
+//!
+//! Every experiment runs inside a telemetry span (`experiment.<id>`), and
+//! the native ladders open one child span per rung carrying the per-rep
+//! throughput distribution — see `finbench_telemetry` and the `--json` /
+//! `--report` flags.
 
+pub mod cli;
 pub mod experiments;
 pub mod native;
 pub mod render;
 pub mod timing;
 
+use finbench_telemetry as telemetry;
+
 /// Global run options.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunOptions {
     /// Shrink native workloads (CI-friendly).
     pub quick: bool,
     /// Directory for CSV exports (none = skip).
     pub csv_dir: Option<String>,
+    /// File for the JSON-lines telemetry export (none = skip).
+    pub json: Option<String>,
+    /// Print the telemetry span tree after the run.
+    pub report: bool,
 }
 
-/// All experiment ids, in paper order.
+/// All experiment ids, in paper order (plus the op-count audit).
 pub const EXPERIMENTS: &[&str] = &[
-    "table1", "fig4", "fig5", "fig6", "table2", "fig8", "ninja", "qmc", "native",
+    "table1", "fig4", "fig5", "fig6", "table2", "fig8", "ninja", "qmc", "audit", "native",
 ];
 
 /// Run one experiment by id; returns false for an unknown id.
+///
+/// Each run is wrapped in a telemetry span named `experiment.<id>`, so
+/// ladder rungs executed inside nest under it in `--report` / `--json`
+/// output.
 pub fn run_experiment(id: &str, opts: &RunOptions) -> bool {
+    if !EXPERIMENTS.contains(&id) {
+        return false;
+    }
+    let _g = telemetry::span(format!("experiment.{id}"));
     match id {
         "table1" => experiments::table1(opts),
         "fig4" => experiments::fig4(opts),
@@ -45,8 +68,9 @@ pub fn run_experiment(id: &str, opts: &RunOptions) -> bool {
         "fig8" => experiments::fig8(opts),
         "ninja" => experiments::ninja(opts),
         "qmc" => experiments::qmc(opts),
+        "audit" => experiments::audit(opts),
         "native" => experiments::native_all(opts),
-        _ => return false,
+        _ => unreachable!("id validated against EXPERIMENTS"),
     }
     true
 }

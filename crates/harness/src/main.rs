@@ -1,47 +1,62 @@
 //! The `finbench` experiment CLI.
 //!
 //! ```text
-//! finbench all                 # every table/figure + native runs
-//! finbench fig4 table2         # specific artifacts
-//! finbench native --quick      # reduced native workloads
-//! finbench all --csv results/  # also export CSV series
+//! finbench all                   # every table/figure + native runs
+//! finbench fig4 table2           # specific artifacts
+//! finbench native --quick        # reduced native workloads
+//! finbench all --csv results/    # also export CSV series
+//! finbench native --json t.jsonl # export the telemetry trace (JSON lines)
+//! finbench native --report       # print the telemetry span tree
+//! finbench --list                # print experiment ids
 //! ```
 
-use finbench_harness::{run_experiment, RunOptions, EXPERIMENTS};
-
-fn usage() -> ! {
-    eprintln!("usage: finbench [EXPERIMENT ...] [--quick] [--csv DIR]");
-    eprintln!("experiments: {} | all", EXPERIMENTS.join(" | "));
-    std::process::exit(2);
-}
+use finbench_harness::cli::{parse_args, CliAction};
+use finbench_harness::run_experiment;
+use finbench_telemetry as telemetry;
 
 fn main() {
-    let mut opts = RunOptions::default();
-    let mut ids: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1).peekable();
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" | "-q" => opts.quick = true,
-            "--csv" => match args.next() {
-                Some(dir) => opts.csv_dir = Some(dir),
-                None => usage(),
-            },
-            "--help" | "-h" => usage(),
-            other if other.starts_with('-') => usage(),
-            other => ids.push(other.to_string()),
+    let action = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", finbench_harness::cli::usage_line());
+            std::process::exit(2);
         }
-    }
-    if ids.is_empty() {
-        usage();
-    }
-    if ids.iter().any(|i| i == "all") {
-        ids = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    };
+    let parsed = match action {
+        CliAction::Help => {
+            println!("{}", finbench_harness::cli::usage_line());
+            return;
+        }
+        CliAction::List => {
+            for id in finbench_harness::EXPERIMENTS {
+                println!("{id}");
+            }
+            return;
+        }
+        CliAction::Run(p) => p,
+    };
+
+    // Spans must be recorded for the exporters to have anything to show;
+    // FINBENCH_LOG still overrides when the user sets it explicitly.
+    if (parsed.opts.json.is_some() || parsed.opts.report) && std::env::var("FINBENCH_LOG").is_err()
+    {
+        telemetry::set_filter("all");
     }
 
-    for id in &ids {
-        if !run_experiment(id, &opts) {
-            eprintln!("unknown experiment: {id}");
-            usage();
+    for id in &parsed.ids {
+        // Ids were validated by parse_args; a false here is a logic error.
+        assert!(run_experiment(id, &parsed.opts), "unknown experiment: {id}");
+    }
+
+    if parsed.opts.report {
+        print!("{}", telemetry::render_tree());
+    }
+    if let Some(path) = &parsed.opts.json {
+        if let Err(e) = telemetry::write_jsonl(std::path::Path::new(path)) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
         }
+        eprintln!("telemetry trace written to {path}");
     }
 }

@@ -6,17 +6,25 @@
 //! regeneration. Absolute values depend on the host; the *ladder shape*
 //! (SOA beats AOS, tiling beats plain SIMD, fused beats streamed) is the
 //! reproducible part and is what the integration tests assert.
+//!
+//! Every rung runs inside a telemetry span `native.<kernel>.<slug>` that
+//! carries the label, workload size, per-rep throughput summary (from
+//! [`throughput_samples`]) and — for thread-parallel rungs — the pool's
+//! load-imbalance factor.
 
-use crate::timing::throughput;
+use crate::timing::throughput_samples;
 use finbench_core::binomial;
 use finbench_core::black_scholes::{reference, soa, vml};
-use finbench_core::brownian_bridge::{interleaved, reference as bridge_ref, simd as bridge_simd, BridgePlan};
+use finbench_core::brownian_bridge::{
+    interleaved, reference as bridge_ref, simd as bridge_simd, BridgePlan,
+};
 use finbench_core::crank_nicolson::{CnProblem, PsorKind};
 use finbench_core::monte_carlo::{reference as mc_ref, simd as mc_simd, GbmTerminal};
 use finbench_core::workload::{MarketParams, OptionBatchSoa, WorkloadRanges};
 use finbench_rng::normal::{fill_standard_normal_icdf, fill_standard_normal_polar};
 use finbench_rng::uniform::fill_uniform;
 use finbench_rng::{Mt19937_64, Philox4x32, StreamFamily};
+use finbench_telemetry as telemetry;
 
 const M: MarketParams = MarketParams::PAPER;
 
@@ -28,55 +36,89 @@ fn min_secs(quick: bool) -> f64 {
     }
 }
 
+/// Lowercase a rung label into a span-name segment (`[a-z0-9_]+`).
+fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    out
+}
+
+/// Measure one ladder rung inside its own telemetry span and append the
+/// best rate to `out`. The span carries `label`, `items`, the
+/// [`throughput_samples`] summary, and `pool_imbalance` (1.0 unless a
+/// pool dispatch inside `body` overwrites it).
+fn rung(
+    out: &mut Vec<(String, f64)>,
+    kernel: &str,
+    label: &str,
+    items: usize,
+    secs: f64,
+    body: impl FnMut(),
+) {
+    let _g = telemetry::span(format!("native.{kernel}.{}", slug(label)));
+    telemetry::set_attr("label", label);
+    telemetry::set_attr("items", items);
+    telemetry::set_attr("pool_imbalance", 1.0);
+    let s = throughput_samples(items, secs, body);
+    out.push((label.to_string(), s.best()));
+}
+
 /// Black-Scholes ladder: options/second at each level.
 pub fn black_scholes_ladder(quick: bool) -> Vec<(String, f64)> {
     let n = if quick { 20_000 } else { 400_000 };
     let soa_batch = OptionBatchSoa::random(n, 1, WorkloadRanges::default());
     let aos_batch = soa_batch.to_aos();
     let secs = min_secs(quick);
+    let k = "black_scholes";
     let mut out = Vec::new();
 
     let mut b = aos_batch.clone();
-    out.push((
-        "Basic: scalar AOS reference".into(),
-        throughput(n, secs, || reference::price_aos::<f64>(&mut b, M)),
-    ));
+    rung(&mut out, k, "Basic: scalar AOS reference", n, secs, || {
+        reference::price_aos::<f64>(&mut b, M)
+    });
     let mut b = aos_batch.clone();
-    out.push((
-        "Basic+: SIMD on AOS (gathers)".into(),
-        throughput(n, secs, || reference::price_aos_simd_gather::<8>(&mut b, M)),
-    ));
+    rung(
+        &mut out,
+        k,
+        "Basic+: SIMD on AOS (gathers)",
+        n,
+        secs,
+        || reference::price_aos_simd_gather::<8>(&mut b, M),
+    );
     let mut b = soa_batch.clone();
-    out.push((
-        "Intermediate: scalar SOA".into(),
-        throughput(n, secs, || soa::price_soa_scalar(&mut b, M)),
-    ));
+    rung(&mut out, k, "Intermediate: scalar SOA", n, secs, || {
+        soa::price_soa_scalar(&mut b, M)
+    });
     let mut b = soa_batch.clone();
-    out.push((
-        "Intermediate: SIMD SOA (W=4)".into(),
-        throughput(n, secs, || soa::price_soa_simd::<4>(&mut b, M)),
-    ));
+    rung(&mut out, k, "Intermediate: SIMD SOA (W=4)", n, secs, || {
+        soa::price_soa_simd::<4>(&mut b, M)
+    });
     let mut b = soa_batch.clone();
-    out.push((
-        "Intermediate: SIMD SOA (W=8)".into(),
-        throughput(n, secs, || soa::price_soa_simd::<8>(&mut b, M)),
-    ));
+    rung(&mut out, k, "Intermediate: SIMD SOA (W=8)", n, secs, || {
+        soa::price_soa_simd::<8>(&mut b, M)
+    });
     let mut b = soa_batch.clone();
-    out.push((
-        "Advanced: erf + parity (W=8)".into(),
-        throughput(n, secs, || soa::price_soa_simd_erf_parity::<8>(&mut b, M)),
-    ));
+    rung(&mut out, k, "Advanced: erf + parity (W=8)", n, secs, || {
+        soa::price_soa_simd_erf_parity::<8>(&mut b, M)
+    });
     let mut b = soa_batch.clone();
     let mut ws = vml::VmlWorkspace::with_capacity(n);
-    out.push((
-        "Advanced: VML-style batch".into(),
-        throughput(n, secs, || vml::price_soa_vml(&mut b, M, &mut ws)),
-    ));
+    rung(&mut out, k, "Advanced: VML-style batch", n, secs, || {
+        vml::price_soa_vml(&mut b, M, &mut ws)
+    });
     let mut b = soa_batch.clone();
-    out.push((
-        "Advanced + rayon threads".into(),
-        throughput(n, secs, || soa::par_price_soa::<8>(&mut b, M, 4096)),
-    ));
+    rung(&mut out, k, "Advanced + own-pool threads", n, secs, || {
+        soa::par_price_soa::<8>(&mut b, M, 4096)
+    });
     out
 }
 
@@ -89,34 +131,40 @@ pub fn binomial_ladder(quick: bool) -> Vec<(String, f64)> {
         *t = 1.0;
     }
     let secs = min_secs(quick);
+    let k = "binomial";
     let mut out = Vec::new();
 
     let mut b = batch.clone();
-    out.push((
-        "Basic: scalar reference".into(),
-        throughput(n_opts, secs, || binomial::reference::price_batch(&mut b, M, n_steps)),
-    ));
+    rung(&mut out, k, "Basic: scalar reference", n_opts, secs, || {
+        binomial::reference::price_batch(&mut b, M, n_steps)
+    });
     let mut b = batch.clone();
-    out.push((
-        "Intermediate: SIMD across options (W=8)".into(),
-        throughput(n_opts, secs, || {
-            binomial::simd::price_batch_simd::<8>(&mut b, M, n_steps, true)
-        }),
-    ));
+    rung(
+        &mut out,
+        k,
+        "Intermediate: SIMD across options (W=8)",
+        n_opts,
+        secs,
+        || binomial::simd::price_batch_simd::<8>(&mut b, M, n_steps, true),
+    );
     let mut b = batch.clone();
-    out.push((
-        "Advanced: register tiling (W=8, TS=4)".into(),
-        throughput(n_opts, secs, || {
-            binomial::tiled::price_batch_tiled::<8, 4>(&mut b, M, n_steps, true)
-        }),
-    ));
+    rung(
+        &mut out,
+        k,
+        "Advanced: register tiling (W=8, TS=4)",
+        n_opts,
+        secs,
+        || binomial::tiled::price_batch_tiled::<8, 4>(&mut b, M, n_steps, true),
+    );
     let mut b = batch.clone();
-    out.push((
-        "Advanced: register tiling (W=8, TS=8)".into(),
-        throughput(n_opts, secs, || {
-            binomial::tiled::price_batch_tiled::<8, 8>(&mut b, M, n_steps, true)
-        }),
-    ));
+    rung(
+        &mut out,
+        k,
+        "Advanced: register tiling (W=8, TS=8)",
+        n_opts,
+        secs,
+        || binomial::tiled::price_batch_tiled::<8, 8>(&mut b, M, n_steps, true),
+    );
     out
 }
 
@@ -127,6 +175,7 @@ pub fn brownian_ladder(quick: bool) -> Vec<(String, f64)> {
     let per = plan.randoms_per_path();
     let points = plan.points();
     let secs = min_secs(quick);
+    let k = "brownian_bridge";
 
     let mut rng = Mt19937_64::new(3);
     let mut randoms = vec![0.0; n_paths * per];
@@ -142,31 +191,47 @@ pub fn brownian_ladder(quick: bool) -> Vec<(String, f64)> {
     // transform cost itself.
     let mut out = Vec::new();
     let mut buf = vec![0.0; n_paths * points];
-    out.push((
-        "Basic: scalar depth-level".into(),
-        throughput(n_paths, secs, || {
-            bridge_ref::build_paths::<f64>(&plan, &randoms, &mut buf, n_paths)
-        }),
-    ));
-    out.push((
-        "Intermediate: SIMD across paths (W=8)".into(),
-        throughput(n_paths, secs, || {
-            bridge_simd::build_paths_simd::<8>(&plan, &transposed, &mut buf, n_paths)
-        }),
-    ));
-    out.push((
-        "Advanced: interleaved RNG (incl. RNG gen)".into(),
-        throughput(n_paths, secs, || {
-            interleaved::build_paths_interleaved::<8>(&plan, &fam, &mut buf, n_paths)
-        }),
-    ));
+    rung(
+        &mut out,
+        k,
+        "Basic: scalar depth-level",
+        n_paths,
+        secs,
+        || bridge_ref::build_paths::<f64>(&plan, &randoms, &mut buf, n_paths),
+    );
+    rung(
+        &mut out,
+        k,
+        "Intermediate: SIMD across paths (W=8)",
+        n_paths,
+        secs,
+        || bridge_simd::build_paths_simd::<8>(&plan, &transposed, &mut buf, n_paths),
+    );
+    rung(
+        &mut out,
+        k,
+        "Advanced: interleaved RNG (incl. RNG gen)",
+        n_paths,
+        secs,
+        || interleaved::build_paths_interleaved::<8>(&plan, &fam, &mut buf, n_paths),
+    );
     let mut stats = vec![0.0; n_paths];
-    out.push((
-        "Advanced: cache-to-cache fused (incl. RNG gen)".into(),
-        throughput(n_paths, secs, || {
-            interleaved::simulate_fused::<8>(&plan, &fam, n_paths, &mut stats, interleaved::path_average)
-        }),
-    ));
+    rung(
+        &mut out,
+        k,
+        "Advanced: cache-to-cache fused (incl. RNG gen)",
+        n_paths,
+        secs,
+        || {
+            interleaved::simulate_fused::<8>(
+                &plan,
+                &fam,
+                n_paths,
+                &mut stats,
+                interleaved::path_average,
+            )
+        },
+    );
     out
 }
 
@@ -176,6 +241,7 @@ pub fn monte_carlo_ladder(quick: bool) -> Vec<(String, f64)> {
     let n_paths = if quick { 1 << 17 } else { 1 << 21 };
     let g = GbmTerminal::new(1.0, M);
     let secs = min_secs(quick);
+    let k = "monte_carlo";
 
     let mut rng = Mt19937_64::new(5);
     let mut randoms = vec![0.0; n_paths];
@@ -183,30 +249,48 @@ pub fn monte_carlo_ladder(quick: bool) -> Vec<(String, f64)> {
     let fam = StreamFamily::new(5);
 
     let mut out = Vec::new();
-    out.push((
-        "Basic: scalar streamed RNG (paths/s)".into(),
-        throughput(n_paths, secs, || {
+    rung(
+        &mut out,
+        k,
+        "Basic: scalar streamed RNG (paths/s)",
+        n_paths,
+        secs,
+        || {
             std::hint::black_box(mc_ref::paths_streamed::<f64>(100.0, 100.0, g, &randoms));
-        }),
-    ));
-    out.push((
-        "SIMD streamed RNG (paths/s)".into(),
-        throughput(n_paths, secs, || {
+        },
+    );
+    rung(
+        &mut out,
+        k,
+        "SIMD streamed RNG (paths/s)",
+        n_paths,
+        secs,
+        || {
             std::hint::black_box(mc_simd::paths_streamed_simd::<8>(100.0, 100.0, g, &randoms));
-        }),
-    ));
-    out.push((
-        "SIMD computed RNG (paths/s)".into(),
-        throughput(n_paths, secs, || {
-            std::hint::black_box(mc_simd::paths_computed_simd::<8>(100.0, 100.0, g, &fam, 0, n_paths));
-        }),
-    ));
-    out.push((
-        "Antithetic variates (paths/s)".into(),
-        throughput(n_paths, secs, || {
+        },
+    );
+    rung(
+        &mut out,
+        k,
+        "SIMD computed RNG (paths/s)",
+        n_paths,
+        secs,
+        || {
+            std::hint::black_box(mc_simd::paths_computed_simd::<8>(
+                100.0, 100.0, g, &fam, 0, n_paths,
+            ));
+        },
+    );
+    rung(
+        &mut out,
+        k,
+        "Antithetic variates (paths/s)",
+        n_paths,
+        secs,
+        || {
             std::hint::black_box(mc_simd::paths_antithetic::<8>(100.0, 100.0, g, &randoms));
-        }),
-    ));
+        },
+    );
     out
 }
 
@@ -217,6 +301,7 @@ pub fn crank_nicolson_ladder(quick: bool) -> Vec<(String, f64)> {
     let mut prob = CnProblem::paper(M, 1.0);
     prob.n_steps = n_steps;
     let secs = min_secs(quick);
+    let k = "crank_nicolson";
 
     let mut out = Vec::new();
     for (label, kind) in [
@@ -225,12 +310,9 @@ pub fn crank_nicolson_ladder(quick: bool) -> Vec<(String, f64)> {
         ("Advanced: + data transform", PsorKind::WavefrontSoa),
     ] {
         let p = prob.clone();
-        out.push((
-            label.to_string(),
-            throughput(1, secs, || {
-                std::hint::black_box(p.solve(kind));
-            }),
-        ));
+        rung(&mut out, k, label, 1, secs, || {
+            std::hint::black_box(p.solve(kind));
+        });
     }
     out
 }
@@ -239,29 +321,26 @@ pub fn crank_nicolson_ladder(quick: bool) -> Vec<(String, f64)> {
 pub fn rng_rates(quick: bool) -> Vec<(String, f64)> {
     let n = if quick { 1 << 18 } else { 1 << 22 };
     let secs = min_secs(quick);
+    let k = "rng";
     let mut buf = vec![0.0; n];
     let mut out = Vec::new();
 
     let mut mt = Mt19937_64::new(1);
-    out.push((
-        "uniform DP (MT19937-64)".into(),
-        throughput(n, secs, || fill_uniform(&mut mt, &mut buf)),
-    ));
+    rung(&mut out, k, "uniform DP (MT19937-64)", n, secs, || {
+        fill_uniform(&mut mt, &mut buf)
+    });
     let mut px = Philox4x32::new(1);
-    out.push((
-        "uniform DP (Philox4x32)".into(),
-        throughput(n, secs, || fill_uniform(&mut px, &mut buf)),
-    ));
+    rung(&mut out, k, "uniform DP (Philox4x32)", n, secs, || {
+        fill_uniform(&mut px, &mut buf)
+    });
     let mut mt = Mt19937_64::new(2);
-    out.push((
-        "normal DP (ICDF)".into(),
-        throughput(n, secs, || fill_standard_normal_icdf(&mut mt, &mut buf)),
-    ));
+    rung(&mut out, k, "normal DP (ICDF)", n, secs, || {
+        fill_standard_normal_icdf(&mut mt, &mut buf)
+    });
     let mut mt = Mt19937_64::new(3);
-    out.push((
-        "normal DP (polar)".into(),
-        throughput(n, secs, || fill_standard_normal_polar(&mut mt, &mut buf)),
-    ));
+    rung(&mut out, k, "normal DP (polar)", n, secs, || {
+        fill_standard_normal_polar(&mut mt, &mut buf)
+    });
     out
 }
 
@@ -284,5 +363,19 @@ mod tests {
                 assert!(rate.is_finite() && *rate > 0.0, "{label}: {rate}");
             }
         }
+    }
+
+    #[test]
+    fn slug_flattens_labels() {
+        assert_eq!(
+            slug("Basic: scalar AOS reference"),
+            "basic_scalar_aos_reference"
+        );
+        assert_eq!(
+            slug("Advanced + own-pool threads"),
+            "advanced_own_pool_threads"
+        );
+        assert_eq!(slug("SIMD SOA (W=8)"), "simd_soa_w_8");
+        assert_eq!(slug("---"), "");
     }
 }

@@ -45,7 +45,10 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push_str("|\n");
     };
-    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
     let mut sep = String::new();
     for w in &widths {
         let _ = write!(sep, "|{}", "-".repeat(w + 2));

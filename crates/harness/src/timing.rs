@@ -1,29 +1,127 @@
 //! Wall-clock throughput measurement for the native runs.
+//!
+//! [`throughput`] keeps the classic best-of contract; [`throughput_samples`]
+//! returns the full per-rep distribution as a [`Samples`] and attaches a
+//! summary (rep count, best/median/p95 rates, a log-bucketed histogram
+//! sketch) to the innermost open telemetry span.
 
+use finbench_telemetry as telemetry;
 use std::time::Instant;
 
-/// Measure `items/second` for `body`, which processes `items` work units
-/// per call. The body is repeated until at least `min_secs` of wall time
-/// accumulates (with one untimed warmup call), and the best per-call rate
-/// is reported — the usual defense against scheduler noise on a shared
-/// host.
-pub fn throughput(items: usize, min_secs: f64, mut body: impl FnMut()) -> f64 {
+/// Per-rep throughput samples from one [`throughput_samples`] run.
+///
+/// Rates are `items/second`, one entry per *timed* repetition (the warmup
+/// call is excluded). Quantiles use the nearest-rank convention on the
+/// exact sorted rates; the bundled [`telemetry::Histogram`] is the
+/// streaming sketch that exporters consume.
+#[derive(Debug, Clone)]
+pub struct Samples {
+    /// Per-rep rates in measurement order.
+    pub rates: Vec<f64>,
+    /// Streaming log-bucketed sketch of the same rates.
+    pub hist: telemetry::Histogram,
+}
+
+impl Samples {
+    /// Build from raw per-rep rates (also used by tests).
+    pub fn from_rates(rates: Vec<f64>) -> Self {
+        let mut hist = telemetry::Histogram::new();
+        for &r in &rates {
+            hist.record(r);
+        }
+        Self { rates, hist }
+    }
+
+    /// Number of timed repetitions.
+    pub fn count(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Best (maximum) per-rep rate — what [`throughput`] reports.
+    pub fn best(&self) -> f64 {
+        self.rates.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Worst (minimum) per-rep rate.
+    pub fn worst(&self) -> f64 {
+        self.rates.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Nearest-rank quantile of the per-rep rates, `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.rates.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.rates.clone();
+        sorted.sort_by(f64::total_cmp);
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Median per-rep rate.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 95th-percentile per-rep rate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+}
+
+/// Measure `items/second` for `body` and return every per-rep rate.
+///
+/// The body runs once untimed (warmup), then repeatedly until at least
+/// `min_secs` of *accounted* wall time accumulates, with at least 2 and at
+/// most 1000 timed reps. Each rep's contribution to the accounted budget is
+/// capped at `min_secs / 4`, so one scheduler-stalled outlier cannot eat
+/// the whole budget and leave the distribution with a single sample; a
+/// separate wall-clock guard (`3 * min_secs + 50ms`) still bounds the
+/// total run time.
+///
+/// When a telemetry span is open on this thread, the summary lands on it
+/// as attributes: `reps`, `best_rate`, `median_rate`, `p95_rate`,
+/// `min_rate`, `max_rate`.
+pub fn throughput_samples(items: usize, min_secs: f64, mut body: impl FnMut()) -> Samples {
     body(); // warmup
-    let mut best = 0.0f64;
+    let cap = (min_secs / 4.0).max(1e-9);
+    let wall_limit = 3.0 * min_secs + 0.05;
+    let started = Instant::now();
+    let mut rates = Vec::new();
+    let mut hist = telemetry::Histogram::new();
     let mut spent = 0.0;
-    let mut reps = 0u32;
-    while spent < min_secs || reps < 2 {
+    loop {
         let t0 = Instant::now();
         body();
         let dt = t0.elapsed().as_secs_f64().max(1e-9);
-        best = best.max(items as f64 / dt);
-        spent += dt;
-        reps += 1;
-        if reps > 1000 {
+        let rate = items as f64 / dt;
+        rates.push(rate);
+        hist.record(rate);
+        spent += dt.min(cap);
+        let reps = rates.len();
+        if reps >= 2
+            && (spent >= min_secs || started.elapsed().as_secs_f64() >= wall_limit || reps >= 1000)
+        {
             break;
         }
     }
-    best
+    let s = Samples { rates, hist };
+    telemetry::set_attr("reps", s.count());
+    telemetry::set_attr("best_rate", s.best());
+    telemetry::set_attr("median_rate", s.median());
+    telemetry::set_attr("p95_rate", s.p95());
+    telemetry::set_attr("min_rate", s.worst());
+    telemetry::set_attr("max_rate", s.best());
+    s
+}
+
+/// Measure `items/second` for `body`, which processes `items` work units
+/// per call, and report the best per-call rate — the usual defense against
+/// scheduler noise on a shared host. See [`throughput_samples`] for the
+/// full distribution.
+pub fn throughput(items: usize, min_secs: f64, body: impl FnMut()) -> f64 {
+    throughput_samples(items, min_secs, body).best()
 }
 
 /// Measure a one-shot duration in seconds.
@@ -60,5 +158,60 @@ mod tests {
         let mut count = 0;
         throughput(1, 0.0, || count += 1);
         assert!(count >= 3); // warmup + >= 2 timed
+    }
+
+    #[test]
+    fn samples_quantiles_match_sorted_oracle() {
+        let s = Samples::from_rates(vec![5.0, 1.0, 4.0, 2.0, 3.0]);
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.best(), 5.0);
+        assert_eq!(s.worst(), 1.0);
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.p95(), 5.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+        // The streaming sketch agrees with the exact extremes.
+        assert_eq!(s.hist.min(), 1.0);
+        assert_eq!(s.hist.max(), 5.0);
+        assert_eq!(s.hist.count(), 5);
+    }
+
+    #[test]
+    fn samples_single_rep_is_its_own_median() {
+        let s = Samples::from_rates(vec![7.5]);
+        assert_eq!(s.median(), 7.5);
+        assert_eq!(s.p95(), 7.5);
+    }
+
+    #[test]
+    fn throughput_samples_orders_summary_stats() {
+        let s = throughput_samples(1000, 0.01, || {
+            std::hint::black_box((0..500u64).sum::<u64>());
+        });
+        assert!(s.count() >= 2);
+        assert!(s.worst() <= s.median());
+        assert!(s.median() <= s.p95());
+        assert!(s.p95() <= s.best());
+        assert!(s.best().is_finite() && s.best() > 0.0);
+    }
+
+    #[test]
+    fn outlier_rep_does_not_consume_whole_budget() {
+        // First timed rep sleeps ~10x the budget; with uncapped accounting
+        // the loop would stop at exactly 2 reps. The cap keeps sampling.
+        let min_secs = 0.004;
+        let mut calls = 0u32;
+        let s = throughput_samples(1, min_secs, || {
+            calls += 1;
+            if calls == 2 {
+                // calls==1 is the warmup; this is the first timed rep.
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+        });
+        assert!(
+            s.count() >= 4,
+            "outlier ate the budget: only {} reps",
+            s.count()
+        );
     }
 }

@@ -140,8 +140,10 @@ mod tests {
     fn overhead_and_gathers_cost_knc_more() {
         let mut c = LevelCost::flops_only(100.0, 0.0);
         c.gather_lines = 5.0;
-        let snb_pen = c.cycles_per_item(&SNB_EP) - LevelCost::flops_only(100.0, 0.0).cycles_per_item(&SNB_EP);
-        let knc_pen = c.cycles_per_item(&KNC) - LevelCost::flops_only(100.0, 0.0).cycles_per_item(&KNC);
+        let snb_pen =
+            c.cycles_per_item(&SNB_EP) - LevelCost::flops_only(100.0, 0.0).cycles_per_item(&SNB_EP);
+        let knc_pen =
+            c.cycles_per_item(&KNC) - LevelCost::flops_only(100.0, 0.0).cycles_per_item(&KNC);
         assert!(knc_pen > 2.0 * snb_pen, "snb {snb_pen} knc {knc_pen}");
     }
 
@@ -171,18 +173,40 @@ mod tests {
         };
         let t0 = base.throughput(&KNC);
         for bump in [
-            LevelCost { flops: 200.0, ..base },
+            LevelCost {
+                flops: 200.0,
+                ..base
+            },
             LevelCost { exps: 2.0, ..base },
-            LevelCost { heavies: 2.0, ..base },
-            LevelCost { slow_ops: 2.0, ..base },
-            LevelCost { rng_normals: 2.0, ..base },
-            LevelCost { gather_lines: 4.0, ..base },
-            LevelCost { overhead: 3.0, ..base },
+            LevelCost {
+                heavies: 2.0,
+                ..base
+            },
+            LevelCost {
+                slow_ops: 2.0,
+                ..base
+            },
+            LevelCost {
+                rng_normals: 2.0,
+                ..base
+            },
+            LevelCost {
+                gather_lines: 4.0,
+                ..base
+            },
+            LevelCost {
+                overhead: 3.0,
+                ..base
+            },
         ] {
             assert!(bump.throughput(&KNC) < t0, "{bump:?}");
         }
         // And improving efficiency helps.
-        let better = LevelCost { width_frac: 1.0, ilp: 1.0, ..base };
+        let better = LevelCost {
+            width_frac: 1.0,
+            ilp: 1.0,
+            ..base
+        };
         assert!(better.throughput(&KNC) > t0);
     }
 }

@@ -55,7 +55,12 @@ pub fn fig4() -> FigureSeries {
     for arch in [&SNB_EP, &KNC] {
         let levels = kernels::black_scholes(arch);
         let bound = levels[2].cost.bandwidth_bound(arch) * 1e-6;
-        series.push(build_series(arch, &levels, 1e-6, Some(("Bandwidth-bound", bound))));
+        series.push(build_series(
+            arch,
+            &levels,
+            1e-6,
+            Some(("Bandwidth-bound", bound)),
+        ));
     }
     FigureSeries {
         id: "fig4",
@@ -71,7 +76,12 @@ pub fn fig5(n: usize) -> FigureSeries {
     for arch in [&SNB_EP, &KNC] {
         let levels = kernels::binomial(arch, n);
         let bound = arch.peak_dp_gflops() * 1e9 / kernels::binomial_flops(n) * 1e-3;
-        series.push(build_series(arch, &levels, 1e-3, Some(("Compute-bound", bound))));
+        series.push(build_series(
+            arch,
+            &levels,
+            1e-3,
+            Some(("Compute-bound", bound)),
+        ));
     }
     FigureSeries {
         id: "fig5",
@@ -184,9 +194,7 @@ pub struct NinjaSummary {
 
 /// Compute the Ninja-gap summary across all five timed kernels.
 pub fn ninja_summary() -> NinjaSummary {
-    let tp = |levels: &[kernels::Level], i: usize, arch: &ArchSpec| {
-        levels[i].cost.throughput(arch)
-    };
+    let tp = |levels: &[kernels::Level], i: usize, arch: &ArchSpec| levels[i].cost.throughput(arch);
     let mut gaps = Vec::new();
 
     let bs_s = kernels::black_scholes(&SNB_EP);

@@ -82,9 +82,18 @@ pub fn black_scholes(arch: &ArchSpec) -> Vec<Level> {
     };
 
     vec![
-        Level { label: "Basic (reference AOS)", cost: basic },
-        Level { label: "Intermediate (AOS->SOA + SIMD)", cost: intermediate },
-        Level { label: "Advanced (erf/parity, VML)", cost: advanced },
+        Level {
+            label: "Basic (reference AOS)",
+            cost: basic,
+        },
+        Level {
+            label: "Intermediate (AOS->SOA + SIMD)",
+            cost: intermediate,
+        },
+        Level {
+            label: "Advanced (erf/parity, VML)",
+            cost: advanced,
+        },
     ]
 }
 
@@ -122,10 +131,22 @@ pub fn binomial(arch: &ArchSpec, n: usize) -> Vec<Level> {
     // the out-of-order SNB-EP already extracts it ("little effect").
     let unrolled = if knc { mk(1.0, 0.75) } else { mk(1.0, 0.92) };
     vec![
-        Level { label: "Basic (reference)", cost: basic },
-        Level { label: "Intermediate (SIMD across options)", cost: intermediate },
-        Level { label: "Advanced (register tiling)", cost: tiled },
-        Level { label: "Basic unroll (on tiled)", cost: unrolled },
+        Level {
+            label: "Basic (reference)",
+            cost: basic,
+        },
+        Level {
+            label: "Intermediate (SIMD across options)",
+            cost: intermediate,
+        },
+        Level {
+            label: "Advanced (register tiling)",
+            cost: tiled,
+        },
+        Level {
+            label: "Basic unroll (on tiled)",
+            cost: unrolled,
+        },
     ]
 }
 
@@ -181,10 +202,22 @@ pub fn brownian_bridge(arch: &ArchSpec) -> Vec<Level> {
         mk(1.0, 0.12, 1.0, bytes_fused)
     };
     vec![
-        Level { label: "Basic (pragma simd/omp/unroll)", cost: basic },
-        Level { label: "Intermediate (SIMD across paths)", cost: simd },
-        Level { label: "Advanced (interleaved RNG)", cost: interleaved },
-        Level { label: "Advanced (cache-to-cache)", cost: fused },
+        Level {
+            label: "Basic (pragma simd/omp/unroll)",
+            cost: basic,
+        },
+        Level {
+            label: "Intermediate (SIMD across paths)",
+            cost: simd,
+        },
+        Level {
+            label: "Advanced (interleaved RNG)",
+            cost: interleaved,
+        },
+        Level {
+            label: "Advanced (cache-to-cache)",
+            cost: fused,
+        },
     ]
 }
 
@@ -259,9 +292,18 @@ pub fn crank_nicolson(arch: &ArchSpec, n_points: usize, n_steps: usize) -> Vec<L
         ..LevelCost::flops_only(flops, 0.0)
     };
     vec![
-        Level { label: "Basic (reference)", cost: reference },
-        Level { label: "Advanced (manual SIMD wavefront)", cost: wavefront },
-        Level { label: "Advanced (+data transform)", cost: soa },
+        Level {
+            label: "Basic (reference)",
+            cost: reference,
+        },
+        Level {
+            label: "Advanced (manual SIMD wavefront)",
+            cost: wavefront,
+        },
+        Level {
+            label: "Advanced (+data transform)",
+            cost: soa,
+        },
     ]
 }
 
@@ -404,7 +446,10 @@ mod tests {
             let knc = binomial(&KNC, n);
             // "KNC is 1.4x faster than SNB-EP" at the basic level.
             let basic_ratio = tput(&knc, 0, &KNC) / tput(&snb, 0, &SNB_EP);
-            assert!((1.2..=1.6).contains(&basic_ratio), "basic ratio {basic_ratio}");
+            assert!(
+                (1.2..=1.6).contains(&basic_ratio),
+                "basic ratio {basic_ratio}"
+            );
             // SIMD across options "hardly improves performance".
             for (levels, arch) in [(&snb, &SNB_EP), (&knc, &KNC)] {
                 let bump = tput(levels, 1, arch) / tput(levels, 0, arch);
@@ -417,19 +462,31 @@ mod tests {
             assert!(knc_tile >= 2.0, "KNC tiling {knc_tile}");
             // Unrolling: ~1.4x on KNC, little effect on SNB-EP.
             let knc_unroll = tput(&knc, 3, &KNC) / tput(&knc, 2, &KNC);
-            assert!((1.25..=1.5).contains(&knc_unroll), "KNC unroll {knc_unroll}");
+            assert!(
+                (1.25..=1.5).contains(&knc_unroll),
+                "KNC unroll {knc_unroll}"
+            );
             let snb_unroll = tput(&snb, 3, &SNB_EP) / tput(&snb, 2, &SNB_EP);
             assert!(snb_unroll < 1.1, "SNB unroll {snb_unroll}");
             // Bound proximity: SNB within ~10%, KNC within ~30%.
             let peak_opts_snb = SNB_EP.peak_dp_gflops() * 1e9 / binomial_flops(n);
             let snb_frac = tput(&snb, 3, &SNB_EP) / peak_opts_snb;
-            assert!((0.85..=1.0).contains(&snb_frac), "SNB bound frac {snb_frac}");
+            assert!(
+                (0.85..=1.0).contains(&snb_frac),
+                "SNB bound frac {snb_frac}"
+            );
             let peak_opts_knc = KNC.peak_dp_gflops() * 1e9 / binomial_flops(n);
             let knc_frac = tput(&knc, 3, &KNC) / peak_opts_knc;
-            assert!((0.68..=0.85).contains(&knc_frac), "KNC bound frac {knc_frac}");
+            assert!(
+                (0.68..=0.85).contains(&knc_frac),
+                "KNC bound frac {knc_frac}"
+            );
             // "KNC is 2.6x faster than SNB-EP for both 1K and 2K steps".
             let final_ratio = tput(&knc, 3, &KNC) / tput(&snb, 3, &SNB_EP);
-            assert!((2.3..=2.8).contains(&final_ratio), "final ratio {final_ratio}");
+            assert!(
+                (2.3..=2.8).contains(&final_ratio),
+                "final ratio {final_ratio}"
+            );
         }
     }
 
@@ -453,7 +510,10 @@ mod tests {
         // Ladder is monotone on both machines.
         for (levels, arch) in [(&snb, &SNB_EP), (&knc, &KNC)] {
             for i in 1..4 {
-                assert!(tput(levels, i, arch) >= tput(levels, i - 1, arch), "level {i}");
+                assert!(
+                    tput(levels, i, arch) >= tput(levels, i - 1, arch),
+                    "level {i}"
+                );
             }
         }
     }
@@ -461,10 +521,7 @@ mod tests {
     #[test]
     fn table2_monte_carlo_rates() {
         // Paper Table II, exact numbers; model within 10%.
-        let cases = [
-            (&SNB_EP, 29_813.0, 5_556.0),
-            (&KNC, 92_722.0, 16_366.0),
-        ];
+        let cases = [(&SNB_EP, 29_813.0, 5_556.0), (&KNC, 92_722.0, 16_366.0)];
         for (arch, want_stream, want_comp) in cases {
             let (stream, comp) = monte_carlo(arch);
             let got_stream = stream.throughput(arch) / MC_PATHS_PER_OPTION;

@@ -59,20 +59,22 @@ impl OpCounts {
 
 thread_local! {
     static COUNTS: Cell<OpCounts> = Cell::new(OpCounts::default());
-    /// When false, transcendental implementations do not count their own
-    /// interior arithmetic (they are charged as single calls).
-    static ENABLED: Cell<bool> = const { Cell::new(true) };
+    /// When true, each transcendental call additionally evaluates the
+    /// [`crate::generic`] twin of its kernel so the *interior* polynomial
+    /// arithmetic is tallied too. Expansion is one level deep: the flag is
+    /// cleared while an interior runs, so transcendentals nested inside an
+    /// interior (e.g. the Gaussian `exp` inside `norm_cdf`) are charged as
+    /// single calls.
+    static EXPAND: Cell<bool> = const { Cell::new(false) };
 }
 
 #[inline]
 fn bump(f: impl FnOnce(&mut OpCounts)) {
-    if ENABLED.with(|e| e.get()) {
-        COUNTS.with(|c| {
-            let mut v = c.get();
-            f(&mut v);
-            c.set(v);
-        });
-    }
+    COUNTS.with(|c| {
+        let mut v = c.get();
+        f(&mut v);
+        c.set(v);
+    });
 }
 
 /// Reset the thread-local counters to zero.
@@ -85,11 +87,40 @@ pub fn read_counts() -> OpCounts {
     COUNTS.with(|c| c.get())
 }
 
+/// Turn one-level transcendental expansion on or off for this thread
+/// (see [`counting_expanded`]).
+pub fn set_expand_transcendentals(on: bool) {
+    EXPAND.with(|e| e.set(on));
+}
+
 /// Run `f` with fresh counters and return `(result, counts)`.
 pub fn counting<T>(f: impl FnOnce() -> T) -> (T, OpCounts) {
     reset_counts();
     let out = f();
     (out, read_counts())
+}
+
+/// Like [`counting`], but with one-level transcendental expansion: each
+/// `exp`/`ln`/`erf`/`norm_cdf` call is still tallied as a call *and* its
+/// interior polynomial arithmetic lands in the flop counters. This is the
+/// mode behind the paper's "~200 operations per Black-Scholes option"
+/// figure, which counts the work inside the SVML-style kernels rather
+/// than treating them as free.
+pub fn counting_expanded<T>(f: impl FnOnce() -> T) -> (T, OpCounts) {
+    set_expand_transcendentals(true);
+    let out = counting(f);
+    set_expand_transcendentals(false);
+    out
+}
+
+/// Evaluate `interior(x)` with expansion suppressed, so nested
+/// transcendentals count as single calls.
+#[inline]
+fn expand_interior(x: CountedF64, interior: fn(CountedF64) -> CountedF64) -> CountedF64 {
+    EXPAND.with(|e| e.set(false));
+    let y = interior(x);
+    EXPAND.with(|e| e.set(true));
+    y
 }
 
 /// An `f64` wrapper that records every operation performed on it.
@@ -170,12 +201,20 @@ impl Real for CountedF64 {
     #[inline]
     fn exp(self) -> Self {
         bump(|c| c.exps += 1);
-        Self(crate::exp(self.0))
+        if EXPAND.with(|e| e.get()) {
+            expand_interior(self, crate::generic::exp_r)
+        } else {
+            Self(crate::exp(self.0))
+        }
     }
     #[inline]
     fn ln(self) -> Self {
         bump(|c| c.logs += 1);
-        Self(crate::ln(self.0))
+        if EXPAND.with(|e| e.get()) {
+            expand_interior(self, crate::generic::ln_r)
+        } else {
+            Self(crate::ln(self.0))
+        }
     }
     #[inline]
     fn sqrt(self) -> Self {
@@ -185,12 +224,20 @@ impl Real for CountedF64 {
     #[inline]
     fn erf(self) -> Self {
         bump(|c| c.erfs += 1);
-        Self(crate::erf(self.0))
+        if EXPAND.with(|e| e.get()) {
+            expand_interior(self, crate::generic::erf_r)
+        } else {
+            Self(crate::erf(self.0))
+        }
     }
     #[inline]
     fn norm_cdf(self) -> Self {
         bump(|c| c.cnds += 1);
-        Self(crate::norm_cdf(self.0))
+        if EXPAND.with(|e| e.get()) {
+            expand_interior(self, crate::generic::norm_cdf_r)
+        } else {
+            Self(crate::norm_cdf(self.0))
+        }
     }
     #[inline]
     fn max(self, other: Self) -> Self {
@@ -267,6 +314,34 @@ mod tests {
             (x.abs() * x.abs()).sqrt().into_f64()
         });
         assert_eq!(v, 2.0);
+    }
+
+    #[test]
+    fn expanded_counting_preserves_values_and_adds_interior_flops() {
+        let x = 0.7;
+        let (plain_v, plain) = counting(|| CountedF64(x).norm_cdf().into_f64());
+        let (exp_v, expanded) = counting_expanded(|| CountedF64(x).norm_cdf().into_f64());
+        // Expansion never changes the numerical result.
+        assert_eq!(plain_v.to_bits(), exp_v.to_bits());
+        assert_eq!(plain.cnds, 1);
+        assert_eq!(plain.flops(), 0);
+        assert_eq!(expanded.cnds, 1);
+        // One level deep: the Gaussian exp inside cnd is a single call...
+        assert_eq!(expanded.exps, 1);
+        // ...while cnd's own rational interior lands in the flop counters.
+        assert!(expanded.flops() > 20, "flops = {}", expanded.flops());
+    }
+
+    #[test]
+    fn expansion_flag_resets_after_counting_expanded() {
+        let _ = counting_expanded(|| CountedF64(1.0).exp());
+        let (_, counts) = counting(|| CountedF64(1.0).exp());
+        assert_eq!(counts.exps, 1);
+        assert_eq!(
+            counts.flops(),
+            0,
+            "expansion leaked out of counting_expanded"
+        );
     }
 
     #[test]

@@ -30,19 +30,25 @@
 //!   by [`CountedF64`].
 //! * [`CountedF64`] — an instrumented double that tallies every arithmetic
 //!   and transcendental operation into a thread-local [`OpCounts`].
+//! * [`counting_expanded`] — op counting with one-level transcendental
+//!   expansion: the [`generic`] `*_r` kernels expose the polynomial
+//!   arithmetic *inside* `exp`/`log`/`cnd`, the basis of the paper's
+//!   "~200 ops per Black-Scholes option" figure.
 
 pub mod counted;
 pub mod erf;
 pub mod exp;
+pub mod generic;
 pub mod log;
 pub mod norm;
 pub mod poly;
 pub mod real;
 pub mod trig;
 
-pub use counted::{CountedF64, OpCounts};
+pub use counted::{counting, counting_expanded, CountedF64, OpCounts};
 pub use erf::{erf, erfc};
 pub use exp::exp;
+pub use generic::{erf_r, exp_r, ln_r, norm_cdf_r, polevl_r};
 pub use log::ln;
 pub use norm::{inv_norm_cdf, inv_norm_cdf_acklam, norm_cdf, norm_pdf};
 pub use real::Real;

@@ -311,10 +311,7 @@ mod tests {
         for &p in &[1e-250f64, 1e-100, 1e-20, 1e-10, 1e-5] {
             let x = inv_norm_cdf(p);
             let back = norm_cdf(x);
-            assert!(
-                ((back - p) / p).abs() < 1e-9,
-                "p={p} x={x} back={back}"
-            );
+            assert!(((back - p) / p).abs() < 1e-9, "p={p} x={x} back={back}");
             // Symmetry of the inverse.
             let xq = inv_norm_cdf(1.0 - p);
             if p >= 1e-16 {

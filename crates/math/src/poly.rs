@@ -58,9 +58,10 @@ pub fn ldexp(x: f64, n: i32) -> f64 {
     x * pow2i(half) * pow2i(rest)
 }
 
-/// `2^n` for `|n| <= 1023` via direct exponent-field construction.
+/// `2^n` for `|n| <= 1023` via direct exponent-field construction. Public
+/// so the generic `exp_r` kernel can mirror [`ldexp`]'s two-part scale.
 #[inline(always)]
-fn pow2i(n: i32) -> f64 {
+pub fn pow2i(n: i32) -> f64 {
     debug_assert!((-1022..=1023).contains(&n));
     f64::from_bits(((1023 + n) as u64) << 52)
 }

@@ -4,24 +4,30 @@
 //! `#pragma omp parallel for` (§III-B lists OpenMP pragmas as a *basic*
 //! optimization every kernel receives).
 //!
-//! Two interchangeable backends sit behind [`ExecPolicy`]:
+//! The backend is a from-scratch dynamic scheduler
+//! ([`parallel_for_chunks`], [`parallel_for_chunks2`],
+//! [`parallel_map_reduce`]): `std::thread::scope` workers pulling
+//! fixed-size chunks off a single `AtomicUsize` work index (the textbook
+//! chunk-dispenser from *Rust Atomics and Locks*). This matches OpenMP's
+//! `schedule(dynamic, chunk)` semantics and keeps the dependency surface
+//! at zero — the whole workspace builds offline.
 //!
-//! * **Own pool** ([`parallel_for_chunks`]) — a from-scratch dynamic
-//!   scheduler: `std::thread::scope` workers pulling fixed-size chunks off
-//!   a single `AtomicUsize` work index (the textbook chunk-dispenser from
-//!   *Rust Atomics and Locks*). This matches OpenMP's
-//!   `schedule(dynamic, chunk)` semantics and keeps the dependency
-//!   surface minimal.
-//! * **Rayon** — the ecosystem work-stealing pool, used by the kernels'
-//!   `par_*` entry points where a parallel iterator is the natural shape.
+//! Scheduling must never change output bits: the kernels are
+//! embarrassingly parallel across options/paths, and reductions fold
+//! per-chunk partials in chunk order, so results are identical for any
+//! worker count (the equivalence tests assert this).
 //!
-//! Both backends are exercised by the same tests to guarantee identical
-//! results (the kernels are embarrassingly parallel across options/paths,
-//! so scheduling must never change output bits).
+//! Every dispatch reports to `finbench-telemetry`: per-worker chunk
+//! tallies roll up into a load-imbalance figure
+//! (`max_chunks_per_worker × workers / n_chunks`, 1.0 = perfectly even)
+//! recorded as the `pool_imbalance` attribute on the caller's open span
+//! and the `pool.last_imbalance` gauge, plus `pool.chunks` /
+//! `pool.dispatches` counters. With `FINBENCH_LOG=off` the hooks cost
+//! one relaxed atomic load each.
 
 pub mod pool;
 
-pub use pool::{parallel_for_chunks, parallel_map_reduce};
+pub use pool::{parallel_for_chunks, parallel_for_chunks2, parallel_map_reduce};
 
 /// Which execution backend a kernel driver should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,8 +37,6 @@ pub enum ExecPolicy {
     /// The crate's own chunk-dispenser pool with the given worker count
     /// (0 = one worker per available CPU).
     OwnPool(usize),
-    /// Rayon's global pool.
-    Rayon,
 }
 
 impl ExecPolicy {
@@ -42,12 +46,13 @@ impl ExecPolicy {
             ExecPolicy::Serial => 1,
             ExecPolicy::OwnPool(0) => available_parallelism(),
             ExecPolicy::OwnPool(n) => *n,
-            ExecPolicy::Rayon => rayon::current_num_threads(),
         }
     }
 }
 
 /// Number of CPUs the OS reports as available (≥ 1).
 pub fn available_parallelism() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }

@@ -6,7 +6,12 @@
 //! pairs and fold them in chunk order, so floating-point results are
 //! bit-identical regardless of thread count or scheduling interleavings —
 //! a property the kernel equivalence tests rely on.
+//!
+//! Each worker tallies how many chunks it pulled; after the join the
+//! dispatch reports a load-imbalance figure to `finbench-telemetry` (see
+//! the crate docs).
 
+use finbench_telemetry as telemetry;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -18,6 +23,24 @@ use std::sync::Mutex;
 struct SendPtr<T>(*mut T);
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Report one finished dispatch: `per_worker[i]` chunks pulled by worker
+/// `i`. Imbalance is `max_chunks × workers / n_chunks` — 1.0 means every
+/// worker pulled the same share, `workers` means one worker did it all.
+fn record_dispatch(n_chunks: usize, workers: usize, per_worker: &[u64]) {
+    let max = per_worker.iter().copied().max().unwrap_or(0);
+    let imbalance = if n_chunks == 0 {
+        1.0
+    } else {
+        max as f64 * workers as f64 / n_chunks as f64
+    };
+    telemetry::counter_add("pool.dispatches", 1);
+    telemetry::counter_add("pool.chunks", n_chunks as u64);
+    telemetry::gauge_set("pool.last_imbalance", imbalance);
+    // Lands on the caller's open span (e.g. a native-ladder rung), since
+    // this runs on the dispatching thread after the scope join.
+    telemetry::set_attr("pool_imbalance", imbalance);
+}
 
 /// Process `data` in place in `chunk_size` pieces across `workers`
 /// threads. `body` receives the starting element index of the chunk and
@@ -52,39 +75,136 @@ where
         for (c, chunk) in data.chunks_mut(chunk_size).enumerate() {
             body(c * chunk_size, chunk);
         }
+        record_dispatch(n_chunks, 1, &[n_chunks as u64]);
         return;
     }
 
     let next = AtomicUsize::new(0);
     let base = SendPtr(data.as_mut_ptr());
+    let mut per_worker = vec![0u64; workers];
 
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            // Capture the SendPtr wrapper itself, not its raw-pointer field
-            // (edition-2021 disjoint capture would otherwise move `*mut T`
-            // into the closure and lose the Send/Sync assertion).
-            let base = &base;
-            let next = &next;
-            let body = &body;
-            s.spawn(move || {
-                loop {
-                    let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= n_chunks {
-                        break;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                // Capture the SendPtr wrapper itself, not its raw-pointer
+                // field (edition-2021 disjoint capture would otherwise move
+                // `*mut T` into the closure and lose the Send/Sync
+                // assertion).
+                let base = &base;
+                let next = &next;
+                let body = &body;
+                s.spawn(move || {
+                    let mut pulled = 0u64;
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let start = c * chunk_size;
+                        let end = (start + chunk_size).min(len);
+                        // SAFETY: `c` values are unique per fetch_add, so
+                        // the [start, end) ranges handed to workers are
+                        // pairwise disjoint sub-slices of `data`, which
+                        // outlives the scope; no two threads ever alias an
+                        // element.
+                        let chunk = unsafe {
+                            std::slice::from_raw_parts_mut(base.0.add(start), end - start)
+                        };
+                        body(start, chunk);
+                        pulled += 1;
                     }
-                    let start = c * chunk_size;
-                    let end = (start + chunk_size).min(len);
-                    // SAFETY: `c` values are unique per fetch_add, so the
-                    // [start, end) ranges handed to workers are pairwise
-                    // disjoint sub-slices of `data`, which outlives the
-                    // scope; no two threads ever alias an element.
-                    let chunk =
-                        unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
-                    body(start, chunk);
-                }
-            });
+                    pulled
+                })
+            })
+            .collect();
+        for (slot, h) in per_worker.iter_mut().zip(handles) {
+            *slot = h.join().expect("pool worker panicked");
         }
     });
+
+    record_dispatch(n_chunks, workers, &per_worker);
+}
+
+/// Like [`parallel_for_chunks`], but drives two equal-length slices in
+/// lockstep: each chunk pairs `a[start..end]` with `b[start..end]`. This
+/// is the shape of the paired call/put output arrays of the
+/// Black-Scholes kernel, letting the SoA driver parallelize without a
+/// work-stealing dependency.
+pub fn parallel_for_chunks2<T, U, F>(
+    a: &mut [T],
+    b: &mut [U],
+    chunk_size: usize,
+    workers: usize,
+    body: F,
+) where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T], &mut [U]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    assert_eq!(a.len(), b.len(), "paired slices must have equal lengths");
+    let len = a.len();
+    if len == 0 {
+        return;
+    }
+    let n_chunks = len.div_ceil(chunk_size);
+    let workers = workers.max(1).min(n_chunks);
+
+    if workers == 1 {
+        for (c, (ca, cb)) in a
+            .chunks_mut(chunk_size)
+            .zip(b.chunks_mut(chunk_size))
+            .enumerate()
+        {
+            body(c * chunk_size, ca, cb);
+        }
+        record_dispatch(n_chunks, 1, &[n_chunks as u64]);
+        return;
+    }
+
+    let next = AtomicUsize::new(0);
+    let base_a = SendPtr(a.as_mut_ptr());
+    let base_b = SendPtr(b.as_mut_ptr());
+    let mut per_worker = vec![0u64; workers];
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let base_a = &base_a;
+                let base_b = &base_b;
+                let next = &next;
+                let body = &body;
+                s.spawn(move || {
+                    let mut pulled = 0u64;
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let start = c * chunk_size;
+                        let end = (start + chunk_size).min(len);
+                        // SAFETY: as in `parallel_for_chunks` — unique `c`
+                        // per fetch_add yields pairwise disjoint chunks of
+                        // both slices, each outliving the scope.
+                        let (ca, cb) = unsafe {
+                            (
+                                std::slice::from_raw_parts_mut(base_a.0.add(start), end - start),
+                                std::slice::from_raw_parts_mut(base_b.0.add(start), end - start),
+                            )
+                        };
+                        body(start, ca, cb);
+                        pulled += 1;
+                    }
+                    pulled
+                })
+            })
+            .collect();
+        for (slot, h) in per_worker.iter_mut().zip(handles) {
+            *slot = h.join().expect("pool worker panicked");
+        }
+    });
+
+    record_dispatch(n_chunks, workers, &per_worker);
 }
 
 /// Map the index range `0..n` in `chunk_size` pieces across `workers`
@@ -131,28 +251,43 @@ where
             let end = (start + chunk_size).min(n);
             acc = reduce(acc, map(start..end));
         }
+        record_dispatch(n_chunks, 1, &[n_chunks as u64]);
         return acc;
     }
 
     let next = AtomicUsize::new(0);
     let partials: Mutex<Vec<(usize, A)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    let mut per_worker = vec![0u64; workers];
 
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| {
-                loop {
-                    let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= n_chunks {
-                        break;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let partials = &partials;
+                let map = &map;
+                s.spawn(move || {
+                    let mut pulled = 0u64;
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let start = c * chunk_size;
+                        let end = (start + chunk_size).min(n);
+                        let partial = map(start..end);
+                        partials.lock().unwrap().push((c, partial));
+                        pulled += 1;
                     }
-                    let start = c * chunk_size;
-                    let end = (start + chunk_size).min(n);
-                    let partial = map(start..end);
-                    partials.lock().unwrap().push((c, partial));
-                }
-            });
+                    pulled
+                })
+            })
+            .collect();
+        for (slot, h) in per_worker.iter_mut().zip(handles) {
+            *slot = h.join().expect("pool worker panicked");
         }
     });
+
+    record_dispatch(n_chunks, workers, &per_worker);
 
     let mut parts = partials.into_inner().unwrap();
     parts.sort_by_key(|&(c, _)| c);
@@ -215,6 +350,33 @@ mod tests {
     }
 
     #[test]
+    fn for_chunks2_drives_pairs_in_lockstep() {
+        for workers in [1, 2, 4, 8] {
+            let mut a = vec![0usize; 357];
+            let mut b = vec![0usize; 357];
+            parallel_for_chunks2(&mut a, &mut b, 16, workers, |start, ca, cb| {
+                assert_eq!(ca.len(), cb.len());
+                for i in 0..ca.len() {
+                    ca[i] = start + i;
+                    cb[i] = 2 * (start + i);
+                }
+            });
+            for i in 0..357 {
+                assert_eq!(a[i], i, "workers={workers}");
+                assert_eq!(b[i], 2 * i, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn for_chunks2_rejects_mismatched_lengths() {
+        let mut a = vec![0u8; 4];
+        let mut b = vec![0u8; 5];
+        parallel_for_chunks2(&mut a, &mut b, 2, 2, |_, _, _| {});
+    }
+
+    #[test]
     fn map_reduce_sums() {
         for workers in [1, 2, 5] {
             let s = parallel_map_reduce(
@@ -265,6 +427,5 @@ mod tests {
         assert_eq!(ExecPolicy::Serial.workers(), 1);
         assert_eq!(ExecPolicy::OwnPool(3).workers(), 3);
         assert!(ExecPolicy::OwnPool(0).workers() >= 1);
-        assert!(ExecPolicy::Rayon.workers() >= 1);
     }
 }

@@ -19,7 +19,9 @@ pub struct Mt19937_64 {
 
 impl std::fmt::Debug for Mt19937_64 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Mt19937_64").field("index", &self.index).finish_non_exhaustive()
+        f.debug_struct("Mt19937_64")
+            .field("index", &self.index)
+            .finish_non_exhaustive()
     }
 }
 

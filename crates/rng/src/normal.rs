@@ -21,6 +21,7 @@ use finbench_math::{inv_norm_cdf, inv_norm_cdf_acklam, ln};
 /// Fill `out` with standard normal variates via the inverse-CDF transform,
 /// one at a time.
 pub fn fill_standard_normal_icdf<R: RngCore64>(rng: &mut R, out: &mut [f64]) {
+    finbench_telemetry::counter_add("rng.normal_draws", out.len() as u64);
     for slot in out {
         *slot = inv_norm_cdf(rng.next_f64_open());
     }
@@ -35,6 +36,7 @@ pub fn fill_standard_normal_icdf_batch<R: RngCore64>(
     scratch: &mut [f64],
 ) {
     assert!(!scratch.is_empty(), "scratch buffer must be non-empty");
+    finbench_telemetry::counter_add("rng.normal_draws", out.len() as u64);
     let chunk = scratch.len();
     let mut i = 0;
     while i < out.len() {
@@ -51,6 +53,7 @@ pub fn fill_standard_normal_icdf_batch<R: RngCore64>(
 /// feed a Monte-Carlo estimator whose own error is orders of magnitude
 /// larger.
 pub fn fill_standard_normal_icdf_fast<R: RngCore64>(rng: &mut R, out: &mut [f64]) {
+    finbench_telemetry::counter_add("rng.normal_draws", out.len() as u64);
     for slot in out {
         *slot = inv_norm_cdf_acklam(rng.next_f64_open());
     }
@@ -63,6 +66,7 @@ pub fn fill_standard_normal_icdf_fast<R: RngCore64>(rng: &mut R, out: &mut [f64]
 /// pair — the trade the paper's RNG discussion weighs against the ICDF.
 pub fn fill_standard_normal_box_muller<R: RngCore64>(rng: &mut R, out: &mut [f64]) {
     const TWO_PI: f64 = 2.0 * std::f64::consts::PI;
+    finbench_telemetry::counter_add("rng.normal_draws", out.len() as u64);
     let mut i = 0;
     while i + 1 < out.len() {
         let u1 = rng.next_f64_open();
@@ -101,6 +105,7 @@ pub fn standard_normal_polar<R: RngCore64>(rng: &mut R, spare: &mut Option<f64>)
 
 /// Fill `out` with standard normal variates via the polar method.
 pub fn fill_standard_normal_polar<R: RngCore64>(rng: &mut R, out: &mut [f64]) {
+    finbench_telemetry::counter_add("rng.normal_draws", out.len() as u64);
     let mut spare = None;
     for slot in out {
         *slot = standard_normal_polar(rng, &mut spare);

@@ -65,7 +65,11 @@ impl Philox4x32 {
     /// replacement used by [`crate::StreamFamily`].
     pub fn new_stream(seed: u64, stream_id: u64) -> Self {
         // Mix so that (seed, id) collisions require a full 64-bit match.
-        let key = crate::SplitMix64::mix(seed ^ stream_id.rotate_left(17).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let key = crate::SplitMix64::mix(
+            seed ^ stream_id
+                .rotate_left(17)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         Self::new(key)
     }
 

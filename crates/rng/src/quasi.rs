@@ -12,10 +12,10 @@
 
 /// The first 64 primes (bases for up to 64 Halton dimensions).
 pub const PRIMES: [u32; 64] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293,
-    307, 311,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307,
+    311,
 ];
 
 /// Radical-inverse of `n` in base `b`: reflect the base-`b` digits of `n`
@@ -190,7 +190,10 @@ mod tests {
     fn base3_prefix() {
         let want = [1.0 / 3.0, 2.0 / 3.0, 1.0 / 9.0, 4.0 / 9.0, 7.0 / 9.0];
         for (i, &w) in want.iter().enumerate() {
-            assert!((radical_inverse(i as u64 + 1, 3) - w).abs() < 1e-15, "i={i}");
+            assert!(
+                (radical_inverse(i as u64 + 1, 3) - w).abs() < 1e-15,
+                "i={i}"
+            );
         }
     }
 

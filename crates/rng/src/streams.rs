@@ -33,6 +33,7 @@ impl StreamFamily {
     /// The `id`-th independent stream of the family. Any `u64` id is
     /// valid (the paper's MT2203 family caps at 6024; we do not).
     pub fn stream(&self, id: u64) -> Philox4x32 {
+        finbench_telemetry::counter_add("rng.streams_created", 1);
         Philox4x32::new_stream(self.seed, id)
     }
 
@@ -47,8 +48,19 @@ impl StreamFamily {
     /// block uses its own stream.
     pub fn fill_uniform_blocked(&self, stream_base: u64, out: &mut [f64], chunk: usize) {
         assert!(chunk > 0, "chunk must be positive");
+        // Gate the name formatting, not just the add: per-stream counter
+        // names are built with format!, which must cost nothing when
+        // counters are filtered out.
+        let per_stream = finbench_telemetry::enabled(finbench_telemetry::Kind::Counter);
         for (i, block) in out.chunks_mut(chunk).enumerate() {
-            let mut rng = self.stream(stream_base + i as u64);
+            let id = stream_base + i as u64;
+            let mut rng = self.stream(id);
+            if per_stream {
+                finbench_telemetry::counter_add(
+                    &format!("rng.stream.{id}.draws"),
+                    block.len() as u64,
+                );
+            }
             crate::uniform::fill_uniform(&mut rng, block);
         }
     }

@@ -37,6 +37,7 @@ pub fn u64_to_f64_symmetric(x: u64) -> f64 {
 
 /// Fill `out` with uniform doubles in `[0, 1)`.
 pub fn fill_uniform<R: RngCore64>(rng: &mut R, out: &mut [f64]) {
+    finbench_telemetry::counter_add("rng.uniform_draws", out.len() as u64);
     for slot in out {
         *slot = rng.next_f64();
     }
@@ -44,6 +45,7 @@ pub fn fill_uniform<R: RngCore64>(rng: &mut R, out: &mut [f64]) {
 
 /// Fill `out` with uniform doubles in the open interval `(0, 1)`.
 pub fn fill_uniform_open<R: RngCore64>(rng: &mut R, out: &mut [f64]) {
+    finbench_telemetry::counter_add("rng.uniform_draws", out.len() as u64);
     for slot in out {
         *slot = rng.next_f64_open();
     }
@@ -52,6 +54,7 @@ pub fn fill_uniform_open<R: RngCore64>(rng: &mut R, out: &mut [f64]) {
 /// Fill `out` with uniform doubles in `[lo, hi)`.
 pub fn fill_uniform_range<R: RngCore64>(rng: &mut R, out: &mut [f64], lo: f64, hi: f64) {
     assert!(hi > lo, "empty uniform range");
+    finbench_telemetry::counter_add("rng.uniform_draws", out.len() as u64);
     let scale = hi - lo;
     for slot in out {
         *slot = lo + scale * rng.next_f64();

@@ -11,7 +11,7 @@
 //!
 //! All functions panic if `src.len() != dst.len()`.
 
-use crate::math::{vexp, verf, vln, vnorm_cdf};
+use crate::math::{verf, vexp, vln, vnorm_cdf};
 use crate::vec::F64v;
 use finbench_math as fm;
 

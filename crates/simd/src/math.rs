@@ -138,7 +138,9 @@ pub fn vnorm_cdf<const N: usize>(x: F64v<N>) -> F64v<N> {
     }
     let tail = e / (b * SQRT_2PI);
 
-    let cum = ax.lt(F64v::splat(7.071_067_811_865_475)).select(central, tail);
+    let cum = ax
+        .lt(F64v::splat(7.071_067_811_865_475))
+        .select(central, tail);
     // Past 37 sigma the tail underflows to exactly zero.
     let cum = ax.gt(F64v::splat(37.0)).select(F64v::zero(), cum);
     x.gt(F64v::zero()).select(1.0 - cum, cum)
@@ -208,7 +210,12 @@ mod tests {
     use crate::vec::F64vec4;
     use finbench_math as fm;
 
-    fn assert_lanes_close<const N: usize>(v: F64v<N>, scalar: impl Fn(f64) -> f64, x: F64v<N>, tol: f64) {
+    fn assert_lanes_close<const N: usize>(
+        v: F64v<N>,
+        scalar: impl Fn(f64) -> f64,
+        x: F64v<N>,
+        tol: f64,
+    ) {
         for i in 0..N {
             let want = scalar(x.0[i]);
             let got = v.0[i];
@@ -300,7 +307,13 @@ mod tests {
             let y = verf(v);
             for i in 0..4 {
                 let want = fm::erf(v[i]);
-                assert!((y[i] - want).abs() < 4e-15, "x={} got={} want={}", v[i], y[i], want);
+                assert!(
+                    (y[i] - want).abs() < 4e-15,
+                    "x={} got={} want={}",
+                    v[i],
+                    y[i],
+                    want
+                );
             }
             x += 0.11;
         }

@@ -1,7 +1,8 @@
 //! The `F64v<N>` vector class and its lane mask.
 
-use core::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub,
-                SubAssign};
+use core::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// An `N`-lane vector of `f64`, the Rust analog of the paper's
 /// `F64vec4`/`F64vec8` classes.
@@ -377,7 +378,6 @@ impl<const N: usize> Mask<N> {
         }
         Self(out)
     }
-
 }
 
 impl<const N: usize> core::ops::Not for Mask<N> {
@@ -476,7 +476,9 @@ mod tests {
         assert_eq!(F64vec4::splat(-2.5).abs().to_array(), [2.5; 4]);
         assert_eq!(F64vec4::splat(1.7).floor().to_array(), [1.0; 4]);
         assert_eq!(
-            F64vec4::new([-5.0, 0.5, 2.0, 9.0]).clamp(0.0, 3.0).to_array(),
+            F64vec4::new([-5.0, 0.5, 2.0, 9.0])
+                .clamp(0.0, 3.0)
+                .to_array(),
             [0.0, 0.5, 2.0, 3.0]
         );
     }
@@ -518,6 +520,9 @@ mod tests {
         // SOA buffers must reinterpret as vectors without copying.
         assert_eq!(core::mem::size_of::<F64vec4>(), 4 * 8);
         assert_eq!(core::mem::size_of::<F64vec8>(), 8 * 8);
-        assert_eq!(core::mem::align_of::<F64vec4>(), core::mem::align_of::<f64>());
+        assert_eq!(
+            core::mem::align_of::<F64vec4>(),
+            core::mem::align_of::<f64>()
+        );
     }
 }

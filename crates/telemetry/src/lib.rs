@@ -1,0 +1,42 @@
+//! # finbench-telemetry
+//!
+//! Zero-dependency tracing, metrics, and profiling for the finbench
+//! workspace. Everything lives in-process and in-memory; exporters turn
+//! the collected state into a human-readable tree, JSON lines, or CSV.
+//!
+//! Four building blocks:
+//!
+//! - **Spans** ([`span`], [`set_attr`]): hierarchical RAII-timed regions.
+//!   `let _g = telemetry::span("experiment.fig4");` opens a span that
+//!   closes when the guard drops; nesting follows lexical scope per
+//!   thread, and key/value attributes attach to the innermost open span.
+//! - **Counters and gauges** ([`counter_add`], [`gauge_set`]): named
+//!   process-wide atomics, safe to bump from worker threads.
+//! - **Histograms** ([`Histogram`]): streaming log-bucketed distribution
+//!   sketches for per-rep throughput samples — median/p95 instead of
+//!   only best-of.
+//! - **Exporters** ([`render_tree`], [`to_jsonl`], [`write_jsonl`],
+//!   [`to_csv`]): pull everything recorded so far out of the registries.
+//!
+//! Instrumentation cost is governed by the `FINBENCH_LOG` environment
+//! variable (see [`filter`]): every hot-path call first does one relaxed
+//! atomic load and returns immediately when its signal class is filtered
+//! out. Compiling with the `off` feature turns that check into a
+//! constant `false` so the optimizer removes the instrumentation
+//! entirely.
+
+pub mod export;
+pub mod filter;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use export::{render_tree, span_to_json, to_csv, to_jsonl, write_jsonl};
+pub use filter::{enabled, set_filter, Kind};
+pub use hist::Histogram;
+pub use metrics::{
+    counter_add, counter_snapshot, counter_value, gauge_set, gauge_snapshot, gauge_value,
+    reset_metrics,
+};
+pub use span::{current_name, drain, set_attr, snapshot, span, AttrValue, SpanGuard, SpanRecord};

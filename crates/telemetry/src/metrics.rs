@@ -1,0 +1,130 @@
+//! Named counters and gauges.
+//!
+//! Values live in a process-wide registry keyed by name. Every mutation
+//! first checks the [`crate::filter`] — when counters are filtered out
+//! (or the crate is built with the `off` feature) the call returns before
+//! touching the registry, so hot paths pay one relaxed atomic load.
+//! Mutations themselves are atomic (`fetch_add` on shared `AtomicU64`s),
+//! so concurrent workers never lose increments.
+
+use crate::filter::{enabled, Kind};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+fn counters() -> &'static Mutex<HashMap<String, Arc<AtomicU64>>> {
+    static REG: OnceLock<Mutex<HashMap<String, Arc<AtomicU64>>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn gauges() -> &'static Mutex<HashMap<String, Arc<AtomicU64>>> {
+    static REG: OnceLock<Mutex<HashMap<String, Arc<AtomicU64>>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn cell(reg: &'static Mutex<HashMap<String, Arc<AtomicU64>>>, name: &str) -> Arc<AtomicU64> {
+    let mut map = reg.lock().unwrap();
+    if let Some(c) = map.get(name) {
+        return Arc::clone(c);
+    }
+    let c = Arc::new(AtomicU64::new(0));
+    map.insert(name.to_string(), Arc::clone(&c));
+    c
+}
+
+/// Add `n` to the named counter (creating it at zero on first use).
+#[inline]
+pub fn counter_add(name: &str, n: u64) {
+    if !enabled(Kind::Counter) || n == 0 {
+        return;
+    }
+    cell(counters(), name).fetch_add(n, Ordering::Relaxed);
+}
+
+/// Current value of the named counter (0 if it never incremented).
+pub fn counter_value(name: &str) -> u64 {
+    counters()
+        .lock()
+        .unwrap()
+        .get(name)
+        .map(|c| c.load(Ordering::Relaxed))
+        .unwrap_or(0)
+}
+
+/// Set the named gauge to `v`.
+#[inline]
+pub fn gauge_set(name: &str, v: f64) {
+    if !enabled(Kind::Counter) {
+        return;
+    }
+    cell(gauges(), name).store(v.to_bits(), Ordering::Relaxed);
+}
+
+/// Current value of the named gauge (0.0 if never set).
+pub fn gauge_value(name: &str) -> f64 {
+    gauges()
+        .lock()
+        .unwrap()
+        .get(name)
+        .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
+        .unwrap_or(0.0)
+}
+
+/// Snapshot all counters, sorted by name.
+pub fn counter_snapshot() -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = counters()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Snapshot all gauges, sorted by name.
+pub fn gauge_snapshot() -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = gauges()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Zero every counter and gauge (they stay registered).
+pub fn reset_metrics() {
+    for c in counters().lock().unwrap().values() {
+        c.store(0, Ordering::Relaxed);
+    }
+    for g in gauges().lock().unwrap().values() {
+        g.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        crate::filter::set_filter("all");
+        counter_add("metrics_test.a", 3);
+        counter_add("metrics_test.a", 4);
+        assert_eq!(counter_value("metrics_test.a"), 7);
+        gauge_set("metrics_test.g", 1.25);
+        assert_eq!(gauge_value("metrics_test.g"), 1.25);
+        reset_metrics();
+        assert_eq!(counter_value("metrics_test.a"), 0);
+        assert_eq!(gauge_value("metrics_test.g"), 0.0);
+        crate::filter::set_filter("all");
+    }
+
+    #[test]
+    fn unknown_names_read_zero() {
+        assert_eq!(counter_value("metrics_test.never"), 0);
+        assert_eq!(gauge_value("metrics_test.never"), 0.0);
+    }
+}

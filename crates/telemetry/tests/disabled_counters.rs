@@ -1,0 +1,27 @@
+//! Single-test file: mutates the process-global filter, so it must not
+//! share a process with other telemetry tests.
+
+use finbench_telemetry as telemetry;
+
+#[test]
+fn disabled_counters_leave_tallies_at_zero() {
+    telemetry::set_filter("off");
+    for _ in 0..1000 {
+        telemetry::counter_add("disabled_test.ops", 17);
+    }
+    telemetry::gauge_set("disabled_test.g", 3.5);
+    assert_eq!(telemetry::counter_value("disabled_test.ops"), 0);
+    assert_eq!(telemetry::gauge_value("disabled_test.g"), 0.0);
+    // Spans are inert too: guard drops record nothing.
+    {
+        let _g = telemetry::span("disabled_test.span");
+    }
+    assert!(telemetry::snapshot()
+        .iter()
+        .all(|s| s.name != "disabled_test.span"));
+
+    // Re-enable and verify the same counter now tallies.
+    telemetry::set_filter("counter");
+    telemetry::counter_add("disabled_test.ops", 17);
+    assert_eq!(telemetry::counter_value("disabled_test.ops"), 17);
+}

@@ -12,11 +12,20 @@ use finbench::core::crank_nicolson::{CnProblem, PsorKind};
 use finbench::core::workload::MarketParams;
 
 fn main() {
-    let market = MarketParams { r: 0.05, sigma: 0.2 };
+    let market = MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    };
     let (k, t) = (100.0, 1.0);
 
-    println!("American puts, K={k} T={t}, r={}, sigma={}\n", market.r, market.sigma);
-    println!("{:>8} {:>12} {:>12} {:>12} {:>10}", "spot", "binomial", "CN scalar", "CN wavefront", "premium");
+    println!(
+        "American puts, K={k} T={t}, r={}, sigma={}\n",
+        market.r, market.sigma
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>10}",
+        "spot", "binomial", "CN scalar", "CN wavefront", "premium"
+    );
 
     let prob = CnProblem::paper(market, t);
     let sol_ref = prob.solve(PsorKind::Reference);
@@ -30,7 +39,10 @@ fn main() {
         println!("{s:>8.0} {bin:>12.4} {cn_r:>12.4} {cn_w:>12.4} {prem:>10.4}");
     }
 
-    println!("\nPSOR iterations: scalar {} vs wavefront {}", sol_ref.psor_iterations, sol_wave.psor_iterations);
+    println!(
+        "\nPSOR iterations: scalar {} vs wavefront {}",
+        sol_ref.psor_iterations, sol_wave.psor_iterations
+    );
 
     // Early-exercise boundary: the largest spot at which immediate
     // exercise is optimal (price == intrinsic), scanned on the lattice.
@@ -48,7 +60,10 @@ fn main() {
     // Rate sensitivity of the premium.
     println!("\npremium vs interest rate (S=K={k}):");
     for r in [0.01, 0.03, 0.05, 0.08] {
-        let m = MarketParams { r, sigma: market.sigma };
+        let m = MarketParams {
+            r,
+            sigma: market.sigma,
+        };
         let prem = early_exercise_premium(100.0, k, t, m, 1000, false);
         println!("  r={r:.2}: premium {prem:.4}");
     }

@@ -19,7 +19,10 @@ use finbench::rng::StreamFamily;
 use finbench::simd::F64v;
 
 fn main() {
-    let market = MarketParams { r: 0.05, sigma: 0.2 };
+    let market = MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    };
     let (s0, k, t) = (100.0, 100.0, 1.0);
     let n_paths = 262_144;
 
@@ -50,15 +53,17 @@ fn main() {
 
     let disc = (-market.r * t).exp();
     let mean: f64 = payoffs.iter().sum::<f64>() / n_paths as f64;
-    let var: f64 =
-        payoffs.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n_paths as f64;
+    let var: f64 = payoffs.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n_paths as f64;
     let price = disc * mean;
     let se = disc * (var / n_paths as f64).sqrt();
 
     println!("Arithmetic Asian call, S0={s0} K={k} T={t}, 64 monitoring dates");
     println!("  paths            : {n_paths}");
     println!("  price            : {price:.4} +/- {:.4} (1 sigma)", se);
-    println!("  throughput       : {:.2} Mpaths/s (bridge + payoff fused)", n_paths as f64 / elapsed / 1e6);
+    println!(
+        "  throughput       : {:.2} Mpaths/s (bridge + payoff fused)",
+        n_paths as f64 / elapsed / 1e6
+    );
 
     // Sanity anchors: the Asian call is worth less than the European call
     // (averaging reduces volatility) but is positive.
@@ -69,16 +74,19 @@ fn main() {
     // A second anchor: the *geometric* Asian call has a closed form
     // (Black-Scholes with adjusted vol/drift); the arithmetic price must
     // exceed it (AM-GM).
-    let sig_g = market.sigma * ((steps as f64 + 1.0) * (2.0 * steps as f64 + 1.0)
-        / (6.0 * steps as f64 * steps as f64))
-        .sqrt();
-    let mu_g = 0.5 * (market.r - 0.5 * market.sigma * market.sigma)
-        * (steps as f64 + 1.0) / steps as f64
+    let sig_g = market.sigma
+        * ((steps as f64 + 1.0) * (2.0 * steps as f64 + 1.0) / (6.0 * steps as f64 * steps as f64))
+            .sqrt();
+    let mu_g = 0.5 * (market.r - 0.5 * market.sigma * market.sigma) * (steps as f64 + 1.0)
+        / steps as f64
         + 0.5 * sig_g * sig_g;
     // Closed form: Call_geo = e^{(mu_g - r)T} * BS_call(S0, K, T; r=mu_g,
     // sigma=sig_g) — Black-Scholes under the adjusted drift, re-discounted
     // at the real rate.
-    let m_g = MarketParams { r: mu_g, sigma: sig_g };
+    let m_g = MarketParams {
+        r: mu_g,
+        sigma: sig_g,
+    };
     let (geo_raw, _) = price_single(s0, k, t, m_g);
     let geo = geo_raw * ((mu_g - market.r) * t).exp();
     println!("  Geometric anchor : {geo:.4}  (arithmetic should exceed)");

@@ -11,7 +11,7 @@ use finbench::harness::{run_experiment, RunOptions, EXPERIMENTS};
 fn main() {
     let opts = RunOptions {
         quick: true,
-        csv_dir: None,
+        ..RunOptions::default()
     };
     for id in EXPERIMENTS {
         assert!(run_experiment(id, &opts), "experiment {id} must exist");

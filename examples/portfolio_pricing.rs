@@ -14,8 +14,14 @@ use std::time::Instant;
 
 fn main() {
     let n = 1_000_000;
-    let market = MarketParams { r: 0.03, sigma: 0.25 };
-    println!("Pricing a book of {n} European options (r={}, sigma={})\n", market.r, market.sigma);
+    let market = MarketParams {
+        r: 0.03,
+        sigma: 0.25,
+    };
+    println!(
+        "Pricing a book of {n} European options (r={}, sigma={})\n",
+        market.r, market.sigma
+    );
 
     let batch0 = OptionBatchSoa::random(n, 2026, WorkloadRanges::default());
 
@@ -23,7 +29,11 @@ fn main() {
         let t0 = Instant::now();
         f();
         let dt = t0.elapsed().as_secs_f64();
-        println!("{label:<38} {:>8.1} ms  ({:>6.1} Mopts/s)", dt * 1e3, n as f64 / dt / 1e6);
+        println!(
+            "{label:<38} {:>8.1} ms  ({:>6.1} Mopts/s)",
+            dt * 1e3,
+            n as f64 / dt / 1e6
+        );
     };
 
     let mut aos = batch0.to_aos();
@@ -48,13 +58,17 @@ fn main() {
     });
 
     let mut b4 = batch0.clone();
-    time("advanced + rayon threads", &mut || {
+    time("advanced + own-pool threads", &mut || {
         soa::par_price_soa::<8>(&mut b4, market, 8192)
     });
 
     // Cross-check the levels against each other.
     let max_diff = (0..n)
-        .map(|i| (b.call[i] - b2.call[i]).abs().max((b.call[i] - b3.call[i]).abs()))
+        .map(|i| {
+            (b.call[i] - b2.call[i])
+                .abs()
+                .max((b.call[i] - b3.call[i]).abs())
+        })
         .fold(0.0f64, f64::max);
     println!("\nmax |call| disagreement across levels: {max_diff:.2e}");
 
@@ -71,8 +85,14 @@ fn main() {
     // Implied-vol round trip on a sample.
     let mut recovered = 0;
     for i in (0..n).step_by(n / 1000) {
-        if let Some(iv) = implied_vol(OptionType::Call, b.call[i], b.s[i], b.x[i], b.t[i], market.r)
-        {
+        if let Some(iv) = implied_vol(
+            OptionType::Call,
+            b.call[i],
+            b.s[i],
+            b.x[i],
+            b.t[i],
+            market.r,
+        ) {
             if (iv - market.sigma).abs() < 1e-6 {
                 recovered += 1;
             }

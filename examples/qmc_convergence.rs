@@ -14,7 +14,10 @@ use finbench::core::workload::MarketParams;
 use finbench::math::{exp, ln};
 use finbench::rng::{normal::fill_standard_normal_icdf, Mt19937_64};
 
-const M: MarketParams = MarketParams { r: 0.05, sigma: 0.2 };
+const M: MarketParams = MarketParams {
+    r: 0.05,
+    sigma: 0.2,
+};
 const S0: f64 = 100.0;
 const K: f64 = 100.0;
 const T: f64 = 1.0;
@@ -23,7 +26,15 @@ fn geometric_asian_exact(steps: usize) -> f64 {
     let nf = steps as f64;
     let sig_g = M.sigma * ((nf + 1.0) * (2.0 * nf + 1.0) / (6.0 * nf * nf)).sqrt();
     let mu_g = 0.5 * (M.r - 0.5 * M.sigma * M.sigma) * (nf + 1.0) / nf + 0.5 * sig_g * sig_g;
-    let (raw, _) = price_single(S0, K, T, MarketParams { r: mu_g, sigma: sig_g });
+    let (raw, _) = price_single(
+        S0,
+        K,
+        T,
+        MarketParams {
+            r: mu_g,
+            sigma: sig_g,
+        },
+    );
     raw * exp((mu_g - M.r) * T)
 }
 
@@ -50,7 +61,10 @@ fn main() {
     let plan = BridgePlan::new(6, T); // 64 monitoring dates
     let exact = geometric_asian_exact(plan.steps());
     println!("Geometric Asian call, 64 dates; exact price {exact:.6}\n");
-    println!("{:>9} {:>14} {:>14} {:>8}", "paths", "|QMC error|", "|MC error|", "ratio");
+    println!(
+        "{:>9} {:>14} {:>14} {:>8}",
+        "paths", "|QMC error|", "|MC error|", "ratio"
+    );
 
     let per = plan.randoms_per_path();
     for exp2 in [9usize, 11, 13, 15] {

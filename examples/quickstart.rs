@@ -16,9 +16,15 @@ fn main() {
     // The contract: a 1-year at-the-money put on a $100 stock,
     // 20% vol, 5% rates.
     let (s, k, t) = (100.0, 100.0, 1.0);
-    let market = MarketParams { r: 0.05, sigma: 0.2 };
+    let market = MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    };
 
-    println!("European put, S={s} K={k} T={t}, r={}, sigma={}\n", market.r, market.sigma);
+    println!(
+        "European put, S={s} K={k} T={t}, r={}, sigma={}\n",
+        market.r, market.sigma
+    );
 
     // 1. Closed form (the oracle).
     let (_, bs_put) = price_single(s, k, t, market);
@@ -27,12 +33,18 @@ fn main() {
     // 2. Binomial lattice, increasing resolution.
     for n in [64, 256, 1024] {
         let p = binomial::reference::price_european(s, k, t, market, n, false);
-        println!("Binomial tree (N={n:>5})   : {p:.6}  (err {:+.2e})", p - bs_put);
+        println!(
+            "Binomial tree (N={n:>5})   : {p:.6}  (err {:+.2e})",
+            p - bs_put
+        );
     }
 
     // 3. Crank-Nicolson finite differences (European mode).
     let cn = crank_nicolson::price_put(s, k, t, market, PsorKind::Reference, false);
-    println!("Crank-Nicolson (256x1000) : {cn:.6}  (err {:+.2e})", cn - bs_put);
+    println!(
+        "Crank-Nicolson (256x1000) : {cn:.6}  (err {:+.2e})",
+        cn - bs_put
+    );
 
     // 4. Monte Carlo with a seeded normal stream.
     let mut rng = Mt19937_64::new(42);
@@ -55,8 +67,10 @@ fn main() {
     let cn_am = crank_nicolson::price_put(s, k, t, market, PsorKind::WavefrontSoa, true);
     println!("American put (CN + PSOR)  : {cn_am:.6}");
 
-    let lsm = finbench::core::monte_carlo::lsm::price_american_put_lsm(
-        s, k, t, market, 100_000, 50, 42,
+    let lsm =
+        finbench::core::monte_carlo::lsm::price_american_put_lsm(s, k, t, market, 100_000, 50, 42);
+    println!(
+        "American put (LSM MC)     : {:.6}  (stderr {:.4})",
+        lsm.price, lsm.std_error
     );
-    println!("American put (LSM MC)     : {:.6}  (stderr {:.4})", lsm.price, lsm.std_error);
 }

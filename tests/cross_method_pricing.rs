@@ -6,14 +6,25 @@
 use finbench::core::binomial;
 use finbench::core::black_scholes::price_single;
 use finbench::core::crank_nicolson::{self, PsorKind};
-use finbench::core::monte_carlo::{reference::paths_streamed, simd::paths_streamed_simd, GbmTerminal};
+use finbench::core::monte_carlo::{
+    reference::paths_streamed, simd::paths_streamed_simd, GbmTerminal,
+};
 use finbench::core::workload::MarketParams;
 use finbench::rng::{normal::fill_standard_normal_icdf, Mt19937_64};
 
 const MARKETS: [MarketParams; 3] = [
-    MarketParams { r: 0.05, sigma: 0.2 },
-    MarketParams { r: 0.01, sigma: 0.45 },
-    MarketParams { r: 0.08, sigma: 0.15 },
+    MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    },
+    MarketParams {
+        r: 0.01,
+        sigma: 0.45,
+    },
+    MarketParams {
+        r: 0.08,
+        sigma: 0.15,
+    },
 ];
 
 const CONTRACTS: [(f64, f64, f64); 4] = [
@@ -72,7 +83,10 @@ fn crank_nicolson_american_matches_binomial() {
 
 #[test]
 fn all_three_psor_kernels_price_identically() {
-    let m = MarketParams { r: 0.05, sigma: 0.3 };
+    let m = MarketParams {
+        r: 0.05,
+        sigma: 0.3,
+    };
     let prob = crank_nicolson::CnProblem::paper(m, 1.0);
     let a = prob.solve(PsorKind::Reference);
     let b = prob.solve(PsorKind::Wavefront);
@@ -120,7 +134,10 @@ fn simd_and_scalar_monte_carlo_agree_on_the_same_stream() {
         let g = GbmTerminal::new(t, m);
         let a = paths_streamed::<f64>(s, k, g, &randoms);
         let b = paths_streamed_simd::<8>(s, k, g, &randoms);
-        assert!(((a.v0 - b.v0) / a.v0.max(1e-9)).abs() < 1e-12, "s={s} k={k}");
+        assert!(
+            ((a.v0 - b.v0) / a.v0.max(1e-9)).abs() < 1e-12,
+            "s={s} k={k}"
+        );
     }
 }
 
@@ -128,7 +145,10 @@ fn simd_and_scalar_monte_carlo_agree_on_the_same_stream() {
 fn deep_moneyness_limits() {
     // Far in/out of the money, every engine must pin to the arbitrage
     // values.
-    let m = MarketParams { r: 0.05, sigma: 0.2 };
+    let m = MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    };
     // Deep OTM call: worthless by every method.
     let (bs, _) = price_single(1.0, 1000.0, 0.25, m);
     assert!(bs < 1e-12);

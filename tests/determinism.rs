@@ -6,7 +6,9 @@ use finbench::core::brownian_bridge::{interleaved, BridgePlan};
 use finbench::core::monte_carlo::{simd, GbmTerminal};
 use finbench::core::workload::{MarketParams, OptionBatchSoa, WorkloadRanges};
 use finbench::parallel::{parallel_for_chunks, parallel_map_reduce};
-use finbench::rng::{normal::fill_standard_normal_icdf, Mt19937_64, Philox4x32, RngCore64, StreamFamily};
+use finbench::rng::{
+    normal::fill_standard_normal_icdf, Mt19937_64, Philox4x32, RngCore64, StreamFamily,
+};
 
 const M: MarketParams = MarketParams::PAPER;
 
@@ -93,7 +95,9 @@ fn own_pool_for_chunks_is_deterministic_in_output() {
                 *x = finbench::rng::SplitMix64::mix((start + i) as u64);
             }
         });
-        let want: Vec<u64> = (0..8192).map(|i| finbench::rng::SplitMix64::mix(i as u64)).collect();
+        let want: Vec<u64> = (0..8192)
+            .map(|i| finbench::rng::SplitMix64::mix(i as u64))
+            .collect();
         assert_eq!(v, want, "trial {trial}");
     }
 }

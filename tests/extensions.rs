@@ -8,7 +8,10 @@ use finbench::core::crank_nicolson::{self, PsorKind};
 use finbench::core::monte_carlo::lsm;
 use finbench::core::workload::MarketParams;
 
-const M: MarketParams = MarketParams { r: 0.05, sigma: 0.2 };
+const M: MarketParams = MarketParams {
+    r: 0.05,
+    sigma: 0.2,
+};
 
 #[test]
 fn four_american_engines_agree() {
@@ -20,7 +23,10 @@ fn four_american_engines_agree() {
     let cn = crank_nicolson::price_put(s, k, t, M, PsorKind::WavefrontSoa, true);
     let mc = lsm::price_american_put_lsm(s, k, t, M, 100_000, 50, 2026);
 
-    assert!((tri - bin).abs() < 0.01, "trinomial {tri} vs binomial {bin}");
+    assert!(
+        (tri - bin).abs() < 0.01,
+        "trinomial {tri} vs binomial {bin}"
+    );
     assert!((cn - bin).abs() < 0.02, "cn {cn} vs binomial {bin}");
     assert!(
         (mc.price - bin).abs() < 4.0 * mc.std_error + 0.01 * bin,

@@ -141,7 +141,16 @@ fn psor_wavefront_blocks_are_bit_exact_vs_scalar_sweeps() {
             // 2 blocks of 8 lanes = exactly 16 wavefront iterations.
             let mut uw = u0.clone();
             wavefront::psor_solve_wavefront_fixed_blocks::<8>(
-                &mut uw, &b, &g, 1, n - 2, alphah, coeff, omega, true, 2,
+                &mut uw,
+                &b,
+                &g,
+                1,
+                n - 2,
+                alphah,
+                coeff,
+                omega,
+                true,
+                2,
             );
             for j in 0..n {
                 assert_eq!(

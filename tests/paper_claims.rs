@@ -72,7 +72,10 @@ fn fig6_crossover_structure() {
     let mid_ratio = knc.levels[1].1 / snb.levels[1].1;
     assert!((1.8..=2.1).contains(&mid_ratio), "bw ratio {mid_ratio}");
     let adv_ratio = knc.levels[3].1 / snb.levels[3].1;
-    assert!((1.8..=2.2).contains(&adv_ratio), "compute ratio {adv_ratio}");
+    assert!(
+        (1.8..=2.2).contains(&adv_ratio),
+        "compute ratio {adv_ratio}"
+    );
 }
 
 #[test]
@@ -82,8 +85,18 @@ fn table2_reproduces_paper_numbers() {
     for row in figures::table2() {
         let snb_err = (row.snb_model - row.snb_paper).abs() / row.snb_paper;
         let knc_err = (row.knc_model - row.knc_paper).abs() / row.knc_paper;
-        assert!(snb_err < 0.10, "{}: SNB {:.1}% off", row.label, snb_err * 100.0);
-        assert!(knc_err < 0.10, "{}: KNC {:.1}% off", row.label, knc_err * 100.0);
+        assert!(
+            snb_err < 0.10,
+            "{}: SNB {:.1}% off",
+            row.label,
+            snb_err * 100.0
+        );
+        assert!(
+            knc_err < 0.10,
+            "{}: KNC {:.1}% off",
+            row.label,
+            knc_err * 100.0
+        );
     }
 }
 
@@ -119,7 +132,7 @@ fn every_experiment_runs_end_to_end() {
     // The harness must execute every registered experiment (quick mode).
     let opts = finbench::harness::RunOptions {
         quick: true,
-        csv_dir: None,
+        ..Default::default()
     };
     for id in finbench::harness::EXPERIMENTS {
         assert!(finbench::harness::run_experiment(id, &opts), "{id}");
@@ -133,9 +146,14 @@ fn csv_export_writes_files() {
     let opts = finbench::harness::RunOptions {
         quick: true,
         csv_dir: Some(dir.to_string_lossy().into_owned()),
+        ..Default::default()
     };
     assert!(finbench::harness::run_experiment("fig4", &opts));
     let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
-    assert!(entries.len() >= 2, "expected model CSVs, got {}", entries.len());
+    assert!(
+        entries.len() >= 2,
+        "expected model CSVs, got {}",
+        entries.len()
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,316 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build host has no crates.io access, so this workspace vendors a
+//! dependency-free implementation of the criterion API surface the bench
+//! targets use: `Criterion::benchmark_group`, the group builder methods
+//! (`throughput`, `sample_size`, `warm_up_time`, `measurement_time`),
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: an untimed warm-up loop followed by
+//! a timed loop, reporting the mean time per iteration and (when a
+//! [`Throughput`] is set) the derived rate. When the binary is run with a
+//! `--test` argument — what `cargo test` passes to `harness = false`
+//! targets — every routine runs exactly once so the benches act as smoke
+//! tests instead of burning CI time.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration declaration used to derive a rate from the mean
+/// iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; ignored by this implementation
+/// (setup is always untimed, per-iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every routine call.
+    PerIteration,
+}
+
+/// A function-plus-parameter benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, matching criterion's display form.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness = false bench targets with `--test`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            throughput: None,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(600),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput and timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+    measurement: Duration,
+    // Tie the group's lifetime to the Criterion borrow like upstream does.
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declare the work performed by one iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for compatibility; sampling is time-based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Untimed warm-up duration before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Timed measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            mean_ns: None,
+        };
+        f(&mut b);
+        self.report(&id, b.mean_ns);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, mean_ns: Option<f64>) {
+        let full = if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        match mean_ns {
+            None => println!("bench {full}: ok (test mode, 1 iteration)"),
+            Some(ns) => {
+                let rate = self.throughput.map(|t| {
+                    let (n, unit) = match t {
+                        Throughput::Elements(n) => (n, "elem/s"),
+                        Throughput::Bytes(n) => (n, "B/s"),
+                    };
+                    format!(" ({:.3e} {unit})", n as f64 / (ns * 1e-9))
+                });
+                println!("bench {full}: {ns:.1} ns/iter{}", rate.unwrap_or_default());
+            }
+        }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher {
+    test_mode: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let t0 = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if t0.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.mean_ns = Some(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+
+    /// Time `routine` with a fresh untimed `setup` product per call.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(routine(setup()));
+        }
+        let mut iters = 0u64;
+        let mut busy = Duration::ZERO;
+        let wall0 = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            busy += t0.elapsed();
+            iters += 1;
+            if wall0.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.mean_ns = Some(busy.as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $(
+                $target(&mut c);
+            )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("f", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut b = Bencher {
+            test_mode: true,
+            warm_up: Duration::ZERO,
+            measurement: Duration::ZERO,
+            mean_ns: None,
+        };
+        b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::LargeInput);
+        assert!(b.mean_ns.is_none()); // test mode records nothing
+    }
+
+    #[test]
+    fn benchmark_id_display_form() {
+        let id = BenchmarkId::new("kernel", 1024);
+        assert_eq!(id.id, "kernel/1024");
+    }
+}

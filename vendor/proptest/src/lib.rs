@@ -1,0 +1,131 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build host has no crates.io access, so this workspace vendors a
+//! minimal, dependency-free implementation of the `proptest` API surface
+//! the test suite actually uses: the [`Strategy`] trait (ranges, tuples,
+//! fixed-size arrays, `prop_map`, `collection::vec`), the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Semantics differ from upstream in two deliberate ways:
+//!
+//! * Inputs are drawn from a SplitMix64 stream seeded by a hash of the
+//!   test's module path and name, so every run of a given test sees the
+//!   same case sequence — failures reproduce without a persistence file.
+//! * There is no shrinking; the failing input values are reported as-is
+//!   (the case index identifies the exact inputs deterministically).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The subset of `proptest::prelude` the suite uses.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Define property tests: an optional inner `proptest_config` attribute
+/// followed by `#[test]` functions whose arguments are drawn from
+/// strategies with `pattern in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Expansion helper for [`proptest!`] — the config expression is bound
+/// exactly once here, so it can be referenced from inside the per-test
+/// repetition.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        @cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases: u32 = ($cfg).cases;
+                let mut __rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for __case in 0..__cases {
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&$strat, &mut __rng);
+                    )*
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!(
+                            "proptest case #{} of {} failed: {}",
+                            __case,
+                            stringify!($name),
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body; failure aborts the
+/// current case with a descriptive error instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a != __b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            )));
+        }
+    }};
+}

@@ -1,0 +1,149 @@
+//! The [`Strategy`] trait and the built-in strategies the suite uses:
+//! numeric ranges, tuples, fixed-size arrays, and `prop_map` adapters.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The adapter returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        self.start + rng.next_below(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        self.start + rng.next_below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl Strategy for Range<u32> {
+    type Value = u32;
+    fn generate(&self, rng: &mut TestRng) -> u32 {
+        self.start + rng.next_below((self.end - self.start) as u64) as u32
+    }
+}
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+    fn generate(&self, rng: &mut TestRng) -> i32 {
+        self.start + rng.next_below((self.end as i64 - self.start as i64) as u64) as i32
+    }
+}
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident: $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let x = (2.0f64..5.0).generate(&mut r);
+            assert!((2.0..5.0).contains(&x));
+            let n = (3u64..17).generate(&mut r);
+            assert!((3..17).contains(&n));
+            let m = (1usize..4).generate(&mut r);
+            assert!((1..4).contains(&m));
+        }
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let mut r = rng();
+        let s = (0.0f64..1.0, 10u64..20).prop_map(|(a, b)| a + b as f64);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((10.0..21.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn arrays_generate_elementwise() {
+        let mut r = rng();
+        let arr = [0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0].generate(&mut r);
+        assert!(arr.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+}
