@@ -9,6 +9,17 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> engine registry consistency"
+cargo test -q -p finbench --test engine_plane
+cargo test -q -p finbench-core --lib engine::
+
+echo "==> examples (quick mode)"
+cargo build --release --examples
+for ex in quickstart portfolio_pricing american_options asian_option_mc ninja_gap_report qmc_convergence; do
+  echo "--> example: $ex"
+  FINBENCH_QUICK=1 cargo run --release -q --example "$ex" > /dev/null
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

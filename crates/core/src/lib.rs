@@ -26,6 +26,7 @@ pub mod binomial;
 pub mod black_scholes;
 pub mod brownian_bridge;
 pub mod crank_nicolson;
+pub mod engine;
 pub mod greeks;
 pub mod monte_carlo;
 pub mod workload;

@@ -1,0 +1,249 @@
+//! The engine: one generic `for kernel { for rung }` loop that measures,
+//! validates, and plans every registered kernel — spans, slugs,
+//! throughput sampling, and pool-imbalance capture included, so every
+//! current and future kernel gets them for free.
+
+use crate::kernel::{Check, WorkloadSpec};
+use crate::planner::{Plan, Planner};
+use crate::registry::{AnyKernel, Registry};
+use crate::slug::min_secs;
+use crate::timing::throughput_samples;
+use finbench_parallel::ExecPolicy;
+use finbench_telemetry as telemetry;
+
+/// A measured ladder: `(label, best items/s)` per rung, ladder order —
+/// the shape the harness bar charts consume.
+pub type LadderRates = Vec<(String, f64)>;
+
+/// The unified pricing-engine plane: a kernel [`Registry`] plus the
+/// [`Planner`] that picks a serving rung per kernel from the machine cost
+/// model.
+pub struct Engine {
+    registry: Registry,
+    planner: Planner,
+}
+
+impl Engine {
+    /// An engine planning for the build host (honors `FINBENCH_PLAN`).
+    pub fn new(registry: Registry) -> Self {
+        Self::with_planner(registry, Planner::for_host())
+    }
+
+    /// An engine with an explicit planner (tests plan for SNB-EP/KNC).
+    pub fn with_planner(registry: Registry, planner: Planner) -> Self {
+        Self { registry, planner }
+    }
+
+    /// The kernel registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The planner.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Plan one kernel by name.
+    pub fn plan(&self, name: &str) -> Option<Result<Plan, String>> {
+        self.registry.get(name).map(|k| self.planner.plan(k))
+    }
+
+    /// Measure every rung of `kernel`'s ladder on the build host.
+    ///
+    /// Emits one `plan.<kernel>` span carrying the planner's decision
+    /// (`chosen_rung`, `bound`, `predicted_rate`, `reason`) and one
+    /// `native.<kernel>.<slug>` span per rung carrying `label`, `level`,
+    /// `items`, the [`throughput_samples`] summary, and `pool_imbalance`
+    /// (1.0 unless a pool dispatch inside the body overwrites it).
+    pub fn run_ladder(&self, kernel: &dyn AnyKernel, quick: bool) -> LadderRates {
+        self.emit_plan_span(kernel);
+        let spec = WorkloadSpec::measure(quick);
+        let session = kernel.session(&spec);
+        let secs = min_secs(quick);
+        let items = session.items();
+        let mut out = Vec::new();
+        for (i, info) in kernel.rungs().iter().enumerate() {
+            let _g = telemetry::span(format!("native.{}.{}", kernel.name(), info.slug));
+            telemetry::set_attr("label", info.label);
+            telemetry::set_attr("level", info.level.as_str());
+            telemetry::set_attr("items", items);
+            telemetry::set_attr("pool_imbalance", 1.0);
+            let mut body = session.body(i, ExecPolicy::OwnPool(0));
+            let s = throughput_samples(items, secs, || body.step());
+            out.push((info.label.to_string(), s.best()));
+        }
+        out
+    }
+
+    /// [`run_ladder`](Self::run_ladder) by registry name.
+    pub fn run_ladder_named(&self, name: &str, quick: bool) -> Option<LadderRates> {
+        self.registry.get(name).map(|k| self.run_ladder(k, quick))
+    }
+
+    fn emit_plan_span(&self, kernel: &dyn AnyKernel) {
+        let _g = telemetry::span(format!("plan.{}", kernel.name()));
+        telemetry::set_attr("arch", self.planner.arch().name);
+        match self.planner.plan(kernel) {
+            Ok(plan) => {
+                telemetry::set_attr("chosen_rung", plan.slug.as_str());
+                telemetry::set_attr("label", plan.label);
+                telemetry::set_attr("cost_level", plan.cost_label);
+                telemetry::set_attr("bound", plan.bound.as_str());
+                telemetry::set_attr("predicted_rate", plan.predicted_rate);
+                telemetry::set_attr("overridden", u64::from(plan.overridden));
+                telemetry::set_attr("reason", plan.reason.as_str());
+            }
+            Err(e) => telemetry::set_attr("error", e.as_str()),
+        }
+    }
+
+    /// Validate every rung of `kernel` against its baseline rung over the
+    /// workload `spec` describes — the §6 equivalence strategy run by the
+    /// engine instead of hand-written per kernel. Returns all mismatches
+    /// (empty = every rung agrees).
+    pub fn validate_kernel(&self, kernel: &dyn AnyKernel, spec: &WorkloadSpec) -> Vec<String> {
+        let session = kernel.session(spec);
+        let rungs = kernel.rungs();
+        // One output per rung, computed on demand (baselines are shared).
+        let mut outputs: Vec<Option<Vec<f64>>> = vec![None; rungs.len()];
+        let output_of = |idx: usize, outputs: &mut Vec<Option<Vec<f64>>>| -> Vec<f64> {
+            if outputs[idx].is_none() {
+                let mut body = session.body(idx, ExecPolicy::Serial);
+                body.step();
+                outputs[idx] = Some(body.output());
+            }
+            outputs[idx].clone().unwrap()
+        };
+        let mut errors = Vec::new();
+        for (i, info) in rungs.iter().enumerate() {
+            if matches!(info.check, Check::None) {
+                continue;
+            }
+            let got = output_of(i, &mut outputs);
+            let want = output_of(info.baseline, &mut outputs);
+            let ctx = format!(
+                "{}.{} vs {}",
+                kernel.name(),
+                info.slug,
+                rungs[info.baseline].slug
+            );
+            if let Some(e) = compare(&got, &want, info.check, &ctx) {
+                errors.push(e);
+            }
+        }
+        errors
+    }
+
+    /// Validate every registered kernel; returns all mismatches.
+    pub fn validate_all(&self, spec: &WorkloadSpec) -> Vec<String> {
+        self.registry
+            .kernels()
+            .flat_map(|k| self.validate_kernel(k, spec))
+            .collect()
+    }
+}
+
+fn compare(got: &[f64], want: &[f64], check: Check, ctx: &str) -> Option<String> {
+    if !matches!(check, Check::Stat(_)) && got.len() != want.len() {
+        return Some(format!(
+            "{ctx}: output length {} vs {}",
+            got.len(),
+            want.len()
+        ));
+    }
+    match check {
+        Check::None => None,
+        Check::BitExact => {
+            let bad = got
+                .iter()
+                .zip(want)
+                .enumerate()
+                .find(|(_, (a, b))| a.to_bits() != b.to_bits());
+            bad.map(|(i, (a, b))| format!("{ctx}: bit mismatch at {i}: {a:?} vs {b:?}"))
+        }
+        Check::Rel(tol) => {
+            let bad = got.iter().zip(want).enumerate().find(|(_, (a, b))| {
+                let scale = b.abs().max(1.0);
+                let diff = (*a - *b).abs();
+                // NaN must fail the check, so don't negate a `<=`.
+                diff.is_nan() || diff > tol * scale
+            });
+            bad.map(|(i, (a, b))| {
+                format!("{ctx}: |{a} - {b}| > {tol} * max(|{b}|, 1) at index {i}")
+            })
+        }
+        Check::Stat(tol) => {
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / (v.len().max(1) as f64);
+            let (ma, mb) = (mean(got), mean(want));
+            let scale = mb.abs().max(1.0);
+            if (ma - mb).abs() <= tol * scale {
+                None
+            } else {
+                Some(format!(
+                    "{ctx}: means differ: {ma} vs {mb} (tol {tol} * {scale})"
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::tests::ToyKernel;
+    use finbench_machine::SNB_EP;
+
+    fn engine() -> Engine {
+        let mut reg = Registry::new();
+        reg.register(ToyKernel);
+        Engine::with_planner(reg, Planner::new(SNB_EP))
+    }
+
+    #[test]
+    fn generic_ladder_loop_measures_every_rung() {
+        telemetry::set_filter("all");
+        let e = engine();
+        let rates = e.run_ladder_named("toy", true).unwrap();
+        assert_eq!(rates.len(), 2);
+        for (label, rate) in &rates {
+            assert!(rate.is_finite() && *rate > 0.0, "{label}: {rate}");
+        }
+        // Spans: one plan span + one per rung, named from the slugs.
+        let spans = telemetry::drain();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"plan.toy"), "{names:?}");
+        assert!(names.contains(&"native.toy.basic_scalar"), "{names:?}");
+        assert!(names.contains(&"native.toy.advanced_pairwise"), "{names:?}");
+    }
+
+    #[test]
+    fn validation_passes_for_equivalent_rungs() {
+        let e = engine();
+        let errs = e.validate_all(&WorkloadSpec::validation(7, 33));
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn compare_detects_mismatches() {
+        assert!(compare(&[1.0], &[1.0, 2.0], Check::BitExact, "x").is_some());
+        assert!(compare(&[1.0], &[1.0 + 1e-13], Check::BitExact, "x").is_some());
+        assert!(compare(&[1.0], &[1.0], Check::BitExact, "x").is_none());
+        assert!(compare(&[1.0], &[1.0 + 1e-13], Check::Rel(1e-12), "x").is_none());
+        assert!(compare(&[1.0], &[1.1], Check::Rel(1e-12), "x").is_some());
+        // NaN never satisfies a tolerance.
+        assert!(compare(&[f64::NAN], &[1.0], Check::Rel(1e-6), "x").is_some());
+        // Stat compares means, not elements (lengths may differ).
+        assert!(compare(&[1.0, 3.0], &[2.0], Check::Stat(1e-9), "x").is_none());
+        assert!(compare(&[1.0, 3.0], &[2.5], Check::Stat(0.01), "x").is_some());
+        assert!(compare(&[], &[], Check::None, "x").is_none());
+    }
+
+    #[test]
+    fn plan_by_name() {
+        let e = engine();
+        let plan = e.plan("toy").unwrap().unwrap();
+        assert_eq!(plan.kernel, "toy");
+        assert!(e.plan("missing").is_none());
+    }
+}

@@ -1,0 +1,34 @@
+//! # finbench-engine — the unified pricing-engine plane
+//!
+//! Everything the paper's six kernels have in common, factored into one
+//! crate: the [`Kernel`] trait (a named paper artifact with a typed
+//! workload, an optimization [ladder](Rung), and machine-model cost
+//! descriptors), the type-erased [`Registry`] the harness and CLI iterate,
+//! the [`Engine`]'s generic measure/validate loops, and the cost-model
+//! driven [`Planner`] that picks a serving rung per kernel.
+//!
+//! The dependency direction is deliberate: this crate knows nothing about
+//! the concrete kernels. `finbench-core` implements [`Kernel`] for each of
+//! them in thin adapters, and `finbench-harness` drives the lot through
+//! [`Engine::run_ladder`] — no per-kernel driver functions anywhere.
+//!
+//! ```text
+//!  finbench-machine ──► finbench-engine ◄── finbench-parallel
+//!        (cost model)        │    ▲              (ExecPolicy)
+//!                            ▼    │ implements Kernel
+//!                      finbench-core ◄── finbench-harness (drives Engine)
+//! ```
+
+pub mod engine;
+pub mod kernel;
+pub mod planner;
+pub mod registry;
+pub mod slug;
+pub mod timing;
+
+pub use engine::{Engine, LadderRates};
+pub use kernel::{fn_body, Check, Kernel, OptLevel, Rung, RungBody, WorkloadSpec};
+pub use planner::{Bound, Plan, Planner};
+pub use registry::{AnyKernel, LadderSession, Registry, RungInfo};
+pub use slug::{min_secs, slug};
+pub use timing::{throughput, throughput_samples, time_once, Samples};

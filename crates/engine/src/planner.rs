@@ -1,0 +1,311 @@
+//! Cost-model-driven plan selection: given a kernel's machine-model cost
+//! ladder, pick the rung the engine should run to serve traffic on a
+//! given architecture — with an explicit-override escape hatch.
+//!
+//! The rules are the paper's own reasoning, mechanized:
+//!
+//! 1. Among the modeled cost levels, take the one with the highest
+//!    roofline throughput on the planning architecture.
+//! 2. Among the rungs mapped to that level, prefer the most advanced
+//!    (last) one, but
+//!    * skip two-pass **staging** rungs when the level is
+//!      bandwidth-bound — staging through array temporaries doubles the
+//!      streamed traffic exactly when bytes are the scarce resource
+//!      (the paper's VML-vs-SVML discussion, §IV-A);
+//!    * skip **threaded** rungs when the architecture has a single core —
+//!      pool dispatch is pure overhead there.
+//! 3. `FINBENCH_PLAN=kernel=rung_slug,...` (or [`Planner::set_override`])
+//!    forces a specific rung regardless of the model.
+
+use crate::registry::{AnyKernel, RungInfo};
+use finbench_machine::ArchSpec;
+use std::collections::BTreeMap;
+
+/// Which roofline binds the chosen level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Instruction throughput is the limit.
+    Compute,
+    /// DRAM bandwidth is the limit.
+    Bandwidth,
+}
+
+impl Bound {
+    /// Lowercase name for span attributes.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Bound::Compute => "compute",
+            Bound::Bandwidth => "bandwidth",
+        }
+    }
+}
+
+impl std::fmt::Display for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The planner's decision for one kernel.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Kernel the plan is for.
+    pub kernel: &'static str,
+    /// Chosen rung index into the kernel's ladder.
+    pub rung: usize,
+    /// Chosen rung's label.
+    pub label: &'static str,
+    /// Chosen rung's slug.
+    pub slug: String,
+    /// Label of the winning cost level.
+    pub cost_label: &'static str,
+    /// Which roofline binds at that level.
+    pub bound: Bound,
+    /// Modeled throughput (items/s) of the winning level on the planning
+    /// architecture.
+    pub predicted_rate: f64,
+    /// Human-readable rationale.
+    pub reason: String,
+    /// True when an explicit override decided, not the model.
+    pub overridden: bool,
+}
+
+/// Picks one rung per kernel from the machine cost model.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    arch: ArchSpec,
+    overrides: BTreeMap<String, String>,
+}
+
+impl Planner {
+    /// Plan for `arch`, no overrides.
+    pub fn new(arch: ArchSpec) -> Self {
+        Self {
+            arch,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Plan for an approximation of the build host, honoring the
+    /// `FINBENCH_PLAN` environment escape hatch.
+    pub fn for_host() -> Self {
+        let mut p = Self::new(finbench_machine::arch::host_spec());
+        if let Ok(spec) = std::env::var("FINBENCH_PLAN") {
+            // An unparseable override should surface at plan time, not
+            // crash experiment startup: parse errors leave the map empty
+            // and plan() reports cleanly for unknown slugs.
+            let _ = p.parse_overrides(&spec);
+        }
+        p
+    }
+
+    /// The architecture plans are computed against.
+    pub fn arch(&self) -> &ArchSpec {
+        &self.arch
+    }
+
+    /// Force `kernel` to the rung whose slug is `rung_slug`.
+    pub fn set_override(&mut self, kernel: &str, rung_slug: &str) {
+        self.overrides
+            .insert(kernel.to_string(), rung_slug.to_string());
+    }
+
+    /// Parse a `kernel=rung_slug,kernel=rung_slug` override list (the
+    /// `FINBENCH_PLAN` grammar). Whitespace around entries is ignored.
+    pub fn parse_overrides(&mut self, spec: &str) -> Result<(), String> {
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (kernel, rung) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("bad override (want kernel=rung_slug): {entry}"))?;
+            let (kernel, rung) = (kernel.trim(), rung.trim());
+            if kernel.is_empty() || rung.is_empty() {
+                return Err(format!("bad override (empty side): {entry}"));
+            }
+            self.set_override(kernel, rung);
+        }
+        Ok(())
+    }
+
+    /// Plan one kernel. Errors when an explicit override names a rung slug
+    /// the kernel does not have.
+    pub fn plan(&self, kernel: &dyn AnyKernel) -> Result<Plan, String> {
+        let rungs = kernel.rungs();
+        let costs = kernel.cost(&self.arch);
+        assert!(
+            !rungs.is_empty() && !costs.is_empty(),
+            "{}: cannot plan an empty ladder",
+            kernel.name()
+        );
+
+        if let Some(want) = self.overrides.get(kernel.name()) {
+            let idx = rungs.iter().position(|r| &r.slug == want).ok_or_else(|| {
+                format!(
+                    "override for {}: no rung with slug {want} (have: {})",
+                    kernel.name(),
+                    rungs
+                        .iter()
+                        .map(|r| r.slug.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?;
+            let r = &rungs[idx];
+            let cost = &costs[r.cost_level.min(costs.len() - 1)];
+            return Ok(Plan {
+                kernel: kernel.name(),
+                rung: idx,
+                label: r.label,
+                slug: r.slug.clone(),
+                cost_label: cost.label,
+                bound: bound_of(&cost.cost, &self.arch),
+                predicted_rate: cost.cost.throughput(&self.arch),
+                reason: format!("explicit override ({want})"),
+                overridden: true,
+            });
+        }
+
+        // 1. Winning cost level by modeled roofline throughput.
+        let (best_level, best_cost) = costs
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.cost
+                    .throughput(&self.arch)
+                    .total_cmp(&b.cost.throughput(&self.arch))
+            })
+            .expect("non-empty cost ladder");
+        let rate = best_cost.cost.throughput(&self.arch);
+        let bound = bound_of(&best_cost.cost, &self.arch);
+
+        // 2. Most advanced rung mapped to that level, minus excluded ones.
+        let single_core = self.arch.cores() <= 1;
+        let candidates: Vec<usize> = (0..rungs.len())
+            .filter(|&i| rungs[i].cost_level == best_level)
+            .collect();
+        let mut skipped = Vec::new();
+        let keep = |i: &usize, skipped: &mut Vec<String>| {
+            let r: &RungInfo = &rungs[*i];
+            if r.staging && bound == Bound::Bandwidth {
+                skipped.push(format!("{} (two-pass staging, bandwidth-bound)", r.slug));
+                return false;
+            }
+            if r.threaded && single_core {
+                skipped.push(format!("{} (threaded, single-core host)", r.slug));
+                return false;
+            }
+            true
+        };
+        let chosen = candidates
+            .iter()
+            .rev()
+            .copied()
+            .find(|i| keep(i, &mut skipped))
+            // Every mapped rung excluded (or none mapped): fall back to the
+            // most advanced rung of the whole ladder that survives the
+            // filters, then to the reference rung.
+            .or_else(|| (0..rungs.len()).rev().find(|i| keep(i, &mut Vec::new())))
+            .unwrap_or(0);
+
+        let r = &rungs[chosen];
+        let mut reason = format!(
+            "cost level '{}' has max modeled throughput on {} ({}-bound, {:.3e} items/s)",
+            best_cost.label, self.arch.name, bound, rate
+        );
+        if !skipped.is_empty() {
+            reason.push_str(&format!("; skipped {}", skipped.join(", ")));
+        }
+        Ok(Plan {
+            kernel: kernel.name(),
+            rung: chosen,
+            label: r.label,
+            slug: r.slug.clone(),
+            cost_label: best_cost.label,
+            bound,
+            predicted_rate: rate,
+            reason,
+            overridden: false,
+        })
+    }
+}
+
+fn bound_of(cost: &finbench_machine::LevelCost, arch: &ArchSpec) -> Bound {
+    if cost.is_bandwidth_bound(arch) {
+        Bound::Bandwidth
+    } else {
+        Bound::Compute
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::tests::ToyKernel;
+    use finbench_machine::{KNC, SNB_EP};
+
+    #[test]
+    fn picks_fastest_cost_level_rung() {
+        let planner = Planner::new(SNB_EP);
+        let plan = planner.plan(&ToyKernel).unwrap();
+        // Advanced level is fully vectorized, so it wins.
+        assert_eq!(plan.rung, 1);
+        assert_eq!(plan.label, "Advanced: pairwise");
+        assert_eq!(plan.cost_label, "Advanced");
+        assert!(!plan.overridden);
+        assert!(plan.predicted_rate > 0.0);
+        assert!(plan.reason.contains("max modeled throughput"));
+    }
+
+    #[test]
+    fn toy_kernel_is_bandwidth_bound_on_both_archs() {
+        // 2 flops / 16 bytes per item: firmly under both rooflines.
+        for arch in [SNB_EP, KNC] {
+            let plan = Planner::new(arch).plan(&ToyKernel).unwrap();
+            assert_eq!(plan.bound, Bound::Bandwidth);
+            assert_eq!(plan.bound.to_string(), "bandwidth");
+        }
+    }
+
+    #[test]
+    fn override_wins_over_model() {
+        let mut planner = Planner::new(SNB_EP);
+        planner.set_override("toy", "basic_scalar");
+        let plan = planner.plan(&ToyKernel).unwrap();
+        assert_eq!(plan.rung, 0);
+        assert!(plan.overridden);
+        assert!(plan.reason.contains("override"));
+    }
+
+    #[test]
+    fn unknown_override_slug_is_an_error() {
+        let mut planner = Planner::new(SNB_EP);
+        planner.set_override("toy", "nonexistent_rung");
+        let err = planner.plan(&ToyKernel).unwrap_err();
+        assert!(err.contains("nonexistent_rung"), "{err}");
+        assert!(err.contains("basic_scalar"), "lists valid slugs: {err}");
+    }
+
+    #[test]
+    fn parse_overrides_grammar() {
+        let mut p = Planner::new(SNB_EP);
+        p.parse_overrides("toy=basic_scalar, other = some_rung ,")
+            .unwrap();
+        assert_eq!(p.overrides.len(), 2);
+        assert_eq!(p.overrides["toy"], "basic_scalar");
+        assert_eq!(p.overrides["other"], "some_rung");
+        assert!(p.parse_overrides("no_equals_sign").is_err());
+        assert!(p.parse_overrides("=rung").is_err());
+        assert!(p.parse_overrides("kernel=").is_err());
+    }
+
+    #[test]
+    fn host_planner_produces_a_plan() {
+        let planner = Planner::for_host();
+        assert!(planner.arch().cores() >= 1);
+        let plan = planner.plan(&ToyKernel).unwrap();
+        assert!(plan.predicted_rate.is_finite() && plan.predicted_rate > 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Label → span-segment slugs and the shared measurement budget — the
+//! helpers every ladder driver used to hand-roll (moved here from
+//! `finbench-harness` so the engine owns one copy).
+
+/// Lowercase a rung label into a span-name segment (`[a-z0-9_]*`): runs of
+/// non-alphanumeric characters collapse to single underscores, leading and
+/// trailing separators are dropped.
+pub fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    out
+}
+
+/// Per-rung measurement budget in seconds: `--quick` runs shrink it so CI
+/// sweeps the whole registry in seconds.
+pub fn min_secs(quick: bool) -> f64 {
+    if quick {
+        0.02
+    } else {
+        0.15
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slug_flattens_labels() {
+        assert_eq!(
+            slug("Basic: scalar AOS reference"),
+            "basic_scalar_aos_reference"
+        );
+        assert_eq!(
+            slug("Advanced + own-pool threads"),
+            "advanced_own_pool_threads"
+        );
+        assert_eq!(slug("SIMD SOA (W=8)"), "simd_soa_w_8");
+    }
+
+    #[test]
+    fn slug_of_vector_class_label() {
+        assert_eq!(slug("SOA + SIMD (F64vec4)"), "soa_simd_f64vec4");
+    }
+
+    #[test]
+    fn slug_of_empty_and_punctuation_only() {
+        assert_eq!(slug(""), "");
+        assert_eq!(slug("---"), "");
+        assert_eq!(slug("!!!###"), "");
+    }
+
+    #[test]
+    fn slug_drops_leading_and_trailing_punctuation() {
+        assert_eq!(slug("  (leading) "), "leading");
+        assert_eq!(slug("trailing..."), "trailing");
+        assert_eq!(slug("...both!!!"), "both");
+        assert_eq!(slug("__already_sluggy__"), "already_sluggy");
+    }
+
+    #[test]
+    fn min_secs_quick_is_smaller() {
+        assert!(min_secs(true) < min_secs(false));
+        assert!(min_secs(true) > 0.0);
+    }
+}

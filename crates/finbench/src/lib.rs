@@ -20,6 +20,9 @@
 //!   bridge, Monte Carlo, Crank-Nicolson, and greeks/implied vol.
 //! * [`machine`] — SNB-EP/KNC architecture models and the figure
 //!   regeneration.
+//! * [`engine`] — the unified pricing-engine plane: the `Kernel` trait,
+//!   the type-erased registry, the generic measure/validate loops, and
+//!   the cost-model-driven rung planner.
 //! * [`harness`] — the experiment drivers behind the `finbench` CLI.
 //! * [`telemetry`] — zero-dependency spans, counters, and histograms
 //!   wired through the pool, RNG, and harness (`FINBENCH_LOG` filter).
@@ -37,6 +40,7 @@
 //! ```
 
 pub use finbench_core as core;
+pub use finbench_engine as engine;
 pub use finbench_harness as harness;
 pub use finbench_machine as machine;
 pub use finbench_math as math;

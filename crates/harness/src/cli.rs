@@ -27,10 +27,35 @@ pub enum CliAction {
 /// One-line usage string (the error path points people here).
 pub fn usage_line() -> String {
     format!(
-        "usage: finbench [EXPERIMENT ...] [--quick] [--csv DIR] [--json FILE] [--report] [--list]\n\
-         experiments: {} | all",
-        EXPERIMENTS.join(" | ")
+        "usage: finbench [EXPERIMENT ...] [--quick] [--only KERNEL[,KERNEL...]] [--csv DIR] [--json FILE] [--report] [--list]\n\
+         experiments: {} | all\n\
+         kernels: {}",
+        EXPERIMENTS.join(" | "),
+        crate::native::kernel_names().join(" | ")
     )
+}
+
+/// Parse a `--only` operand: comma-separated registry kernel names,
+/// deduplicated, validated against the engine registry.
+fn parse_only(operand: &str) -> Result<Vec<String>, String> {
+    let known = crate::native::kernel_names();
+    let mut out: Vec<String> = Vec::new();
+    for name in operand.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            return Err("--only requires a comma-separated list of kernel names".into());
+        }
+        if !known.contains(&name) {
+            return Err(format!(
+                "unknown kernel in --only: {name} (kernels: {})",
+                known.join(", ")
+            ));
+        }
+        if !out.iter().any(|n| n == name) {
+            out.push(name.to_string());
+        }
+    }
+    Ok(out)
 }
 
 /// Parse the argument list (without the program name).
@@ -60,6 +85,10 @@ where
             "--json" => match args.next() {
                 Some(file) => opts.json = Some(file),
                 None => return Err("--json requires a file argument".into()),
+            },
+            "--only" => match args.next() {
+                Some(list) => opts.only = Some(parse_only(&list)?),
+                None => return Err("--only requires a kernel list argument".into()),
             },
             "--report" => opts.report = true,
             "--list" => return Ok(CliAction::List),
@@ -151,5 +180,31 @@ mod tests {
     fn audit_is_a_known_experiment() {
         let p = run(&["audit"]);
         assert_eq!(p.ids, ["audit"]);
+    }
+
+    #[test]
+    fn only_parses_a_single_kernel() {
+        let p = run(&["native", "--only", "rng"]);
+        assert_eq!(p.opts.only, Some(vec!["rng".to_string()]));
+    }
+
+    #[test]
+    fn only_parses_a_comma_list_deduplicated() {
+        let p = run(&["native", "--only", "black_scholes,rng,black_scholes"]);
+        assert_eq!(
+            p.opts.only,
+            Some(vec!["black_scholes".to_string(), "rng".to_string()])
+        );
+    }
+
+    #[test]
+    fn only_rejects_unknown_kernels() {
+        // main() turns this Err into exit code 2 — the same path as every
+        // other parse error.
+        let err = parse_args(["native", "--only", "black_sholes"]).unwrap_err();
+        assert!(err.contains("unknown kernel"), "{err}");
+        assert!(parse_args(["native", "--only"]).is_err());
+        assert!(parse_args(["native", "--only", ""]).is_err());
+        assert!(parse_args(["native", "--only", "rng,,"]).is_err());
     }
 }

@@ -41,6 +41,25 @@ fn print_native(title: &str, ladder: &[(String, f64)], unit: &str, opts: &RunOpt
     println!();
 }
 
+/// Measure and print the native ladder of every registered kernel whose
+/// paper artifact is `artifact` — the registry is the single source of
+/// truth for which kernels belong to which figure/table.
+fn print_native_for_artifact(artifact: &str, opts: &RunOptions) {
+    let engine = native::engine();
+    for k in engine.registry().kernels() {
+        if k.artifact() != artifact {
+            continue;
+        }
+        print_native(
+            k.title(),
+            &engine.run_ladder(k, opts.quick),
+            k.unit(),
+            opts,
+            &format!("native_{}.csv", k.name()),
+        );
+    }
+}
+
 /// Table I: system configuration and derived peaks.
 pub fn table1(opts: &RunOptions) {
     println!("{}", section("Table I — System configuration (modeled)"));
@@ -108,13 +127,7 @@ pub fn fig4(opts: &RunOptions) {
     println!("  gives ~10x on KNC; advanced reaches 84% (SNB-EP) / 60% (KNC)");
     println!("  of the B/40 bandwidth bound.");
     println!();
-    print_native(
-        "Black-Scholes ladder (options/s)",
-        &native::black_scholes_ladder(opts.quick),
-        "opts/s",
-        opts,
-        "native_black_scholes.csv",
-    );
+    print_native_for_artifact("fig4", opts);
 }
 
 /// Fig. 5: binomial tree at 1024 and 2048 steps.
@@ -126,13 +139,7 @@ pub fn fig5(opts: &RunOptions) {
     println!("  register tiling >2x; unroll +1.4x on KNC only; best KNC/SNB =");
     println!("  2.6x; SNB-EP within 10% / KNC within 30% of compute bound.");
     println!();
-    print_native(
-        "Binomial tree ladder (options/s, N=1024)",
-        &native::binomial_ladder(opts.quick),
-        "opts/s",
-        opts,
-        "native_binomial.csv",
-    );
+    print_native_for_artifact("fig5", opts);
 }
 
 /// Fig. 6: Brownian bridge.
@@ -142,13 +149,7 @@ pub fn fig6(opts: &RunOptions) {
     println!("  bound (KNC/SNB = BW ratio ~2x); advanced compute-bound with");
     println!("  KNC 2x (no FMA in the midpoint op).");
     println!();
-    print_native(
-        "Brownian bridge ladder (64-step paths/s)",
-        &native::brownian_ladder(opts.quick),
-        "paths/s",
-        opts,
-        "native_brownian_bridge.csv",
-    );
+    print_native_for_artifact("fig6", opts);
 }
 
 /// Table II: Monte-Carlo pricing and RNG rates.
@@ -173,20 +174,7 @@ pub fn table2(opts: &RunOptions) {
             &rows
         )
     );
-    print_native(
-        "Monte-Carlo ladder",
-        &native::monte_carlo_ladder(opts.quick),
-        "paths/s",
-        opts,
-        "native_monte_carlo.csv",
-    );
-    print_native(
-        "RNG rates",
-        &native::rng_rates(opts.quick),
-        "nums/s",
-        opts,
-        "native_rng.csv",
-    );
+    print_native_for_artifact("table2", opts);
 }
 
 /// Fig. 8: Crank-Nicolson.
@@ -196,13 +184,7 @@ pub fn fig8(opts: &RunOptions) {
     println!("  4.4K/7.3K opts/s; +layout transform 6.4K/11.4K; net SIMD");
     println!("  gain 3.1x (SNB-EP) / 4.1x (KNC).");
     println!();
-    print_native(
-        "Crank-Nicolson ladder (options/s; reduced step count)",
-        &native::crank_nicolson_ladder(opts.quick),
-        "opts/s",
-        opts,
-        "native_crank_nicolson.csv",
-    );
+    print_native_for_artifact("fig8", opts);
 }
 
 /// §V: Ninja-gap summary.
@@ -407,51 +389,24 @@ pub fn audit(opts: &RunOptions) {
     let _ = opts;
 }
 
-/// All native ladders in one run.
+/// All native ladders in one run (restricted by `--only`, when given).
 pub fn native_all(opts: &RunOptions) {
     println!("{}", section("Native host measurements (all kernels)"));
-    print_native(
-        "Black-Scholes (options/s)",
-        &native::black_scholes_ladder(opts.quick),
-        "opts/s",
-        opts,
-        "native_black_scholes.csv",
-    );
-    print_native(
-        "Binomial tree (options/s)",
-        &native::binomial_ladder(opts.quick),
-        "opts/s",
-        opts,
-        "native_binomial.csv",
-    );
-    print_native(
-        "Brownian bridge (paths/s)",
-        &native::brownian_ladder(opts.quick),
-        "paths/s",
-        opts,
-        "native_brownian_bridge.csv",
-    );
-    print_native(
-        "Monte Carlo (paths/s)",
-        &native::monte_carlo_ladder(opts.quick),
-        "paths/s",
-        opts,
-        "native_monte_carlo.csv",
-    );
-    print_native(
-        "Crank-Nicolson (options/s)",
-        &native::crank_nicolson_ladder(opts.quick),
-        "opts/s",
-        opts,
-        "native_crank_nicolson.csv",
-    );
-    print_native(
-        "RNG rates (numbers/s)",
-        &native::rng_rates(opts.quick),
-        "nums/s",
-        opts,
-        "native_rng.csv",
-    );
+    let engine = native::engine();
+    for k in engine.registry().kernels() {
+        if let Some(only) = &opts.only {
+            if !only.iter().any(|n| n == k.name()) {
+                continue;
+            }
+        }
+        print_native(
+            k.title(),
+            &engine.run_ladder(k, opts.quick),
+            k.unit(),
+            opts,
+            &format!("native_{}.csv", k.name()),
+        );
+    }
 }
 
 #[cfg(test)]

@@ -8,26 +8,29 @@
 //! Run via the `finbench` binary:
 //!
 //! ```text
-//! finbench all            # every experiment
-//! finbench fig4 fig5      # specific artifacts
-//! finbench table2 --quick # reduced native workload sizes
-//! finbench native         # native kernel ladders only
-//! finbench audit          # dynamic op-count audit (paper Table III)
-//! finbench --csv out/     # also write CSV series
-//! finbench --json t.jsonl # export the telemetry trace as JSON lines
-//! finbench --report       # print the telemetry span tree after the run
+//! finbench all                # every experiment
+//! finbench fig4 fig5          # specific artifacts
+//! finbench table2 --quick     # reduced native workload sizes
+//! finbench native             # native kernel ladders only
+//! finbench native --only rng  # just some kernels' ladders
+//! finbench audit              # dynamic op-count audit (paper Table III)
+//! finbench --csv out/         # also write CSV series
+//! finbench --json t.jsonl     # export the telemetry trace as JSON lines
+//! finbench --report           # print the telemetry span tree after the run
 //! ```
 //!
 //! Every experiment runs inside a telemetry span (`experiment.<id>`), and
 //! the native ladders open one child span per rung carrying the per-rep
 //! throughput distribution — see `finbench_telemetry` and the `--json` /
-//! `--report` flags.
+//! `--report` flags. The native ladders themselves are driven by the
+//! engine plane (`finbench_engine`): the kernel registry lives in
+//! `finbench_core::engine`, and this crate contains no per-kernel rung
+//! drivers.
 
 pub mod cli;
 pub mod experiments;
 pub mod native;
 pub mod render;
-pub mod timing;
 
 use finbench_telemetry as telemetry;
 
@@ -42,6 +45,8 @@ pub struct RunOptions {
     pub json: Option<String>,
     /// Print the telemetry span tree after the run.
     pub report: bool,
+    /// Restrict `native` to these registry kernels (none = all).
+    pub only: Option<Vec<String>>,
 }
 
 /// All experiment ids, in paper order (plus the op-count audit).

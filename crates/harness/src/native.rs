@@ -7,341 +7,37 @@
 //! (SOA beats AOS, tiling beats plain SIMD, fused beats streamed) is the
 //! reproducible part and is what the integration tests assert.
 //!
-//! Every rung runs inside a telemetry span `native.<kernel>.<slug>` that
-//! carries the label, workload size, per-rep throughput summary (from
-//! [`throughput_samples`]) and — for thread-parallel rungs — the pool's
-//! load-imbalance factor.
+//! There are no per-kernel driver functions here: the six kernels
+//! implement [`finbench_engine::Kernel`] in `finbench_core::engine`, and
+//! one shared [`Engine`] drives every ladder through the same generic
+//! loop — spans (`native.<kernel>.<slug>` with label, workload size,
+//! per-rep throughput summary, pool imbalance) and the planner's
+//! `plan.<kernel>` decision span come with it.
 
-use crate::timing::throughput_samples;
-use finbench_core::binomial;
-use finbench_core::black_scholes::{reference, soa, vml};
-use finbench_core::brownian_bridge::{
-    interleaved, reference as bridge_ref, simd as bridge_simd, BridgePlan,
-};
-use finbench_core::crank_nicolson::{CnProblem, PsorKind};
-use finbench_core::monte_carlo::{reference as mc_ref, simd as mc_simd, GbmTerminal};
-use finbench_core::workload::{MarketParams, OptionBatchSoa, WorkloadRanges};
-use finbench_rng::normal::{fill_standard_normal_icdf, fill_standard_normal_polar};
-use finbench_rng::uniform::fill_uniform;
-use finbench_rng::{Mt19937_64, Philox4x32, StreamFamily};
-use finbench_telemetry as telemetry;
+use finbench_core::engine::registry;
+use finbench_engine::{Engine, LadderRates};
+use std::sync::OnceLock;
 
-const M: MarketParams = MarketParams::PAPER;
-
-fn min_secs(quick: bool) -> f64 {
-    if quick {
-        0.02
-    } else {
-        0.15
-    }
+/// The process-wide engine: the six-kernel registry plus a planner for
+/// the build host (honoring `FINBENCH_PLAN` overrides).
+pub fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| Engine::new(registry()))
 }
 
-/// Lowercase a rung label into a span-name segment (`[a-z0-9_]+`).
-fn slug(label: &str) -> String {
-    let mut out = String::with_capacity(label.len());
-    for c in label.chars() {
-        if c.is_ascii_alphanumeric() {
-            out.push(c.to_ascii_lowercase());
-        } else if !out.ends_with('_') && !out.is_empty() {
-            out.push('_');
-        }
-    }
-    while out.ends_with('_') {
-        out.pop();
-    }
-    out
+/// Registered kernel names, registration (paper-artifact) order.
+pub fn kernel_names() -> Vec<&'static str> {
+    engine().registry().names()
 }
 
-/// Measure one ladder rung inside its own telemetry span and append the
-/// best rate to `out`. The span carries `label`, `items`, the
-/// [`throughput_samples`] summary, and `pool_imbalance` (1.0 unless a
-/// pool dispatch inside `body` overwrites it).
-fn rung(
-    out: &mut Vec<(String, f64)>,
-    kernel: &str,
-    label: &str,
-    items: usize,
-    secs: f64,
-    body: impl FnMut(),
-) {
-    let _g = telemetry::span(format!("native.{kernel}.{}", slug(label)));
-    telemetry::set_attr("label", label);
-    telemetry::set_attr("items", items);
-    telemetry::set_attr("pool_imbalance", 1.0);
-    let s = throughput_samples(items, secs, body);
-    out.push((label.to_string(), s.best()));
-}
-
-/// Black-Scholes ladder: options/second at each level.
-pub fn black_scholes_ladder(quick: bool) -> Vec<(String, f64)> {
-    let n = if quick { 20_000 } else { 400_000 };
-    let soa_batch = OptionBatchSoa::random(n, 1, WorkloadRanges::default());
-    let aos_batch = soa_batch.to_aos();
-    let secs = min_secs(quick);
-    let k = "black_scholes";
-    let mut out = Vec::new();
-
-    let mut b = aos_batch.clone();
-    rung(&mut out, k, "Basic: scalar AOS reference", n, secs, || {
-        reference::price_aos::<f64>(&mut b, M)
-    });
-    let mut b = aos_batch.clone();
-    rung(
-        &mut out,
-        k,
-        "Basic+: SIMD on AOS (gathers)",
-        n,
-        secs,
-        || reference::price_aos_simd_gather::<8>(&mut b, M),
-    );
-    let mut b = soa_batch.clone();
-    rung(&mut out, k, "Intermediate: scalar SOA", n, secs, || {
-        soa::price_soa_scalar(&mut b, M)
-    });
-    let mut b = soa_batch.clone();
-    rung(&mut out, k, "Intermediate: SIMD SOA (W=4)", n, secs, || {
-        soa::price_soa_simd::<4>(&mut b, M)
-    });
-    let mut b = soa_batch.clone();
-    rung(&mut out, k, "Intermediate: SIMD SOA (W=8)", n, secs, || {
-        soa::price_soa_simd::<8>(&mut b, M)
-    });
-    let mut b = soa_batch.clone();
-    rung(&mut out, k, "Advanced: erf + parity (W=8)", n, secs, || {
-        soa::price_soa_simd_erf_parity::<8>(&mut b, M)
-    });
-    let mut b = soa_batch.clone();
-    let mut ws = vml::VmlWorkspace::with_capacity(n);
-    rung(&mut out, k, "Advanced: VML-style batch", n, secs, || {
-        vml::price_soa_vml(&mut b, M, &mut ws)
-    });
-    let mut b = soa_batch.clone();
-    rung(&mut out, k, "Advanced + own-pool threads", n, secs, || {
-        soa::par_price_soa::<8>(&mut b, M, 4096)
-    });
-    out
-}
-
-/// Binomial-tree ladder: options/second at `n_steps` time steps.
-pub fn binomial_ladder(quick: bool) -> Vec<(String, f64)> {
-    let n_steps = if quick { 256 } else { 1024 };
-    let n_opts = if quick { 16 } else { 64 };
-    let mut batch = OptionBatchSoa::random(n_opts, 2, WorkloadRanges::default());
-    for t in &mut batch.t {
-        *t = 1.0;
-    }
-    let secs = min_secs(quick);
-    let k = "binomial";
-    let mut out = Vec::new();
-
-    let mut b = batch.clone();
-    rung(&mut out, k, "Basic: scalar reference", n_opts, secs, || {
-        binomial::reference::price_batch(&mut b, M, n_steps)
-    });
-    let mut b = batch.clone();
-    rung(
-        &mut out,
-        k,
-        "Intermediate: SIMD across options (W=8)",
-        n_opts,
-        secs,
-        || binomial::simd::price_batch_simd::<8>(&mut b, M, n_steps, true),
-    );
-    let mut b = batch.clone();
-    rung(
-        &mut out,
-        k,
-        "Advanced: register tiling (W=8, TS=4)",
-        n_opts,
-        secs,
-        || binomial::tiled::price_batch_tiled::<8, 4>(&mut b, M, n_steps, true),
-    );
-    let mut b = batch.clone();
-    rung(
-        &mut out,
-        k,
-        "Advanced: register tiling (W=8, TS=8)",
-        n_opts,
-        secs,
-        || binomial::tiled::price_batch_tiled::<8, 8>(&mut b, M, n_steps, true),
-    );
-    out
-}
-
-/// Brownian-bridge ladder: paths/second for a 64-step bridge.
-pub fn brownian_ladder(quick: bool) -> Vec<(String, f64)> {
-    let plan = BridgePlan::new(6, 1.0);
-    let n_paths = if quick { 4_096 } else { 65_536 };
-    let per = plan.randoms_per_path();
-    let points = plan.points();
-    let secs = min_secs(quick);
-    let k = "brownian_bridge";
-
-    let mut rng = Mt19937_64::new(3);
-    let mut randoms = vec![0.0; n_paths * per];
-    fill_standard_normal_icdf(&mut rng, &mut randoms);
-    let transposed = bridge_simd::transpose_randoms::<8>(&randoms, per);
-    let fam = StreamFamily::new(77);
-
-    // NOTE: the first two rows consume pre-generated normals (the paper's
-    // Fig. 6 timings exclude RNG generation); the advanced rows generate
-    // their normals inline, so on hosts where the inverse-CDF transform is
-    // slow they can sit *below* the streamed rows — compare them against
-    // each other, and see the `ablation_normal_transform` bench for the
-    // transform cost itself.
-    let mut out = Vec::new();
-    let mut buf = vec![0.0; n_paths * points];
-    rung(
-        &mut out,
-        k,
-        "Basic: scalar depth-level",
-        n_paths,
-        secs,
-        || bridge_ref::build_paths::<f64>(&plan, &randoms, &mut buf, n_paths),
-    );
-    rung(
-        &mut out,
-        k,
-        "Intermediate: SIMD across paths (W=8)",
-        n_paths,
-        secs,
-        || bridge_simd::build_paths_simd::<8>(&plan, &transposed, &mut buf, n_paths),
-    );
-    rung(
-        &mut out,
-        k,
-        "Advanced: interleaved RNG (incl. RNG gen)",
-        n_paths,
-        secs,
-        || interleaved::build_paths_interleaved::<8>(&plan, &fam, &mut buf, n_paths),
-    );
-    let mut stats = vec![0.0; n_paths];
-    rung(
-        &mut out,
-        k,
-        "Advanced: cache-to-cache fused (incl. RNG gen)",
-        n_paths,
-        secs,
-        || {
-            interleaved::simulate_fused::<8>(
-                &plan,
-                &fam,
-                n_paths,
-                &mut stats,
-                interleaved::path_average,
-            )
-        },
-    );
-    out
-}
-
-/// Monte-Carlo rates: paths/second, streamed vs computed RNG, plus the
-/// per-option rate at the paper's 256k path length.
-pub fn monte_carlo_ladder(quick: bool) -> Vec<(String, f64)> {
-    let n_paths = if quick { 1 << 17 } else { 1 << 21 };
-    let g = GbmTerminal::new(1.0, M);
-    let secs = min_secs(quick);
-    let k = "monte_carlo";
-
-    let mut rng = Mt19937_64::new(5);
-    let mut randoms = vec![0.0; n_paths];
-    fill_standard_normal_icdf(&mut rng, &mut randoms);
-    let fam = StreamFamily::new(5);
-
-    let mut out = Vec::new();
-    rung(
-        &mut out,
-        k,
-        "Basic: scalar streamed RNG (paths/s)",
-        n_paths,
-        secs,
-        || {
-            std::hint::black_box(mc_ref::paths_streamed::<f64>(100.0, 100.0, g, &randoms));
-        },
-    );
-    rung(
-        &mut out,
-        k,
-        "SIMD streamed RNG (paths/s)",
-        n_paths,
-        secs,
-        || {
-            std::hint::black_box(mc_simd::paths_streamed_simd::<8>(100.0, 100.0, g, &randoms));
-        },
-    );
-    rung(
-        &mut out,
-        k,
-        "SIMD computed RNG (paths/s)",
-        n_paths,
-        secs,
-        || {
-            std::hint::black_box(mc_simd::paths_computed_simd::<8>(
-                100.0, 100.0, g, &fam, 0, n_paths,
-            ));
-        },
-    );
-    rung(
-        &mut out,
-        k,
-        "Antithetic variates (paths/s)",
-        n_paths,
-        secs,
-        || {
-            std::hint::black_box(mc_simd::paths_antithetic::<8>(100.0, 100.0, g, &randoms));
-        },
-    );
-    out
-}
-
-/// Crank-Nicolson ladder: options/second (each "option" is a full
-/// 256-point × n-step PSOR solve).
-pub fn crank_nicolson_ladder(quick: bool) -> Vec<(String, f64)> {
-    let n_steps = if quick { 100 } else { 500 };
-    let mut prob = CnProblem::paper(M, 1.0);
-    prob.n_steps = n_steps;
-    let secs = min_secs(quick);
-    let k = "crank_nicolson";
-
-    let mut out = Vec::new();
-    for (label, kind) in [
-        ("Basic: scalar PSOR", PsorKind::Reference),
-        ("Advanced: wavefront manual SIMD", PsorKind::Wavefront),
-        ("Advanced: + data transform", PsorKind::WavefrontSoa),
-    ] {
-        let p = prob.clone();
-        rung(&mut out, k, label, 1, secs, || {
-            std::hint::black_box(p.solve(kind));
-        });
-    }
-    out
-}
-
-/// Raw RNG rates (Table II rows 3-4): numbers/second.
-pub fn rng_rates(quick: bool) -> Vec<(String, f64)> {
-    let n = if quick { 1 << 18 } else { 1 << 22 };
-    let secs = min_secs(quick);
-    let k = "rng";
-    let mut buf = vec![0.0; n];
-    let mut out = Vec::new();
-
-    let mut mt = Mt19937_64::new(1);
-    rung(&mut out, k, "uniform DP (MT19937-64)", n, secs, || {
-        fill_uniform(&mut mt, &mut buf)
-    });
-    let mut px = Philox4x32::new(1);
-    rung(&mut out, k, "uniform DP (Philox4x32)", n, secs, || {
-        fill_uniform(&mut px, &mut buf)
-    });
-    let mut mt = Mt19937_64::new(2);
-    rung(&mut out, k, "normal DP (ICDF)", n, secs, || {
-        fill_standard_normal_icdf(&mut mt, &mut buf)
-    });
-    let mut mt = Mt19937_64::new(3);
-    rung(&mut out, k, "normal DP (polar)", n, secs, || {
-        fill_standard_normal_polar(&mut mt, &mut buf)
-    });
-    out
+/// Measure one kernel's full ladder by registry name.
+///
+/// # Panics
+/// If `name` is not a registered kernel (CLI validation happens earlier).
+pub fn ladder(name: &str, quick: bool) -> LadderRates {
+    engine()
+        .run_ladder_named(name, quick)
+        .unwrap_or_else(|| panic!("unknown kernel: {name}"))
 }
 
 #[cfg(test)]
@@ -349,33 +45,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_ladders_produce_positive_rates() {
-        for ladder in [
-            black_scholes_ladder(true),
-            binomial_ladder(true),
-            brownian_ladder(true),
-            monte_carlo_ladder(true),
-            crank_nicolson_ladder(true),
-            rng_rates(true),
-        ] {
-            assert!(!ladder.is_empty());
-            for (label, rate) in &ladder {
-                assert!(rate.is_finite() && *rate > 0.0, "{label}: {rate}");
-            }
-        }
+    fn registry_exposes_all_six_kernels() {
+        assert_eq!(
+            kernel_names(),
+            [
+                "black_scholes",
+                "binomial",
+                "brownian_bridge",
+                "monte_carlo",
+                "crank_nicolson",
+                "rng"
+            ]
+        );
     }
 
     #[test]
-    fn slug_flattens_labels() {
-        assert_eq!(
-            slug("Basic: scalar AOS reference"),
-            "basic_scalar_aos_reference"
-        );
-        assert_eq!(
-            slug("Advanced + own-pool threads"),
-            "advanced_own_pool_threads"
-        );
-        assert_eq!(slug("SIMD SOA (W=8)"), "simd_soa_w_8");
-        assert_eq!(slug("---"), "");
+    fn all_ladders_produce_positive_rates() {
+        for name in kernel_names() {
+            let rates = ladder(name, true);
+            assert!(!rates.is_empty(), "{name}");
+            for (label, rate) in &rates {
+                assert!(rate.is_finite() && *rate > 0.0, "{name}/{label}: {rate}");
+            }
+        }
     }
 }

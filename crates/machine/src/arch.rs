@@ -116,6 +116,40 @@ pub const SNB_EP: ArchSpec = ArchSpec {
     gather_cycles_per_line: 2.0,
 };
 
+/// A nominal approximation of the build host, for planning only: the core
+/// count is real (`available_parallelism`), everything else is a generic
+/// out-of-order AVX2-class core with SNB-EP's calibrated throughput
+/// constants and ~12 GB/s of STREAM bandwidth per core. The planner only
+/// needs the *relative* compute-vs-bandwidth classification, not absolute
+/// rates, so a nominal spec is sufficient — and `FINBENCH_PLAN` overrides
+/// it entirely when it guesses wrong.
+pub fn host_spec() -> ArchSpec {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(1);
+    ArchSpec {
+        name: "host",
+        sockets: 1,
+        cores_per_socket: cores,
+        smt: 1,
+        clock_ghz: 3.0,
+        simd_width_dp: 4,
+        fma: true,
+        issue: Issue::OutOfOrder,
+        l1_kb: 32,
+        l2_kb: 512,
+        l3_kb: 8_192,
+        dram_gb: 16,
+        stream_bw_gbs: (12.0 * cores as f64).min(80.0),
+        exp_cpe: SNB_EP.exp_cpe,
+        heavy_cpe: SNB_EP.heavy_cpe,
+        div_cpe: SNB_EP.div_cpe,
+        normal_rng_cpe: SNB_EP.normal_rng_cpe,
+        uniform_rng_cpe: SNB_EP.uniform_rng_cpe,
+        gather_cycles_per_line: SNB_EP.gather_cycles_per_line,
+    }
+}
+
 /// The Intel Xeon Phi "Knights Corner" coprocessor ("KNC"): 60 in-order
 /// cores, 4-way SMT, 1.09 GHz, 512-bit SIMD with FMA.
 pub const KNC: ArchSpec = ArchSpec {
@@ -184,6 +218,15 @@ mod tests {
     fn cycles_per_sec() {
         assert!((SNB_EP.cycles_per_sec() - 43.2e9).abs() < 1e6);
         assert!((KNC.cycles_per_sec() - 65.4e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn host_spec_is_sane() {
+        let h = host_spec();
+        assert_eq!(h.name, "host");
+        assert!(h.cores() >= 1);
+        assert!(h.peak_dp_gflops() > 0.0);
+        assert!(h.bw_bytes_per_sec() > 0.0);
     }
 
     #[test]

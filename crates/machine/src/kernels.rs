@@ -250,6 +250,51 @@ pub fn monte_carlo(arch: &ArchSpec) -> (LevelCost, LevelCost) {
     (streamed, computed)
 }
 
+/// [`monte_carlo`] as a labeled ladder for the engine's planner.
+pub fn monte_carlo_levels(arch: &ArchSpec) -> Vec<Level> {
+    let (streamed, computed) = monte_carlo(arch);
+    vec![
+        Level {
+            label: "Streamed RNG",
+            cost: streamed,
+        },
+        Level {
+            label: "Computed RNG",
+            cost: computed,
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Random number generation (items = numbers; Tab. II rows 3-4, nums/s)
+// ---------------------------------------------------------------------
+
+/// RNG ladder: uniform DP (vectorized Mersenne-class generator) and
+/// normal DP (uniform + inverse CDF). Both descriptors reduce to the
+/// calibrated `*_rng_cpe` constants, so their modeled rates are exactly
+/// the Table II rows the constants were fit to. The output buffer is
+/// LLC-resident in the benchmark loop, so no DRAM bytes are charged.
+pub fn rng(arch: &ArchSpec) -> Vec<Level> {
+    // Charge the uniform generator through the flop term: with full lanes
+    // and unit ILP, `flops / (2 * width)` cycles/item = `uniform_rng_cpe`.
+    let uniform =
+        LevelCost::flops_only(2.0 * arch.simd_width_dp as f64 * arch.uniform_rng_cpe, 0.0);
+    let normal = LevelCost {
+        rng_normals: 1.0,
+        ..LevelCost::flops_only(0.0, 0.0)
+    };
+    vec![
+        Level {
+            label: "Uniform DP (vector MT)",
+            cost: uniform,
+        },
+        Level {
+            label: "Normal DP (ICDF)",
+            cost: normal,
+        },
+    ]
+}
+
 // ---------------------------------------------------------------------
 // Crank-Nicolson (items = options; Fig. 8, Kopts/s)
 // ---------------------------------------------------------------------
@@ -536,6 +581,39 @@ mod tests {
                 "{} computed {got_comp} vs {want_comp}",
                 arch.name
             );
+        }
+    }
+
+    #[test]
+    fn rng_ladder_reproduces_table2_rows() {
+        // Table II rows 3-4: normal 1.79e9 / 5.21e9, uniform 13.31e9 /
+        // 25.134e9 numbers per second.
+        let cases = [(&SNB_EP, 13.31e9, 1.79e9), (&KNC, 25.134e9, 5.21e9)];
+        for (arch, want_uniform, want_normal) in cases {
+            let levels = rng(arch);
+            let got_u = levels[0].cost.throughput(arch);
+            let got_n = levels[1].cost.throughput(arch);
+            assert!(
+                (got_u - want_uniform).abs() / want_uniform < 0.05,
+                "{} uniform {got_u} vs {want_uniform}",
+                arch.name
+            );
+            assert!(
+                (got_n - want_normal).abs() / want_normal < 0.05,
+                "{} normal {got_n} vs {want_normal}",
+                arch.name
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_levels_matches_tuple() {
+        for arch in [&SNB_EP, &KNC] {
+            let (s, c) = monte_carlo(arch);
+            let levels = monte_carlo_levels(arch);
+            assert_eq!(levels.len(), 2);
+            assert_eq!(levels[0].cost, s);
+            assert_eq!(levels[1].cost, c);
         }
     }
 

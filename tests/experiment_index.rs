@@ -1,0 +1,64 @@
+//! Golden test: the experiment index documented in DESIGN.md §5 and the
+//! ids the CLI serves (`finbench --list` prints `EXPERIMENTS` verbatim —
+//! see `finbench-harness/src/main.rs`) must stay in sync. Parses the §5
+//! table's Id column and asserts set equality, so adding an experiment to
+//! either side without the other fails CI.
+
+use std::collections::BTreeSet;
+
+/// Extract the backticked Id column entries from the §5 table.
+fn design_ids(design: &str) -> BTreeSet<String> {
+    let section = design
+        .split("## 5.")
+        .nth(1)
+        .expect("DESIGN.md has a §5")
+        .split("\n## ")
+        .next()
+        .unwrap();
+    section
+        .lines()
+        .filter(|l| l.starts_with('|'))
+        .filter_map(|l| {
+            // First cell of each row; ids are backticked, the ablations
+            // row ("—") and the header/separator rows are not.
+            let cell = l.trim_start_matches('|').split('|').next()?.trim();
+            let id = cell.strip_prefix('`')?.strip_suffix('`')?;
+            Some(id.to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn design_section_5_matches_finbench_list() {
+    let design = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"))
+        .expect("read DESIGN.md");
+    let documented = design_ids(&design);
+    let served: BTreeSet<String> = finbench::harness::EXPERIMENTS
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert!(!served.is_empty());
+    assert_eq!(
+        documented,
+        served,
+        "DESIGN.md §5 Id column and `finbench --list` diverged \
+         (documented-only: {:?}; served-only: {:?})",
+        documented.difference(&served).collect::<Vec<_>>(),
+        served.difference(&documented).collect::<Vec<_>>(),
+    );
+}
+
+#[test]
+fn native_kernels_cover_every_figure_artifact() {
+    // Every kernel's artifact id is itself a served experiment, so the
+    // per-figure experiments can derive their native sections from the
+    // registry.
+    for k in finbench::core::engine::registry().kernels() {
+        assert!(
+            finbench::harness::EXPERIMENTS.contains(&k.artifact()),
+            "{}: artifact {} is not a served experiment",
+            k.name(),
+            k.artifact()
+        );
+    }
+}

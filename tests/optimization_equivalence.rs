@@ -4,60 +4,40 @@
 //! (binomial tiling, PSOR wavefront, bridge SIMD), to tight tolerance
 //! where the operation order legitimately differs (transcendental-heavy
 //! Black-Scholes, Monte-Carlo reductions).
+//!
+//! The per-kernel equivalence sweeps that used to live here (one
+//! hand-written comparison per variant) are now a single property test:
+//! every [`Rung`](finbench::engine::Rung) declares its check and baseline,
+//! and [`Engine::validate_all`] runs the whole §6 strategy over random
+//! workloads. What remains below are the shapes the ladder does not
+//! exercise (odd tile sizes, odd step counts, raw wavefront blocks).
 
 use finbench::core::binomial;
-use finbench::core::black_scholes::{reference, soa, vml};
-use finbench::core::brownian_bridge::{reference as bref, simd as bsimd, BridgePlan};
+use finbench::core::black_scholes::soa;
 use finbench::core::crank_nicolson::reference::psor_sweep;
 use finbench::core::crank_nicolson::wavefront;
+use finbench::core::engine::registry;
 use finbench::core::workload::{MarketParams, OptionBatchSoa, WorkloadRanges};
-use finbench::rng::{normal::fill_standard_normal_icdf, Mt19937_64};
+use finbench::engine::{Engine, Planner, WorkloadSpec};
+use finbench::machine::SNB_EP;
+use proptest::prelude::*;
 
 const M: MarketParams = MarketParams::PAPER;
 
-#[test]
-fn black_scholes_five_variants_agree() {
-    let n = 2048 + 3;
-    let base = OptionBatchSoa::random(n, 99, WorkloadRanges::default());
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
 
-    let mut scalar = base.clone();
-    soa::price_soa_scalar(&mut scalar, M);
-
-    let mut aos = base.to_aos();
-    reference::price_aos::<f64>(&mut aos, M);
-
-    let mut gather = base.to_aos();
-    reference::price_aos_simd_gather::<8>(&mut gather, M);
-
-    let mut simd = base.clone();
-    soa::price_soa_simd::<8>(&mut simd, M);
-
-    let mut parity = base.clone();
-    soa::price_soa_simd_erf_parity::<8>(&mut parity, M);
-
-    let mut batch = base.clone();
-    let mut ws = vml::VmlWorkspace::default();
-    vml::price_soa_vml(&mut batch, M, &mut ws);
-
-    for i in 0..n {
-        let want_c = scalar.call[i];
-        let want_p = scalar.put[i];
-        for (label, got_c, got_p) in [
-            ("aos", aos.opts[i].call, aos.opts[i].put),
-            ("gather", gather.opts[i].call, gather.opts[i].put),
-            ("simd", simd.call[i], simd.put[i]),
-            ("parity", parity.call[i], parity.put[i]),
-            ("vml", batch.call[i], batch.put[i]),
-        ] {
-            assert!(
-                (got_c - want_c).abs() <= 1e-11 * want_c.abs().max(1.0),
-                "{label} call {i}: {got_c} vs {want_c}"
-            );
-            assert!(
-                (got_p - want_p).abs() <= 1e-11 * want_p.abs().max(1.0),
-                "{label} put {i}: {got_p} vs {want_p}"
-            );
-        }
+    /// Every rung of every registered kernel reproduces its baseline rung
+    /// on randomized workloads — sizes and seeds drawn here, clamping and
+    /// SIMD-width rounding done by each kernel's `make_workload`.
+    #[test]
+    fn every_rung_matches_its_baseline_on_random_workloads(
+        seed in 0u64..1_000_000,
+        n_hint in 1usize..96,
+    ) {
+        let engine = Engine::with_planner(registry(), Planner::new(SNB_EP));
+        let errs = engine.validate_all(&WorkloadSpec::validation(seed, n_hint));
+        prop_assert!(errs.is_empty(), "{errs:?}");
     }
 }
 
@@ -86,35 +66,6 @@ fn binomial_tiling_is_bit_exact_for_many_shapes() {
                 "TS=16 n={n_steps} i={i}"
             );
         }
-    }
-}
-
-#[test]
-fn bridge_simd_is_bit_exact_vs_scalar() {
-    for depth in [1usize, 3, 6, 8] {
-        let plan = BridgePlan::new(depth, 2.5);
-        let per = plan.randoms_per_path();
-        let n_paths = 16;
-        let mut rng = Mt19937_64::new(depth as u64);
-        let mut randoms = vec![0.0; n_paths * per];
-        fill_standard_normal_icdf(&mut rng, &mut randoms);
-
-        let mut scalar_out = vec![0.0; n_paths * plan.points()];
-        bref::build_paths::<f64>(&plan, &randoms, &mut scalar_out, n_paths);
-
-        let transposed = bsimd::transpose_randoms::<8>(&randoms, per);
-        let mut simd_out = vec![0.0; n_paths * plan.points()];
-        bsimd::build_paths_simd::<8>(&plan, &transposed, &mut simd_out, n_paths);
-
-        assert_eq!(
-            scalar_out
-                .iter()
-                .zip(&simd_out)
-                .filter(|(a, b)| a.to_bits() != b.to_bits())
-                .count(),
-            0,
-            "depth {depth}"
-        );
     }
 }
 
