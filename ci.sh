@@ -13,6 +13,14 @@ echo "==> engine registry consistency"
 cargo test -q -p finbench --test engine_plane
 cargo test -q -p finbench-core --lib engine::
 
+echo "==> serve-bench smoke gate (zero shed)"
+serve_out=$(cargo run --release -q -p finbench-harness --bin finbench -- serve-bench --quick)
+echo "$serve_out" | tail -3
+echo "$serve_out" | grep -q "total shed: 0" || {
+  echo "serve-bench shed requests under a zero-shed configuration" >&2
+  exit 1
+}
+
 echo "==> examples (quick mode)"
 cargo build --release --examples
 for ex in quickstart portfolio_pricing american_options asian_option_mc ninja_gap_report qmc_convergence; do

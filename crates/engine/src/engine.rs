@@ -3,6 +3,7 @@
 //! throughput sampling, and pool-imbalance capture included, so every
 //! current and future kernel gets them for free.
 
+use crate::error::EngineError;
 use crate::kernel::{Check, WorkloadSpec};
 use crate::planner::{Plan, Planner};
 use crate::registry::{AnyKernel, Registry};
@@ -44,9 +45,10 @@ impl Engine {
         &self.planner
     }
 
-    /// Plan one kernel by name.
-    pub fn plan(&self, name: &str) -> Option<Result<Plan, String>> {
-        self.registry.get(name).map(|k| self.planner.plan(k))
+    /// Plan one kernel by name; unknown names are a typed error, not a
+    /// panic (the serving plane maps this into a `Rejected` response).
+    pub fn plan(&self, name: &str) -> Result<Plan, EngineError> {
+        self.planner.plan(self.registry.resolve(name)?)
     }
 
     /// Measure every rung of `kernel`'s ladder on the build host.
@@ -76,9 +78,10 @@ impl Engine {
         out
     }
 
-    /// [`run_ladder`](Self::run_ladder) by registry name.
-    pub fn run_ladder_named(&self, name: &str, quick: bool) -> Option<LadderRates> {
-        self.registry.get(name).map(|k| self.run_ladder(k, quick))
+    /// [`run_ladder`](Self::run_ladder) by registry name; unknown names
+    /// are a typed error.
+    pub fn run_ladder_named(&self, name: &str, quick: bool) -> Result<LadderRates, EngineError> {
+        Ok(self.run_ladder(self.registry.resolve(name)?, quick))
     }
 
     fn emit_plan_span(&self, kernel: &dyn AnyKernel) {
@@ -94,7 +97,7 @@ impl Engine {
                 telemetry::set_attr("overridden", u64::from(plan.overridden));
                 telemetry::set_attr("reason", plan.reason.as_str());
             }
-            Err(e) => telemetry::set_attr("error", e.as_str()),
+            Err(e) => telemetry::set_attr("error", e.to_string()),
         }
     }
 
@@ -242,8 +245,15 @@ mod tests {
     #[test]
     fn plan_by_name() {
         let e = engine();
-        let plan = e.plan("toy").unwrap().unwrap();
+        let plan = e.plan("toy").unwrap();
         assert_eq!(plan.kernel, "toy");
-        assert!(e.plan("missing").is_none());
+        assert!(matches!(
+            e.plan("missing").unwrap_err(),
+            EngineError::UnknownKernel { .. }
+        ));
+        assert!(matches!(
+            e.run_ladder_named("missing", true).unwrap_err(),
+            EngineError::UnknownKernel { .. }
+        ));
     }
 }

@@ -1,0 +1,121 @@
+//! Typed errors for the public engine surface.
+//!
+//! The pre-serve engine crashed on bad input (`panic!` on unknown kernel
+//! names, `assert!` on empty ladders, `String` errors from the planner).
+//! That was tolerable for a CLI that validates everything up front; a
+//! serving loop cannot afford it — `finbench-serve` maps every variant
+//! into a typed `Rejected` response instead of taking the process down.
+
+/// Everything that can go wrong when resolving kernels, rungs, or plans
+/// through the public `finbench-engine` surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A kernel name that is not in the registry.
+    UnknownKernel {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every registered kernel name, registration order.
+        known: Vec<&'static str>,
+    },
+    /// A rung slug that is not on the named kernel's ladder.
+    UnknownRung {
+        /// The kernel whose ladder was searched.
+        kernel: String,
+        /// The slug that failed to resolve.
+        slug: String,
+        /// Every slug the ladder does have, ladder order.
+        available: Vec<String>,
+    },
+    /// A rung index past the end of the named kernel's ladder.
+    RungOutOfRange {
+        /// The kernel whose ladder was indexed.
+        kernel: String,
+        /// The out-of-range index.
+        index: usize,
+        /// The ladder length.
+        len: usize,
+    },
+    /// A kernel with no rungs (or no cost levels) cannot be planned.
+    EmptyLadder {
+        /// The offending kernel.
+        kernel: String,
+    },
+    /// A malformed `FINBENCH_PLAN`-style override entry.
+    BadOverride {
+        /// The entry as written.
+        entry: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// An empty kernel-list operand (e.g. `--only ""` or `--only a,,b`).
+    EmptyKernelList,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownKernel { name, known } => {
+                write!(f, "unknown kernel: {name} (kernels: {})", known.join(", "))
+            }
+            EngineError::UnknownRung {
+                kernel,
+                slug,
+                available,
+            } => write!(
+                f,
+                "kernel {kernel}: no rung with slug {slug} (have: {})",
+                available.join(", ")
+            ),
+            EngineError::RungOutOfRange { kernel, index, len } => {
+                write!(
+                    f,
+                    "kernel {kernel}: rung index {index} out of range ({len} rungs)"
+                )
+            }
+            EngineError::EmptyLadder { kernel } => {
+                write!(f, "kernel {kernel}: cannot plan an empty ladder")
+            }
+            EngineError::BadOverride { entry, reason } => {
+                write!(f, "bad override {entry:?}: {reason}")
+            }
+            EngineError::EmptyKernelList => {
+                write!(f, "expected a comma-separated list of kernel names")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender_and_the_valid_choices() {
+        let e = EngineError::UnknownKernel {
+            name: "black_sholes".into(),
+            known: vec!["black_scholes", "rng"],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("black_sholes"), "{msg}");
+        assert!(msg.contains("black_scholes, rng"), "{msg}");
+
+        let e = EngineError::UnknownRung {
+            kernel: "toy".into(),
+            slug: "nope".into(),
+            available: vec!["basic_scalar".into()],
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("nope") && msg.contains("basic_scalar"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(EngineError::EmptyKernelList);
+        assert!(!e.to_string().is_empty());
+    }
+}

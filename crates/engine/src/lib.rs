@@ -20,6 +20,7 @@
 //! ```
 
 pub mod engine;
+pub mod error;
 pub mod kernel;
 pub mod planner;
 pub mod registry;
@@ -27,6 +28,7 @@ pub mod slug;
 pub mod timing;
 
 pub use engine::{Engine, LadderRates};
+pub use error::EngineError;
 pub use kernel::{fn_body, Check, Kernel, OptLevel, Rung, RungBody, WorkloadSpec};
 pub use planner::{Bound, Plan, Planner};
 pub use registry::{AnyKernel, LadderSession, Registry, RungInfo};

@@ -17,6 +17,7 @@
 //! 3. `FINBENCH_PLAN=kernel=rung_slug,...` (or [`Planner::set_override`])
 //!    forces a specific rung regardless of the model.
 
+use crate::error::EngineError;
 use crate::registry::{AnyKernel, RungInfo};
 use finbench_machine::ArchSpec;
 use std::collections::BTreeMap;
@@ -112,7 +113,7 @@ impl Planner {
 
     /// Parse a `kernel=rung_slug,kernel=rung_slug` override list (the
     /// `FINBENCH_PLAN` grammar). Whitespace around entries is ignored.
-    pub fn parse_overrides(&mut self, spec: &str) -> Result<(), String> {
+    pub fn parse_overrides(&mut self, spec: &str) -> Result<(), EngineError> {
         for entry in spec.split(',') {
             let entry = entry.trim();
             if entry.is_empty() {
@@ -120,38 +121,40 @@ impl Planner {
             }
             let (kernel, rung) = entry
                 .split_once('=')
-                .ok_or_else(|| format!("bad override (want kernel=rung_slug): {entry}"))?;
+                .ok_or_else(|| EngineError::BadOverride {
+                    entry: entry.to_string(),
+                    reason: "want kernel=rung_slug".into(),
+                })?;
             let (kernel, rung) = (kernel.trim(), rung.trim());
             if kernel.is_empty() || rung.is_empty() {
-                return Err(format!("bad override (empty side): {entry}"));
+                return Err(EngineError::BadOverride {
+                    entry: entry.to_string(),
+                    reason: "empty side".into(),
+                });
             }
             self.set_override(kernel, rung);
         }
         Ok(())
     }
 
-    /// Plan one kernel. Errors when an explicit override names a rung slug
-    /// the kernel does not have.
-    pub fn plan(&self, kernel: &dyn AnyKernel) -> Result<Plan, String> {
+    /// Plan one kernel. Errors when the ladder or cost ladder is empty, or
+    /// when an explicit override names a rung slug the kernel lacks.
+    pub fn plan(&self, kernel: &dyn AnyKernel) -> Result<Plan, EngineError> {
         let rungs = kernel.rungs();
         let costs = kernel.cost(&self.arch);
-        assert!(
-            !rungs.is_empty() && !costs.is_empty(),
-            "{}: cannot plan an empty ladder",
-            kernel.name()
-        );
+        if rungs.is_empty() || costs.is_empty() {
+            return Err(EngineError::EmptyLadder {
+                kernel: kernel.name().to_string(),
+            });
+        }
 
         if let Some(want) = self.overrides.get(kernel.name()) {
             let idx = rungs.iter().position(|r| &r.slug == want).ok_or_else(|| {
-                format!(
-                    "override for {}: no rung with slug {want} (have: {})",
-                    kernel.name(),
-                    rungs
-                        .iter()
-                        .map(|r| r.slug.as_str())
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                )
+                EngineError::UnknownRung {
+                    kernel: kernel.name().to_string(),
+                    slug: want.clone(),
+                    available: rungs.iter().map(|r| r.slug.clone()).collect(),
+                }
             })?;
             let r = &rungs[idx];
             let cost = &costs[r.cost_level.min(costs.len() - 1)];
@@ -280,12 +283,17 @@ mod tests {
     }
 
     #[test]
-    fn unknown_override_slug_is_an_error() {
+    fn unknown_override_slug_is_a_typed_error() {
         let mut planner = Planner::new(SNB_EP);
         planner.set_override("toy", "nonexistent_rung");
         let err = planner.plan(&ToyKernel).unwrap_err();
-        assert!(err.contains("nonexistent_rung"), "{err}");
-        assert!(err.contains("basic_scalar"), "lists valid slugs: {err}");
+        assert!(
+            matches!(err, EngineError::UnknownRung { ref slug, .. } if slug == "nonexistent_rung"),
+            "{err:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("nonexistent_rung"), "{msg}");
+        assert!(msg.contains("basic_scalar"), "lists valid slugs: {msg}");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! own workload type) behind one object-safe surface the engine, harness,
 //! and CLI can iterate.
 
+use crate::error::EngineError;
 use crate::kernel::{Check, Kernel, OptLevel, Rung, RungBody, WorkloadSpec};
 use crate::slug::slug;
 use finbench_machine::kernels::Level as CostedLevel;
@@ -36,7 +37,18 @@ pub trait LadderSession {
     /// Number of rungs.
     fn rung_count(&self) -> usize;
     /// Prepare a runnable body for rung `idx`.
+    ///
+    /// # Panics
+    /// If `idx` is out of range; see [`try_body`](Self::try_body) for the
+    /// non-panicking form.
     fn body(&self, idx: usize, policy: ExecPolicy) -> Box<dyn RungBody + '_>;
+
+    /// Prepare a runnable body for rung `idx`, or `None` when `idx` is
+    /// past the end of the ladder — the serving plane's entry point, which
+    /// must never crash on a bad rung index.
+    fn try_body(&self, idx: usize, policy: ExecPolicy) -> Option<Box<dyn RungBody + '_>> {
+        (idx < self.rung_count()).then(|| self.body(idx, policy))
+    }
 }
 
 struct SessionImpl<K: Kernel> {
@@ -154,6 +166,35 @@ impl Registry {
             .iter()
             .find(|k| k.name() == name)
             .map(|k| k.as_ref())
+    }
+
+    /// Look up a kernel by name, with a typed error naming the valid
+    /// choices — the single validation path the CLI's `--only` flag and
+    /// the serving plane's request admission both go through.
+    pub fn resolve(&self, name: &str) -> Result<&dyn AnyKernel, EngineError> {
+        self.get(name).ok_or_else(|| EngineError::UnknownKernel {
+            name: name.to_string(),
+            known: self.names(),
+        })
+    }
+
+    /// Parse a comma-separated kernel-name list: names are trimmed,
+    /// validated against the registry, and deduplicated preserving
+    /// first-mention order. Empty entries (including a fully empty
+    /// operand) are errors.
+    pub fn parse_kernel_list(&self, operand: &str) -> Result<Vec<String>, EngineError> {
+        let mut out: Vec<String> = Vec::new();
+        for name in operand.split(',') {
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(EngineError::EmptyKernelList);
+            }
+            self.resolve(name)?;
+            if !out.iter().any(|n| n == name) {
+                out.push(name.to_string());
+            }
+        }
+        Ok(out)
     }
 
     /// Registered names, registration order.
@@ -318,6 +359,47 @@ pub(crate) mod tests {
         assert!(reg.get("toy").is_some());
         assert!(reg.get("nope").is_none());
         assert!(reg.consistency_errors(&SNB_EP).is_empty());
+    }
+
+    #[test]
+    fn resolve_returns_typed_unknown_kernel() {
+        let mut reg = Registry::new();
+        reg.register(ToyKernel);
+        assert!(reg.resolve("toy").is_ok());
+        let err = reg.resolve("nope").err().expect("unknown name must fail");
+        assert!(
+            matches!(err, EngineError::UnknownKernel { ref name, ref known }
+                if name == "nope" && known == &["toy"]),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn parse_kernel_list_validates_trims_and_dedupes() {
+        let mut reg = Registry::new();
+        reg.register(ToyKernel);
+        assert_eq!(reg.parse_kernel_list("toy").unwrap(), ["toy"]);
+        assert_eq!(reg.parse_kernel_list(" toy , toy ").unwrap(), ["toy"]);
+        assert_eq!(
+            reg.parse_kernel_list("").unwrap_err(),
+            EngineError::EmptyKernelList
+        );
+        assert_eq!(
+            reg.parse_kernel_list("toy,,toy").unwrap_err(),
+            EngineError::EmptyKernelList
+        );
+        assert!(matches!(
+            reg.parse_kernel_list("toy,nope").unwrap_err(),
+            EngineError::UnknownKernel { .. }
+        ));
+    }
+
+    #[test]
+    fn try_body_rejects_out_of_range_rungs() {
+        let k = ToyKernel;
+        let session = AnyKernel::session(&k, &WorkloadSpec::validation(1, 8));
+        assert!(session.try_body(1, ExecPolicy::Serial).is_some());
+        assert!(session.try_body(2, ExecPolicy::Serial).is_none());
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`engine`] — the unified pricing-engine plane: the `Kernel` trait,
 //!   the type-erased registry, the generic measure/validate loops, and
 //!   the cost-model-driven rung planner.
+//! * [`serve`] — the batched pricing-request plane: typed requests, a
+//!   bounded admission queue, dynamic micro-batching onto planner-chosen
+//!   rungs, latency SLOs, and synthetic load generation.
 //! * [`harness`] — the experiment drivers behind the `finbench` CLI.
 //! * [`telemetry`] — zero-dependency spans, counters, and histograms
 //!   wired through the pool, RNG, and harness (`FINBENCH_LOG` filter).
@@ -46,5 +49,6 @@ pub use finbench_machine as machine;
 pub use finbench_math as math;
 pub use finbench_parallel as parallel;
 pub use finbench_rng as rng;
+pub use finbench_serve as serve;
 pub use finbench_simd as simd;
 pub use finbench_telemetry as telemetry;

@@ -1,5 +1,17 @@
 //! Argument parsing for the `finbench` binary, split out of `main` so the
 //! flag grammar is unit-testable.
+//!
+//! The grammar is subcommand-first:
+//!
+//! ```text
+//! finbench run [EXPERIMENT ...] [FLAGS]   # run experiments
+//! finbench list                           # print experiment ids
+//! finbench serve-bench [FLAGS]            # serving-plane load benchmark
+//! ```
+//!
+//! The original flat forms (`finbench [EXPERIMENT ...]`, `--list`) still
+//! parse as deprecated aliases for `run` / `list`, so existing scripts
+//! keep working.
 
 use crate::{RunOptions, EXPERIMENTS};
 
@@ -24,10 +36,16 @@ pub enum CliAction {
     Help,
 }
 
-/// One-line usage string (the error path points people here).
+/// Multi-line usage string (the error path points people here).
 pub fn usage_line() -> String {
     format!(
-        "usage: finbench [EXPERIMENT ...] [--quick] [--only KERNEL[,KERNEL...]] [--csv DIR] [--json FILE] [--report] [--list]\n\
+        "usage: finbench <COMMAND> [FLAGS]\n\
+         \x20 finbench run [EXPERIMENT ...]  run experiments (`all` = every one)\n\
+         \x20 finbench list                  print experiment ids\n\
+         \x20 finbench serve-bench           serving-plane load benchmark (alias for `run serve_bench`)\n\
+         flags: [--quick] [--only KERNEL[,KERNEL...]] [--csv DIR] [--json FILE] [--report]\n\
+         note: the flat forms `finbench [EXPERIMENT ...]` and `--list` are deprecated\n\
+         \x20     aliases for `run` / `list`; prefer the subcommands.\n\
          experiments: {} | all\n\
          kernels: {}",
         EXPERIMENTS.join(" | "),
@@ -36,69 +54,58 @@ pub fn usage_line() -> String {
 }
 
 /// Parse a `--only` operand: comma-separated registry kernel names,
-/// deduplicated, validated against the engine registry.
+/// deduplicated and validated by the engine registry (the same helper the
+/// serving plane uses to admit requests).
 fn parse_only(operand: &str) -> Result<Vec<String>, String> {
-    let known = crate::native::kernel_names();
-    let mut out: Vec<String> = Vec::new();
-    for name in operand.split(',') {
-        let name = name.trim();
-        if name.is_empty() {
-            return Err("--only requires a comma-separated list of kernel names".into());
-        }
-        if !known.contains(&name) {
-            return Err(format!(
-                "unknown kernel in --only: {name} (kernels: {})",
-                known.join(", ")
-            ));
-        }
-        if !out.iter().any(|n| n == name) {
-            out.push(name.to_string());
-        }
-    }
-    Ok(out)
+    crate::native::engine()
+        .registry()
+        .parse_kernel_list(operand)
+        .map_err(|e| format!("--only: {e}"))
 }
 
-/// Parse the argument list (without the program name).
-///
-/// Rules:
-/// - `--help`/`-h` and `--list` short-circuit to [`CliAction::Help`] /
-///   [`CliAction::List`] regardless of other arguments.
-/// - `all` expands to every experiment id in paper order.
-/// - Duplicate ids are dropped, keeping the first mention's position.
-/// - Unknown flags and unknown experiment ids are errors, as is an empty
-///   experiment list.
-pub fn parse_args<I, S>(args: I) -> Result<CliAction, String>
-where
-    I: IntoIterator<Item = S>,
-    S: Into<String>,
-{
+/// Flags and positional operands collected from one token stream, before
+/// any per-subcommand validation.
+enum Collected {
+    /// `--help` / `--list` short-circuit regardless of other arguments.
+    Short(CliAction),
+    /// Positional operands (in order) plus the parsed flags.
+    Items(Vec<String>, RunOptions),
+}
+
+fn collect(args: &[String]) -> Result<Collected, String> {
     let mut opts = RunOptions::default();
-    let mut ids: Vec<String> = Vec::new();
-    let mut args = args.into_iter().map(Into::into);
-    while let Some(arg) = args.next() {
+    let mut operands: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" | "-q" => opts.quick = true,
-            "--csv" => match args.next() {
-                Some(dir) => opts.csv_dir = Some(dir),
+            "--csv" => match it.next() {
+                Some(dir) => opts.csv_dir = Some(dir.clone()),
                 None => return Err("--csv requires a directory argument".into()),
             },
-            "--json" => match args.next() {
-                Some(file) => opts.json = Some(file),
+            "--json" => match it.next() {
+                Some(file) => opts.json = Some(file.clone()),
                 None => return Err("--json requires a file argument".into()),
             },
-            "--only" => match args.next() {
-                Some(list) => opts.only = Some(parse_only(&list)?),
+            "--only" => match it.next() {
+                Some(list) => opts.only = Some(parse_only(list)?),
                 None => return Err("--only requires a kernel list argument".into()),
             },
             "--report" => opts.report = true,
-            "--list" => return Ok(CliAction::List),
-            "--help" | "-h" => return Ok(CliAction::Help),
+            "--list" => return Ok(Collected::Short(CliAction::List)),
+            "--help" | "-h" => return Ok(Collected::Short(CliAction::Help)),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag: {other}"));
             }
-            other => ids.push(other.to_string()),
+            other => operands.push(other.to_string()),
         }
     }
+    Ok(Collected::Items(operands, opts))
+}
+
+/// Validate experiment operands: non-empty, `all` expands in paper order,
+/// unknown ids are errors, duplicates keep the first mention's position.
+fn validate_ids(mut ids: Vec<String>) -> Result<Vec<String>, String> {
     if ids.is_empty() {
         return Err("no experiments given".into());
     }
@@ -111,11 +118,70 @@ where
             }
         }
     }
-    // Dedupe preserving first-mention order, so `finbench fig4 fig5 fig4`
-    // runs fig4 once.
+    // Dedupe preserving first-mention order, so `finbench run fig4 fig5
+    // fig4` runs fig4 once.
     let mut seen = std::collections::HashSet::new();
     ids.retain(|id| seen.insert(id.clone()));
-    Ok(CliAction::Run(ParsedArgs { ids, opts }))
+    Ok(ids)
+}
+
+/// Parse the argument list (without the program name).
+///
+/// Rules:
+/// - The first token selects a subcommand (`run`, `list`, `serve-bench`);
+///   anything else falls back to the deprecated flat grammar, which is
+///   `run` without the keyword.
+/// - `--help`/`-h` and `--list` short-circuit to [`CliAction::Help`] /
+///   [`CliAction::List`] regardless of other arguments.
+/// - `all` expands to every experiment id in paper order.
+/// - Duplicate ids are dropped, keeping the first mention's position.
+/// - Unknown flags and unknown experiment ids are errors, as is an empty
+///   experiment list.
+pub fn parse_args<I, S>(args: I) -> Result<CliAction, String>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let args: Vec<String> = args.into_iter().map(Into::into).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => parse_run(&args[1..]),
+        Some("list") => {
+            if args.len() > 1 {
+                Err(format!(
+                    "list takes no arguments (got: {})",
+                    args[1..].join(" ")
+                ))
+            } else {
+                Ok(CliAction::List)
+            }
+        }
+        Some("serve-bench") => match collect(&args[1..])? {
+            Collected::Short(a) => Ok(a),
+            Collected::Items(operands, opts) => {
+                if let Some(extra) = operands.first() {
+                    return Err(format!(
+                        "serve-bench takes no experiment operands (got: {extra})"
+                    ));
+                }
+                Ok(CliAction::Run(ParsedArgs {
+                    ids: vec!["serve_bench".to_string()],
+                    opts,
+                }))
+            }
+        },
+        // Deprecated flat grammar: `finbench [EXPERIMENT ...] [FLAGS]`.
+        _ => parse_run(&args),
+    }
+}
+
+fn parse_run(args: &[String]) -> Result<CliAction, String> {
+    match collect(args)? {
+        Collected::Short(a) => Ok(a),
+        Collected::Items(ids, opts) => Ok(CliAction::Run(ParsedArgs {
+            ids: validate_ids(ids)?,
+            opts,
+        })),
+    }
 }
 
 #[cfg(test)]
@@ -129,14 +195,75 @@ mod tests {
         }
     }
 
+    // ---- subcommand grammar ----
+
     #[test]
-    fn parses_ids_and_flags() {
+    fn run_subcommand_parses_ids_and_flags() {
+        let p = run(&["run", "fig4", "--quick", "table2", "--csv", "out"]);
+        assert_eq!(p.ids, ["fig4", "table2"]);
+        assert!(p.opts.quick);
+        assert_eq!(p.opts.csv_dir.as_deref(), Some("out"));
+    }
+
+    #[test]
+    fn run_subcommand_expands_all_and_dedupes() {
+        assert_eq!(run(&["run", "all"]).ids, EXPERIMENTS);
+        assert_eq!(run(&["run", "fig5", "fig4", "fig5"]).ids, ["fig5", "fig4"]);
+    }
+
+    #[test]
+    fn run_subcommand_rejects_bad_input() {
+        assert!(parse_args(["run"]).is_err());
+        assert!(parse_args(["run", "nosuch"]).is_err());
+        assert!(parse_args(["run", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn list_subcommand() {
+        assert_eq!(parse_args(["list"]), Ok(CliAction::List));
+        assert!(parse_args(["list", "fig4"]).is_err());
+    }
+
+    #[test]
+    fn serve_bench_subcommand_maps_to_the_serve_bench_experiment() {
+        let p = run(&["serve-bench", "--quick"]);
+        assert_eq!(p.ids, ["serve_bench"]);
+        assert!(p.opts.quick);
+        // It takes flags, not experiment operands.
+        assert!(parse_args(["serve-bench", "fig4"]).is_err());
+    }
+
+    #[test]
+    fn serve_bench_accepts_only_and_json() {
+        let p = run(&["serve-bench", "--only", "rng", "--json", "t.jsonl"]);
+        assert_eq!(p.ids, ["serve_bench"]);
+        assert_eq!(p.opts.only, Some(vec!["rng".to_string()]));
+        assert_eq!(p.opts.json.as_deref(), Some("t.jsonl"));
+    }
+
+    // ---- deprecated flat grammar (aliases for `run` / `list`) ----
+
+    #[test]
+    fn legacy_parses_ids_and_flags() {
         let p = run(&["fig4", "--quick", "table2", "--csv", "out"]);
         assert_eq!(p.ids, ["fig4", "table2"]);
         assert!(p.opts.quick);
         assert_eq!(p.opts.csv_dir.as_deref(), Some("out"));
         assert_eq!(p.opts.json, None);
         assert!(!p.opts.report);
+    }
+
+    #[test]
+    fn legacy_and_subcommand_forms_agree() {
+        for tail in [
+            vec!["fig4", "--quick"],
+            vec!["all"],
+            vec!["native", "--only", "rng", "--report"],
+        ] {
+            let mut sub = vec!["run"];
+            sub.extend(&tail);
+            assert_eq!(run(&sub), run(&tail), "{tail:?}");
+        }
     }
 
     #[test]
@@ -163,8 +290,10 @@ mod tests {
         assert_eq!(parse_args(["--list"]), Ok(CliAction::List));
         assert_eq!(parse_args(["--help"]), Ok(CliAction::Help));
         assert_eq!(parse_args(["-h"]), Ok(CliAction::Help));
-        // Even with other junk present.
+        // Even with other junk present, and under the subcommands too.
         assert_eq!(parse_args(["bogus", "--list"]), Ok(CliAction::List));
+        assert_eq!(parse_args(["run", "--help"]), Ok(CliAction::Help));
+        assert_eq!(parse_args(["serve-bench", "-h"]), Ok(CliAction::Help));
     }
 
     #[test]
@@ -181,6 +310,15 @@ mod tests {
         let p = run(&["audit"]);
         assert_eq!(p.ids, ["audit"]);
     }
+
+    #[test]
+    fn usage_mentions_the_deprecation() {
+        let u = usage_line();
+        assert!(u.contains("deprecated"), "{u}");
+        assert!(u.contains("serve-bench"), "{u}");
+    }
+
+    // ---- --only, validated by the engine registry ----
 
     #[test]
     fn only_parses_a_single_kernel() {

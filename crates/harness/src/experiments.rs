@@ -409,6 +409,148 @@ pub fn native_all(opts: &RunOptions) {
     }
 }
 
+/// The `serve_bench` experiment: drive the `finbench-serve` batched
+/// pricing plane with synthetic closed- and open-loop load and report
+/// throughput-vs-latency curves per servable kernel.
+///
+/// Closed-loop points sweep client concurrency (latency floor);
+/// open-loop points pace arrivals at fractions of the measured
+/// closed-loop peak (SLO territory). Queue capacity covers the full
+/// offered load and no deadlines are attached, so a healthy serving
+/// plane sheds nothing — `ci.sh` greps the final `total shed:` line as
+/// its smoke gate.
+pub fn serve_bench(opts: &RunOptions) {
+    use finbench_serve::{run_load, LoadMode, LoadReport, PricerConfig, ServeConfig, Server};
+    use std::time::Duration;
+
+    println!(
+        "{}",
+        section("serve-bench — batched pricing-request plane (dynamic micro-batching)")
+    );
+    let default_kernels = ["black_scholes", "binomial"];
+    let kernels: Vec<String> = match &opts.only {
+        Some(list) => list.clone(),
+        None => default_kernels.iter().map(|s| s.to_string()).collect(),
+    };
+    let pricer = PricerConfig {
+        binomial_steps: if opts.quick { 64 } else { 256 },
+        ..PricerConfig::default()
+    };
+    let per_client = if opts.quick { 150 } else { 1500 };
+    let client_points: &[usize] = if opts.quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let open_fractions: &[f64] = if opts.quick {
+        &[0.25, 0.5]
+    } else {
+        &[0.25, 0.5, 0.9]
+    };
+    let open_secs = if opts.quick { 0.1 } else { 0.5 };
+
+    let engine = native::engine();
+    let mut total_shed = 0usize;
+    let mut total_rejected = 0usize;
+    for kernel in &kernels {
+        // Resolve the serving rung up front so unservable kernels are a
+        // printed note, not a storm of per-request rejections.
+        let rung = match finbench_serve::pricer::resolve(engine, kernel, &pricer) {
+            Ok(r) => r,
+            Err(reason) => {
+                println!("  {kernel}: not servable ({reason}); skipping");
+                continue;
+            }
+        };
+        let plan = engine.plan(kernel).expect("kernel resolved above");
+        println!(
+            "  [{kernel}] serving rung: {} (plan: {}, width {})",
+            rung.slug, plan.slug, rung.width
+        );
+
+        let config_for = |capacity: usize| ServeConfig {
+            queue_capacity: capacity,
+            max_delay: Duration::from_micros(500),
+            max_batch: 4096,
+            pricer,
+        };
+        let run = |mode: LoadMode, capacity: usize, seed: u64| -> LoadReport {
+            // A fresh server per load point keeps the latency histograms
+            // and shed counters scoped to that point.
+            let server = Server::start(config_for(capacity));
+            let report = run_load(&server, kernel, mode, seed, None);
+            server.shutdown();
+            report
+        };
+
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut curve =
+            String::from("mode,offered,served,shed,throughput_rps,p50_us,p95_us,p99_us\n");
+        let push =
+            |label: String, r: &LoadReport, rows: &mut Vec<Vec<String>>, curve: &mut String| {
+                rows.push(vec![
+                    label.clone(),
+                    r.offered.to_string(),
+                    r.served.to_string(),
+                    r.total_shed().to_string(),
+                    fmt_num(r.throughput),
+                    format!("{:.0}", r.p50_us),
+                    format!("{:.0}", r.p95_us),
+                    format!("{:.0}", r.p99_us),
+                ]);
+                curve.push_str(&format!(
+                    "{label},{},{},{},{:.1},{:.1},{:.1},{:.1}\n",
+                    r.offered,
+                    r.served,
+                    r.total_shed(),
+                    r.throughput,
+                    r.p50_us,
+                    r.p95_us,
+                    r.p99_us
+                ));
+            };
+
+        let mut closed_peak = 0.0f64;
+        for (i, &clients) in client_points.iter().enumerate() {
+            let total = clients * per_client;
+            let r = run(
+                LoadMode::Closed {
+                    clients,
+                    requests_per_client: per_client,
+                },
+                total.max(16),
+                0xC0FFEE + i as u64,
+            );
+            closed_peak = closed_peak.max(r.throughput);
+            total_shed += r.total_shed();
+            total_rejected += r.rejected;
+            push(format!("closed x{clients}"), &r, &mut rows, &mut curve);
+        }
+        for (i, &frac) in open_fractions.iter().enumerate() {
+            let rate = (closed_peak * frac).max(100.0);
+            let total = ((rate * open_secs) as usize).clamp(50, 20_000);
+            let r = run(
+                LoadMode::Open {
+                    rate_hz: rate,
+                    total,
+                },
+                total,
+                0xFEED + i as u64,
+            );
+            total_shed += r.total_shed();
+            total_rejected += r.rejected;
+            push(format!("open {:.0}/s", rate), &r, &mut rows, &mut curve);
+        }
+        println!(
+            "{}",
+            table(
+                &["load", "offered", "served", "shed", "req/s", "p50 µs", "p95 µs", "p99 µs"],
+                &rows
+            )
+        );
+        maybe_write_csv(&opts.csv_dir, &format!("serve_bench_{kernel}.csv"), &curve);
+    }
+    println!("  total shed: {total_shed}");
+    println!("  total rejected: {total_rejected}");
+    println!("  (shed = queue_full + deadline_exceeded; every shed is a typed response)");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,7 +51,17 @@ pub struct RunOptions {
 
 /// All experiment ids, in paper order (plus the op-count audit).
 pub const EXPERIMENTS: &[&str] = &[
-    "table1", "fig4", "fig5", "fig6", "table2", "fig8", "ninja", "qmc", "audit", "native",
+    "table1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table2",
+    "fig8",
+    "ninja",
+    "qmc",
+    "audit",
+    "native",
+    "serve_bench",
 ];
 
 /// Run one experiment by id; returns false for an unknown id.
@@ -75,6 +85,7 @@ pub fn run_experiment(id: &str, opts: &RunOptions) -> bool {
         "qmc" => experiments::qmc(opts),
         "audit" => experiments::audit(opts),
         "native" => experiments::native_all(opts),
+        "serve_bench" => experiments::serve_bench(opts),
         _ => unreachable!("id validated against EXPERIMENTS"),
     }
     true

@@ -37,7 +37,7 @@ pub fn kernel_names() -> Vec<&'static str> {
 pub fn ladder(name: &str, quick: bool) -> LadderRates {
     engine()
         .run_ladder_named(name, quick)
-        .unwrap_or_else(|| panic!("unknown kernel: {name}"))
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

@@ -1,0 +1,170 @@
+//! The dynamic micro-batcher: pure accumulation logic, no threads, no
+//! clocks of its own.
+//!
+//! The dispatcher owns one [`MicroBatcher`] per kernel and feeds it
+//! admitted requests. A batch flushes on whichever trigger fires first:
+//!
+//! * **size** — the pending set reaches the target batch size (chosen
+//!   from the planner's predicted rate, see
+//!   [`target_batch`]), or
+//! * **delay** — the oldest pending request has waited `max_delay`.
+//!
+//! Every time decision takes `now` as an argument, so the flush logic is
+//! deterministic and the batching property tests can replay arbitrary
+//! interleavings without real sleeps.
+
+use std::time::{Duration, Instant};
+
+/// Size/delay policy for one kernel's batcher.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPolicy {
+    /// Flush as soon as this many requests are pending.
+    pub max_batch: usize,
+    /// Flush once the oldest pending request has waited this long.
+    pub max_delay: Duration,
+}
+
+/// Pick the size trigger from the planner's predicted throughput: the
+/// batch a rung can chew through in one `max_delay` window, clamped to
+/// `[width, cap]` and rounded up to a multiple of the SIMD width (so a
+/// size-triggered flush needs no padding at all).
+pub fn target_batch(predicted_rate: f64, max_delay: Duration, width: usize, cap: usize) -> usize {
+    let width = width.max(1);
+    let cap = cap.max(width);
+    let ideal = (predicted_rate * max_delay.as_secs_f64()).ceil();
+    let ideal = if ideal.is_finite() && ideal >= 1.0 {
+        ideal as usize
+    } else {
+        width
+    };
+    let clamped = ideal.clamp(width, cap);
+    clamped.div_ceil(width) * width
+}
+
+/// One kernel's pending micro-batch. Generic over the queued item so
+/// the server can batch request envelopes while the property tests batch
+/// bare requests.
+#[derive(Debug)]
+pub struct MicroBatcher<T> {
+    policy: BatchPolicy,
+    pending: Vec<T>,
+    /// Arrival time of the oldest pending request.
+    oldest: Option<Instant>,
+}
+
+impl<T> MicroBatcher<T> {
+    /// An empty batcher with the given policy (`max_batch >= 1`).
+    pub fn new(policy: BatchPolicy) -> Self {
+        Self {
+            policy: BatchPolicy {
+                max_batch: policy.max_batch.max(1),
+                max_delay: policy.max_delay,
+            },
+            pending: Vec::new(),
+            oldest: None,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Pending request count.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Accept one request at time `now`. Returns the full batch when this
+    /// arrival fires the size trigger.
+    pub fn offer(&mut self, req: T, now: Instant) -> Option<Vec<T>> {
+        if self.pending.is_empty() {
+            self.oldest = Some(now);
+        }
+        self.pending.push(req);
+        (self.pending.len() >= self.policy.max_batch).then(|| self.flush())
+    }
+
+    /// True when the delay trigger has fired at `now`.
+    pub fn due(&self, now: Instant) -> bool {
+        match self.oldest {
+            Some(t0) => !self.pending.is_empty() && now.duration_since(t0) >= self.policy.max_delay,
+            None => false,
+        }
+    }
+
+    /// When the delay trigger will fire (None when empty) — the
+    /// dispatcher sleeps until the earliest of these across kernels.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.oldest
+            .filter(|_| !self.pending.is_empty())
+            .map(|t0| t0 + self.policy.max_delay)
+    }
+
+    /// Take everything pending (possibly empty).
+    pub fn flush(&mut self) -> Vec<T> {
+        self.oldest = None;
+        std::mem::take(&mut self.pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64) -> u64 {
+        id
+    }
+
+    fn policy(max_batch: usize, max_delay_ms: u64) -> BatchPolicy {
+        BatchPolicy {
+            max_batch,
+            max_delay: Duration::from_millis(max_delay_ms),
+        }
+    }
+
+    #[test]
+    fn size_trigger_fires_exactly_at_max_batch() {
+        let mut b = MicroBatcher::new(policy(3, 1000));
+        let now = Instant::now();
+        assert!(b.offer(req(1), now).is_none());
+        assert!(b.offer(req(2), now).is_none());
+        let batch = b.offer(req(3), now).unwrap();
+        assert_eq!(batch, [1, 2, 3]);
+        assert!(b.is_empty());
+        assert_eq!(b.next_deadline(), None);
+    }
+
+    #[test]
+    fn delay_trigger_counts_from_the_oldest_request() {
+        let mut b = MicroBatcher::new(policy(100, 10));
+        let t0 = Instant::now();
+        b.offer(req(1), t0);
+        // A later arrival must not push the deadline out.
+        b.offer(req(2), t0 + Duration::from_millis(9));
+        assert!(!b.due(t0 + Duration::from_millis(9)));
+        assert!(b.due(t0 + Duration::from_millis(10)));
+        assert_eq!(b.next_deadline(), Some(t0 + Duration::from_millis(10)));
+        assert_eq!(b.flush().len(), 2);
+        assert!(!b.due(t0 + Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn target_batch_scales_with_rate_and_rounds_to_width() {
+        let d = Duration::from_millis(1);
+        // 1e6 items/s * 1ms = 1000 → rounded up to a multiple of 8.
+        assert_eq!(target_batch(1.0e6, d, 8, 4096), 1000usize.div_ceil(8) * 8);
+        // Slow rung: clamps up to the width.
+        assert_eq!(target_batch(100.0, d, 8, 4096), 8);
+        // Fast rung: clamps down to the cap (already a multiple).
+        assert_eq!(target_batch(1.0e12, d, 8, 4096), 4096);
+        // Degenerate inputs stay sane.
+        assert_eq!(target_batch(f64::NAN, d, 4, 64), 4);
+        assert_eq!(target_batch(0.0, d, 1, 1), 1);
+    }
+}

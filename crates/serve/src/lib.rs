@@ -1,0 +1,42 @@
+//! # finbench-serve — the batched pricing-request plane
+//!
+//! Turns the workspace's batch-oriented pricing engine into a
+//! request-oriented service: callers submit typed [`PriceRequest`]s one
+//! option at a time; the server gathers them into dynamic micro-batches
+//! shaped like the SOA workloads the paper's kernels want, prices each
+//! batch on the [`Planner`](finbench_engine::Planner)-chosen ladder rung,
+//! and scatters per-request [`PriceResponse`]s back.
+//!
+//! The pipeline, stage by stage:
+//!
+//! 1. **Admission** ([`queue`]) — a bounded queue; overflow answers a
+//!    typed [`Rejected::QueueFull`] synchronously. Backpressure is
+//!    explicit, never a silent drop.
+//! 2. **Micro-batching** ([`batcher`]) — per-kernel accumulation with a
+//!    size trigger derived from the planner's predicted throughput and a
+//!    `max_delay` bound on added latency.
+//! 3. **Pricing** ([`pricer`]) — the most advanced *batch-safe* rung at
+//!    or below the planned one, with batches padded to the SIMD width so
+//!    every request's price is bit-identical to pricing it alone
+//!    (verified by property tests).
+//! 4. **Scatter-back** ([`server`]) — one response per request, with
+//!    latency SLO enforcement ([`Rejected::DeadlineExceeded`]) and full
+//!    telemetry (queue-depth gauge, occupancy + latency histograms, shed
+//!    counters).
+//!
+//! [`loadgen`] adds closed- and open-loop synthetic load; the harness
+//! exposes it as the `serve_bench` experiment (`finbench serve-bench`).
+
+pub mod batcher;
+pub mod loadgen;
+pub mod pricer;
+pub mod queue;
+pub mod request;
+pub mod server;
+
+pub use batcher::{target_batch, BatchPolicy, MicroBatcher};
+pub use loadgen::{run_load, LoadMode, LoadReport, OptionStream};
+pub use pricer::{padded_batch, PricerConfig, ServingRung};
+pub use queue::AdmissionQueue;
+pub use request::{PriceRequest, PriceResponse, Priced, Rejected};
+pub use server::{KernelSnapshot, ServeConfig, ServeSnapshot, Server};

@@ -1,0 +1,348 @@
+//! Synthetic load generation for the serving plane.
+//!
+//! Two canonical load models:
+//!
+//! * **closed-loop** — `clients` threads, each with one outstanding
+//!   request: submit, wait for the response, repeat. Throughput is
+//!   self-limiting, so this traces out the latency floor at increasing
+//!   concurrency.
+//! * **open-loop** — arrivals paced at a fixed rate regardless of
+//!   completions (the standard model for SLO studies: queueing delay and
+//!   shedding appear once the offered rate exceeds capacity).
+//!
+//! Option parameters are drawn from the workspace's seeded RNG-free
+//! SplitMix-style stream so every run is reproducible.
+
+use crate::request::{PriceRequest, PriceResponse, Rejected};
+use crate::server::Server;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// The offered-load model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// `clients` concurrent clients, each issuing `requests_per_client`
+    /// back-to-back requests.
+    Closed {
+        /// Concurrent clients.
+        clients: usize,
+        /// Requests per client.
+        requests_per_client: usize,
+    },
+    /// `total` arrivals paced at `rate_hz` from one injector thread.
+    Open {
+        /// Offered arrival rate, requests/second.
+        rate_hz: f64,
+        /// Total arrivals.
+        total: usize,
+    },
+}
+
+/// What one load run observed, measured at the *client* side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Kernel driven.
+    pub kernel: String,
+    /// Requests submitted.
+    pub offered: usize,
+    /// Requests priced.
+    pub served: usize,
+    /// Requests shed for backpressure (queue full) at submit.
+    pub shed_queue_full: usize,
+    /// Requests shed for a blown deadline at dispatch.
+    pub shed_deadline: usize,
+    /// Requests rejected for other reasons (bad kernel, shutdown).
+    pub rejected: usize,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Served throughput, requests/second.
+    pub throughput: f64,
+    /// Client-observed latency percentiles, microseconds (p50, p95,
+    /// p99); zeros when nothing was served.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+}
+
+impl LoadReport {
+    /// Queue-full + deadline sheds.
+    pub fn total_shed(&self) -> usize {
+        self.shed_queue_full + self.shed_deadline
+    }
+}
+
+/// Deterministic option-parameter stream (SplitMix64 under the hood) in
+/// the paper's workload ranges: s ∈ [5, 30), x ∈ [1, 100), t ∈ [0.25, 10).
+#[derive(Debug, Clone)]
+pub struct OptionStream {
+    state: u64,
+}
+
+impl OptionStream {
+    /// A stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+
+    /// The next `(s, x, t)` triple.
+    pub fn next_option(&mut self) -> (f64, f64, f64) {
+        (
+            self.uniform(5.0, 30.0),
+            self.uniform(1.0, 100.0),
+            self.uniform(0.25, 10.0),
+        )
+    }
+}
+
+/// Drive `server` with synthetic load against one kernel and report
+/// client-side latency/throughput. `slo` attaches a deadline to every
+/// request (None = no deadline, nothing can be shed for lateness).
+pub fn run_load(
+    server: &Server,
+    kernel: &str,
+    mode: LoadMode,
+    seed: u64,
+    slo: Option<Duration>,
+) -> LoadReport {
+    let t0 = Instant::now();
+    let responses: Vec<(PriceResponse, Duration)> = match mode {
+        LoadMode::Closed {
+            clients,
+            requests_per_client,
+        } => closed_loop(server, kernel, clients, requests_per_client, seed, slo),
+        LoadMode::Open { rate_hz, total } => open_loop(server, kernel, rate_hz, total, seed, slo),
+    };
+    let wall = t0.elapsed();
+    summarize(kernel, responses, wall)
+}
+
+fn closed_loop(
+    server: &Server,
+    kernel: &str,
+    clients: usize,
+    requests_per_client: usize,
+    seed: u64,
+    slo: Option<Duration>,
+) -> Vec<(PriceResponse, Duration)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients.max(1))
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut stream = OptionStream::new(seed.wrapping_add(c as u64));
+                    let mut out = Vec::with_capacity(requests_per_client);
+                    for i in 0..requests_per_client {
+                        let (s, x, t) = stream.next_option();
+                        let id = (c * requests_per_client + i) as u64;
+                        let mut req = PriceRequest::new(id, kernel, s, x, t);
+                        if let Some(d) = slo {
+                            req = req.with_slo(d);
+                        }
+                        let sent = Instant::now();
+                        let rx = server.submit(req);
+                        match rx.recv() {
+                            Ok(resp) => out.push((resp, sent.elapsed())),
+                            Err(_) => break,
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    })
+}
+
+fn open_loop(
+    server: &Server,
+    kernel: &str,
+    rate_hz: f64,
+    total: usize,
+    seed: u64,
+    slo: Option<Duration>,
+) -> Vec<(PriceResponse, Duration)> {
+    let gap = Duration::from_secs_f64(1.0 / rate_hz.max(1.0));
+    let mut stream = OptionStream::new(seed);
+    let (tx, rx) = mpsc::channel::<PriceResponse>();
+    // Responses must be timestamped as they *arrive*, not when the
+    // injector finishes, so a collector thread drains concurrently.
+    let collector = std::thread::spawn(move || {
+        rx.iter()
+            .map(|resp| (resp, Instant::now()))
+            .collect::<Vec<_>>()
+    });
+    let t0 = Instant::now();
+    let mut sent_at = Vec::with_capacity(total);
+    for i in 0..total {
+        // Pace against the schedule, not the previous send, so a slow
+        // submit doesn't silently lower the offered rate.
+        let due = t0 + gap.mul_f64(i as f64);
+        if let Some(sleep) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(sleep);
+        }
+        let (s, x, t) = stream.next_option();
+        let mut req = PriceRequest::new(i as u64, kernel, s, x, t);
+        if let Some(d) = slo {
+            req = req.with_slo(d);
+        }
+        sent_at.push(Instant::now());
+        server.submit_with(req, &tx);
+    }
+    drop(tx);
+    // Every submitted request gets exactly one response (priced or
+    // rejected), so the collector terminates once the server drains.
+    collector
+        .join()
+        .expect("collector thread")
+        .into_iter()
+        .map(|(resp, arrived)| {
+            let sent = sent_at[resp.id as usize];
+            (resp, arrived.duration_since(sent))
+        })
+        .collect()
+}
+
+fn summarize(
+    kernel: &str,
+    responses: Vec<(PriceResponse, Duration)>,
+    wall: Duration,
+) -> LoadReport {
+    let offered = responses.len();
+    let mut served = 0usize;
+    let mut shed_queue_full = 0usize;
+    let mut shed_deadline = 0usize;
+    let mut rejected = 0usize;
+    let mut lat_us: Vec<f64> = Vec::with_capacity(offered);
+    for (resp, rtt) in &responses {
+        match &resp.outcome {
+            Ok(_) => {
+                served += 1;
+                lat_us.push(rtt.as_secs_f64() * 1e6);
+            }
+            Err(Rejected::QueueFull { .. }) => shed_queue_full += 1,
+            Err(Rejected::DeadlineExceeded { .. }) => shed_deadline += 1,
+            Err(_) => rejected += 1,
+        }
+    }
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |q: f64| -> f64 {
+        if lat_us.is_empty() {
+            0.0
+        } else {
+            let idx = ((lat_us.len() as f64 - 1.0) * q).round() as usize;
+            lat_us[idx.min(lat_us.len() - 1)]
+        }
+    };
+    LoadReport {
+        kernel: kernel.to_string(),
+        offered,
+        served,
+        shed_queue_full,
+        shed_deadline,
+        rejected,
+        wall,
+        throughput: served as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricer::PricerConfig;
+    use crate::server::ServeConfig;
+
+    fn quick_server(capacity: usize) -> Server {
+        Server::start(ServeConfig {
+            queue_capacity: capacity,
+            max_delay: Duration::from_micros(200),
+            max_batch: 256,
+            pricer: PricerConfig {
+                binomial_steps: 16,
+                ..PricerConfig::default()
+            },
+        })
+    }
+
+    #[test]
+    fn option_stream_is_deterministic_and_in_range() {
+        let mut a = OptionStream::new(42);
+        let mut b = OptionStream::new(42);
+        for _ in 0..100 {
+            let (s, x, t) = a.next_option();
+            assert_eq!((s, x, t), b.next_option());
+            assert!((5.0..30.0).contains(&s), "{s}");
+            assert!((1.0..100.0).contains(&x), "{x}");
+            assert!((0.25..10.0).contains(&t), "{t}");
+        }
+        assert_ne!(
+            OptionStream::new(1).next_option(),
+            OptionStream::new(2).next_option()
+        );
+    }
+
+    #[test]
+    fn closed_loop_serves_every_request_with_ample_capacity() {
+        let server = quick_server(1024);
+        let report = run_load(
+            &server,
+            "black_scholes",
+            LoadMode::Closed {
+                clients: 3,
+                requests_per_client: 40,
+            },
+            7,
+            None,
+        );
+        assert_eq!(report.offered, 120);
+        assert_eq!(report.served, 120);
+        assert_eq!(report.total_shed(), 0);
+        assert!(report.throughput > 0.0);
+        assert!(report.p50_us > 0.0 && report.p50_us <= report.p99_us);
+        assert_eq!(server.shutdown().total_shed(), 0);
+    }
+
+    #[test]
+    fn open_loop_accounts_for_every_arrival() {
+        let server = quick_server(1024);
+        let report = run_load(
+            &server,
+            "binomial",
+            LoadMode::Open {
+                rate_hz: 5_000.0,
+                total: 100,
+            },
+            11,
+            None,
+        );
+        assert_eq!(report.offered, 100);
+        assert_eq!(
+            report.served + report.total_shed() + report.rejected,
+            report.offered,
+            "{report:?}"
+        );
+        assert_eq!(report.rejected, 0);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,152 @@
+//! The bounded admission queue: the single backpressure point of the
+//! serving plane.
+//!
+//! Capacity is fixed at construction; a full queue rejects the producer
+//! *synchronously* (handing the item back) instead of blocking it or
+//! dropping the item — the server turns that into a typed
+//! [`Rejected::QueueFull`](crate::request::Rejected::QueueFull) response.
+//! The consumer side supports timed pops so the dispatcher can wake up
+//! for micro-batch flush deadlines even when no new work arrives.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue with reject-on-full semantics.
+pub struct AdmissionQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue holding at most `capacity` items (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (racy by nature; used for gauges and tests).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// True when empty at the instant of the call.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Push without blocking. On a full or closed queue the item comes
+    /// straight back so the caller owns the rejection.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed || st.items.len() >= self.capacity {
+            return Err(item);
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pop, waiting up to `timeout` for an item. `None` means either the
+    /// timeout elapsed or the queue is closed *and* drained — callers
+    /// distinguish the two via [`is_closed`](Self::is_closed).
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, res) = self.not_empty.wait_timeout(st, deadline - now).unwrap();
+            st = next;
+            if res.timed_out() && st.items.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// Close the queue: producers get their items back from
+    /// [`try_push`](Self::try_push), and consumers drain what remains.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// True once [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_hands_the_item_back() {
+        let q = AdmissionQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.len(), 2);
+        // Popping frees a slot.
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn pop_times_out_on_an_empty_queue() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(1);
+        let t0 = Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), None);
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn close_rejects_producers_and_drains_consumers() {
+        let q = AdmissionQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(2));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn wakes_a_blocked_consumer() {
+        let q = Arc::new(AdmissionQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(5)));
+        // Give the consumer a moment to block, then feed it.
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(42u32).unwrap();
+        assert_eq!(h.join().unwrap(), Some(42));
+    }
+}

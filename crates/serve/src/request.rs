@@ -1,0 +1,161 @@
+//! The typed request/response surface of the serving plane.
+//!
+//! A [`PriceRequest`] names a registry kernel and carries one option's
+//! scalar parameters plus an optional deadline; the server answers every
+//! request with exactly one [`PriceResponse`] — priced or rejected with a
+//! typed [`Rejected`] reason. There are no silent drops anywhere on the
+//! path: queue overflow, blown deadlines, and bad kernel names all come
+//! back as responses.
+
+use std::time::{Duration, Instant};
+
+/// One pricing request: a single option against a named kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceRequest {
+    /// Caller-chosen correlation id, echoed back on the response.
+    pub id: u64,
+    /// Registry kernel name (e.g. `black_scholes`, `binomial`).
+    pub kernel: String,
+    /// Spot price of the underlying.
+    pub s: f64,
+    /// Strike price.
+    pub x: f64,
+    /// Time to expiry in years.
+    pub t: f64,
+    /// Absolute latency SLO: if the request has not been *dispatched*
+    /// into a batch by this instant, it is shed with
+    /// [`Rejected::DeadlineExceeded`] instead of priced late.
+    pub deadline: Option<Instant>,
+}
+
+impl PriceRequest {
+    /// A request with no deadline.
+    pub fn new(id: u64, kernel: impl Into<String>, s: f64, x: f64, t: f64) -> Self {
+        Self {
+            id,
+            kernel: kernel.into(),
+            s,
+            x,
+            t,
+            deadline: None,
+        }
+    }
+
+    /// Attach a deadline `slo` from now.
+    pub fn with_slo(mut self, slo: Duration) -> Self {
+        self.deadline = Some(Instant::now() + slo);
+        self
+    }
+}
+
+/// A successfully priced request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Priced {
+    /// Call price.
+    pub call: f64,
+    /// Put price.
+    pub put: f64,
+    /// Slug of the ladder rung that priced the batch.
+    pub rung: String,
+    /// How many requests rode in the same micro-batch (before padding).
+    pub batch_len: usize,
+    /// Submit-to-scatter-back latency.
+    pub latency: Duration,
+}
+
+/// Why a request was not priced. Every variant is a *response*, never a
+/// silent drop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rejected {
+    /// The bounded admission queue was full at submit time.
+    QueueFull {
+        /// The queue's capacity, so callers can size their backoff.
+        capacity: usize,
+    },
+    /// The request's deadline passed before it could be dispatched.
+    DeadlineExceeded {
+        /// How far past the deadline it was when shed.
+        late_by: Duration,
+    },
+    /// The kernel name failed registry resolution ([`finbench_engine::EngineError`]
+    /// rendered through `Display`).
+    UnknownKernel {
+        /// The full engine error message (names the valid kernels).
+        reason: String,
+    },
+    /// The kernel is registered but has no batch-safe serving rung (its
+    /// rungs couple requests within a batch, e.g. shared expiry grids).
+    Unservable {
+        /// The kernel that cannot be served.
+        kernel: String,
+    },
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            Rejected::DeadlineExceeded { late_by } => {
+                write!(f, "deadline exceeded by {late_by:?}")
+            }
+            Rejected::UnknownKernel { reason } => write!(f, "{reason}"),
+            Rejected::Unservable { kernel } => {
+                write!(f, "kernel {kernel} has no batch-safe serving rung")
+            }
+            Rejected::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+/// The answer to one [`PriceRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceResponse {
+    /// The request's id, echoed back.
+    pub id: u64,
+    /// Priced, or rejected with a typed reason.
+    pub outcome: Result<Priced, Rejected>,
+}
+
+impl PriceResponse {
+    /// True when the request was priced.
+    pub fn is_priced(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slo_sets_a_future_deadline() {
+        let r = PriceRequest::new(7, "black_scholes", 30.0, 35.0, 1.0)
+            .with_slo(Duration::from_secs(3600));
+        assert!(r.deadline.unwrap() > Instant::now());
+        assert_eq!(r.id, 7);
+    }
+
+    #[test]
+    fn rejections_render_their_reason() {
+        let msgs = [
+            Rejected::QueueFull { capacity: 8 }.to_string(),
+            Rejected::DeadlineExceeded {
+                late_by: Duration::from_millis(5),
+            }
+            .to_string(),
+            Rejected::Unservable {
+                kernel: "rng".into(),
+            }
+            .to_string(),
+            Rejected::ShuttingDown.to_string(),
+        ];
+        assert!(msgs[0].contains("capacity 8"), "{}", msgs[0]);
+        assert!(msgs[1].contains("deadline"), "{}", msgs[1]);
+        assert!(msgs[2].contains("rng"), "{}", msgs[2]);
+        assert!(msgs[3].contains("shutting down"), "{}", msgs[3]);
+    }
+}

@@ -1,0 +1,529 @@
+//! The pricing server: one dispatcher thread pulling from the bounded
+//! admission queue, micro-batching per kernel, dispatching batches onto
+//! the resolved ladder rung, and scattering results back per request.
+//!
+//! ```text
+//! submit() ──► AdmissionQueue (bounded; full ⇒ Rejected::QueueFull)
+//!                   │ pop
+//!                   ▼
+//!             dispatcher thread
+//!     ┌── MicroBatcher per kernel ──┐   size/delay trigger
+//!     ▼                             ▼
+//!  black_scholes lane           binomial lane
+//!     │ padded SOA batch            │
+//!     ▼                             ▼
+//!  ServingRung::price           ServingRung::price
+//!     │ scatter-back                │
+//!     └────► PriceResponse per request (mpsc) ◄─────┘
+//! ```
+//!
+//! Telemetry: `serve.queue_depth` gauge, `serve.batch.<kernel>` spans
+//! with occupancy, `serve.served` / `serve.shed.queue_full` /
+//! `serve.shed.deadline` / `serve.rejected` counters, and per-kernel
+//! latency + occupancy histograms surfaced through [`ServeSnapshot`].
+
+use crate::batcher::{target_batch, BatchPolicy, MicroBatcher};
+use crate::pricer::{self, padded_batch, PricerConfig, ServingRung};
+use crate::queue::AdmissionQueue;
+use crate::request::{PriceRequest, PriceResponse, Priced, Rejected};
+use finbench_core::engine::registry;
+use finbench_engine::Engine;
+use finbench_telemetry::{self as telemetry, Histogram};
+use std::collections::BTreeMap;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Admission queue capacity — the backpressure bound.
+    pub queue_capacity: usize,
+    /// Micro-batch delay trigger: the longest a request waits for
+    /// companions before its batch flushes anyway.
+    pub max_delay: Duration,
+    /// Upper clamp for the planner-derived size trigger.
+    pub max_batch: usize,
+    /// Pricer configuration (market params, binomial steps, pool chunk).
+    pub pricer: PricerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 4096,
+            max_delay: Duration::from_millis(1),
+            max_batch: 4096,
+            pricer: PricerConfig::default(),
+        }
+    }
+}
+
+struct Envelope {
+    req: PriceRequest,
+    submitted: Instant,
+    tx: Sender<PriceResponse>,
+}
+
+/// One kernel's serving state inside the dispatcher.
+struct Lane {
+    rung: ServingRung,
+    batcher: MicroBatcher<Envelope>,
+    target: usize,
+}
+
+#[derive(Default)]
+struct KernelStats {
+    rung: String,
+    target_batch: usize,
+    served: u64,
+    batches: u64,
+    latency_us: Histogram,
+    occupancy: Histogram,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    kernels: BTreeMap<String, KernelStats>,
+    shed_queue_full: u64,
+    shed_deadline: u64,
+    rejected: u64,
+}
+
+/// Point-in-time statistics for one kernel lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSnapshot {
+    /// Kernel name.
+    pub kernel: String,
+    /// Slug of the serving rung.
+    pub rung: String,
+    /// Planner-derived size trigger.
+    pub target_batch: usize,
+    /// Requests priced.
+    pub served: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+    /// Mean batch occupancy (requests per dispatched batch).
+    pub mean_occupancy: f64,
+    /// Largest batch dispatched.
+    pub max_occupancy: f64,
+}
+
+/// Point-in-time server statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSnapshot {
+    /// Per-kernel lane statistics, kernel-name order.
+    pub kernels: Vec<KernelSnapshot>,
+    /// Requests shed at admission (queue full).
+    pub shed_queue_full: u64,
+    /// Requests shed at dispatch (deadline already blown).
+    pub shed_deadline: u64,
+    /// Requests rejected for unknown/unservable kernels.
+    pub rejected: u64,
+}
+
+impl ServeSnapshot {
+    /// Total load-shedding rejections (excludes bad-kernel rejections,
+    /// which are caller errors, not overload).
+    pub fn total_shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_deadline
+    }
+}
+
+/// The batched pricing server. Dropping it shuts the dispatcher down
+/// (pending work is still flushed and answered).
+pub struct Server {
+    queue: Arc<AdmissionQueue<Envelope>>,
+    stats: Arc<Mutex<StatsInner>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start a server over the workspace's six-kernel registry, planning
+    /// rungs for the build host.
+    pub fn start(config: ServeConfig) -> Self {
+        let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
+        let stats = Arc::new(Mutex::new(StatsInner::default()));
+        let q = Arc::clone(&queue);
+        let s = Arc::clone(&stats);
+        let worker = std::thread::Builder::new()
+            .name("finbench-serve".into())
+            .spawn(move || dispatch_loop(&q, &s, &config))
+            .expect("spawn dispatcher");
+        Self {
+            queue,
+            stats,
+            worker: Some(worker),
+        }
+    }
+
+    /// Submit one request; the response arrives on the returned channel.
+    pub fn submit(&self, req: PriceRequest) -> Receiver<PriceResponse> {
+        let (tx, rx) = mpsc::channel();
+        self.submit_with(req, &tx);
+        rx
+    }
+
+    /// Submit one request, delivering the response on `tx` (load
+    /// generators fan many requests into one channel). Backpressure is
+    /// synchronous: a full queue answers `Rejected::QueueFull` right
+    /// here, on the caller's thread.
+    pub fn submit_with(&self, req: PriceRequest, tx: &Sender<PriceResponse>) {
+        let id = req.id;
+        let env = Envelope {
+            req,
+            submitted: Instant::now(),
+            tx: tx.clone(),
+        };
+        if let Err(env) = self.queue.try_push(env) {
+            let reason = if self.queue.is_closed() {
+                Rejected::ShuttingDown
+            } else {
+                self.stats.lock().unwrap().shed_queue_full += 1;
+                telemetry::counter_add("serve.shed.queue_full", 1);
+                Rejected::QueueFull {
+                    capacity: self.queue.capacity(),
+                }
+            };
+            let _ = env.tx.send(PriceResponse {
+                id,
+                outcome: Err(reason),
+            });
+        }
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Point-in-time statistics.
+    pub fn snapshot(&self) -> ServeSnapshot {
+        snapshot(&self.stats.lock().unwrap())
+    }
+
+    /// Stop accepting work, drain and answer everything pending, and
+    /// return the final statistics.
+    pub fn shutdown(mut self) -> ServeSnapshot {
+        self.queue.close();
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+        snapshot(&self.stats.lock().unwrap())
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.queue.close();
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn snapshot(st: &StatsInner) -> ServeSnapshot {
+    ServeSnapshot {
+        kernels: st
+            .kernels
+            .iter()
+            .map(|(name, k)| KernelSnapshot {
+                kernel: name.clone(),
+                rung: k.rung.clone(),
+                target_batch: k.target_batch,
+                served: k.served,
+                batches: k.batches,
+                p50_us: k.latency_us.median(),
+                p95_us: k.latency_us.p95(),
+                p99_us: k.latency_us.quantile(0.99),
+                mean_occupancy: k.occupancy.mean(),
+                max_occupancy: k.occupancy.max(),
+            })
+            .collect(),
+        shed_queue_full: st.shed_queue_full,
+        shed_deadline: st.shed_deadline,
+        rejected: st.rejected,
+    }
+}
+
+fn dispatch_loop(
+    queue: &AdmissionQueue<Envelope>,
+    stats: &Mutex<StatsInner>,
+    config: &ServeConfig,
+) {
+    let engine = Engine::new(registry());
+    let mut lanes: BTreeMap<String, Lane> = BTreeMap::new();
+    loop {
+        // Sleep until new work or the earliest lane flush deadline.
+        let now = Instant::now();
+        let wait = lanes
+            .values()
+            .filter_map(|l| l.batcher.next_deadline())
+            .min()
+            .map(|d| d.saturating_duration_since(now))
+            .unwrap_or(config.max_delay)
+            .min(config.max_delay);
+        match queue.pop_timeout(wait.max(Duration::from_micros(50))) {
+            Some(env) => {
+                telemetry::gauge_set("serve.queue_depth", queue.len() as f64);
+                admit(env, &engine, &mut lanes, stats, config);
+            }
+            None => {
+                if queue.is_closed() && queue.is_empty() {
+                    break;
+                }
+            }
+        }
+        // Fire every lane whose delay trigger has passed.
+        let now = Instant::now();
+        for (kernel, lane) in lanes.iter_mut() {
+            if lane.batcher.due(now) {
+                let batch = lane.batcher.flush();
+                execute(kernel, lane, batch, stats);
+            }
+        }
+    }
+    // Drain: answer everything still pending in the batchers.
+    for (kernel, lane) in lanes.iter_mut() {
+        let batch = lane.batcher.flush();
+        if !batch.is_empty() {
+            execute(kernel, lane, batch, stats);
+        }
+    }
+}
+
+/// Route one admitted envelope into its kernel lane, resolving the lane
+/// on first use; bad kernels answer immediately with a typed rejection.
+fn admit(
+    env: Envelope,
+    engine: &Engine,
+    lanes: &mut BTreeMap<String, Lane>,
+    stats: &Mutex<StatsInner>,
+    config: &ServeConfig,
+) {
+    let kernel = env.req.kernel.clone();
+    if !lanes.contains_key(&kernel) {
+        match make_lane(engine, &kernel, config) {
+            Ok(lane) => {
+                let mut st = stats.lock().unwrap();
+                let ks = st.kernels.entry(kernel.clone()).or_default();
+                ks.rung = lane.rung.slug.clone();
+                ks.target_batch = lane.target;
+                lanes.insert(kernel.clone(), lane);
+            }
+            Err(reason) => {
+                stats.lock().unwrap().rejected += 1;
+                telemetry::counter_add("serve.rejected", 1);
+                let _ = env.tx.send(PriceResponse {
+                    id: env.req.id,
+                    outcome: Err(reason),
+                });
+                return;
+            }
+        }
+    }
+    let lane = lanes.get_mut(&kernel).expect("lane just ensured");
+    if let Some(batch) = lane.batcher.offer(env, Instant::now()) {
+        execute(&kernel, lane, batch, stats);
+    }
+}
+
+fn make_lane(engine: &Engine, kernel: &str, config: &ServeConfig) -> Result<Lane, Rejected> {
+    let rung = pricer::resolve(engine, kernel, &config.pricer)?;
+    // Size the batch to what the planned rung can chew through in one
+    // delay window; the planner's predicted rate is per-item.
+    let predicted = engine
+        .plan(kernel)
+        .map(|p| p.predicted_rate)
+        .unwrap_or(f64::NAN);
+    let target = target_batch(predicted, config.max_delay, rung.width, config.max_batch);
+    Ok(Lane {
+        batcher: MicroBatcher::new(BatchPolicy {
+            max_batch: target,
+            max_delay: config.max_delay,
+        }),
+        rung,
+        target,
+    })
+}
+
+/// Price one flushed batch and scatter results back, shedding any
+/// request whose deadline passed while it waited.
+fn execute(kernel: &str, lane: &mut Lane, batch: Vec<Envelope>, stats: &Mutex<StatsInner>) {
+    let now = Instant::now();
+    let mut live: Vec<Envelope> = Vec::with_capacity(batch.len());
+    for env in batch {
+        match env.req.deadline {
+            Some(d) if now > d => {
+                let late_by = now.duration_since(d);
+                stats.lock().unwrap().shed_deadline += 1;
+                telemetry::counter_add("serve.shed.deadline", 1);
+                let _ = env.tx.send(PriceResponse {
+                    id: env.req.id,
+                    outcome: Err(Rejected::DeadlineExceeded { late_by }),
+                });
+            }
+            _ => live.push(env),
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let _g = telemetry::span(format!("serve.batch.{kernel}"));
+    telemetry::set_attr("rung", lane.rung.slug.as_str());
+    telemetry::set_attr("occupancy", live.len());
+    telemetry::set_attr("target", lane.target);
+
+    let opts: Vec<(f64, f64, f64)> = live.iter().map(|e| (e.req.s, e.req.x, e.req.t)).collect();
+    let mut soa = padded_batch(&opts, lane.rung.width);
+    telemetry::set_attr("padded", soa.len());
+    lane.rung.price(&mut soa);
+    let done = Instant::now();
+
+    let mut st = stats.lock().unwrap();
+    let ks = st.kernels.entry(kernel.to_string()).or_default();
+    ks.batches += 1;
+    ks.occupancy.record(live.len() as f64);
+    for (i, env) in live.iter().enumerate() {
+        let latency = done.duration_since(env.submitted);
+        ks.served += 1;
+        ks.latency_us.record(latency.as_secs_f64() * 1e6);
+        let _ = env.tx.send(PriceResponse {
+            id: env.req.id,
+            outcome: Ok(Priced {
+                call: soa.call[i],
+                put: soa.put[i],
+                rung: lane.rung.slug.clone(),
+                batch_len: live.len(),
+                latency,
+            }),
+        });
+    }
+    telemetry::counter_add("serve.served", live.len() as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 64,
+            max_delay: Duration::from_micros(200),
+            max_batch: 64,
+            pricer: PricerConfig {
+                binomial_steps: 32,
+                ..PricerConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn prices_requests_and_echoes_ids() {
+        let server = Server::start(quick_config());
+        let rx1 = server.submit(PriceRequest::new(1, "black_scholes", 30.0, 35.0, 1.0));
+        let rx2 = server.submit(PriceRequest::new(2, "binomial", 30.0, 35.0, 1.0));
+        let r1 = rx1.recv_timeout(Duration::from_secs(10)).unwrap();
+        let r2 = rx2.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(r1.id, 1);
+        assert_eq!(r2.id, 2);
+        let p1 = r1.outcome.unwrap();
+        let p2 = r2.outcome.unwrap();
+        assert!(p1.call > 0.0 && p1.put > 0.0, "{p1:?}");
+        assert!(p2.call > 0.0 && p2.put > 0.0, "{p2:?}");
+        // Different engines, same option: prices agree loosely (binomial
+        // converges to Black-Scholes).
+        assert!((p1.call - p2.call).abs() < 0.5, "{p1:?} vs {p2:?}");
+        let snap = server.shutdown();
+        assert_eq!(snap.total_shed(), 0);
+        assert_eq!(snap.kernels.len(), 2);
+    }
+
+    #[test]
+    fn bad_kernels_get_typed_rejections_not_panics() {
+        let server = Server::start(quick_config());
+        let rx = server.submit(PriceRequest::new(9, "black_sholes", 30.0, 35.0, 1.0));
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap().outcome {
+            Err(Rejected::UnknownKernel { reason }) => {
+                assert!(reason.contains("black_sholes"), "{reason}");
+            }
+            other => panic!("expected UnknownKernel, got {other:?}"),
+        }
+        let rx = server.submit(PriceRequest::new(10, "rng", 30.0, 35.0, 1.0));
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap().outcome,
+            Err(Rejected::Unservable { .. })
+        ));
+        assert_eq!(server.shutdown().rejected, 2);
+    }
+
+    #[test]
+    fn queue_overflow_is_a_synchronous_typed_rejection() {
+        // Capacity 1 and a server whose dispatcher is effectively stalled
+        // by a huge binomial batch, so pushes pile up.
+        let server = Server::start(ServeConfig {
+            queue_capacity: 1,
+            max_delay: Duration::from_millis(50),
+            ..quick_config()
+        });
+        let (tx, rx) = mpsc::channel();
+        // Flood: with capacity 1, at least one of these must be rejected
+        // synchronously (the dispatcher can't drain instantly).
+        for i in 0..200 {
+            server.submit_with(PriceRequest::new(i, "black_scholes", 30.0, 35.0, 1.0), &tx);
+        }
+        drop(tx);
+        let outcomes: Vec<PriceResponse> = rx.iter().collect();
+        assert_eq!(outcomes.len(), 200, "every request got exactly one answer");
+        let full = outcomes
+            .iter()
+            .filter(|r| matches!(r.outcome, Err(Rejected::QueueFull { capacity: 1 })))
+            .count();
+        assert!(full > 0, "expected at least one QueueFull");
+        let snap = server.shutdown();
+        assert_eq!(snap.shed_queue_full as usize, full);
+    }
+
+    #[test]
+    fn expired_deadlines_shed_instead_of_pricing_late() {
+        let server = Server::start(quick_config());
+        let mut req = PriceRequest::new(5, "black_scholes", 30.0, 35.0, 1.0);
+        // A deadline in the past: the dispatcher must shed it.
+        req.deadline = Some(Instant::now() - Duration::from_millis(1));
+        let rx = server.submit(req);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap().outcome,
+            Err(Rejected::DeadlineExceeded { .. })
+        ));
+        let snap = server.shutdown();
+        assert_eq!(snap.shed_deadline, 1);
+    }
+
+    #[test]
+    fn shutdown_answers_everything_pending() {
+        let server = Server::start(ServeConfig {
+            // Batch target far above what we submit, long delay: requests
+            // sit in the batcher until shutdown drains them.
+            max_delay: Duration::from_secs(60),
+            ..quick_config()
+        });
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10 {
+            server.submit_with(PriceRequest::new(i, "black_scholes", 30.0, 35.0, 1.0), &tx);
+        }
+        let snap = server.shutdown();
+        drop(tx);
+        let got: Vec<PriceResponse> = rx.iter().collect();
+        assert_eq!(got.len(), 10);
+        assert!(got.iter().all(PriceResponse::is_priced));
+        assert_eq!(snap.kernels[0].served, 10);
+    }
+}

@@ -1,0 +1,206 @@
+//! The serving plane's core contract, as properties: **micro-batching is
+//! invisible in the bits**. However requests are interleaved, whatever
+//! batch sizes and flush triggers fire, each request's price is
+//! bit-identical to pricing that request alone through the same serving
+//! rung — because batches are padded to the rung's SIMD width and the
+//! vector math is lane-wise.
+//!
+//! Two layers:
+//!
+//! * a *pure* replay of the [`MicroBatcher`] flush logic with synthetic
+//!   clocks (every servable rung, arbitrary size/delay interleavings),
+//! * an end-to-end pass through the threaded [`Server`] with real
+//!   queueing and scatter-back.
+
+use finbench::core::engine::registry;
+use finbench::engine::Engine;
+use finbench::serve::batcher::{BatchPolicy, MicroBatcher};
+use finbench::serve::pricer::{self, padded_batch, PricerConfig};
+use finbench::serve::{LoadMode, PriceRequest, ServeConfig, Server};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+fn contract() -> impl Strategy<Value = (f64, f64, f64)> {
+    // The paper's workload ranges.
+    (5.0f64..30.0, 1.0f64..100.0, 0.25f64..10.0)
+}
+
+fn pricer_config() -> PricerConfig {
+    PricerConfig {
+        binomial_steps: 32,
+        ..PricerConfig::default()
+    }
+}
+
+/// Every batch-safe (kernel, rung) pair, resolved independently of the
+/// host planner so the property covers the whole servable set, not just
+/// the rung planned for this machine.
+fn servable_rungs() -> Vec<pricer::ServingRung> {
+    let cfg = pricer_config();
+    let engine = Engine::new(registry());
+    let mut out = Vec::new();
+    for kernel in ["black_scholes", "binomial"] {
+        let any = engine.registry().resolve(kernel).unwrap();
+        for info in any.rungs() {
+            if let Some(rung) = pricer::servable(kernel, &info.slug, &cfg) {
+                out.push(rung);
+            }
+        }
+    }
+    assert!(out.len() >= 5, "servable set shrank: {}", out.len());
+    out
+}
+
+/// Replay `opts` through a [`MicroBatcher`] under an arbitrary
+/// interleaving: `gaps[i]` is the synthetic time step before request `i`
+/// arrives, so both the size trigger and the delay trigger fire at
+/// data-dependent points. Returns the flushed batches in dispatch order.
+fn replay_batches(
+    opts: &[(f64, f64, f64)],
+    gaps: &[u32],
+    max_batch: usize,
+    max_delay_us: u64,
+) -> Vec<Vec<(f64, f64, f64)>> {
+    let mut batcher: MicroBatcher<(f64, f64, f64)> = MicroBatcher::new(BatchPolicy {
+        max_batch,
+        max_delay: Duration::from_micros(max_delay_us),
+    });
+    let t0 = Instant::now();
+    let mut now = t0;
+    let mut batches = Vec::new();
+    for (i, &opt) in opts.iter().enumerate() {
+        now += Duration::from_micros(u64::from(gaps[i % gaps.len()]));
+        // The dispatcher checks the delay trigger before admitting new
+        // work, exactly like the server loop.
+        if batcher.due(now) {
+            batches.push(batcher.flush());
+        }
+        if let Some(full) = batcher.offer(opt, now) {
+            batches.push(full);
+        }
+    }
+    let tail = batcher.flush();
+    if !tail.is_empty() {
+        batches.push(tail);
+    }
+    batches
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_interleaving_prices_bit_identical_to_solo(
+        opts in vec(contract(), 1..40usize),
+        gaps in vec(0u32..200, 8usize),
+        max_batch in 1usize..17,
+        max_delay_us in 1u64..150,
+    ) {
+        for rung in servable_rungs() {
+            let batches = replay_batches(&opts, &gaps, max_batch, max_delay_us);
+            // Every request dispatched exactly once, order preserved
+            // within the stream.
+            let replayed: Vec<(f64, f64, f64)> =
+                batches.iter().flatten().copied().collect();
+            prop_assert_eq!(&replayed, &opts);
+            for batch in &batches {
+                prop_assert!(batch.len() <= max_batch);
+                let mut soa = padded_batch(batch, rung.width);
+                prop_assert_eq!(soa.len() % rung.width.max(1), 0);
+                rung.price(&mut soa);
+                for (i, &(s, x, t)) in batch.iter().enumerate() {
+                    let (call, put) = rung.price_one(s, x, t);
+                    prop_assert_eq!(
+                        soa.call[i].to_bits(), call.to_bits(),
+                        "{}: call diverges at {} (batch of {})", &rung.slug, i, batch.len()
+                    );
+                    prop_assert_eq!(
+                        soa.put[i].to_bits(), put.to_bits(),
+                        "{}: put diverges at {} (batch of {})", &rung.slug, i, batch.len()
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn threaded_server_matches_the_solo_oracle_bit_for_bit(
+        opts in vec(contract(), 1..60usize),
+        kernel_picks in vec(0usize..2, 1..60usize),
+    ) {
+        let cfg = pricer_config();
+        let engine = Engine::new(registry());
+        let kernels = ["black_scholes", "binomial"];
+        let oracles: Vec<_> = kernels
+            .iter()
+            .map(|k| pricer::resolve(&engine, k, &cfg).unwrap())
+            .collect();
+
+        let server = Server::start(ServeConfig {
+            queue_capacity: opts.len().max(1),
+            max_delay: Duration::from_micros(100),
+            max_batch: 16,
+            pricer: cfg,
+        });
+        let (tx, rx) = std::sync::mpsc::channel();
+        for (i, &(s, x, t)) in opts.iter().enumerate() {
+            let which = kernel_picks[i % kernel_picks.len()];
+            server.submit_with(
+                PriceRequest::new(i as u64, kernels[which], s, x, t),
+                &tx,
+            );
+        }
+        drop(tx);
+        let mut responses: Vec<_> = rx.iter().collect();
+        let snap = server.shutdown();
+        prop_assert_eq!(snap.total_shed(), 0);
+        prop_assert_eq!(responses.len(), opts.len());
+        responses.sort_by_key(|r| r.id);
+        for resp in responses {
+            let i = resp.id as usize;
+            let which = kernel_picks[i % kernel_picks.len()];
+            let (s, x, t) = opts[i];
+            let priced = resp.outcome.expect("nothing rejected");
+            let (call, put) = oracles[which].price_one(s, x, t);
+            prop_assert_eq!(
+                priced.call.to_bits(), call.to_bits(),
+                "{} call for request {} (batch of {})",
+                kernels[which], i, priced.batch_len
+            );
+            prop_assert_eq!(
+                priced.put.to_bits(), put.to_bits(),
+                "{} put for request {}", kernels[which], i
+            );
+        }
+    }
+}
+
+// Exercise the loadgen-driven path once too: the serve_bench experiment's
+// zero-shed guarantee holds whenever capacity covers the offered load.
+#[test]
+fn closed_loop_with_ample_capacity_sheds_nothing() {
+    let server = Server::start(ServeConfig {
+        queue_capacity: 256,
+        max_delay: Duration::from_micros(200),
+        max_batch: 64,
+        pricer: pricer_config(),
+    });
+    let report = finbench::serve::run_load(
+        &server,
+        "black_scholes",
+        LoadMode::Closed {
+            clients: 2,
+            requests_per_client: 50,
+        },
+        3,
+        None,
+    );
+    assert_eq!(report.served, 100);
+    assert_eq!(report.total_shed(), 0);
+    assert_eq!(server.shutdown().total_shed(), 0);
+}

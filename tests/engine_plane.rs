@@ -48,7 +48,12 @@ fn plan_override_forces_a_specific_rung() {
 
     planner.set_override("black_scholes", "no_such_rung");
     let err = planner.plan(reg.get("black_scholes").unwrap()).unwrap_err();
-    assert!(err.contains("no_such_rung"), "{err}");
+    assert!(
+        matches!(err, finbench::engine::EngineError::UnknownRung { ref slug, .. }
+            if slug == "no_such_rung"),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("no_such_rung"), "{err}");
 }
 
 #[test]
