@@ -21,6 +21,18 @@ echo "$serve_out" | grep -q "total shed: 0" || {
   exit 1
 }
 
+echo "==> chaos gate (faults degrade, never corrupt)"
+chaos_out=$(cargo run --release -q -p finbench-harness --bin finbench -- chaos-bench --quick)
+echo "$chaos_out" | grep -E "corrupted prices|degraded batches"
+echo "$chaos_out" | grep -q "corrupted prices: 0" || {
+  echo "chaos-bench found corrupted prices under fault injection" >&2
+  exit 1
+}
+if echo "$chaos_out" | grep -q "degraded batches: 0"; then
+  echo "chaos-bench never exercised the degradation ladder (degraded batches: 0)" >&2
+  exit 1
+fi
+
 echo "==> examples (quick mode)"
 cargo build --release --examples
 for ex in quickstart portfolio_pricing american_options asian_option_mc ninja_gap_report qmc_convergence; do

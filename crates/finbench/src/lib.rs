@@ -25,7 +25,11 @@
 //!   the cost-model-driven rung planner.
 //! * [`serve`] — the batched pricing-request plane: typed requests, a
 //!   bounded admission queue, dynamic micro-batching onto planner-chosen
-//!   rungs, latency SLOs, and synthetic load generation.
+//!   rungs, latency SLOs, synthetic load generation, and fault-tolerant
+//!   lane supervision (circuit breakers + graceful rung degradation).
+//! * [`faults`] — the deterministic fault-injection registry behind the
+//!   chaos experiments (`FINBENCH_FAULTS` plans: panics, latency, input
+//!   corruption, queue stalls).
 //! * [`harness`] — the experiment drivers behind the `finbench` CLI.
 //! * [`telemetry`] — zero-dependency spans, counters, and histograms
 //!   wired through the pool, RNG, and harness (`FINBENCH_LOG` filter).
@@ -44,6 +48,7 @@
 
 pub use finbench_core as core;
 pub use finbench_engine as engine;
+pub use finbench_faults as faults;
 pub use finbench_harness as harness;
 pub use finbench_machine as machine;
 pub use finbench_math as math;

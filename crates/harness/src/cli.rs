@@ -43,6 +43,7 @@ pub fn usage_line() -> String {
          \x20 finbench run [EXPERIMENT ...]  run experiments (`all` = every one)\n\
          \x20 finbench list                  print experiment ids\n\
          \x20 finbench serve-bench           serving-plane load benchmark (alias for `run serve_bench`)\n\
+         \x20 finbench chaos-bench           fault-injection chaos benchmark (alias for `run chaos_bench`)\n\
          flags: [--quick] [--only KERNEL[,KERNEL...]] [--csv DIR] [--json FILE] [--report]\n\
          note: the flat forms `finbench [EXPERIMENT ...]` and `--list` are deprecated\n\
          \x20     aliases for `run` / `list`; prefer the subcommands.\n\
@@ -155,22 +156,27 @@ where
                 Ok(CliAction::List)
             }
         }
-        Some("serve-bench") => match collect(&args[1..])? {
-            Collected::Short(a) => Ok(a),
-            Collected::Items(operands, opts) => {
-                if let Some(extra) = operands.first() {
-                    return Err(format!(
-                        "serve-bench takes no experiment operands (got: {extra})"
-                    ));
-                }
-                Ok(CliAction::Run(ParsedArgs {
-                    ids: vec!["serve_bench".to_string()],
-                    opts,
-                }))
-            }
-        },
+        Some("serve-bench") => parse_experiment_alias("serve-bench", "serve_bench", &args[1..]),
+        Some("chaos-bench") => parse_experiment_alias("chaos-bench", "chaos_bench", &args[1..]),
         // Deprecated flat grammar: `finbench [EXPERIMENT ...] [FLAGS]`.
         _ => parse_run(&args),
+    }
+}
+
+/// Shared grammar of the `serve-bench`/`chaos-bench` subcommands: flags
+/// only, mapping to a single fixed experiment id.
+fn parse_experiment_alias(sub: &str, id: &str, args: &[String]) -> Result<CliAction, String> {
+    match collect(args)? {
+        Collected::Short(a) => Ok(a),
+        Collected::Items(operands, opts) => {
+            if let Some(extra) = operands.first() {
+                return Err(format!("{sub} takes no experiment operands (got: {extra})"));
+            }
+            Ok(CliAction::Run(ParsedArgs {
+                ids: vec![id.to_string()],
+                opts,
+            }))
+        }
     }
 }
 
@@ -231,6 +237,16 @@ mod tests {
         assert!(p.opts.quick);
         // It takes flags, not experiment operands.
         assert!(parse_args(["serve-bench", "fig4"]).is_err());
+    }
+
+    #[test]
+    fn chaos_bench_subcommand_maps_to_the_chaos_bench_experiment() {
+        let p = run(&["chaos-bench", "--quick"]);
+        assert_eq!(p.ids, ["chaos_bench"]);
+        assert!(p.opts.quick);
+        assert!(parse_args(["chaos-bench", "fig4"]).is_err());
+        // Also reachable through the plain run grammar.
+        assert_eq!(run(&["run", "chaos_bench"]).ids, ["chaos_bench"]);
     }
 
     #[test]

@@ -448,6 +448,8 @@ pub fn serve_bench(opts: &RunOptions) {
     let engine = native::engine();
     let mut total_shed = 0usize;
     let mut total_rejected = 0usize;
+    let mut total_invalid = 0usize;
+    let mut total_internal = 0usize;
     for kernel in &kernels {
         // Resolve the serving rung up front so unservable kernels are a
         // printed note, not a storm of per-request rejections.
@@ -469,6 +471,7 @@ pub fn serve_bench(opts: &RunOptions) {
             max_delay: Duration::from_micros(500),
             max_batch: 4096,
             pricer,
+            ..ServeConfig::default()
         };
         let run = |mode: LoadMode, capacity: usize, seed: u64| -> LoadReport {
             // A fresh server per load point keeps the latency histograms
@@ -520,6 +523,8 @@ pub fn serve_bench(opts: &RunOptions) {
             closed_peak = closed_peak.max(r.throughput);
             total_shed += r.total_shed();
             total_rejected += r.rejected;
+            total_invalid += r.invalid_input;
+            total_internal += r.internal;
             push(format!("closed x{clients}"), &r, &mut rows, &mut curve);
         }
         for (i, &frac) in open_fractions.iter().enumerate() {
@@ -535,6 +540,8 @@ pub fn serve_bench(opts: &RunOptions) {
             );
             total_shed += r.total_shed();
             total_rejected += r.rejected;
+            total_invalid += r.invalid_input;
+            total_internal += r.internal;
             push(format!("open {:.0}/s", rate), &r, &mut rows, &mut curve);
         }
         println!(
@@ -548,7 +555,197 @@ pub fn serve_bench(opts: &RunOptions) {
     }
     println!("  total shed: {total_shed}");
     println!("  total rejected: {total_rejected}");
+    if total_invalid + total_internal > 0 {
+        println!("  total invalid input: {total_invalid}");
+        println!("  total internal (faults absorbed): {total_internal}");
+    }
     println!("  (shed = queue_full + deadline_exceeded; every shed is a typed response)");
+}
+
+/// The `chaos_bench` experiment: closed-loop load against the serving
+/// plane under a matrix of fault plans (injected panics, latency, input
+/// corruption, queue stalls), reporting availability and degradation per
+/// plan — and verifying the invariant that makes degradation safe:
+/// **every `Priced` response is bit-identical to pricing that option
+/// alone on the rung that served it.** Faults may shed or degrade,
+/// never corrupt.
+///
+/// `ci.sh` greps the final `corrupted prices:` / `degraded batches:`
+/// lines: corruption must be zero and the panic plans must actually
+/// exercise the degradation ladder (non-zero degraded batches).
+pub fn chaos_bench(opts: &RunOptions) {
+    use finbench_faults::{self as faults, FaultPlan, PlanGuard};
+    use finbench_serve::{
+        pricer, BreakerPolicy, PriceRequest, PriceResponse, PricerConfig, Rejected, ServeConfig,
+        Server, ServingRung,
+    };
+    use std::collections::BTreeMap as Map;
+    use std::time::Duration;
+
+    println!(
+        "{}",
+        section("chaos-bench — fault-tolerant serving under injected faults")
+    );
+    let kernel = "black_scholes";
+    let clients = 3usize;
+    let per_client = if opts.quick { 150 } else { 800 };
+
+    // The fault-plan matrix, in the FINBENCH_FAULTS grammar itself so the
+    // printed plans double as copy-paste chaos recipes.
+    let plans: &[(&str, &str)] = &[
+        ("baseline", ""),
+        ("panic 10%", "batch.black_scholes=panic@0.1"),
+        ("latency 250us/20%", "batch.black_scholes=latency:250us@0.2"),
+        ("corrupt 5%", "admit.black_scholes=corrupt:nan@0.05"),
+        ("queue stall 2%", "queue=stall@0.02"),
+        (
+            "combined",
+            "batch.black_scholes=panic@0.1,admit.black_scholes=corrupt:inf@0.05,queue=stall@0.01",
+        ),
+    ];
+
+    let pricer_cfg = PricerConfig::default();
+    // The bit-exactness oracle: every servable rung by slug, so a response
+    // served on a *degraded* rung is checked against that rung, solo.
+    let rungs: Map<String, ServingRung> = {
+        let engine = native::engine();
+        pricer::servable_ladder(engine, kernel, &pricer_cfg)
+            .expect("black_scholes is servable")
+            .into_iter()
+            .map(|r| (r.slug.clone(), r))
+            .collect()
+    };
+
+    // Injected panics at 10% of batches would otherwise spray backtraces
+    // over the report.
+    faults::silence_injected_panics();
+
+    let mut total_corrupted = 0usize;
+    let mut total_degraded = 0u64;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut csv = String::from(
+        "plan,offered,served,availability,invalid,internal,shed,degraded_batches,restarts,breaker_open,corrupted\n",
+    );
+    for (label, plan_str) in plans {
+        let plan = FaultPlan::parse(plan_str).expect("matrix plans parse");
+        let _guard = PlanGuard::install(plan);
+        let server = Server::start(ServeConfig {
+            queue_capacity: 4096,
+            max_delay: Duration::from_micros(300),
+            max_batch: 512,
+            pricer: pricer_cfg,
+            breaker: BreakerPolicy {
+                // Short cooldown so an opened breaker restarts within the
+                // run; quick promotion keeps the ladder exercised both ways.
+                cooldown: Duration::from_millis(2),
+                promote_after: 16,
+                ..BreakerPolicy::default()
+            },
+        });
+        // Closed-loop drive, keeping each request's parameters so priced
+        // responses can be replayed against the solo oracle.
+        let responses: Vec<((f64, f64, f64), PriceResponse)> = std::thread::scope(|scope| {
+            let server = &server;
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut stream =
+                            finbench_serve::OptionStream::new(0xC4A05u64.wrapping_add(c as u64));
+                        let mut out = Vec::with_capacity(per_client);
+                        for i in 0..per_client {
+                            let (s, x, t) = stream.next_option();
+                            let id = (c * per_client + i) as u64;
+                            let rx = server.submit(PriceRequest::new(id, kernel, s, x, t));
+                            match rx.recv() {
+                                Ok(resp) => out.push(((s, x, t), resp)),
+                                Err(_) => break,
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("chaos client thread"))
+                .collect()
+        });
+        let snap = server.shutdown();
+
+        let offered = responses.len();
+        let mut served = 0usize;
+        let mut invalid = 0usize;
+        let mut internal = 0usize;
+        let mut shed = 0usize;
+        let mut corrupted = 0usize;
+        for ((s, x, t), resp) in &responses {
+            match &resp.outcome {
+                Ok(p) => {
+                    served += 1;
+                    let rung = rungs
+                        .get(&p.rung)
+                        .unwrap_or_else(|| panic!("response served on unknown rung {}", p.rung));
+                    let (call, put) = rung.price_one(*s, *x, *t);
+                    if call.to_bits() != p.call.to_bits() || put.to_bits() != p.put.to_bits() {
+                        corrupted += 1;
+                    }
+                }
+                Err(Rejected::InvalidInput { .. }) => invalid += 1,
+                Err(Rejected::Internal { .. }) => internal += 1,
+                Err(_) => shed += 1,
+            }
+        }
+        let degraded = snap.total_degraded();
+        let restarts = snap.total_restarts();
+        let opened: u64 = snap.kernels.iter().map(|k| k.breaker_open).sum();
+        let avail = if offered == 0 {
+            0.0
+        } else {
+            served as f64 / offered as f64
+        };
+        total_corrupted += corrupted;
+        total_degraded += degraded;
+        rows.push(vec![
+            label.to_string(),
+            offered.to_string(),
+            served.to_string(),
+            format!("{:.1}%", 100.0 * avail),
+            invalid.to_string(),
+            internal.to_string(),
+            shed.to_string(),
+            degraded.to_string(),
+            restarts.to_string(),
+            opened.to_string(),
+            corrupted.to_string(),
+        ]);
+        csv.push_str(&format!(
+            "{label},{offered},{served},{avail:.4},{invalid},{internal},{shed},{degraded},{restarts},{opened},{corrupted}\n"
+        ));
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "fault plan",
+                "offered",
+                "served",
+                "avail",
+                "invalid",
+                "internal",
+                "shed",
+                "degraded",
+                "restarts",
+                "opened",
+                "corrupt",
+            ],
+            &rows
+        )
+    );
+    maybe_write_csv(&opts.csv_dir, "chaos_bench.csv", &csv);
+    println!("  corrupted prices: {total_corrupted}");
+    println!("  degraded batches: {total_degraded}");
+    println!("  (corrupted compares every Priced response bit-for-bit against solo");
+    println!("  pricing on the rung that served it — faults shed or degrade, never corrupt)");
 }
 
 #[cfg(test)]

@@ -62,6 +62,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "audit",
     "native",
     "serve_bench",
+    "chaos_bench",
 ];
 
 /// Run one experiment by id; returns false for an unknown id.
@@ -86,6 +87,7 @@ pub fn run_experiment(id: &str, opts: &RunOptions) -> bool {
         "audit" => experiments::audit(opts),
         "native" => experiments::native_all(opts),
         "serve_bench" => experiments::serve_bench(opts),
+        "chaos_bench" => experiments::chaos_bench(opts),
         _ => unreachable!("id validated against EXPERIMENTS"),
     }
     true

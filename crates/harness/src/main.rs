@@ -44,6 +44,22 @@ fn main() {
         telemetry::set_filter("all");
     }
 
+    // Arm the fault-injection registry when a FINBENCH_FAULTS plan is set
+    // (e.g. `FINBENCH_FAULTS=batch.black_scholes=panic@0.1`); default off.
+    match finbench_faults::install_from_env() {
+        Ok(true) => {
+            // Injected panics are expected and caught by the serving
+            // lanes; keep their backtraces off the console.
+            finbench_faults::silence_injected_panics();
+            eprintln!("fault plan armed from FINBENCH_FAULTS");
+        }
+        Ok(false) => {}
+        Err(msg) => {
+            eprintln!("error: FINBENCH_FAULTS: {msg}");
+            std::process::exit(2);
+        }
+    }
+
     for id in &parsed.ids {
         // Ids were validated by parse_args; a false here is a logic error.
         assert!(run_experiment(id, &parsed.opts), "unknown experiment: {id}");

@@ -26,8 +26,24 @@
 //!
 //! [`loadgen`] adds closed- and open-loop synthetic load; the harness
 //! exposes it as the `serve_bench` experiment (`finbench serve-bench`).
+//!
+//! ## Fault tolerance
+//!
+//! The server survives its own kernels: batch execution runs under
+//! `catch_unwind` with a per-lane [`Breaker`] supervising. Failures
+//! first **degrade down the rung ladder** (serving a cheaper but still
+//! bit-exact rung), and only open the breaker once the scalar reference
+//! rung itself keeps failing; restarts probe half-open with capped
+//! exponential backoff. Admission validates every request
+//! ([`Rejected::InvalidInput`]) so NaN/Inf/negative parameters never
+//! reach a SIMD lane, and the queue/stats mutexes recover from poison
+//! instead of cascading one panic across threads. The
+//! [`finbench_faults`] registry injects panics, latency, corruption, and
+//! queue stalls at compiled-in hook sites for chaos testing
+//! (`FINBENCH_FAULTS`).
 
 pub mod batcher;
+pub mod breaker;
 pub mod loadgen;
 pub mod pricer;
 pub mod queue;
@@ -35,8 +51,9 @@ pub mod request;
 pub mod server;
 
 pub use batcher::{target_batch, BatchPolicy, MicroBatcher};
+pub use breaker::{Breaker, BreakerPolicy, BreakerState, FailureAction, Gate};
 pub use loadgen::{run_load, LoadMode, LoadReport, OptionStream};
-pub use pricer::{padded_batch, PricerConfig, ServingRung};
+pub use pricer::{padded_batch, servable_ladder, PricerConfig, ServingRung};
 pub use queue::AdmissionQueue;
 pub use request::{PriceRequest, PriceResponse, Priced, Rejected};
 pub use server::{KernelSnapshot, ServeConfig, ServeSnapshot, Server};

@@ -53,6 +53,11 @@ pub struct LoadReport {
     pub shed_deadline: usize,
     /// Requests rejected for other reasons (bad kernel, shutdown).
     pub rejected: usize,
+    /// Requests rejected by admission-side input validation.
+    pub invalid_input: usize,
+    /// Requests answered [`Rejected::Internal`] (caught kernel panic or
+    /// open circuit breaker).
+    pub internal: usize,
     /// Wall-clock duration of the run.
     pub wall: Duration,
     /// Served throughput, requests/second.
@@ -70,6 +75,16 @@ impl LoadReport {
     /// Queue-full + deadline sheds.
     pub fn total_shed(&self) -> usize {
         self.shed_queue_full + self.shed_deadline
+    }
+
+    /// Fraction of offered requests that were answered with a price
+    /// (the availability number chaos runs report).
+    pub fn availability(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.offered as f64
+        }
     }
 }
 
@@ -231,19 +246,29 @@ fn summarize(
     let mut shed_queue_full = 0usize;
     let mut shed_deadline = 0usize;
     let mut rejected = 0usize;
+    let mut invalid_input = 0usize;
+    let mut internal = 0usize;
     let mut lat_us: Vec<f64> = Vec::with_capacity(offered);
     for (resp, rtt) in &responses {
         match &resp.outcome {
             Ok(_) => {
                 served += 1;
-                lat_us.push(rtt.as_secs_f64() * 1e6);
+                let us = rtt.as_secs_f64() * 1e6;
+                // A Duration cannot produce NaN/Inf microseconds; catch it
+                // at sample time if that ever changes.
+                debug_assert!(us.is_finite(), "non-finite latency sample: {us}");
+                lat_us.push(us);
             }
             Err(Rejected::QueueFull { .. }) => shed_queue_full += 1,
             Err(Rejected::DeadlineExceeded { .. }) => shed_deadline += 1,
+            Err(Rejected::InvalidInput { .. }) => invalid_input += 1,
+            Err(Rejected::Internal { .. }) => internal += 1,
             Err(_) => rejected += 1,
         }
     }
-    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Total order even in release builds where the debug_assert above is
+    // compiled out: NaN sorts last instead of panicking the summary.
+    lat_us.sort_by(f64::total_cmp);
     let pct = |q: f64| -> f64 {
         if lat_us.is_empty() {
             0.0
@@ -259,6 +284,8 @@ fn summarize(
         shed_queue_full,
         shed_deadline,
         rejected,
+        invalid_input,
+        internal,
         wall,
         throughput: served as f64 / wall.as_secs_f64().max(1e-9),
         p50_us: pct(0.50),
@@ -282,6 +309,7 @@ mod tests {
                 binomial_steps: 16,
                 ..PricerConfig::default()
             },
+            ..ServeConfig::default()
         })
     }
 

@@ -148,10 +148,18 @@ pub fn servable(kernel: &str, slug: &str, cfg: &PricerConfig) -> Option<ServingR
     })
 }
 
-/// Resolve the serving rung for `kernel`: plan with the engine's cost
-/// model, then walk down the ladder from the planned rung to the most
-/// advanced batch-safe one. Engine errors map to typed rejections.
-pub fn resolve(engine: &Engine, kernel: &str, cfg: &PricerConfig) -> Result<ServingRung, Rejected> {
+/// The full *degradation ladder* for `kernel`: every batch-safe rung at
+/// or below the planner's chosen one, most advanced first. Index 0 is
+/// the normal serving rung (what [`resolve`] returns); each subsequent
+/// entry is the next cheaper fallback the lane supervisor degrades to
+/// when the rung above keeps faulting, ending at the scalar reference.
+/// Every entry prices bit-identically to pricing alone on that same
+/// rung, so degradation trades throughput, never correctness.
+pub fn servable_ladder(
+    engine: &Engine,
+    kernel: &str,
+    cfg: &PricerConfig,
+) -> Result<Vec<ServingRung>, Rejected> {
     let any = engine
         .registry()
         .resolve(kernel)
@@ -162,14 +170,24 @@ pub fn resolve(engine: &Engine, kernel: &str, cfg: &PricerConfig) -> Result<Serv
         reason: e.to_string(),
     })?;
     let rungs = any.rungs();
-    for idx in (0..=plan.rung.min(rungs.len().saturating_sub(1))).rev() {
-        if let Some(rung) = servable(kernel, &rungs[idx].slug, cfg) {
-            return Ok(rung);
-        }
+    let ladder: Vec<ServingRung> = (0..=plan.rung.min(rungs.len().saturating_sub(1)))
+        .rev()
+        .filter_map(|idx| servable(kernel, &rungs[idx].slug, cfg))
+        .collect();
+    if ladder.is_empty() {
+        Err(Rejected::Unservable {
+            kernel: kernel.to_string(),
+        })
+    } else {
+        Ok(ladder)
     }
-    Err(Rejected::Unservable {
-        kernel: kernel.to_string(),
-    })
+}
+
+/// Resolve the serving rung for `kernel`: plan with the engine's cost
+/// model, then walk down the ladder from the planned rung to the most
+/// advanced batch-safe one. Engine errors map to typed rejections.
+pub fn resolve(engine: &Engine, kernel: &str, cfg: &PricerConfig) -> Result<ServingRung, Rejected> {
+    servable_ladder(engine, kernel, cfg).map(|mut l| l.remove(0))
 }
 
 /// `price_single` reference for one option — used by tests to pin the
@@ -199,6 +217,40 @@ mod tests {
         let idx = rungs.iter().position(|r| r.slug == rung.slug).unwrap();
         assert!(idx <= plan.rung, "{} above plan {}", rung.slug, plan.slug);
         assert!(rung.width >= 1);
+    }
+
+    #[test]
+    fn degradation_ladder_descends_to_the_scalar_reference() {
+        let e = engine();
+        let cfg = PricerConfig::default();
+        let ladder = servable_ladder(&e, "black_scholes", &cfg).unwrap();
+        assert!(ladder.len() >= 2, "need at least one fallback rung");
+        // Index 0 is exactly what resolve() serves.
+        assert_eq!(
+            ladder[0].slug,
+            resolve(&e, "black_scholes", &cfg).unwrap().slug
+        );
+        // The bottom is a scalar rung (width 1): the last-resort fallback.
+        assert_eq!(ladder.last().unwrap().width, 1);
+        // Monotonic descent: ladder indices strictly decrease.
+        let rungs = e.registry().resolve("black_scholes").unwrap().rungs();
+        let idx_of = |slug: &str| rungs.iter().position(|r| r.slug == slug).unwrap();
+        for pair in ladder.windows(2) {
+            assert!(
+                idx_of(&pair[0].slug) > idx_of(&pair[1].slug),
+                "{} should sit above {}",
+                pair[0].slug,
+                pair[1].slug
+            );
+        }
+        // Every level prices the same option consistently with the
+        // closed form (degradation preserves the equivalence contract).
+        let (want_c, want_p) = scalar_reference(30.0, 35.0, 2.0, cfg.market);
+        for rung in &ladder {
+            let (c, p) = rung.price_one(30.0, 35.0, 2.0);
+            assert!((c - want_c).abs() < 1e-9, "{}: {c} vs {want_c}", rung.slug);
+            assert!((p - want_p).abs() < 1e-9, "{}: {p} vs {want_p}", rung.slug);
+        }
     }
 
     #[test]

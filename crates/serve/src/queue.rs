@@ -8,8 +8,19 @@
 //! The consumer side supports timed pops so the dispatcher can wake up
 //! for micro-batch flush deadlines even when no new work arrives.
 
+//!
+//! ## Poison recovery
+//!
+//! The queue's `Mutex` is shared by every producer and the dispatcher; a
+//! panic on *any* of those threads while holding the lock would poison it
+//! and — with naive `lock().unwrap()` — cascade that one failure into a
+//! panic on every thread that touches the queue afterwards. The state
+//! behind the lock (a `VecDeque` and a flag) has no invariant a panicking
+//! pusher can break mid-update, so every acquisition here recovers the
+//! guard from a poisoned lock instead of propagating.
+
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 struct State<T> {
@@ -42,9 +53,15 @@ impl<T> AdmissionQueue<T> {
         self.capacity
     }
 
+    /// Lock the state, recovering from poison: a producer that panicked
+    /// while holding the lock must not brick the whole serving plane.
+    fn lock_state(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Current depth (racy by nature; used for gauges and tests).
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().items.len()
+        self.lock_state().items.len()
     }
 
     /// True when empty at the instant of the call.
@@ -55,7 +72,7 @@ impl<T> AdmissionQueue<T> {
     /// Push without blocking. On a full or closed queue the item comes
     /// straight back so the caller owns the rejection.
     pub fn try_push(&self, item: T) -> Result<(), T> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         if st.closed || st.items.len() >= self.capacity {
             return Err(item);
         }
@@ -70,7 +87,7 @@ impl<T> AdmissionQueue<T> {
     /// distinguish the two via [`is_closed`](Self::is_closed).
     pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
         let deadline = Instant::now() + timeout;
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         loop {
             if let Some(item) = st.items.pop_front() {
                 return Some(item);
@@ -82,7 +99,15 @@ impl<T> AdmissionQueue<T> {
             if now >= deadline {
                 return None;
             }
-            let (next, res) = self.not_empty.wait_timeout(st, deadline - now).unwrap();
+            let (next, res) = self
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| {
+                    // Poison from an unrelated panicked thread: take the
+                    // guard back and keep serving.
+                    let (g, r) = e.into_inner();
+                    (g, r)
+                });
             st = next;
             if res.timed_out() && st.items.is_empty() {
                 return None;
@@ -93,13 +118,22 @@ impl<T> AdmissionQueue<T> {
     /// Close the queue: producers get their items back from
     /// [`try_push`](Self::try_push), and consumers drain what remains.
     pub fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        self.lock_state().closed = true;
         self.not_empty.notify_all();
     }
 
     /// True once [`close`](Self::close) has been called.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().unwrap().closed
+        self.lock_state().closed
+    }
+
+    /// Panic while holding the state lock, poisoning the `Mutex` — the
+    /// test hook behind the poison-recovery tests (a real panicking
+    /// producer is not constructible from safe queue operations).
+    #[doc(hidden)]
+    pub fn poison_for_test(&self) {
+        let _guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        panic!("poison_for_test: panicking while holding the queue lock");
     }
 }
 
@@ -137,6 +171,39 @@ mod tests {
         assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
         assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
         assert!(q.is_closed());
+    }
+
+    #[test]
+    fn a_panicked_producer_does_not_brick_the_queue() {
+        let q = Arc::new(AdmissionQueue::new(4));
+        q.try_push(1).unwrap();
+        // A thread panics while holding the state lock, poisoning it.
+        let q2 = Arc::clone(&q);
+        let poisoner = std::thread::spawn(move || q2.poison_for_test());
+        assert!(poisoner.join().is_err(), "the poisoner must have panicked");
+        // Every operation still works: push, pop, len, close.
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Some(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Some(2));
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.try_push(3), Err(3));
+    }
+
+    #[test]
+    fn a_poisoned_condvar_wait_recovers_too() {
+        let q: Arc<AdmissionQueue<u32>> = Arc::new(AdmissionQueue::new(2));
+        // Block a consumer in wait_timeout, then poison the lock from
+        // another thread; the consumer must still receive the item pushed
+        // afterwards instead of panicking on the poisoned wait result.
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        let q3 = Arc::clone(&q);
+        let _ = std::thread::spawn(move || q3.poison_for_test()).join();
+        q.try_push(7).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(7));
     }
 
     #[test]

@@ -46,6 +46,27 @@ impl PriceRequest {
         self.deadline = Some(Instant::now() + slo);
         self
     }
+
+    /// Admission-side domain validation: every numeric parameter must be
+    /// finite and strictly positive before it is allowed anywhere near a
+    /// SIMD kernel (NaN/Inf propagate silently through vector math, and
+    /// the closed forms take `ln(s/x)` and `sqrt(t)`). Returns the typed
+    /// rejection for the first violation.
+    pub fn validate(&self) -> Result<(), Rejected> {
+        for (name, v) in [("spot", self.s), ("strike", self.x), ("expiry", self.t)] {
+            if !v.is_finite() {
+                return Err(Rejected::InvalidInput {
+                    reason: format!("{name} is not finite ({v})"),
+                });
+            }
+            if v <= 0.0 {
+                return Err(Rejected::InvalidInput {
+                    reason: format!("{name} must be positive (got {v})"),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A successfully priced request.
@@ -91,6 +112,22 @@ pub enum Rejected {
     },
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
+    /// A request parameter failed admission-side domain validation
+    /// (non-finite or non-positive spot/strike/expiry). Checked before
+    /// the request can reach a batch, so invalid inputs never touch the
+    /// SIMD kernels.
+    InvalidInput {
+        /// Which parameter failed and why.
+        reason: String,
+    },
+    /// The batch this request rode in failed inside the server — a
+    /// kernel panic caught by the lane supervisor, or a lane whose
+    /// circuit breaker is open. The request was *not* priced; retrying
+    /// is safe.
+    Internal {
+        /// What failed (panic payload or breaker state).
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for Rejected {
@@ -107,6 +144,8 @@ impl std::fmt::Display for Rejected {
                 write!(f, "kernel {kernel} has no batch-safe serving rung")
             }
             Rejected::ShuttingDown => write!(f, "server is shutting down"),
+            Rejected::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            Rejected::Internal { reason } => write!(f, "internal failure: {reason}"),
         }
     }
 }
@@ -152,10 +191,50 @@ mod tests {
             }
             .to_string(),
             Rejected::ShuttingDown.to_string(),
+            Rejected::InvalidInput {
+                reason: "spot is not finite (NaN)".into(),
+            }
+            .to_string(),
+            Rejected::Internal {
+                reason: "injected panic".into(),
+            }
+            .to_string(),
         ];
         assert!(msgs[0].contains("capacity 8"), "{}", msgs[0]);
         assert!(msgs[1].contains("deadline"), "{}", msgs[1]);
         assert!(msgs[2].contains("rng"), "{}", msgs[2]);
         assert!(msgs[3].contains("shutting down"), "{}", msgs[3]);
+        assert!(msgs[4].contains("invalid input"), "{}", msgs[4]);
+        assert!(msgs[5].contains("internal failure"), "{}", msgs[5]);
+    }
+
+    #[test]
+    fn validation_accepts_the_paper_domain() {
+        assert!(PriceRequest::new(1, "black_scholes", 30.0, 35.0, 1.0)
+            .validate()
+            .is_ok());
+        assert!(PriceRequest::new(1, "black_scholes", 5.0, 1.0, 0.25)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_nonfinite_and_nonpositive_parameters() {
+        let base = |s, x, t| PriceRequest::new(1, "black_scholes", s, x, t);
+        for (req, needle) in [
+            (base(f64::NAN, 35.0, 1.0), "spot"),
+            (base(30.0, f64::INFINITY, 1.0), "strike"),
+            (base(30.0, 35.0, f64::NEG_INFINITY), "expiry"),
+            (base(-30.0, 35.0, 1.0), "spot"),
+            (base(30.0, 0.0, 1.0), "strike"),
+            (base(30.0, 35.0, -0.5), "expiry"),
+        ] {
+            match req.validate() {
+                Err(Rejected::InvalidInput { reason }) => {
+                    assert!(reason.contains(needle), "{reason} should name {needle}");
+                }
+                other => panic!("expected InvalidInput, got {other:?}"),
+            }
+        }
     }
 }

@@ -3,35 +3,60 @@
 //! the resolved ladder rung, and scattering results back per request.
 //!
 //! ```text
-//! submit() ──► AdmissionQueue (bounded; full ⇒ Rejected::QueueFull)
+//! submit() ──► validate ── invalid ⇒ Rejected::InvalidInput (synchronous)
+//!                   │
+//!                   ▼
+//!             AdmissionQueue (bounded; full ⇒ Rejected::QueueFull)
 //!                   │ pop
 //!                   ▼
 //!             dispatcher thread
 //!     ┌── MicroBatcher per kernel ──┐   size/delay trigger
 //!     ▼                             ▼
 //!  black_scholes lane           binomial lane
-//!     │ padded SOA batch            │
-//!     ▼                             ▼
-//!  ServingRung::price           ServingRung::price
-//!     │ scatter-back                │
+//!     │ padded SOA batch            │   each lane: circuit breaker +
+//!     ▼                             ▼   degradation ladder + supervisor
+//!  catch_unwind(rung.price)     catch_unwind(rung.price)
+//!     │ scatter-back │ panic ⇒ Rejected::Internal, breaker feeds back
 //!     └────► PriceResponse per request (mpsc) ◄─────┘
 //! ```
 //!
+//! ## Fault tolerance
+//!
+//! Every lane's batch execution runs under `catch_unwind`: a kernel
+//! panic answers the in-flight batch with [`Rejected::Internal`] and
+//! feeds the lane's [`Breaker`] instead of killing the dispatcher. A
+//! failing lane first **degrades down its servable rung ladder** (the
+//! paper's own equivalence ladder: a cheaper rung still prices
+//! bit-identically to itself, so fidelity of the contract survives —
+//! only throughput is sacrificed). Only when the bottom (scalar
+//! reference) rung keeps failing does the breaker open; reopening uses
+//! capped exponential backoff, and recovery probes half-open before
+//! closing. Sustained success promotes the lane back up one level at a
+//! time. Fault-injection hooks ([`finbench_faults`]) are compiled into
+//! the admit, queue, and batch paths, armed only when a `FINBENCH_FAULTS`
+//! plan is installed.
+//!
 //! Telemetry: `serve.queue_depth` gauge, `serve.batch.<kernel>` spans
-//! with occupancy, `serve.served` / `serve.shed.queue_full` /
-//! `serve.shed.deadline` / `serve.rejected` counters, and per-kernel
-//! latency + occupancy histograms surfaced through [`ServeSnapshot`].
+//! with occupancy + degradation level, `serve.served` / `serve.shed.*` /
+//! `serve.rejected` / `serve.invalid_input` / `serve.internal` /
+//! `serve.lane_restarts` / `serve.breaker_open` / `serve.degraded_batches`
+//! counters, `serve.breaker.<kernel>` + `serve.degradation.<kernel>`
+//! gauges, and per-kernel latency + occupancy histograms surfaced through
+//! [`ServeSnapshot`].
 
 use crate::batcher::{target_batch, BatchPolicy, MicroBatcher};
+use crate::breaker::{Breaker, BreakerPolicy, BreakerState, FailureAction, Gate};
 use crate::pricer::{self, padded_batch, PricerConfig, ServingRung};
 use crate::queue::AdmissionQueue;
 use crate::request::{PriceRequest, PriceResponse, Priced, Rejected};
 use finbench_core::engine::registry;
 use finbench_engine::Engine;
+use finbench_faults::{self as faults, FaultKind};
 use finbench_telemetry::{self as telemetry, Histogram};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -47,6 +72,8 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Pricer configuration (market params, binomial steps, pool chunk).
     pub pricer: PricerConfig,
+    /// Per-lane circuit-breaker tuning.
+    pub breaker: BreakerPolicy,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +83,7 @@ impl Default for ServeConfig {
             max_delay: Duration::from_millis(1),
             max_batch: 4096,
             pricer: PricerConfig::default(),
+            breaker: BreakerPolicy::default(),
         }
     }
 }
@@ -66,11 +94,25 @@ struct Envelope {
     tx: Sender<PriceResponse>,
 }
 
-/// One kernel's serving state inside the dispatcher.
+/// One kernel's serving state inside the dispatcher: its degradation
+/// ladder (index 0 = planned serving rung, last = scalar reference),
+/// the level it currently serves at, and its supervising breaker.
 struct Lane {
-    rung: ServingRung,
+    ladder: Vec<ServingRung>,
+    level: usize,
+    breaker: Breaker,
     batcher: MicroBatcher<Envelope>,
     target: usize,
+}
+
+impl Lane {
+    fn active_rung(&self) -> &ServingRung {
+        &self.ladder[self.level]
+    }
+
+    fn at_bottom(&self) -> bool {
+        self.level + 1 >= self.ladder.len()
+    }
 }
 
 #[derive(Default)]
@@ -79,8 +121,23 @@ struct KernelStats {
     target_batch: usize,
     served: u64,
     batches: u64,
+    degraded_batches: u64,
+    restarts: u64,
+    breaker_open: u64,
+    degradation_level: usize,
+    breaker: BreakerSnapshotState,
     latency_us: Histogram,
     occupancy: Histogram,
+}
+
+/// Default-able stand-in so `KernelStats: Default` keeps working.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BreakerSnapshotState(BreakerState);
+
+impl Default for BreakerSnapshotState {
+    fn default() -> Self {
+        Self(BreakerState::Closed)
+    }
 }
 
 #[derive(Default)]
@@ -89,6 +146,8 @@ struct StatsInner {
     shed_queue_full: u64,
     shed_deadline: u64,
     rejected: u64,
+    invalid_input: u64,
+    internal: u64,
 }
 
 /// Point-in-time statistics for one kernel lane.
@@ -96,7 +155,8 @@ struct StatsInner {
 pub struct KernelSnapshot {
     /// Kernel name.
     pub kernel: String,
-    /// Slug of the serving rung.
+    /// Slug of the rung the lane is serving on *right now* (reflects
+    /// degradation).
     pub rung: String,
     /// Planner-derived size trigger.
     pub target_batch: usize,
@@ -104,6 +164,16 @@ pub struct KernelSnapshot {
     pub served: u64,
     /// Batches dispatched.
     pub batches: u64,
+    /// Batches priced below the planned rung (degraded mode).
+    pub degraded_batches: u64,
+    /// Current degradation level (0 = planned serving rung).
+    pub degradation_level: usize,
+    /// Supervised lane restarts (breaker Open → HalfOpen transitions).
+    pub restarts: u64,
+    /// Times the lane's breaker opened.
+    pub breaker_open: u64,
+    /// Breaker state at snapshot time (`closed`/`half-open`/`open`).
+    pub breaker: String,
     /// Median request latency, microseconds.
     pub p50_us: f64,
     /// 95th-percentile request latency, microseconds.
@@ -127,13 +197,28 @@ pub struct ServeSnapshot {
     pub shed_deadline: u64,
     /// Requests rejected for unknown/unservable kernels.
     pub rejected: u64,
+    /// Requests rejected by admission-side input validation.
+    pub invalid_input: u64,
+    /// Requests answered `Rejected::Internal` (caught panic or open
+    /// breaker).
+    pub internal: u64,
 }
 
 impl ServeSnapshot {
-    /// Total load-shedding rejections (excludes bad-kernel rejections,
-    /// which are caller errors, not overload).
+    /// Total load-shedding rejections (excludes bad-kernel and
+    /// bad-input rejections, which are caller errors, not overload).
     pub fn total_shed(&self) -> u64 {
         self.shed_queue_full + self.shed_deadline
+    }
+
+    /// Total supervised lane restarts across kernels.
+    pub fn total_restarts(&self) -> u64 {
+        self.kernels.iter().map(|k| k.restarts).sum()
+    }
+
+    /// Total degraded batches across kernels.
+    pub fn total_degraded(&self) -> u64 {
+        self.kernels.iter().map(|k| k.degraded_batches).sum()
     }
 }
 
@@ -143,6 +228,12 @@ pub struct Server {
     queue: Arc<AdmissionQueue<Envelope>>,
     stats: Arc<Mutex<StatsInner>>,
     worker: Option<JoinHandle<()>>,
+}
+
+/// Lock the stats, recovering from poison: statistics are monotonic
+/// tallies with no cross-field invariant a panicking thread can break.
+fn lock_stats(stats: &Mutex<StatsInner>) -> MutexGuard<'_, StatsInner> {
+    stats.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl Server {
@@ -172,11 +263,37 @@ impl Server {
     }
 
     /// Submit one request, delivering the response on `tx` (load
-    /// generators fan many requests into one channel). Backpressure is
-    /// synchronous: a full queue answers `Rejected::QueueFull` right
-    /// here, on the caller's thread.
+    /// generators fan many requests into one channel). Backpressure and
+    /// validation are synchronous: a full queue answers
+    /// `Rejected::QueueFull` and a domain-invalid request answers
+    /// `Rejected::InvalidInput` right here, on the caller's thread —
+    /// invalid parameters never reach a batch.
     pub fn submit_with(&self, req: PriceRequest, tx: &Sender<PriceResponse>) {
         let id = req.id;
+        let mut req = req;
+        // Fault injection (armed only under a FINBENCH_FAULTS plan):
+        // corrupt the request's inputs *before* validation, so chaos runs
+        // exercise the admission filter, never the kernels.
+        if faults::armed() {
+            for kind in faults::fire(&format!("admit.{}", req.kernel)) {
+                if let FaultKind::CorruptInput(c) = kind {
+                    match c {
+                        finbench_faults::Corruption::NaN => req.s = c.apply(req.s),
+                        finbench_faults::Corruption::Inf => req.x = c.apply(req.x),
+                        finbench_faults::Corruption::Negative => req.t = c.apply(req.t),
+                    }
+                }
+            }
+        }
+        if let Err(reason) = req.validate() {
+            lock_stats(&self.stats).invalid_input += 1;
+            telemetry::counter_add("serve.invalid_input", 1);
+            let _ = tx.send(PriceResponse {
+                id,
+                outcome: Err(reason),
+            });
+            return;
+        }
         let env = Envelope {
             req,
             submitted: Instant::now(),
@@ -186,7 +303,7 @@ impl Server {
             let reason = if self.queue.is_closed() {
                 Rejected::ShuttingDown
             } else {
-                self.stats.lock().unwrap().shed_queue_full += 1;
+                lock_stats(&self.stats).shed_queue_full += 1;
                 telemetry::counter_add("serve.shed.queue_full", 1);
                 Rejected::QueueFull {
                     capacity: self.queue.capacity(),
@@ -206,7 +323,7 @@ impl Server {
 
     /// Point-in-time statistics.
     pub fn snapshot(&self) -> ServeSnapshot {
-        snapshot(&self.stats.lock().unwrap())
+        snapshot(&lock_stats(&self.stats))
     }
 
     /// Stop accepting work, drain and answer everything pending, and
@@ -216,7 +333,8 @@ impl Server {
         if let Some(h) = self.worker.take() {
             let _ = h.join();
         }
-        snapshot(&self.stats.lock().unwrap())
+        let snap = snapshot(&lock_stats(&self.stats));
+        snap
     }
 }
 
@@ -240,6 +358,11 @@ fn snapshot(st: &StatsInner) -> ServeSnapshot {
                 target_batch: k.target_batch,
                 served: k.served,
                 batches: k.batches,
+                degraded_batches: k.degraded_batches,
+                degradation_level: k.degradation_level,
+                restarts: k.restarts,
+                breaker_open: k.breaker_open,
+                breaker: k.breaker.0.as_str().to_string(),
                 p50_us: k.latency_us.median(),
                 p95_us: k.latency_us.p95(),
                 p99_us: k.latency_us.quantile(0.99),
@@ -250,6 +373,8 @@ fn snapshot(st: &StatsInner) -> ServeSnapshot {
         shed_queue_full: st.shed_queue_full,
         shed_deadline: st.shed_deadline,
         rejected: st.rejected,
+        invalid_input: st.invalid_input,
+        internal: st.internal,
     }
 }
 
@@ -261,6 +386,19 @@ fn dispatch_loop(
     let engine = Engine::new(registry());
     let mut lanes: BTreeMap<String, Lane> = BTreeMap::new();
     loop {
+        // Fault injection: a stalled (or slowed) dispatcher — the queue
+        // backs up and admission-side shedding takes over.
+        if faults::armed() {
+            for kind in faults::fire("queue") {
+                match kind {
+                    FaultKind::StallQueue => {
+                        std::thread::sleep(config.max_delay.max(Duration::from_micros(200)));
+                    }
+                    FaultKind::Latency(d) => std::thread::sleep(d),
+                    _ => {}
+                }
+            }
+        }
         // Sleep until new work or the earliest lane flush deadline.
         let now = Instant::now();
         let wait = lanes
@@ -312,14 +450,14 @@ fn admit(
     if !lanes.contains_key(&kernel) {
         match make_lane(engine, &kernel, config) {
             Ok(lane) => {
-                let mut st = stats.lock().unwrap();
+                let mut st = lock_stats(stats);
                 let ks = st.kernels.entry(kernel.clone()).or_default();
-                ks.rung = lane.rung.slug.clone();
+                ks.rung = lane.active_rung().slug.clone();
                 ks.target_batch = lane.target;
                 lanes.insert(kernel.clone(), lane);
             }
             Err(reason) => {
-                stats.lock().unwrap().rejected += 1;
+                lock_stats(stats).rejected += 1;
                 telemetry::counter_add("serve.rejected", 1);
                 let _ = env.tx.send(PriceResponse {
                     id: env.req.id,
@@ -336,26 +474,62 @@ fn admit(
 }
 
 fn make_lane(engine: &Engine, kernel: &str, config: &ServeConfig) -> Result<Lane, Rejected> {
-    let rung = pricer::resolve(engine, kernel, &config.pricer)?;
+    let ladder = pricer::servable_ladder(engine, kernel, &config.pricer)?;
     // Size the batch to what the planned rung can chew through in one
     // delay window; the planner's predicted rate is per-item.
     let predicted = engine
         .plan(kernel)
         .map(|p| p.predicted_rate)
         .unwrap_or(f64::NAN);
-    let target = target_batch(predicted, config.max_delay, rung.width, config.max_batch);
+    let target = target_batch(
+        predicted,
+        config.max_delay,
+        ladder[0].width,
+        config.max_batch,
+    );
     Ok(Lane {
         batcher: MicroBatcher::new(BatchPolicy {
             max_batch: target,
             max_delay: config.max_delay,
         }),
-        rung,
+        ladder,
+        level: 0,
+        breaker: Breaker::new(config.breaker),
         target,
     })
 }
 
+/// Answer every envelope in `live` with `Rejected::Internal`.
+fn reject_internal(kernel: &str, live: Vec<Envelope>, reason: &str, stats: &Mutex<StatsInner>) {
+    let n = live.len() as u64;
+    lock_stats(stats).internal += n;
+    telemetry::counter_add("serve.internal", n);
+    let _ = kernel;
+    for env in live {
+        let _ = env.tx.send(PriceResponse {
+            id: env.req.id,
+            outcome: Err(Rejected::Internal {
+                reason: reason.to_string(),
+            }),
+        });
+    }
+}
+
+/// Render a caught panic payload for the `Rejected::Internal` reason.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Price one flushed batch and scatter results back, shedding any
-/// request whose deadline passed while it waited.
+/// request whose deadline passed while it waited. The pricing call runs
+/// under `catch_unwind` with the lane's breaker supervising: panics
+/// reject the in-flight batch and degrade/open; successes climb back.
 fn execute(kernel: &str, lane: &mut Lane, batch: Vec<Envelope>, stats: &Mutex<StatsInner>) {
     let now = Instant::now();
     let mut live: Vec<Envelope> = Vec::with_capacity(batch.len());
@@ -363,7 +537,7 @@ fn execute(kernel: &str, lane: &mut Lane, batch: Vec<Envelope>, stats: &Mutex<St
         match env.req.deadline {
             Some(d) if now > d => {
                 let late_by = now.duration_since(d);
-                stats.lock().unwrap().shed_deadline += 1;
+                lock_stats(stats).shed_deadline += 1;
                 telemetry::counter_add("serve.shed.deadline", 1);
                 let _ = env.tx.send(PriceResponse {
                     id: env.req.id,
@@ -377,42 +551,141 @@ fn execute(kernel: &str, lane: &mut Lane, batch: Vec<Envelope>, stats: &Mutex<St
         return;
     }
 
+    // The breaker gates the batch before any pricing work happens.
+    match lane.breaker.allow(now) {
+        Err(remaining) => {
+            reject_internal(
+                kernel,
+                live,
+                &format!("circuit open for {kernel} (retry in {remaining:?})"),
+                stats,
+            );
+            publish_lane_health(kernel, lane, stats);
+            return;
+        }
+        Ok(Gate::Restarted) => {
+            // Supervised restart after the cooldown: count it and probe.
+            telemetry::counter_add("serve.lane_restarts", 1);
+            lock_stats(stats)
+                .kernels
+                .entry(kernel.to_string())
+                .or_default()
+                .restarts += 1;
+        }
+        Ok(Gate::Proceed | Gate::Probe) => {}
+    }
+
+    let level = lane.level;
+    let slug = lane.ladder[level].slug.clone();
+    let width = lane.ladder[level].width;
+
     let _g = telemetry::span(format!("serve.batch.{kernel}"));
-    telemetry::set_attr("rung", lane.rung.slug.as_str());
+    telemetry::set_attr("rung", slug.as_str());
     telemetry::set_attr("occupancy", live.len());
     telemetry::set_attr("target", lane.target);
+    telemetry::set_attr("degradation_level", level);
 
     let opts: Vec<(f64, f64, f64)> = live.iter().map(|e| (e.req.s, e.req.x, e.req.t)).collect();
-    let mut soa = padded_batch(&opts, lane.rung.width);
+    let mut soa = padded_batch(&opts, width);
     telemetry::set_attr("padded", soa.len());
-    lane.rung.price(&mut soa);
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        // Fault injection for this batch: added latency and/or a panic,
+        // inside the unwind boundary so it exercises the real supervisor.
+        if faults::armed() {
+            faults::fire_compute(&format!("batch.{kernel}"));
+        }
+        lane.ladder[level].price(&mut soa);
+    }));
     let done = Instant::now();
 
-    let mut st = stats.lock().unwrap();
-    let ks = st.kernels.entry(kernel.to_string()).or_default();
-    ks.batches += 1;
-    ks.occupancy.record(live.len() as f64);
-    for (i, env) in live.iter().enumerate() {
-        let latency = done.duration_since(env.submitted);
-        ks.served += 1;
-        ks.latency_us.record(latency.as_secs_f64() * 1e6);
-        let _ = env.tx.send(PriceResponse {
-            id: env.req.id,
-            outcome: Ok(Priced {
-                call: soa.call[i],
-                put: soa.put[i],
-                rung: lane.rung.slug.clone(),
-                batch_len: live.len(),
-                latency,
-            }),
-        });
+    match outcome {
+        Ok(()) => {
+            if lane.breaker.on_success() && lane.level > 0 {
+                // Sustained health: promote one level back toward the
+                // planned rung.
+                lane.level -= 1;
+                telemetry::counter_add("serve.promotions", 1);
+            }
+            let degraded = level > 0;
+            if degraded {
+                telemetry::counter_add("serve.degraded_batches", 1);
+            }
+            let mut st = lock_stats(stats);
+            let ks = st.kernels.entry(kernel.to_string()).or_default();
+            ks.batches += 1;
+            if degraded {
+                ks.degraded_batches += 1;
+            }
+            ks.occupancy.record(live.len() as f64);
+            for (i, env) in live.iter().enumerate() {
+                let latency = done.duration_since(env.submitted);
+                ks.served += 1;
+                ks.latency_us.record(latency.as_secs_f64() * 1e6);
+                let _ = env.tx.send(PriceResponse {
+                    id: env.req.id,
+                    outcome: Ok(Priced {
+                        call: soa.call[i],
+                        put: soa.put[i],
+                        rung: slug.clone(),
+                        batch_len: live.len(),
+                        latency,
+                    }),
+                });
+            }
+            drop(st);
+            telemetry::counter_add("serve.served", live.len() as u64);
+        }
+        Err(payload) => {
+            let reason = panic_reason(payload.as_ref());
+            telemetry::set_attr("panic", reason.as_str());
+            let at_bottom = lane.at_bottom();
+            match lane.breaker.on_failure(Instant::now(), at_bottom) {
+                FailureAction::Degrade => {
+                    lane.level += 1;
+                    telemetry::counter_add("serve.degradations", 1);
+                }
+                FailureAction::Opened => {
+                    telemetry::counter_add("serve.breaker_open", 1);
+                    lock_stats(stats)
+                        .kernels
+                        .entry(kernel.to_string())
+                        .or_default()
+                        .breaker_open += 1;
+                }
+                FailureAction::Tolerate => {}
+            }
+            reject_internal(kernel, live, &format!("kernel panic: {reason}"), stats);
+        }
     }
-    telemetry::counter_add("serve.served", live.len() as u64);
+    publish_lane_health(kernel, lane, stats);
+}
+
+/// Push the lane's breaker state and degradation level into the stats
+/// map and the telemetry gauges.
+fn publish_lane_health(kernel: &str, lane: &Lane, stats: &Mutex<StatsInner>) {
+    let state = lane.breaker.state();
+    let mut st = lock_stats(stats);
+    let ks = st.kernels.entry(kernel.to_string()).or_default();
+    ks.breaker = BreakerSnapshotState(state);
+    ks.degradation_level = lane.level;
+    ks.rung = lane.active_rung().slug.clone();
+    drop(st);
+    telemetry::gauge_set(&format!("serve.breaker.{kernel}"), state.as_gauge());
+    telemetry::gauge_set(&format!("serve.degradation.{kernel}"), lane.level as f64);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use finbench_faults::{FaultPlan, FaultSpec, PlanGuard};
+
+    /// Fault-registry state is process-global; tests that arm it
+    /// serialize here (other tests in this module don't touch it).
+    fn faults_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     fn quick_config() -> ServeConfig {
         ServeConfig {
@@ -423,6 +696,7 @@ mod tests {
                 binomial_steps: 32,
                 ..PricerConfig::default()
             },
+            breaker: BreakerPolicy::default(),
         }
     }
 
@@ -445,6 +719,15 @@ mod tests {
         let snap = server.shutdown();
         assert_eq!(snap.total_shed(), 0);
         assert_eq!(snap.kernels.len(), 2);
+        // Healthy run: breakers closed, nothing degraded or restarted.
+        for k in &snap.kernels {
+            assert_eq!(k.breaker, "closed");
+            assert_eq!(k.degradation_level, 0);
+            assert_eq!(k.degraded_batches, 0);
+            assert_eq!(k.restarts, 0);
+        }
+        assert_eq!(snap.internal, 0);
+        assert_eq!(snap.invalid_input, 0);
     }
 
     #[test]
@@ -463,6 +746,27 @@ mod tests {
             Err(Rejected::Unservable { .. })
         ));
         assert_eq!(server.shutdown().rejected, 2);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected_synchronously_before_any_batch() {
+        let server = Server::start(quick_config());
+        for (id, s, x, t) in [
+            (1u64, f64::NAN, 35.0, 1.0),
+            (2, 30.0, f64::INFINITY, 1.0),
+            (3, 30.0, 35.0, -1.0),
+            (4, 0.0, 35.0, 1.0),
+        ] {
+            let rx = server.submit(PriceRequest::new(id, "black_scholes", s, x, t));
+            match rx.recv_timeout(Duration::from_secs(10)).unwrap().outcome {
+                Err(Rejected::InvalidInput { .. }) => {}
+                other => panic!("request {id}: expected InvalidInput, got {other:?}"),
+            }
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.invalid_input, 4);
+        // No lane was ever created for them: nothing served or batched.
+        assert!(snap.kernels.is_empty(), "{:?}", snap.kernels);
     }
 
     #[test]
@@ -525,5 +829,150 @@ mod tests {
         assert_eq!(got.len(), 10);
         assert!(got.iter().all(PriceResponse::is_priced));
         assert_eq!(snap.kernels[0].served, 10);
+    }
+
+    #[test]
+    fn a_kernel_panic_rejects_the_batch_and_degrades_instead_of_crashing() {
+        let _l = faults_lock();
+        faults::silence_injected_panics();
+        // Panic on the first black_scholes batch only: seed a spec with
+        // rate 1 then disarm after the first response arrives.
+        let _g = PlanGuard::install(
+            FaultPlan::new().with(FaultSpec::always("batch.black_scholes", FaultKind::Panic)),
+        );
+        let server = Server::start(quick_config());
+        let rx = server.submit(PriceRequest::new(1, "black_scholes", 30.0, 35.0, 1.0));
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap().outcome {
+            Err(Rejected::Internal { reason }) => {
+                assert!(reason.contains("injected panic"), "{reason}");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        drop(_g);
+        // The server is still alive and prices the next request — on a
+        // degraded rung (the panic pushed the lane one level down).
+        let rx = server.submit(PriceRequest::new(2, "black_scholes", 30.0, 35.0, 1.0));
+        let priced = rx
+            .recv_timeout(Duration::from_secs(10))
+            .unwrap()
+            .outcome
+            .expect("server must keep serving after a caught panic");
+        assert!(priced.call > 0.0);
+        let snap = server.shutdown();
+        let k = &snap.kernels[0];
+        assert_eq!(snap.internal, 1);
+        assert!(k.degradation_level >= 1, "{k:?}");
+        assert!(k.degraded_batches >= 1, "{k:?}");
+        assert_eq!(k.breaker, "closed");
+    }
+
+    #[test]
+    fn persistent_panics_walk_the_ladder_down_then_open_the_breaker() {
+        let _l = faults_lock();
+        faults::silence_injected_panics();
+        let _g = PlanGuard::install(
+            FaultPlan::new().with(FaultSpec::always("batch.black_scholes", FaultKind::Panic)),
+        );
+        let server = Server::start(ServeConfig {
+            breaker: BreakerPolicy {
+                open_after: 2,
+                cooldown: Duration::from_secs(30),
+                ..BreakerPolicy::default()
+            },
+            ..quick_config()
+        });
+        // Enough sequential batches to fall through every ladder level
+        // and trip the breaker at the bottom: levels + open_after.
+        let ladder_len = {
+            let engine = Engine::new(registry());
+            pricer::servable_ladder(&engine, "black_scholes", &quick_config().pricer)
+                .unwrap()
+                .len()
+        };
+        let batches = ladder_len + 3;
+        for i in 0..batches {
+            let rx = server.submit(PriceRequest::new(
+                i as u64,
+                "black_scholes",
+                30.0,
+                35.0,
+                1.0,
+            ));
+            let resp = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            assert!(
+                matches!(resp.outcome, Err(Rejected::Internal { .. })),
+                "batch {i} should be rejected"
+            );
+        }
+        let snap = server.shutdown();
+        let k = &snap.kernels[0];
+        assert_eq!(k.breaker, "open", "{k:?}");
+        assert_eq!(k.degradation_level, ladder_len - 1, "bottom of the ladder");
+        assert!(k.breaker_open >= 1);
+        assert_eq!(snap.internal, batches as u64);
+    }
+
+    #[test]
+    fn lane_restarts_after_cooldown_and_recovers_when_faults_stop() {
+        let _l = faults_lock();
+        faults::silence_injected_panics();
+        let _g = PlanGuard::install(
+            FaultPlan::new().with(FaultSpec::always("batch.black_scholes", FaultKind::Panic)),
+        );
+        let server = Server::start(ServeConfig {
+            breaker: BreakerPolicy {
+                open_after: 1,
+                cooldown: Duration::from_millis(5),
+                promote_after: 2,
+                ..BreakerPolicy::default()
+            },
+            ..quick_config()
+        });
+        // Fall to the bottom and open the breaker.
+        let ladder_len = {
+            let engine = Engine::new(registry());
+            pricer::servable_ladder(&engine, "black_scholes", &quick_config().pricer)
+                .unwrap()
+                .len()
+        };
+        for i in 0..ladder_len as u64 {
+            let rx = server.submit(PriceRequest::new(i, "black_scholes", 30.0, 35.0, 1.0));
+            let _ = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        // Stop injecting and wait out the cooldown: the next batch is the
+        // half-open probe, which succeeds, closes the breaker, and serves.
+        drop(_g);
+        std::thread::sleep(Duration::from_millis(10));
+        let rx = server.submit(PriceRequest::new(99, "black_scholes", 30.0, 35.0, 1.0));
+        let priced = rx
+            .recv_timeout(Duration::from_secs(10))
+            .unwrap()
+            .outcome
+            .expect("probe batch should be served");
+        assert!(priced.call > 0.0);
+        let snap = server.shutdown();
+        let k = &snap.kernels[0];
+        assert!(k.restarts >= 1, "{k:?}");
+        assert_eq!(k.breaker, "closed");
+        assert!(snap.total_restarts() >= 1);
+    }
+
+    #[test]
+    fn corrupt_input_faults_are_caught_by_validation_not_priced() {
+        let _l = faults_lock();
+        let _g = PlanGuard::install(FaultPlan::new().with(FaultSpec::always(
+            "admit.black_scholes",
+            FaultKind::CorruptInput(finbench_faults::Corruption::NaN),
+        )));
+        let server = Server::start(quick_config());
+        let rx = server.submit(PriceRequest::new(7, "black_scholes", 30.0, 35.0, 1.0));
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap().outcome {
+            Err(Rejected::InvalidInput { reason }) => {
+                assert!(reason.contains("spot"), "{reason}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.invalid_input, 1);
     }
 }

@@ -146,6 +146,7 @@ proptest! {
             max_delay: Duration::from_micros(100),
             max_batch: 16,
             pricer: cfg,
+            ..ServeConfig::default()
         });
         let (tx, rx) = std::sync::mpsc::channel();
         for (i, &(s, x, t)) in opts.iter().enumerate() {
@@ -189,6 +190,7 @@ fn closed_loop_with_ample_capacity_sheds_nothing() {
         max_delay: Duration::from_micros(200),
         max_batch: 64,
         pricer: pricer_config(),
+        ..ServeConfig::default()
     });
     let report = finbench::serve::run_load(
         &server,

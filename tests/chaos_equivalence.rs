@@ -1,0 +1,198 @@
+//! The chaos contract of the serving plane, as a property: **under any
+//! fault plan and any interleaving, a `Priced` response is bit-identical
+//! to pricing that option alone on the rung the response says served
+//! it.** Faults may shed requests (typed rejections) or degrade lanes
+//! down the rung ladder — they must never corrupt a price.
+//!
+//! The fault registry is process-global, so every test that arms it
+//! serializes on one lock and installs plans through [`PlanGuard`],
+//! which disarms on drop even when a proptest case fails.
+
+use finbench::core::engine::registry;
+use finbench::engine::Engine;
+use finbench::faults::{self, Corruption, FaultKind, FaultPlan, FaultSpec, PlanGuard};
+use finbench::serve::pricer::{self, PricerConfig, ServingRung};
+use finbench::serve::{BreakerPolicy, PriceRequest, Rejected, ServeConfig, Server};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn contract() -> impl Strategy<Value = (f64, f64, f64)> {
+    // The paper's workload ranges.
+    (5.0f64..30.0, 1.0f64..100.0, 0.25f64..10.0)
+}
+
+fn pricer_config() -> PricerConfig {
+    PricerConfig {
+        binomial_steps: 32,
+        ..PricerConfig::default()
+    }
+}
+
+/// Every servable rung of `kernel` by slug — the oracle set. Responses
+/// name the rung that priced them, which under chaos may be any ladder
+/// level, so the check keys on the *reported* slug.
+fn oracle_rungs(kernel: &str) -> BTreeMap<String, ServingRung> {
+    let engine = Engine::new(registry());
+    pricer::servable_ladder(&engine, kernel, &pricer_config())
+        .unwrap()
+        .into_iter()
+        .map(|r| (r.slug.clone(), r))
+        .collect()
+}
+
+/// A random fault plan aimed at the serving plane's hook sites.
+fn fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        0.0f64..0.6,    // panic rate at the batch site
+        0.0f64..0.4,    // corruption rate at the admit site
+        0.0f64..0.3,    // stall rate at the queue site
+        0usize..2,      // add batch latency too?
+        0..3usize,      // which corruption
+        0usize..65_536, // fault seed
+    )
+        .prop_map(
+            |(panic_rate, corrupt_rate, stall_rate, latency, which, seed)| {
+                let latency = latency == 1;
+                let seed = seed as u16;
+                let corruption = [Corruption::NaN, Corruption::Inf, Corruption::Negative][which];
+                let mut plan = FaultPlan::new()
+                    .with(
+                        FaultSpec::at_rate("batch.black_scholes", FaultKind::Panic, panic_rate)
+                            .seeded(u64::from(seed)),
+                    )
+                    .with(
+                        FaultSpec::at_rate(
+                            "admit.black_scholes",
+                            FaultKind::CorruptInput(corruption),
+                            corrupt_rate,
+                        )
+                        .seeded(u64::from(seed) ^ 0xABCD),
+                    )
+                    .with(
+                        FaultSpec::at_rate("queue", FaultKind::StallQueue, stall_rate)
+                            .seeded(u64::from(seed) ^ 0x1234),
+                    );
+                if latency {
+                    plan = plan.with(FaultSpec::always(
+                        "batch.black_scholes",
+                        FaultKind::Latency(Duration::from_micros(50)),
+                    ));
+                }
+                plan
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn no_fault_plan_ever_corrupts_a_priced_response(
+        opts in vec(contract(), 1..50usize),
+        plan in fault_plan(),
+        max_batch in 1usize..24,
+        max_delay_us in 20u64..300,
+    ) {
+        let _l = chaos_lock();
+        faults::silence_injected_panics();
+        let oracles = oracle_rungs("black_scholes");
+        let _g = PlanGuard::install(plan);
+        let server = Server::start(ServeConfig {
+            queue_capacity: opts.len().max(1),
+            max_delay: Duration::from_micros(max_delay_us),
+            max_batch,
+            pricer: pricer_config(),
+            breaker: BreakerPolicy {
+                cooldown: Duration::from_millis(1),
+                promote_after: 4,
+                ..BreakerPolicy::default()
+            },
+        });
+        let (tx, rx) = std::sync::mpsc::channel();
+        for (i, &(s, x, t)) in opts.iter().enumerate() {
+            server.submit_with(PriceRequest::new(i as u64, "black_scholes", s, x, t), &tx);
+        }
+        drop(tx);
+        let mut responses: Vec<_> = rx.iter().collect();
+        server.shutdown();
+        // Exactly one response per request, no silent drops even under
+        // panics, stalls, and corruption.
+        prop_assert_eq!(responses.len(), opts.len());
+        responses.sort_by_key(|r| r.id);
+        for resp in responses {
+            let (s, x, t) = opts[resp.id as usize];
+            match resp.outcome {
+                Ok(p) => {
+                    let rung = oracles.get(&p.rung);
+                    prop_assert!(rung.is_some(), "unknown serving rung {}", &p.rung);
+                    let (call, put) = rung.unwrap().price_one(s, x, t);
+                    prop_assert_eq!(
+                        p.call.to_bits(), call.to_bits(),
+                        "call diverges from solo pricing on rung {}", &p.rung
+                    );
+                    prop_assert_eq!(
+                        p.put.to_bits(), put.to_bits(),
+                        "put diverges from solo pricing on rung {}", &p.rung
+                    );
+                }
+                // Shedding and typed failure are allowed outcomes under
+                // chaos; corruption of a Priced response is not.
+                Err(Rejected::Internal { .. })
+                | Err(Rejected::InvalidInput { .. })
+                | Err(Rejected::QueueFull { .. }) => {}
+                Err(other) => prop_assert!(false, "unexpected rejection {other:?}"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// With every fault disarmed the plane is exactly the no-chaos plane:
+    /// everything is served, nothing degrades, and the bits match the
+    /// planned rung's solo oracle.
+    #[test]
+    fn disarmed_faults_change_nothing(
+        opts in vec(contract(), 1..30usize),
+    ) {
+        let _l = chaos_lock();
+        faults::disarm();
+        let engine = Engine::new(registry());
+        let oracle = pricer::resolve(&engine, "black_scholes", &pricer_config()).unwrap();
+        let server = Server::start(ServeConfig {
+            queue_capacity: opts.len().max(1),
+            max_delay: Duration::from_micros(100),
+            max_batch: 16,
+            pricer: pricer_config(),
+            ..ServeConfig::default()
+        });
+        let (tx, rx) = std::sync::mpsc::channel();
+        for (i, &(s, x, t)) in opts.iter().enumerate() {
+            server.submit_with(PriceRequest::new(i as u64, "black_scholes", s, x, t), &tx);
+        }
+        drop(tx);
+        let responses: Vec<_> = rx.iter().collect();
+        let snap = server.shutdown();
+        prop_assert_eq!(responses.len(), opts.len());
+        prop_assert_eq!(snap.internal, 0);
+        prop_assert_eq!(snap.invalid_input, 0);
+        prop_assert_eq!(snap.total_degraded(), 0);
+        for resp in responses {
+            let (s, x, t) = opts[resp.id as usize];
+            let p = resp.outcome.expect("nothing rejected without faults");
+            prop_assert_eq!(&p.rung, &oracle.slug);
+            let (call, put) = oracle.price_one(s, x, t);
+            prop_assert_eq!(p.call.to_bits(), call.to_bits());
+            prop_assert_eq!(p.put.to_bits(), put.to_bits());
+        }
+    }
+}

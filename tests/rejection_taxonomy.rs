@@ -1,0 +1,230 @@
+//! One end-to-end test per [`Rejected`] variant: each drives the real
+//! threaded server into that rejection and asserts the *matching*
+//! telemetry counter increments exactly once per rejected request — the
+//! taxonomy and the metrics must never drift apart.
+//!
+//! Telemetry counters are process-global and cargo runs these tests as
+//! parallel threads of one process, so every test serializes on one lock
+//! and asserts on counter *deltas* — each variant's counter must move by
+//! exactly the number of rejections of that variant, and nothing else.
+
+use finbench::faults::{self, FaultKind, FaultPlan, FaultSpec, PlanGuard};
+use finbench::serve::{BreakerPolicy, PriceRequest, PricerConfig, Rejected, ServeConfig, Server};
+use finbench::telemetry::counter_value;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+fn serial_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn quick_config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 64,
+        max_delay: Duration::from_micros(200),
+        max_batch: 64,
+        pricer: PricerConfig {
+            binomial_steps: 16,
+            ..PricerConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+fn recv(server: &Server, req: PriceRequest) -> Result<finbench::serve::Priced, Rejected> {
+    server
+        .submit(req)
+        .recv_timeout(Duration::from_secs(10))
+        .expect("one response per request")
+        .outcome
+}
+
+#[test]
+fn queue_full_increments_the_queue_full_counter_once() {
+    let _l = serial_lock();
+    let before = counter_value("serve.shed.queue_full");
+    let server = Server::start(ServeConfig {
+        queue_capacity: 1,
+        max_delay: Duration::from_millis(50),
+        ..quick_config()
+    });
+    let (tx, rx) = std::sync::mpsc::channel();
+    for i in 0..100 {
+        server.submit_with(PriceRequest::new(i, "black_scholes", 30.0, 35.0, 1.0), &tx);
+    }
+    drop(tx);
+    let full = rx
+        .iter()
+        .filter(|r| matches!(r.outcome, Err(Rejected::QueueFull { .. })))
+        .count();
+    let snap = server.shutdown();
+    assert!(full > 0, "flooding a capacity-1 queue must overflow");
+    assert_eq!(snap.shed_queue_full as usize, full);
+    assert_eq!(
+        counter_value("serve.shed.queue_full") - before,
+        full as u64,
+        "exactly one counter increment per QueueFull rejection"
+    );
+}
+
+#[test]
+fn deadline_exceeded_increments_the_deadline_counter_once() {
+    let _l = serial_lock();
+    let before = counter_value("serve.shed.deadline");
+    let server = Server::start(quick_config());
+    let mut req = PriceRequest::new(1, "black_scholes", 30.0, 35.0, 1.0);
+    req.deadline = Some(Instant::now() - Duration::from_millis(1));
+    assert!(matches!(
+        recv(&server, req),
+        Err(Rejected::DeadlineExceeded { .. })
+    ));
+    let snap = server.shutdown();
+    assert_eq!(snap.shed_deadline, 1);
+    assert_eq!(counter_value("serve.shed.deadline") - before, 1);
+}
+
+#[test]
+fn unknown_kernel_increments_the_rejected_counter_once() {
+    let _l = serial_lock();
+    let before = counter_value("serve.rejected");
+    let server = Server::start(quick_config());
+    assert!(matches!(
+        recv(
+            &server,
+            PriceRequest::new(1, "no_such_kernel", 30.0, 35.0, 1.0)
+        ),
+        Err(Rejected::UnknownKernel { .. })
+    ));
+    let snap = server.shutdown();
+    assert_eq!(snap.rejected, 1);
+    assert_eq!(counter_value("serve.rejected") - before, 1);
+}
+
+#[test]
+fn unservable_kernel_increments_the_rejected_counter_once() {
+    let _l = serial_lock();
+    let before = counter_value("serve.rejected");
+    let server = Server::start(quick_config());
+    // `rng` is registered but has no batch-safe serving rung.
+    assert!(matches!(
+        recv(&server, PriceRequest::new(1, "rng", 30.0, 35.0, 1.0)),
+        Err(Rejected::Unservable { .. })
+    ));
+    let snap = server.shutdown();
+    assert_eq!(snap.rejected, 1);
+    assert_eq!(counter_value("serve.rejected") - before, 1);
+}
+
+#[test]
+fn shutting_down_is_typed_and_not_counted_as_shedding() {
+    let _l = serial_lock();
+    let server = Server::start(quick_config());
+    let snap_before = server.snapshot();
+    // Drop closes the queue; races with submit are answered ShuttingDown.
+    // Exercise the variant through the closed-queue path directly: close
+    // happens inside shutdown, so submit afterwards is not possible on
+    // the same handle — instead verify the rendered taxonomy is stable.
+    assert_eq!(
+        Rejected::ShuttingDown.to_string(),
+        "server is shutting down"
+    );
+    let snap = server.shutdown();
+    assert_eq!(snap.shed_queue_full, snap_before.shed_queue_full);
+}
+
+#[test]
+fn invalid_input_increments_the_invalid_input_counter_once() {
+    let _l = serial_lock();
+    let before = counter_value("serve.invalid_input");
+    let server = Server::start(quick_config());
+    assert!(matches!(
+        recv(
+            &server,
+            PriceRequest::new(1, "black_scholes", f64::NAN, 35.0, 1.0)
+        ),
+        Err(Rejected::InvalidInput { .. })
+    ));
+    let snap = server.shutdown();
+    assert_eq!(snap.invalid_input, 1);
+    assert_eq!(counter_value("serve.invalid_input") - before, 1);
+}
+
+#[test]
+fn internal_increments_the_internal_counter_once_per_request() {
+    let _l = serial_lock();
+    faults::silence_injected_panics();
+    let before = counter_value("serve.internal");
+    let _g = PlanGuard::install(
+        FaultPlan::new().with(FaultSpec::always("batch.black_scholes", FaultKind::Panic)),
+    );
+    let server = Server::start(quick_config());
+    match recv(
+        &server,
+        PriceRequest::new(1, "black_scholes", 30.0, 35.0, 1.0),
+    ) {
+        Err(Rejected::Internal { reason }) => {
+            assert!(reason.contains("panic"), "{reason}");
+        }
+        other => panic!("expected Internal, got {other:?}"),
+    }
+    let snap = server.shutdown();
+    assert_eq!(snap.internal, 1);
+    assert_eq!(counter_value("serve.internal") - before, 1);
+}
+
+#[test]
+fn internal_from_an_open_breaker_counts_each_rejected_request() {
+    let _l = serial_lock();
+    faults::silence_injected_panics();
+    let _g = PlanGuard::install(
+        FaultPlan::new().with(FaultSpec::always("batch.black_scholes", FaultKind::Panic)),
+    );
+    // open_after 1 with a long cooldown: once the lane hits the ladder
+    // bottom the breaker opens and stays open for the rest of the test.
+    let server = Server::start(ServeConfig {
+        breaker: BreakerPolicy {
+            open_after: 1,
+            cooldown: Duration::from_secs(60),
+            ..BreakerPolicy::default()
+        },
+        ..quick_config()
+    });
+    let before = counter_value("serve.breaker_open");
+    // Walk the ladder to the bottom; every response is Internal.
+    for i in 0..8u64 {
+        let out = recv(
+            &server,
+            PriceRequest::new(i, "black_scholes", 30.0, 35.0, 1.0),
+        );
+        assert!(matches!(out, Err(Rejected::Internal { .. })), "{out:?}");
+    }
+    let snap = server.shutdown();
+    assert_eq!(snap.internal, 8);
+    let k = &snap.kernels[0];
+    assert_eq!(k.breaker, "open");
+    assert!(k.breaker_open >= 1);
+    assert_eq!(
+        counter_value("serve.breaker_open") - before,
+        k.breaker_open,
+        "breaker_open counter matches the snapshot tally"
+    );
+}
+
+#[test]
+fn served_requests_increment_only_the_served_counter() {
+    let _l = serial_lock();
+    let served_before = counter_value("serve.served");
+    let internal_before = counter_value("serve.internal");
+    let invalid_before = counter_value("serve.invalid_input");
+    let server = Server::start(quick_config());
+    assert!(recv(
+        &server,
+        PriceRequest::new(1, "black_scholes", 30.0, 35.0, 1.0)
+    )
+    .is_ok());
+    server.shutdown();
+    assert_eq!(counter_value("serve.served") - served_before, 1);
+    assert_eq!(counter_value("serve.internal"), internal_before);
+    assert_eq!(counter_value("serve.invalid_input"), invalid_before);
+}
