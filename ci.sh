@@ -33,6 +33,18 @@ if echo "$chaos_out" | grep -q "degraded batches: 0"; then
   exit 1
 fi
 
+echo "==> greeks gate (bump agreement + zero shed on the greeks lane)"
+greeks_out=$(cargo run --release -q -p finbench-harness --bin finbench -- greeks-bench --quick)
+echo "$greeks_out" | grep -E "bump agreement|total shed"
+echo "$greeks_out" | grep -q "bump agreement: OK" || {
+  echo "greeks-bench: bump-and-reprice disagrees with the analytic greeks" >&2
+  exit 1
+}
+echo "$greeks_out" | grep -q "total shed: 0" || {
+  echo "greeks-bench shed requests under a zero-shed configuration" >&2
+  exit 1
+}
+
 echo "==> examples (quick mode)"
 cargo build --release --examples
 for ex in quickstart portfolio_pricing american_options asian_option_mc ninja_gap_report qmc_convergence; do

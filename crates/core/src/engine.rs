@@ -1,6 +1,7 @@
 //! [`Kernel`] implementations for the six paper kernels — thin adapters
 //! over the existing level functions (no numerics change) — plus the
-//! shared [`registry`] every consumer iterates.
+//! [`GreeksKernel`] risk workload and the shared [`registry`] every
+//! consumer iterates.
 //!
 //! Each adapter owns three decisions and nothing else:
 //!
@@ -24,6 +25,9 @@ use crate::brownian_bridge::{
     interleaved, reference as bridge_ref, simd as bridge_simd, BridgePlan,
 };
 use crate::crank_nicolson::{CnProblem, CnSolution, PsorKind};
+use crate::greeks::bump::{binomial_bump_greeks, bs_bump_greeks, BumpSizes};
+use crate::greeks::mc::{crn_fd_delta, crn_fd_vega, crn_normals, McEstimate, McGreeks};
+use crate::greeks::{greeks_batch_simd, mc, Greeks, GreeksBatchSoa, OptionType};
 use crate::monte_carlo::{reference as mc_ref, simd as mc_simd, GbmTerminal, PathSums};
 use crate::workload::{MarketParams, OptionBatchAos, OptionBatchSoa, WorkloadRanges};
 use finbench_engine::{fn_body, Check, Kernel, OptLevel, Registry, Rung, WorkloadSpec};
@@ -805,12 +809,205 @@ impl Kernel for Rng {
 }
 
 // ---------------------------------------------------------------------
+// Greeks (risk workload)
+// ---------------------------------------------------------------------
+
+/// Risk workload: the five Black-Scholes sensitivities for a batch of
+/// European options, estimated three independent ways — analytic closed
+/// form (scalar and SIMD-SOA), bump-and-reprice central differences
+/// (closed form and a CRR lattice), and Monte Carlo (pathwise and CRN
+/// finite differences). Every rung reports the per-option **call delta**
+/// vector, the common observable all estimator families share, so the
+/// declared checks line up: bit-exact inside the analytic family,
+/// tight-relative for bumps, statistical for the sampled estimators.
+pub struct GreeksKernel;
+
+/// Option batch plus the shared CRN normal draws and the lattice depth
+/// the bump rung reprices at.
+pub struct GreeksWorkload {
+    batch: OptionBatchSoa,
+    /// One named stream of normals every MC rung replays — common random
+    /// numbers across rungs *and* across bump legs.
+    randoms: Vec<f64>,
+    n_tree: usize,
+}
+
+impl Kernel for GreeksKernel {
+    type Workload = GreeksWorkload;
+
+    fn name(&self) -> &'static str {
+        "greeks"
+    }
+    fn artifact(&self) -> &'static str {
+        "greeks_bench"
+    }
+    fn title(&self) -> &'static str {
+        "Greeks (options/s)"
+    }
+    fn unit(&self) -> &'static str {
+        "opts/s"
+    }
+
+    fn make_workload(&self, spec: &WorkloadSpec) -> GreeksWorkload {
+        let n = round_up(
+            spec.n_hint
+                .unwrap_or(if spec.quick { 256 } else { 1024 })
+                .max(8),
+            8,
+        );
+        // >= 2^12 paths keeps the per-option pathwise standard error
+        // (~0.5/√paths on the delta scale) far inside the Stat band.
+        let n_paths = if spec.quick { 1 << 12 } else { 1 << 14 };
+        let fam = StreamFamily::new(spec.seed.wrapping_add(9));
+        GreeksWorkload {
+            batch: OptionBatchSoa::random(n, spec.seed, WorkloadRanges::default()),
+            randoms: crn_normals(&fam, 0, n_paths),
+            n_tree: if spec.quick { 64 } else { 256 },
+        }
+    }
+
+    fn items(&self, w: &GreeksWorkload) -> usize {
+        w.batch.len()
+    }
+
+    fn ladder(&self) -> Vec<Rung<GreeksWorkload>> {
+        fn call_deltas(out: &(&GreeksWorkload, GreeksBatchSoa)) -> Vec<f64> {
+            out.1.call.delta.clone()
+        }
+        fn sweep_rung<const W: usize>(
+            level: OptLevel,
+            label: &'static str,
+        ) -> Rung<GreeksWorkload> {
+            Rung::new(level, label, |w: &GreeksWorkload, _p| {
+                fn_body(
+                    (w, GreeksBatchSoa::zeroed(w.batch.len())),
+                    |(w, out)| greeks_batch_simd::<W>(&w.batch, M, out),
+                    call_deltas,
+                )
+            })
+        }
+        fn bump_rung(
+            label: &'static str,
+            est: fn(&GreeksWorkload, usize) -> Greeks,
+        ) -> Rung<GreeksWorkload> {
+            Rung::new(OptLevel::Advanced, label, move |w: &GreeksWorkload, _p| {
+                fn_body(
+                    (w, Vec::<Greeks>::new()),
+                    move |(w, out)| {
+                        out.clear();
+                        out.extend((0..w.batch.len()).map(|i| est(w, i)));
+                    },
+                    |(_, out)| out.iter().map(|g| g.delta).collect(),
+                )
+            })
+        }
+        vec![
+            sweep_rung::<1>(OptLevel::Basic, "Basic: scalar greeks sweep").check(Check::None),
+            // Same lane arithmetic at every width (shared lane block).
+            sweep_rung::<4>(
+                OptLevel::Intermediate,
+                "Intermediate: SIMD SOA greeks (W=4)",
+            )
+            .check(Check::BitExact)
+            .cost_level(1),
+            sweep_rung::<8>(
+                OptLevel::Intermediate,
+                "Intermediate: SIMD SOA greeks (W=8)",
+            )
+            .check(Check::BitExact)
+            .cost_level(1),
+            bump_rung("Advanced: bump-and-reprice closed form", |w, i| {
+                bs_bump_greeks(
+                    OptionType::Call,
+                    w.batch.s[i],
+                    w.batch.x[i],
+                    w.batch.t[i],
+                    M,
+                    BumpSizes::default(),
+                )
+            })
+            // Central differences at the default bump: O(h²) truncation.
+            .check(Check::Rel(1e-5))
+            .cost_level(2),
+            bump_rung("Advanced: bump-and-reprice binomial", |w, i| {
+                binomial_bump_greeks(
+                    OptionType::Call,
+                    w.batch.s[i],
+                    w.batch.x[i],
+                    w.batch.t[i],
+                    M,
+                    w.n_tree,
+                    BumpSizes::lattice(),
+                )
+            })
+            // Lattice discretization + percent-scale bumps; delta ∈ [0,1]
+            // so the Rel scale clamp makes this an absolute band.
+            .check(Check::Rel(0.05))
+            .cost_level(2),
+            Rung::new(
+                OptLevel::Advanced,
+                "Advanced: MC pathwise (delta/vega)",
+                |w: &GreeksWorkload, _p| {
+                    fn_body(
+                        (w, Vec::<McGreeks>::new()),
+                        |(w, out)| {
+                            out.clear();
+                            out.extend((0..w.batch.len()).map(|i| {
+                                mc::pathwise_greeks(
+                                    OptionType::Call,
+                                    w.batch.s[i],
+                                    w.batch.x[i],
+                                    w.batch.t[i],
+                                    M,
+                                    &w.randoms,
+                                )
+                            }));
+                        },
+                        |(_, out)| out.iter().map(|g| g.delta.mean()).collect(),
+                    )
+                },
+            )
+            .check(Check::Stat(0.05))
+            .cost_level(2),
+            Rung::new(
+                OptLevel::Advanced,
+                "Advanced: MC CRN finite difference",
+                |w: &GreeksWorkload, _p| {
+                    fn_body(
+                        (w, Vec::<(McEstimate, McEstimate)>::new()),
+                        |(w, out)| {
+                            out.clear();
+                            out.extend((0..w.batch.len()).map(|i| {
+                                let (s, x, t) = (w.batch.s[i], w.batch.x[i], w.batch.t[i]);
+                                (
+                                    crn_fd_delta(OptionType::Call, s, x, t, M, &w.randoms, 1e-3),
+                                    crn_fd_vega(OptionType::Call, s, x, t, M, &w.randoms, 1e-3),
+                                )
+                            }));
+                        },
+                        |(_, out)| out.iter().map(|(d, _)| d.mean()).collect(),
+                    )
+                },
+            )
+            .check(Check::Stat(0.05))
+            .cost_level(2),
+        ]
+    }
+
+    fn cost(&self, arch: &ArchSpec) -> Vec<CostedLevel> {
+        // The analytic sweep is the same transcendental-bound SOA loop as
+        // the pricing kernel, with both contract sides and five outputs.
+        cost_model::black_scholes(arch)
+    }
+}
+
+// ---------------------------------------------------------------------
 // The registry
 // ---------------------------------------------------------------------
 
-/// All six paper kernels, registered in paper-artifact order — the single
-/// source of truth the harness ladder loop, the experiment index, and the
-/// planner share.
+/// The six paper kernels in paper-artifact order, plus the greeks risk
+/// workload — the single source of truth the harness ladder loop, the
+/// experiment index, and the planner share.
 pub fn registry() -> Registry {
     let mut reg = Registry::new();
     reg.register(BlackScholes);
@@ -819,6 +1016,7 @@ pub fn registry() -> Registry {
     reg.register(MonteCarlo);
     reg.register(CrankNicolson);
     reg.register(Rng);
+    reg.register(GreeksKernel);
     reg
 }
 
@@ -829,7 +1027,7 @@ mod tests {
     use finbench_machine::{KNC, SNB_EP};
 
     #[test]
-    fn registry_holds_all_six_kernels() {
+    fn registry_holds_all_seven_kernels() {
         let reg = registry();
         assert_eq!(
             reg.names(),
@@ -839,7 +1037,8 @@ mod tests {
                 "brownian_bridge",
                 "monte_carlo",
                 "crank_nicolson",
-                "rng"
+                "rng",
+                "greeks"
             ]
         );
     }
@@ -928,6 +1127,30 @@ mod tests {
                 .collect();
             assert_eq!(&got, labels, "{name}");
         }
+    }
+
+    #[test]
+    fn greeks_ladder_spans_all_three_estimator_families() {
+        let reg = registry();
+        let labels: Vec<&str> = reg
+            .get("greeks")
+            .expect("greeks kernel registered")
+            .rungs()
+            .iter()
+            .map(|r| r.label)
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                "Basic: scalar greeks sweep",
+                "Intermediate: SIMD SOA greeks (W=4)",
+                "Intermediate: SIMD SOA greeks (W=8)",
+                "Advanced: bump-and-reprice closed form",
+                "Advanced: bump-and-reprice binomial",
+                "Advanced: MC pathwise (delta/vega)",
+                "Advanced: MC CRN finite difference",
+            ]
+        );
     }
 
     #[test]

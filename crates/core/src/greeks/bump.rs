@@ -1,0 +1,315 @@
+//! Bump-and-reprice greeks: central finite differences around any
+//! repricer — the estimator a risk desk runs against models with no
+//! closed-form sensitivities (lattices, PDE grids).
+//!
+//! ## Bump sizes
+//!
+//! Central differences trade truncation error `O(h²)` against roundoff
+//! `O(ε/h)` (first order) or `O(ε/h²)` (gamma's second difference). For
+//! the smooth closed form the near-optimal compromise for a shared
+//! 3-point spot stencil is `h ≈ 1e-4` relative ([`BumpSizes::default`]).
+//! Lattice and grid repricers are only *piecewise*-smooth in spot (payoff
+//! kinks cross tree nodes; the PDE solution is read through linear
+//! interpolation), so their bumps must span several nodes to average the
+//! kinks out — [`BumpSizes::lattice`] uses percent-scale bumps and
+//! accepts the larger truncation error. The `greeks_bench` experiment
+//! sweeps `h` and tabulates the resulting error curve.
+
+use super::{Greeks, OptionType};
+use crate::crank_nicolson::{CnProblem, PsorKind};
+use crate::workload::MarketParams;
+
+/// Bump sizes for the central differences, one per greek input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BumpSizes {
+    /// Spot bumped to `s·(1 ± h)`; also the gamma stencil.
+    pub rel_spot: f64,
+    /// Volatility bumped to `σ·(1 ± h)`.
+    pub rel_vol: f64,
+    /// Rate bumped to `r ± h` (absolute — `r` can be zero).
+    pub abs_rate: f64,
+    /// Expiry bumped to `t·(1 ± h)`.
+    pub rel_time: f64,
+}
+
+impl Default for BumpSizes {
+    fn default() -> Self {
+        Self {
+            rel_spot: 1e-4,
+            rel_vol: 1e-4,
+            abs_rate: 1e-6,
+            rel_time: 1e-5,
+        }
+    }
+}
+
+impl BumpSizes {
+    /// Percent-scale bumps for piecewise-smooth repricers (binomial
+    /// lattices, interpolated PDE grids): wide enough to span several
+    /// nodes so the FD reads curvature, not interpolation kinks.
+    pub fn lattice() -> Self {
+        Self {
+            rel_spot: 5e-2,
+            rel_vol: 1e-2,
+            abs_rate: 1e-4,
+            rel_time: 1e-2,
+        }
+    }
+
+    /// Uniform relative spot/vol/time bump with a proportional rate bump
+    /// — the knob the accuracy-vs-bump-size sweep turns.
+    pub fn uniform(h: f64) -> Self {
+        Self {
+            rel_spot: h,
+            rel_vol: h,
+            abs_rate: h * 1e-2,
+            rel_time: h,
+        }
+    }
+}
+
+/// All five greeks by central differences around `price(spot, expiry,
+/// market)` — 9 repricings (8 bumped + 1 base for the gamma stencil).
+pub fn fd_greeks(
+    price: &dyn Fn(f64, f64, MarketParams) -> f64,
+    s: f64,
+    t: f64,
+    m: MarketParams,
+    h: BumpSizes,
+) -> Greeks {
+    let hs = h.rel_spot * s;
+    let p0 = price(s, t, m);
+    let p_su = price(s + hs, t, m);
+    let p_sd = price(s - hs, t, m);
+
+    let hv = h.rel_vol * m.sigma;
+    let bump_v = |dv: f64| MarketParams {
+        sigma: m.sigma + dv,
+        ..m
+    };
+    let p_vu = price(s, t, bump_v(hv));
+    let p_vd = price(s, t, bump_v(-hv));
+
+    let hr = h.abs_rate;
+    let bump_r = |dr: f64| MarketParams { r: m.r + dr, ..m };
+    let p_ru = price(s, t, bump_r(hr));
+    let p_rd = price(s, t, bump_r(-hr));
+
+    let ht = h.rel_time * t;
+    let p_tu = price(s, t + ht, m);
+    let p_td = price(s, t - ht, m);
+
+    Greeks {
+        delta: (p_su - p_sd) / (2.0 * hs),
+        gamma: (p_su - 2.0 * p0 + p_sd) / (hs * hs),
+        vega: (p_vu - p_vd) / (2.0 * hv),
+        // Theta is calendar decay: dV/dt = −dV/dT.
+        theta: -(p_tu - p_td) / (2.0 * ht),
+        rho: (p_ru - p_rd) / (2.0 * hr),
+    }
+}
+
+/// Bumped Black-Scholes closed form — the self-check the engine ladder
+/// declares as `Rel` against the analytic rung.
+pub fn bs_bump_greeks(
+    kind: OptionType,
+    s: f64,
+    x: f64,
+    t: f64,
+    m: MarketParams,
+    h: BumpSizes,
+) -> Greeks {
+    fd_greeks(
+        &|s, t, m| {
+            let (c, p) = crate::black_scholes::price_single(s, x, t, m);
+            match kind {
+                OptionType::Call => c,
+                OptionType::Put => p,
+            }
+        },
+        s,
+        t,
+        m,
+        h,
+    )
+}
+
+/// Bumped CRR binomial lattice with `n_steps` time steps. The lattice
+/// price is piecewise linear in spot, so use [`BumpSizes::lattice`]-scale
+/// bumps (gamma from a node-spanning secant, not a local kink).
+pub fn binomial_bump_greeks(
+    kind: OptionType,
+    s: f64,
+    x: f64,
+    t: f64,
+    m: MarketParams,
+    n_steps: usize,
+    h: BumpSizes,
+) -> Greeks {
+    fd_greeks(
+        &|s, t, m| {
+            crate::binomial::reference::price_european(
+                s,
+                x,
+                t,
+                m,
+                n_steps,
+                kind == OptionType::Call,
+            )
+        },
+        s,
+        t,
+        m,
+        h,
+    )
+}
+
+/// Bumped Crank-Nicolson put greeks on a `n_points × n_steps` grid.
+///
+/// The solver is strike-normalized, so **one** solved grid prices every
+/// bumped spot: delta and gamma come from a single solve. Vega, rho, and
+/// theta re-solve with bumped parameters — 7 solves total.
+#[allow(clippy::too_many_arguments)]
+pub fn cn_put_bump_greeks(
+    s: f64,
+    x: f64,
+    t: f64,
+    m: MarketParams,
+    n_points: usize,
+    n_steps: usize,
+    american: bool,
+    h: BumpSizes,
+) -> Greeks {
+    let solve = |m: MarketParams, t: f64| {
+        let mut p = CnProblem::paper(m, t);
+        p.n_points = n_points;
+        p.n_steps = n_steps;
+        p.american = american;
+        p.solve(PsorKind::Reference)
+    };
+    let base = solve(m, t);
+    let hs = h.rel_spot * s;
+    let p0 = base.price(s, x);
+    let p_su = base.price(s + hs, x);
+    let p_sd = base.price(s - hs, x);
+
+    let hv = h.rel_vol * m.sigma;
+    let p_vu = solve(
+        MarketParams {
+            sigma: m.sigma + hv,
+            ..m
+        },
+        t,
+    )
+    .price(s, x);
+    let p_vd = solve(
+        MarketParams {
+            sigma: m.sigma - hv,
+            ..m
+        },
+        t,
+    )
+    .price(s, x);
+
+    let hr = h.abs_rate;
+    let p_ru = solve(MarketParams { r: m.r + hr, ..m }, t).price(s, x);
+    let p_rd = solve(MarketParams { r: m.r - hr, ..m }, t).price(s, x);
+
+    let ht = h.rel_time * t;
+    let p_tu = solve(m, t + ht).price(s, x);
+    let p_td = solve(m, t - ht).price(s, x);
+
+    Greeks {
+        delta: (p_su - p_sd) / (2.0 * hs),
+        gamma: (p_su - 2.0 * p0 + p_sd) / (hs * hs),
+        vega: (p_vu - p_vd) / (2.0 * hv),
+        theta: -(p_tu - p_td) / (2.0 * ht),
+        rho: (p_ru - p_rd) / (2.0 * hr),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greeks::greeks;
+
+    const M: MarketParams = MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    };
+
+    fn max_rel_err(got: Greeks, want: Greeks) -> f64 {
+        [
+            (got.delta, want.delta),
+            (got.gamma, want.gamma),
+            (got.vega, want.vega),
+            (got.theta, want.theta),
+            (got.rho, want.rho),
+        ]
+        .iter()
+        .map(|(g, w)| (g - w).abs() / w.abs().max(1.0))
+        .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn bumped_closed_form_matches_analytic() {
+        for kind in [OptionType::Call, OptionType::Put] {
+            for (s, x, t) in [(100.0, 100.0, 1.0), (80.0, 100.0, 0.5), (25.0, 20.0, 3.0)] {
+                let got = bs_bump_greeks(kind, s, x, t, M, BumpSizes::default());
+                let want = greeks(kind, s, x, t, M);
+                let err = max_rel_err(got, want);
+                assert!(err < 1e-5, "{kind:?} s={s}: max rel err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn bump_size_sweep_has_the_classic_error_valley() {
+        // FD error = O(h²) truncation + O(ε/h) roundoff: the default h
+        // must beat both a too-large and a too-small bump.
+        let want = greeks(OptionType::Call, 100.0, 95.0, 1.0, M).delta;
+        let err_at = |h: f64| {
+            let g = bs_bump_greeks(OptionType::Call, 100.0, 95.0, 1.0, M, BumpSizes::uniform(h));
+            (g.delta - want).abs()
+        };
+        let sweet = err_at(1e-4);
+        assert!(sweet < err_at(1e-1), "truncation should dominate at h=0.1");
+        assert!(sweet < err_at(1e-11), "roundoff should dominate at h=1e-11");
+        assert!(sweet < 1e-7, "default bump delta error {sweet}");
+    }
+
+    #[test]
+    fn bumped_binomial_matches_analytic_within_lattice_error() {
+        for kind in [OptionType::Call, OptionType::Put] {
+            let (s, x, t) = (100.0, 95.0, 1.0);
+            let got = binomial_bump_greeks(kind, s, x, t, M, 512, BumpSizes::lattice());
+            let want = greeks(kind, s, x, t, M);
+            let err = max_rel_err(got, want);
+            assert!(err < 0.02, "{kind:?}: max rel err {err}");
+        }
+    }
+
+    #[test]
+    fn bumped_crank_nicolson_matches_analytic_put() {
+        // European mode so the analytic put greeks are the exact truth.
+        let (s, x, t) = (100.0, 100.0, 1.0);
+        let got = cn_put_bump_greeks(s, x, t, M, 192, 200, false, BumpSizes::lattice());
+        let want = greeks(OptionType::Put, s, x, t, M);
+        let err = max_rel_err(got, want);
+        assert!(err < 0.05, "max rel err {err}: {got:?} vs {want:?}");
+    }
+
+    #[test]
+    fn american_put_delta_steeper_than_european() {
+        // Early exercise adds negative delta for in-the-money puts.
+        let h = BumpSizes::lattice();
+        let eur = cn_put_bump_greeks(85.0, 100.0, 1.0, M, 128, 120, false, h);
+        let amer = cn_put_bump_greeks(85.0, 100.0, 1.0, M, 128, 120, true, h);
+        assert!(
+            amer.delta <= eur.delta + 1e-6,
+            "american {} vs european {}",
+            amer.delta,
+            eur.delta
+        );
+    }
+}

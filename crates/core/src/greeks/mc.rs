@@ -1,0 +1,317 @@
+//! Monte-Carlo greeks: pathwise estimators and central finite
+//! differences under **common random numbers** (CRN).
+//!
+//! ## Pathwise (infinitesimal perturbation) estimators
+//!
+//! Under GBM the terminal value `S_T = S·exp(σ√T·Z + (r − σ²/2)T)` is
+//! differentiable path-by-path, and for the (a.e. differentiable) vanilla
+//! payoff the derivative and expectation commute:
+//!
+//! ```text
+//! call delta: e^{−rT} · 1{S_T > X} · S_T / S
+//! call vega:  e^{−rT} · 1{S_T > X} · S_T · (√T·Z − σT)
+//! ```
+//!
+//! (puts flip the indicator and the sign). One pass over the normals
+//! yields unbiased delta and vega with no bump-size tuning at all.
+//!
+//! ## CRN finite differences
+//!
+//! The bump estimator re-prices both legs of a central difference **on
+//! the same draws**: the payoff difference is computed per path, so the
+//! path noise common to both legs cancels and the variance of the
+//! difference collapses by orders of magnitude versus independent legs.
+//! Reusing a named [`StreamFamily`] stream makes the whole estimate
+//! bit-reproducible.
+
+use super::OptionType;
+use crate::monte_carlo::GbmTerminal;
+use crate::workload::MarketParams;
+use finbench_math::exp;
+use finbench_rng::{normal::fill_standard_normal_icdf, StreamFamily};
+
+/// Streaming mean/variance accumulator for one estimator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct McEstimate {
+    /// Sample sum.
+    pub sum: f64,
+    /// Sample square sum.
+    pub sumsq: f64,
+    /// Samples accumulated.
+    pub n: u64,
+}
+
+impl McEstimate {
+    /// Accumulate one sample.
+    pub fn push(&mut self, v: f64) {
+        self.sum += v;
+        self.sumsq += v * v;
+        self.n += 1;
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sum / self.n as f64
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        let n = self.n as f64;
+        let mean = self.mean();
+        let var = (self.sumsq / n - mean * mean).max(0.0);
+        (var / n).sqrt()
+    }
+
+    /// Merge two partial accumulations.
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            sum: self.sum + other.sum,
+            sumsq: self.sumsq + other.sumsq,
+            n: self.n + other.n,
+        }
+    }
+}
+
+/// Pathwise delta and vega estimates for one option.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct McGreeks {
+    /// Pathwise ∂V/∂S estimate.
+    pub delta: McEstimate,
+    /// Pathwise ∂V/∂σ estimate.
+    pub vega: McEstimate,
+}
+
+/// Pathwise delta and vega over a pre-generated normal stream — one pass,
+/// no bumps. Deterministic: same `randoms`, same bits out.
+pub fn pathwise_greeks(
+    kind: OptionType,
+    s: f64,
+    x: f64,
+    t: f64,
+    m: MarketParams,
+    randoms: &[f64],
+) -> McGreeks {
+    let g = GbmTerminal::new(t, m);
+    let disc = exp(-m.r * t);
+    let sqrt_t = t.sqrt();
+    let mut out = McGreeks::default();
+    for &z in randoms {
+        let st = s * exp(g.v_rt_t * z + g.mu_t);
+        // dS_T/dσ = S_T·(√T·Z − σT).
+        let dsig = st * (sqrt_t * z - m.sigma * t);
+        let (d, v) = match kind {
+            OptionType::Call if st > x => (st / s, dsig),
+            OptionType::Put if st < x => (-st / s, -dsig),
+            _ => (0.0, 0.0),
+        };
+        out.delta.push(disc * d);
+        out.vega.push(disc * v);
+    }
+    out
+}
+
+fn vanilla(kind: OptionType, st: f64, x: f64) -> f64 {
+    match kind {
+        OptionType::Call => (st - x).max(0.0),
+        OptionType::Put => (x - st).max(0.0),
+    }
+}
+
+/// Central-difference delta with both legs on the same draws (CRN). The
+/// per-path leg difference is accumulated directly, so [`McEstimate::std_error`]
+/// reports the (collapsed) variance of the *difference*, not of either leg.
+pub fn crn_fd_delta(
+    kind: OptionType,
+    s: f64,
+    x: f64,
+    t: f64,
+    m: MarketParams,
+    randoms: &[f64],
+    rel_bump: f64,
+) -> McEstimate {
+    let g = GbmTerminal::new(t, m);
+    let disc = exp(-m.r * t);
+    let hs = rel_bump * s;
+    let mut est = McEstimate::default();
+    for &z in randoms {
+        let growth = exp(g.v_rt_t * z + g.mu_t);
+        let up = vanilla(kind, (s + hs) * growth, x);
+        let dn = vanilla(kind, (s - hs) * growth, x);
+        est.push(disc * (up - dn) / (2.0 * hs));
+    }
+    est
+}
+
+/// Central-difference vega with both legs on the same draws (CRN): each
+/// path is re-grown under `σ·(1 ± h)` from the same normal.
+pub fn crn_fd_vega(
+    kind: OptionType,
+    s: f64,
+    x: f64,
+    t: f64,
+    m: MarketParams,
+    randoms: &[f64],
+    rel_bump: f64,
+) -> McEstimate {
+    let hv = rel_bump * m.sigma;
+    let up = GbmTerminal::new(
+        t,
+        MarketParams {
+            sigma: m.sigma + hv,
+            ..m
+        },
+    );
+    let dn = GbmTerminal::new(
+        t,
+        MarketParams {
+            sigma: m.sigma - hv,
+            ..m
+        },
+    );
+    let disc = exp(-m.r * t);
+    let mut est = McEstimate::default();
+    for &z in randoms {
+        let pu = vanilla(kind, s * exp(up.v_rt_t * z + up.mu_t), x);
+        let pd = vanilla(kind, s * exp(dn.v_rt_t * z + dn.mu_t), x);
+        est.push(disc * (pu - pd) / (2.0 * hv));
+    }
+    est
+}
+
+/// Normal draws from one named stream of the workspace RNG family — the
+/// bit-reproducible CRN source every estimator leg shares.
+pub fn crn_normals(family: &StreamFamily, stream_id: u64, n: usize) -> Vec<f64> {
+    let mut rng = family.stream(stream_id);
+    let mut buf = vec![0.0; n];
+    fill_standard_normal_icdf(&mut rng, &mut buf);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greeks::greeks;
+
+    const M: MarketParams = MarketParams {
+        r: 0.05,
+        sigma: 0.2,
+    };
+
+    fn draws(n: usize) -> Vec<f64> {
+        crn_normals(&StreamFamily::new(42), 0, n)
+    }
+
+    #[test]
+    fn pathwise_delta_and_vega_land_in_the_stat_band() {
+        let randoms = draws(200_000);
+        for kind in [OptionType::Call, OptionType::Put] {
+            for (s, x, t) in [(100.0, 105.0, 1.0), (100.0, 90.0, 0.5)] {
+                let est = pathwise_greeks(kind, s, x, t, M, &randoms);
+                let want = greeks(kind, s, x, t, M);
+                let d_err = (est.delta.mean() - want.delta).abs();
+                let v_err = (est.vega.mean() - want.vega).abs();
+                assert!(
+                    d_err < 4.0 * est.delta.std_error().max(1e-4),
+                    "{kind:?} delta {d_err} vs se {}",
+                    est.delta.std_error()
+                );
+                assert!(
+                    v_err < 4.0 * est.vega.std_error().max(1e-3),
+                    "{kind:?} vega {v_err} vs se {}",
+                    est.vega.std_error()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crn_fd_agrees_with_analytic() {
+        let randoms = draws(100_000);
+        let (s, x, t) = (100.0, 100.0, 1.0);
+        let want = greeks(OptionType::Call, s, x, t, M);
+        let d = crn_fd_delta(OptionType::Call, s, x, t, M, &randoms, 1e-3);
+        let v = crn_fd_vega(OptionType::Call, s, x, t, M, &randoms, 1e-3);
+        assert!(
+            (d.mean() - want.delta).abs() < 4.0 * d.std_error().max(1e-4),
+            "delta {} vs {}",
+            d.mean(),
+            want.delta
+        );
+        assert!(
+            (v.mean() - want.vega).abs() < 4.0 * v.std_error().max(1e-2),
+            "vega {} vs {}",
+            v.mean(),
+            want.vega
+        );
+    }
+
+    #[test]
+    fn crn_collapses_the_difference_variance() {
+        // The same central difference with *independent* legs: price each
+        // leg on its own draws, so the path noise does not cancel.
+        let a = draws(50_000);
+        let b = crn_normals(&StreamFamily::new(42), 1, 50_000);
+        let (s, x, t) = (100.0, 100.0, 1.0);
+        let hs = 1e-3 * s;
+        let disc = finbench_math::exp(-M.r * t);
+        let g = GbmTerminal::new(t, M);
+        let mut independent = McEstimate::default();
+        for (&za, &zb) in a.iter().zip(&b) {
+            let up = vanilla(
+                OptionType::Call,
+                (s + hs) * finbench_math::exp(g.v_rt_t * za + g.mu_t),
+                x,
+            );
+            let dn = vanilla(
+                OptionType::Call,
+                (s - hs) * finbench_math::exp(g.v_rt_t * zb + g.mu_t),
+                x,
+            );
+            independent.push(disc * (up - dn) / (2.0 * hs));
+        }
+        let crn = crn_fd_delta(OptionType::Call, s, x, t, M, &a, 1e-3);
+        assert!(
+            crn.std_error() * 20.0 < independent.std_error(),
+            "CRN se {} should be far below independent se {}",
+            crn.std_error(),
+            independent.std_error()
+        );
+    }
+
+    #[test]
+    fn crn_estimates_are_bit_reproducible() {
+        let a = draws(10_000);
+        let b = draws(10_000);
+        assert_eq!(a, b, "same family/stream must replay the same draws");
+        let (s, x, t) = (100.0, 95.0, 2.0);
+        let e1 = pathwise_greeks(OptionType::Call, s, x, t, M, &a);
+        let e2 = pathwise_greeks(OptionType::Call, s, x, t, M, &b);
+        assert_eq!(e1.delta.sum.to_bits(), e2.delta.sum.to_bits());
+        assert_eq!(e1.vega.sum.to_bits(), e2.vega.sum.to_bits());
+        let f1 = crn_fd_delta(OptionType::Call, s, x, t, M, &a, 1e-3);
+        let f2 = crn_fd_delta(OptionType::Call, s, x, t, M, &b, 1e-3);
+        assert_eq!(f1.sum.to_bits(), f2.sum.to_bits());
+    }
+
+    #[test]
+    fn estimator_accumulator_statistics() {
+        let mut e = McEstimate::default();
+        for v in [1.0, 2.0, 3.0] {
+            e.push(v);
+        }
+        assert_eq!(e.n, 3);
+        assert!((e.mean() - 2.0).abs() < 1e-15);
+        let merged = e.merge(McEstimate {
+            sum: 4.0,
+            sumsq: 16.0,
+            n: 1,
+        });
+        assert_eq!(merged.n, 4);
+        assert!((merged.mean() - 2.5).abs() < 1e-15);
+        // All-equal samples: variance clamps to zero, not NaN.
+        let mut flat = McEstimate::default();
+        flat.push(5.0);
+        flat.push(5.0);
+        assert_eq!(flat.std_error(), 0.0);
+    }
+}

@@ -1,8 +1,20 @@
-//! Closed-form Black-Scholes sensitivities ("greeks") and implied
-//! volatility — an extension of the paper's Black-Scholes kernel that
-//! exercises the same math substrate (the paper's intro motivates risk
-//! management and model calibration as the driving workloads; greeks and
-//! implied vol are exactly those).
+//! Black-Scholes sensitivities ("greeks") and implied volatility — the
+//! market-risk workload plane layered over the paper's pricing kernels
+//! (the paper's intro motivates risk management and model calibration as
+//! the driving workloads; greeks and implied vol are exactly those).
+//!
+//! Three estimator families, matching how production risk desks compute
+//! sensitivities against each pricing model:
+//!
+//! * **analytic** (this module) — the closed forms, scalar and SIMD-SOA
+//!   ([`greeks_batch_simd`], all five greeks for both sides per lane);
+//! * **bump-and-reprice** ([`bump`]) — central finite differences around
+//!   any repricer (closed form, binomial lattice, Crank-Nicolson grid);
+//! * **Monte-Carlo** ([`mc`]) — pathwise estimators and central finite
+//!   differences under common random numbers.
+
+pub mod bump;
+pub mod mc;
 
 use crate::workload::MarketParams;
 use finbench_math::{exp, ln, norm_cdf, norm_pdf};
@@ -161,6 +173,154 @@ pub fn greeks_soa_simd<const W: usize>(
         delta[j] = g.delta;
         gamma[j] = g.gamma;
         vega[j] = g.vega;
+    }
+}
+
+/// SOA block of all five greeks for one side of the contract.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GreeksSoa {
+    /// ∂V/∂S per option.
+    pub delta: Vec<f64>,
+    /// ∂²V/∂S² per option.
+    pub gamma: Vec<f64>,
+    /// ∂V/∂σ per option.
+    pub vega: Vec<f64>,
+    /// ∂V/∂t (calendar decay) per option.
+    pub theta: Vec<f64>,
+    /// ∂V/∂r per option.
+    pub rho: Vec<f64>,
+}
+
+impl GreeksSoa {
+    /// Allocate an all-zero block for `n` options.
+    pub fn zeroed(n: usize) -> Self {
+        Self {
+            delta: vec![0.0; n],
+            gamma: vec![0.0; n],
+            vega: vec![0.0; n],
+            theta: vec![0.0; n],
+            rho: vec![0.0; n],
+        }
+    }
+
+    /// Number of options.
+    pub fn len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// True when the block holds no options.
+    pub fn is_empty(&self) -> bool {
+        self.delta.is_empty()
+    }
+
+    /// The `i`-th option's greeks as a struct.
+    pub fn at(&self, i: usize) -> Greeks {
+        Greeks {
+            delta: self.delta[i],
+            gamma: self.gamma[i],
+            vega: self.vega[i],
+            theta: self.theta[i],
+            rho: self.rho[i],
+        }
+    }
+}
+
+/// Full risk sweep for a batch: all five greeks for **both** the call and
+/// the put side, SOA layout (what the serving plane scatters back).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GreeksBatchSoa {
+    /// Call-side greeks.
+    pub call: GreeksSoa,
+    /// Put-side greeks.
+    pub put: GreeksSoa,
+}
+
+impl GreeksBatchSoa {
+    /// Allocate an all-zero sweep for `n` options.
+    pub fn zeroed(n: usize) -> Self {
+        Self {
+            call: GreeksSoa::zeroed(n),
+            put: GreeksSoa::zeroed(n),
+        }
+    }
+
+    /// Number of options.
+    pub fn len(&self) -> usize {
+        self.call.len()
+    }
+
+    /// True when the sweep holds no options.
+    pub fn is_empty(&self) -> bool {
+        self.call.is_empty()
+    }
+}
+
+/// One `W`-wide block of the analytic sweep at `offset`. Factored out so
+/// the main loop and the scalar tail of [`greeks_batch_simd`] run the
+/// *same* lane arithmetic: the SIMD math routines are lane-wise, so every
+/// output element is bit-identical across vector widths.
+fn greeks_lane_block<const W: usize>(
+    batch: &crate::workload::OptionBatchSoa,
+    m: MarketParams,
+    out: &mut GreeksBatchSoa,
+    offset: usize,
+) {
+    use finbench_simd::math::{vexp, vln, vnorm_cdf};
+    use finbench_simd::F64v;
+
+    let inv_sqrt_2pi = 1.0 / finbench_math::SQRT_2PI;
+    let s = F64v::<W>::load(&batch.s, offset);
+    let x = F64v::<W>::load(&batch.x, offset);
+    let t = F64v::<W>::load(&batch.t, offset);
+    let sqrt_t = t.sqrt();
+    let denom = 1.0 / (sqrt_t * m.sigma);
+    let d1 = (vln(s / x) + t * (m.r + 0.5 * m.sigma * m.sigma)) * denom;
+    let d2 = d1 - sqrt_t * m.sigma;
+    let pdf1 = vexp(d1 * d1 * -0.5) * inv_sqrt_2pi;
+    let nd1 = vnorm_cdf(d1);
+    let nd2 = vnorm_cdf(d2);
+    // N(−d2) through the same lane CDF (not 1 − N(d2)): keeps the deep
+    // tails accurate and the result independent of the vector width.
+    let nmd2 = vnorm_cdf(-d2);
+    let disc = vexp(t * -m.r);
+
+    let gamma = pdf1 / (s * m.sigma * sqrt_t);
+    let vega = s * pdf1 * sqrt_t;
+    let theta_carry = (s * pdf1 * (m.sigma * -0.5)) / sqrt_t;
+    let x_disc = x * disc;
+
+    nd1.store(&mut out.call.delta, offset);
+    (nd1 - 1.0).store(&mut out.put.delta, offset);
+    gamma.store(&mut out.call.gamma, offset);
+    gamma.store(&mut out.put.gamma, offset);
+    vega.store(&mut out.call.vega, offset);
+    vega.store(&mut out.put.vega, offset);
+    (theta_carry - x_disc * nd2 * m.r).store(&mut out.call.theta, offset);
+    (theta_carry + x_disc * nmd2 * m.r).store(&mut out.put.theta, offset);
+    (x_disc * nd2 * t).store(&mut out.call.rho, offset);
+    (-(x_disc * nmd2 * t)).store(&mut out.put.rho, offset);
+}
+
+/// Analytic greeks for every option in the batch, all five sensitivities
+/// for both contract sides, one option per SIMD lane. The tail past the
+/// last full `W`-block goes through the same lane function at width 1,
+/// so the full output is **bit-identical for every `W`** — the property
+/// the engine ladder declares as `Check::BitExact`.
+pub fn greeks_batch_simd<const W: usize>(
+    batch: &crate::workload::OptionBatchSoa,
+    m: MarketParams,
+    out: &mut GreeksBatchSoa,
+) {
+    let n = batch.len();
+    assert!(out.len() == n, "output sweep must match the batch");
+    let main = n - n % W;
+    let mut i = 0;
+    while i < main {
+        greeks_lane_block::<W>(batch, m, out, i);
+        i += W;
+    }
+    for j in main..n {
+        greeks_lane_block::<1>(batch, m, out, j);
     }
 }
 
@@ -328,6 +488,70 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn full_sweep_matches_scalar_closed_form() {
+        use crate::workload::{OptionBatchSoa, WorkloadRanges};
+        let b = OptionBatchSoa::random(123, 9, WorkloadRanges::default());
+        let mut out = GreeksBatchSoa::zeroed(b.len());
+        greeks_batch_simd::<8>(&b, M, &mut out);
+        for i in 0..b.len() {
+            for (side, kind) in [(&out.call, OptionType::Call), (&out.put, OptionType::Put)] {
+                let want = greeks(kind, b.s[i], b.x[i], b.t[i], M);
+                let got = side.at(i);
+                for (name, g, w) in [
+                    ("delta", got.delta, want.delta),
+                    ("gamma", got.gamma, want.gamma),
+                    ("vega", got.vega, want.vega),
+                    ("theta", got.theta, want.theta),
+                    ("rho", got.rho, want.rho),
+                ] {
+                    assert!(
+                        (g - w).abs() < 1e-10 * w.abs().max(1.0),
+                        "{kind:?} {name} {i}: {g} vs {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_sweep_is_bit_identical_across_widths() {
+        use crate::workload::{OptionBatchSoa, WorkloadRanges};
+        // 37 is deliberately not a multiple of any width: the tail path
+        // must produce the same bits as the full-lane path.
+        let b = OptionBatchSoa::random(37, 21, WorkloadRanges::default());
+        let mut w1 = GreeksBatchSoa::zeroed(b.len());
+        let mut w4 = GreeksBatchSoa::zeroed(b.len());
+        let mut w8 = GreeksBatchSoa::zeroed(b.len());
+        greeks_batch_simd::<1>(&b, M, &mut w1);
+        greeks_batch_simd::<4>(&b, M, &mut w4);
+        greeks_batch_simd::<8>(&b, M, &mut w8);
+        for (a, c) in [(&w1, &w4), (&w1, &w8)] {
+            for (side_a, side_c) in [(&a.call, &c.call), (&a.put, &c.put)] {
+                for (va, vc) in [
+                    (&side_a.delta, &side_c.delta),
+                    (&side_a.gamma, &side_c.gamma),
+                    (&side_a.vega, &side_c.vega),
+                    (&side_a.theta, &side_c.theta),
+                    (&side_a.rho, &side_c.rho),
+                ] {
+                    for i in 0..va.len() {
+                        assert_eq!(va[i].to_bits(), vc[i].to_bits(), "element {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output sweep must match")]
+    fn full_sweep_rejects_short_outputs() {
+        use crate::workload::{OptionBatchSoa, WorkloadRanges};
+        let b = OptionBatchSoa::random(8, 1, WorkloadRanges::default());
+        let mut out = GreeksBatchSoa::zeroed(4);
+        greeks_batch_simd::<8>(&b, M, &mut out);
     }
 
     #[test]

@@ -47,16 +47,10 @@ impl Samples {
         self.rates.iter().copied().fold(f64::INFINITY, f64::min)
     }
 
-    /// Nearest-rank quantile of the per-rep rates, `q` in `[0, 1]`.
+    /// Nearest-rank quantile of the per-rep rates, `q` in `[0, 1]`
+    /// (the shared [`telemetry::nearest_rank`] definition).
     pub fn quantile(&self, q: f64) -> f64 {
-        if self.rates.is_empty() {
-            return f64::NAN;
-        }
-        let mut sorted = self.rates.clone();
-        sorted.sort_by(f64::total_cmp);
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
-        sorted[rank.min(sorted.len() - 1)]
+        telemetry::nearest_rank_unsorted(&self.rates, q)
     }
 
     /// Median per-rep rate.

@@ -20,7 +20,7 @@
 //! * `site` — a dotted site name; an entry matches a call site when it is
 //!   equal to it or a dotted prefix of it (`batch` matches
 //!   `batch.black_scholes`).
-//! * `kind` — `panic` | `latency:<dur>` (`250us`, `5ms`, `1s`) |
+//! * `kind` — `panic` | `latency:<dur>` (`100ns`, `250us`, `5ms`, `1s`) |
 //!   `corrupt:<nan|inf|neg>` | `stall`.
 //! * `@rate` — firing probability in `[0, 1]`; defaults to `1`.
 //! * `#seed` — per-entry SplitMix64 seed; defaults to `0x5EED`.
@@ -80,7 +80,15 @@ impl std::fmt::Display for FaultKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FaultKind::Panic => write!(f, "panic"),
-            FaultKind::Latency(d) => write!(f, "latency:{}us", d.as_micros()),
+            FaultKind::Latency(d) => {
+                // Sub-microsecond durations must render at full precision
+                // or `parse(to_string())` would truncate them.
+                if d.subsec_nanos() % 1000 == 0 {
+                    write!(f, "latency:{}us", d.as_micros())
+                } else {
+                    write!(f, "latency:{}ns", d.as_nanos())
+                }
+            }
             FaultKind::CorruptInput(Corruption::NaN) => write!(f, "corrupt:nan"),
             FaultKind::CorruptInput(Corruption::Inf) => write!(f, "corrupt:inf"),
             FaultKind::CorruptInput(Corruption::Negative) => write!(f, "corrupt:neg"),
@@ -261,8 +269,13 @@ fn parse_kind(s: &str) -> Option<FaultKind> {
     }
 }
 
-/// Parse `250us` / `5ms` / `2s` (also bare integers, read as µs).
+/// Parse `100ns` / `250us` / `5ms` / `2s` (also bare integers, read as µs).
 fn parse_duration(s: &str) -> Option<Duration> {
+    // `ns` must be peeled before the bare-`s` suffix below would swallow
+    // its trailing `s` and fail on the leftover `n`.
+    if let Some(n) = s.strip_suffix("ns") {
+        return n.trim().parse::<u64>().ok().map(Duration::from_nanos);
+    }
     let (num, mul_us) = if let Some(n) = s.strip_suffix("us") {
         (n, 1u64)
     } else if let Some(n) = s.strip_suffix("ms") {
@@ -529,11 +542,22 @@ mod tests {
 
     #[test]
     fn durations_parse_all_units() {
+        assert_eq!(parse_duration("100ns"), Some(Duration::from_nanos(100)));
         assert_eq!(parse_duration("250us"), Some(Duration::from_micros(250)));
         assert_eq!(parse_duration("5ms"), Some(Duration::from_millis(5)));
         assert_eq!(parse_duration("2s"), Some(Duration::from_secs(2)));
         assert_eq!(parse_duration("42"), Some(Duration::from_micros(42)));
         assert_eq!(parse_duration("nope"), None);
+    }
+
+    #[test]
+    fn sub_microsecond_latency_displays_at_full_precision() {
+        // Pre-fix, Display truncated 1500ns to `latency:1us` and the
+        // roundtrip silently changed the plan.
+        let spec = FaultSpec::always("batch", FaultKind::Latency(Duration::from_nanos(1500)));
+        assert_eq!(spec.to_string(), "batch=latency:1500ns@1#24301");
+        let plan = FaultPlan::new().with(spec);
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
     }
 
     #[test]
@@ -615,6 +639,38 @@ mod tests {
         assert_eq!(Corruption::Inf.apply(3.0), f64::INFINITY);
         assert!(Corruption::Negative.apply(3.0) < 0.0);
         assert!(Corruption::Negative.apply(-0.5) < 0.0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(256))]
+        #[test]
+        fn display_reparses_to_the_same_plan(
+            site_idx in 0usize..4,
+            kind_idx in 0usize..6,
+            nanos in 0u64..5_000_000,
+            rate in 0.0f64..1.0,
+            seed in 0u64..u64::MAX,
+        ) {
+            const SITES: [&str; 4] = ["batch", "admit.black_scholes", "queue.serve", "a.b.c"];
+            let kind = match kind_idx {
+                0 => FaultKind::Panic,
+                1 => FaultKind::Latency(Duration::from_nanos(nanos)),
+                2 => FaultKind::CorruptInput(Corruption::NaN),
+                3 => FaultKind::CorruptInput(Corruption::Inf),
+                4 => FaultKind::CorruptInput(Corruption::Negative),
+                _ => FaultKind::StallQueue,
+            };
+            let plan = FaultPlan::new().with(FaultSpec {
+                site: SITES[site_idx].to_string(),
+                kind,
+                rate,
+                seed,
+            });
+            let rendered = plan.to_string();
+            let reparsed = FaultPlan::parse(&rendered);
+            proptest::prop_assert!(reparsed.is_ok(), "`{rendered}` failed to parse");
+            proptest::prop_assert_eq!(reparsed.unwrap(), plan, "`{}` changed meaning", rendered);
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub fn usage_line() -> String {
          \x20 finbench list                  print experiment ids\n\
          \x20 finbench serve-bench           serving-plane load benchmark (alias for `run serve_bench`)\n\
          \x20 finbench chaos-bench           fault-injection chaos benchmark (alias for `run chaos_bench`)\n\
+         \x20 finbench greeks-bench          greeks/risk workload benchmark (alias for `run greeks_bench`)\n\
          flags: [--quick] [--only KERNEL[,KERNEL...]] [--csv DIR] [--json FILE] [--report]\n\
          note: the flat forms `finbench [EXPERIMENT ...]` and `--list` are deprecated\n\
          \x20     aliases for `run` / `list`; prefer the subcommands.\n\
@@ -158,6 +159,7 @@ where
         }
         Some("serve-bench") => parse_experiment_alias("serve-bench", "serve_bench", &args[1..]),
         Some("chaos-bench") => parse_experiment_alias("chaos-bench", "chaos_bench", &args[1..]),
+        Some("greeks-bench") => parse_experiment_alias("greeks-bench", "greeks_bench", &args[1..]),
         // Deprecated flat grammar: `finbench [EXPERIMENT ...] [FLAGS]`.
         _ => parse_run(&args),
     }
@@ -247,6 +249,16 @@ mod tests {
         assert!(parse_args(["chaos-bench", "fig4"]).is_err());
         // Also reachable through the plain run grammar.
         assert_eq!(run(&["run", "chaos_bench"]).ids, ["chaos_bench"]);
+    }
+
+    #[test]
+    fn greeks_bench_subcommand_maps_to_the_greeks_bench_experiment() {
+        let p = run(&["greeks-bench", "--quick"]);
+        assert_eq!(p.ids, ["greeks_bench"]);
+        assert!(p.opts.quick);
+        assert!(parse_args(["greeks-bench", "fig4"]).is_err());
+        // Also reachable through the plain run grammar.
+        assert_eq!(run(&["run", "greeks_bench"]).ids, ["greeks_bench"]);
     }
 
     #[test]

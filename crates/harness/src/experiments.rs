@@ -748,6 +748,279 @@ pub fn chaos_bench(opts: &RunOptions) {
     println!("  pricing on the rung that served it — faults shed or degrade, never corrupt)");
 }
 
+/// The `greeks_bench` experiment: the risk workload plane end to end.
+///
+/// Four panels: (a) native ladder throughput of the `greeks` kernel's
+/// seven rungs (analytic scalar/SIMD, bump-and-reprice, Monte-Carlo);
+/// (b) the accuracy-vs-bump-size error curve of the finite-difference
+/// estimators against the analytic closed form, including the lattice
+/// and PDE repricers at their node-spanning bumps; (c) Monte-Carlo
+/// estimator agreement (pathwise and CRN finite differences) with
+/// standard errors; (d) `GreeksRequest`s driven through the serving
+/// plane, every computed response replayed bit-for-bit against solo
+/// computation on the rung that served it.
+///
+/// `ci.sh` greps the final `bump agreement:` and `total shed:` lines:
+/// the default bump sizes must reproduce the analytic greeks to 1e-5,
+/// and a healthy greeks lane under covered load sheds nothing.
+pub fn greeks_bench(opts: &RunOptions) {
+    use finbench_core::greeks::bump::{
+        binomial_bump_greeks, bs_bump_greeks, cn_put_bump_greeks, BumpSizes,
+    };
+    use finbench_core::greeks::mc::{crn_fd_delta, crn_fd_vega, crn_normals, pathwise_greeks};
+    use finbench_core::greeks::{greeks, Greeks, OptionType};
+    use finbench_core::workload::MarketParams;
+    use finbench_rng::StreamFamily;
+    use finbench_serve::{greeks_ladder, GreeksRequest, GreeksResponse, ServeConfig, Server};
+    use std::collections::BTreeMap as Map;
+    use std::time::Duration;
+
+    println!(
+        "{}",
+        section("greeks-bench — risk workload plane (analytic / bump / Monte-Carlo)")
+    );
+
+    // (a) Native ladder throughput: all three estimator families, driven
+    // through the same engine plane as every other kernel.
+    print_native_for_artifact("greeks_bench", opts);
+
+    const M: MarketParams = MarketParams::PAPER;
+    let max_rel_err = |got: Greeks, want: Greeks| -> f64 {
+        [
+            (got.delta, want.delta),
+            (got.gamma, want.gamma),
+            (got.vega, want.vega),
+            (got.theta, want.theta),
+            (got.rho, want.rho),
+        ]
+        .iter()
+        .map(|(g, w)| (g - w).abs() / w.abs().max(1.0))
+        .fold(0.0, f64::max)
+    };
+
+    // (b) Accuracy vs bump size: the closed form is its own truth, so the
+    // sweep shows the classic truncation/roundoff valley directly.
+    let (s, x, t) = (30.0, 35.0, 1.0);
+    let want = greeks(OptionType::Call, s, x, t, M);
+    println!("  [accuracy] bump-and-reprice vs analytic (call s={s} x={x} t={t})");
+    let h_grid: &[f64] = if opts.quick {
+        &[1e-1, 1e-3, 1e-4, 1e-6, 1e-10]
+    } else {
+        &[1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10]
+    };
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut csv = String::from("h,delta_err,gamma_err,vega_err,theta_err,rho_err,max_err\n");
+    for &h in h_grid {
+        let g = bs_bump_greeks(OptionType::Call, s, x, t, M, BumpSizes::uniform(h));
+        let errs = [
+            (g.delta, want.delta),
+            (g.gamma, want.gamma),
+            (g.vega, want.vega),
+            (g.theta, want.theta),
+            (g.rho, want.rho),
+        ]
+        .map(|(got, w)| (got - w).abs() / w.abs().max(1.0));
+        let max = errs.iter().fold(0.0f64, |a, &e| a.max(e));
+        rows.push(
+            std::iter::once(format!("{h:.0e}"))
+                .chain(errs.iter().map(|e| format!("{e:.1e}")))
+                .chain(std::iter::once(format!("{max:.1e}")))
+                .collect(),
+        );
+        csv.push_str(&format!(
+            "{h:e},{:e},{:e},{:e},{:e},{:e},{max:e}\n",
+            errs[0], errs[1], errs[2], errs[3], errs[4]
+        ));
+    }
+    println!(
+        "{}",
+        table(
+            &["h", "delta", "gamma", "vega", "theta", "rho", "max rel err"],
+            &rows
+        )
+    );
+    maybe_write_csv(&opts.csv_dir, "greeks_bump_sweep.csv", &csv);
+    println!("  (error valley: O(h^2) truncation left of the minimum, O(eps/h) roundoff right)");
+    println!();
+
+    // Lattice/PDE repricers at their node-spanning bumps, against the
+    // analytic greeks of the matching contract.
+    let n_tree = if opts.quick { 64 } else { 512 };
+    let (cn_pts, cn_steps) = if opts.quick { (128, 120) } else { (192, 200) };
+    let lattice_rows: Vec<Vec<String>> = vec![
+        vec![
+            format!("binomial CRR ({n_tree} steps), call"),
+            "lattice".into(),
+            format!(
+                "{:.1e}",
+                max_rel_err(
+                    binomial_bump_greeks(
+                        OptionType::Call,
+                        s,
+                        x,
+                        t,
+                        M,
+                        n_tree,
+                        BumpSizes::lattice()
+                    ),
+                    want
+                )
+            ),
+        ],
+        vec![
+            format!("Crank-Nicolson ({cn_pts}x{cn_steps} grid), put"),
+            "lattice".into(),
+            format!(
+                "{:.1e}",
+                max_rel_err(
+                    cn_put_bump_greeks(s, x, t, M, cn_pts, cn_steps, false, BumpSizes::lattice()),
+                    greeks(OptionType::Put, s, x, t, M)
+                )
+            ),
+        ],
+    ];
+    println!(
+        "{}",
+        table(&["repricer", "bumps", "max rel err"], &lattice_rows)
+    );
+    println!();
+
+    // (c) Monte-Carlo estimators: pathwise (no bumps at all) and CRN
+    // finite differences, each with its standard error against the
+    // analytic truth.
+    let n_paths = if opts.quick { 1 << 14 } else { 1 << 16 };
+    let randoms = crn_normals(&StreamFamily::new(0x6EEC5), 0, n_paths);
+    let pw = pathwise_greeks(OptionType::Call, s, x, t, M, &randoms);
+    let fd_d = crn_fd_delta(OptionType::Call, s, x, t, M, &randoms, 1e-3);
+    let fd_v = crn_fd_vega(OptionType::Call, s, x, t, M, &randoms, 1e-3);
+    println!("  [monte-carlo] {n_paths} CRN paths, call s={s} x={x} t={t}");
+    let mc_rows: Vec<Vec<String>> = [
+        ("pathwise delta", pw.delta, want.delta),
+        ("pathwise vega", pw.vega, want.vega),
+        ("CRN-FD delta", fd_d, want.delta),
+        ("CRN-FD vega", fd_v, want.vega),
+    ]
+    .iter()
+    .map(|(label, est, truth)| {
+        vec![
+            label.to_string(),
+            format!("{:.6}", est.mean()),
+            format!("{truth:.6}"),
+            format!("{:.1e}", est.std_error()),
+            format!("{:.2}", (est.mean() - truth).abs() / est.std_error()),
+        ]
+    })
+    .collect();
+    println!(
+        "{}",
+        table(
+            &["estimator", "mean", "analytic", "std err", "|z|"],
+            &mc_rows
+        )
+    );
+    println!();
+
+    // (d) GreeksRequests through the serving plane: closed-loop clients,
+    // queue sized to cover the offered load, no deadlines — so a healthy
+    // lane sheds nothing. Every computed response is replayed against
+    // solo computation on the rung that served it.
+    let clients = 4usize;
+    let per_client = if opts.quick { 150 } else { 1500 };
+    let cfg = ServeConfig {
+        queue_capacity: (clients * per_client).max(16),
+        max_delay: Duration::from_micros(200),
+        max_batch: 4096,
+        ..ServeConfig::default()
+    };
+    let oracle: Map<String, finbench_serve::GreeksRung> = greeks_ladder(cfg.pricer.market)
+        .into_iter()
+        .map(|r| (r.slug.clone(), r))
+        .collect();
+    let server = Server::start(cfg);
+    let responses: Vec<((f64, f64, f64), GreeksResponse)> = std::thread::scope(|scope| {
+        let server = &server;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut stream =
+                        finbench_serve::OptionStream::new(0x62EE5u64.wrapping_add(c as u64));
+                    let mut out = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let (s, x, t) = stream.next_option();
+                        let id = (c * per_client + i) as u64;
+                        let rx = server.submit_greeks(GreeksRequest::new(id, s, x, t));
+                        match rx.recv() {
+                            Ok(resp) => out.push(((s, x, t), resp)),
+                            Err(_) => break,
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("greeks client thread"))
+            .collect()
+    });
+    server.shutdown();
+
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    let mut mismatches = 0usize;
+    let mut batch_sum = 0usize;
+    let mut lat_us: Vec<f64> = Vec::with_capacity(responses.len());
+    for ((s, x, t), resp) in &responses {
+        match &resp.outcome {
+            Ok(out) => {
+                served += 1;
+                batch_sum += out.batch_len;
+                lat_us.push(out.latency.as_secs_f64() * 1e6);
+                let rung = oracle
+                    .get(&out.rung)
+                    .unwrap_or_else(|| panic!("response served on unknown rung {}", out.rung));
+                let (call, put) = rung.compute_one(*s, *x, *t);
+                if call != out.call || put != out.put {
+                    mismatches += 1;
+                }
+            }
+            Err(_) => shed += 1,
+        }
+    }
+    let mean_batch = batch_sum as f64 / served.max(1) as f64;
+    println!(
+        "  [serve] {served}/{} computed on the greeks lane (mean batch {mean_batch:.1}, \
+         p50 {:.0} us, p99 {:.0} us)",
+        responses.len(),
+        finbench_telemetry::stats::nearest_rank_unsorted(&lat_us, 0.50),
+        finbench_telemetry::stats::nearest_rank_unsorted(&lat_us, 0.99),
+    );
+    println!("  batched vs solo mismatches: {mismatches}");
+    println!();
+
+    // Gate lines (grepped by ci.sh): default-bump agreement across a
+    // spread of random contracts, and zero shed under covered load.
+    let mut stream = finbench_serve::OptionStream::new(0xA6EE);
+    let mut worst = 0.0f64;
+    for _ in 0..64 {
+        let (s, x, t) = stream.next_option();
+        for kind in [OptionType::Call, OptionType::Put] {
+            let got = bs_bump_greeks(kind, s, x, t, M, BumpSizes::default());
+            worst = worst.max(max_rel_err(got, greeks(kind, s, x, t, M)));
+        }
+    }
+    let tol = 1e-5;
+    println!(
+        "  bump agreement: {} (max rel err {worst:.1e} <= {tol:.0e})",
+        if worst <= tol && mismatches == 0 {
+            "OK"
+        } else {
+            "FAIL"
+        }
+    );
+    println!("  total shed: {shed}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -63,6 +63,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "native",
     "serve_bench",
     "chaos_bench",
+    "greeks_bench",
 ];
 
 /// Run one experiment by id; returns false for an unknown id.
@@ -88,6 +89,7 @@ pub fn run_experiment(id: &str, opts: &RunOptions) -> bool {
         "native" => experiments::native_all(opts),
         "serve_bench" => experiments::serve_bench(opts),
         "chaos_bench" => experiments::chaos_bench(opts),
+        "greeks_bench" => experiments::greeks_bench(opts),
         _ => unreachable!("id validated against EXPERIMENTS"),
     }
     true

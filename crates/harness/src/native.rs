@@ -7,7 +7,7 @@
 //! (SOA beats AOS, tiling beats plain SIMD, fused beats streamed) is the
 //! reproducible part and is what the integration tests assert.
 //!
-//! There are no per-kernel driver functions here: the six kernels
+//! There are no per-kernel driver functions here: the seven kernels
 //! implement [`finbench_engine::Kernel`] in `finbench_core::engine`, and
 //! one shared [`Engine`] drives every ladder through the same generic
 //! loop — spans (`native.<kernel>.<slug>` with label, workload size,
@@ -18,7 +18,7 @@ use finbench_core::engine::registry;
 use finbench_engine::{Engine, LadderRates};
 use std::sync::OnceLock;
 
-/// The process-wide engine: the six-kernel registry plus a planner for
+/// The process-wide engine: the seven-kernel registry plus a planner for
 /// the build host (honoring `FINBENCH_PLAN` overrides).
 pub fn engine() -> &'static Engine {
     static ENGINE: OnceLock<Engine> = OnceLock::new();
@@ -45,7 +45,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_exposes_all_six_kernels() {
+    fn registry_exposes_all_seven_kernels() {
         assert_eq!(
             kernel_names(),
             [
@@ -54,7 +54,8 @@ mod tests {
                 "brownian_bridge",
                 "monte_carlo",
                 "crank_nicolson",
-                "rng"
+                "rng",
+                "greeks"
             ]
         );
     }

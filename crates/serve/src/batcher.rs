@@ -31,14 +31,30 @@ pub struct BatchPolicy {
 pub fn target_batch(predicted_rate: f64, max_delay: Duration, width: usize, cap: usize) -> usize {
     let width = width.max(1);
     let cap = cap.max(width);
-    let ideal = (predicted_rate * max_delay.as_secs_f64()).ceil();
-    let ideal = if ideal.is_finite() && ideal >= 1.0 {
-        ideal as usize
-    } else {
+    let ideal = predicted_rate * max_delay.as_secs_f64();
+    let ideal = if ideal.is_nan() {
+        // A broken prediction (0/0, uninitialized model): the smallest
+        // legal batch keeps latency bounded while the planner recovers.
         width
+    } else if ideal >= cap as f64 {
+        // Covers +inf: an absurdly fast prediction saturates at the cap
+        // instead of falling through a finiteness check to `width`.
+        cap
+    } else if ideal < 1.0 {
+        width
+    } else {
+        ideal.ceil() as usize
     };
     let clamped = ideal.clamp(width, cap);
-    clamped.div_ceil(width) * width
+    let rounded = clamped.div_ceil(width) * width;
+    // Rounding up to a lane multiple must never exceed the cap (the
+    // queue could not hold the batch); round down to the largest
+    // multiple that fits instead.
+    if rounded <= cap {
+        rounded
+    } else {
+        (cap / width) * width
+    }
 }
 
 /// One kernel's pending micro-batch. Generic over the queued item so
@@ -166,5 +182,33 @@ mod tests {
         // Degenerate inputs stay sane.
         assert_eq!(target_batch(f64::NAN, d, 4, 64), 4);
         assert_eq!(target_batch(0.0, d, 1, 1), 1);
+    }
+
+    #[test]
+    fn target_batch_survives_degenerate_predictions() {
+        let d = Duration::from_millis(1);
+        // An infinite prediction saturates at the cap instead of
+        // collapsing to a single lane's width.
+        assert_eq!(target_batch(f64::INFINITY, d, 8, 4096), 4096);
+        // Negative or -inf predictions clamp up to one full lane.
+        assert_eq!(target_batch(f64::NEG_INFINITY, d, 8, 4096), 8);
+        assert_eq!(target_batch(-5.0e6, d, 8, 4096), 8);
+        // A zero-length delay window still yields a non-empty batch.
+        assert_eq!(target_batch(1.0e6, Duration::ZERO, 8, 4096), 8);
+        assert!(target_batch(f64::NAN, d, 8, 4096) >= 1);
+    }
+
+    #[test]
+    fn target_batch_never_exceeds_the_cap() {
+        let d = Duration::from_millis(1);
+        // cap = 10 is not a lane multiple: rounding 10 up to 16 would
+        // overflow the queue, so the target rounds down to 8 instead.
+        assert_eq!(target_batch(9.0e3, d, 8, 10), 8);
+        assert_eq!(target_batch(1.0e12, d, 8, 10), 8);
+        for rate in [0.0, 1.0, 1.0e3, 1.0e6, 1.0e9, f64::INFINITY] {
+            let t = target_batch(rate, d, 8, 100);
+            assert!((1..=100).contains(&t), "rate={rate}: target {t}");
+            assert_eq!(t % 8, 0, "rate={rate}: target {t} not a lane multiple");
+        }
     }
 }

@@ -1,0 +1,140 @@
+//! The greeks serving ladder: analytic full-sweep rungs ready to answer
+//! [`GreeksRequest`](crate::request::GreeksRequest) micro-batches.
+//!
+//! Only the analytic closed-form rungs serve requests. The engine's
+//! greeks ladder also carries bump-and-reprice and Monte-Carlo rungs, but
+//! those are portfolio-risk *batch* estimators — hundreds of repricings
+//! or path sweeps per option — with declared tolerances, not bit
+//! contracts; a latency-bounded request plane wants the exact closed
+//! form. The analytic sweep shares one lane block across every SIMD
+//! width (width-1 tail included), so a request's greeks are bit-identical
+//! whether it is computed alone or inside any micro-batch — the same
+//! padding contract [`pricer`](crate::pricer) enforces for prices, pinned
+//! down by `tests/batching_equivalence.rs`.
+
+use crate::pricer::padded_batch;
+use finbench_core::greeks::{greeks_batch_simd, Greeks, GreeksBatchSoa};
+use finbench_core::{MarketParams, OptionBatchSoa};
+
+type ComputeFn = Box<dyn Fn(&OptionBatchSoa, &mut GreeksBatchSoa) + Send + Sync>;
+
+/// One batch-safe greeks rung: a full-sweep closed-form evaluator at a
+/// fixed SIMD width.
+pub struct GreeksRung {
+    /// Ladder slug, reported on every
+    /// [`GreeksOut`](crate::request::GreeksOut).
+    pub slug: String,
+    /// SIMD width: batches are padded to a multiple of this.
+    pub width: usize,
+    compute: ComputeFn,
+}
+
+impl GreeksRung {
+    /// Compute all five greeks for both sides of every option in `batch`.
+    /// The caller guarantees `batch.len()` is a multiple of
+    /// [`width`](Self::width) (use [`padded_batch`]).
+    pub fn compute(&self, batch: &OptionBatchSoa, out: &mut GreeksBatchSoa) {
+        debug_assert_eq!(batch.len() % self.width, 0);
+        (self.compute)(batch, out);
+    }
+
+    /// Compute one option alone — the oracle the batching property tests
+    /// compare scattered batch results against. Pads a singleton batch to
+    /// the rung's width so the option still rides a vector lane.
+    pub fn compute_one(&self, s: f64, x: f64, t: f64) -> (Greeks, Greeks) {
+        let batch = padded_batch(&[(s, x, t)], self.width);
+        let mut out = GreeksBatchSoa::zeroed(batch.len());
+        self.compute(&batch, &mut out);
+        (out.call.at(0), out.put.at(0))
+    }
+}
+
+fn rung<const W: usize>(slug: &str, market: MarketParams) -> GreeksRung {
+    GreeksRung {
+        slug: slug.to_string(),
+        width: W,
+        compute: Box::new(move |b, out| greeks_batch_simd::<W>(b, market, out)),
+    }
+}
+
+/// The greeks degradation ladder, most advanced first: W=8 → W=4 →
+/// scalar. Every level computes bit-identically (shared lane block), so
+/// lane degradation trades throughput, never answers.
+pub fn greeks_ladder(market: MarketParams) -> Vec<GreeksRung> {
+    vec![
+        rung::<8>("intermediate_simd_soa_greeks_w_8", market),
+        rung::<4>("intermediate_simd_soa_greeks_w_4", market),
+        rung::<1>("basic_scalar_greeks_sweep", market),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use finbench_core::greeks::{greeks, OptionType};
+
+    const M: MarketParams = MarketParams::PAPER;
+
+    #[test]
+    fn ladder_descends_to_a_scalar_rung() {
+        let ladder = greeks_ladder(M);
+        assert_eq!(ladder.len(), 3);
+        assert_eq!(ladder[0].width, 8);
+        assert_eq!(ladder.last().unwrap().width, 1);
+    }
+
+    #[test]
+    fn every_level_is_bit_identical_to_every_other() {
+        let (s, x, t) = (30.0, 35.0, 2.0);
+        let ladder = greeks_ladder(M);
+        let (c0, p0) = ladder[0].compute_one(s, x, t);
+        for r in &ladder[1..] {
+            let (c, p) = r.compute_one(s, x, t);
+            assert_eq!(c.delta.to_bits(), c0.delta.to_bits(), "{}", r.slug);
+            assert_eq!(c.rho.to_bits(), c0.rho.to_bits(), "{}", r.slug);
+            assert_eq!(p.theta.to_bits(), p0.theta.to_bits(), "{}", r.slug);
+            assert_eq!(p.vega.to_bits(), p0.vega.to_bits(), "{}", r.slug);
+        }
+    }
+
+    #[test]
+    fn served_greeks_match_the_scalar_closed_form() {
+        let (s, x, t) = (25.0, 20.0, 0.5);
+        let want_c = greeks(OptionType::Call, s, x, t, M);
+        let want_p = greeks(OptionType::Put, s, x, t, M);
+        for r in greeks_ladder(M) {
+            let (c, p) = r.compute_one(s, x, t);
+            for (got, want) in [
+                (c.delta, want_c.delta),
+                (c.gamma, want_c.gamma),
+                (c.vega, want_c.vega),
+                (c.theta, want_c.theta),
+                (c.rho, want_c.rho),
+                (p.delta, want_p.delta),
+                (p.theta, want_p.theta),
+                (p.rho, want_p.rho),
+            ] {
+                assert!(
+                    (got - want).abs() <= 1e-10 * want.abs().max(1.0),
+                    "{}: {got} vs {want}",
+                    r.slug
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn padding_never_leaks_into_real_lanes() {
+        let ladder = greeks_ladder(M);
+        let rung = &ladder[0];
+        let opts = [(30.0, 35.0, 1.0), (25.0, 20.0, 0.5), (10.0, 90.0, 7.5)];
+        let batch = padded_batch(&opts, rung.width);
+        let mut out = GreeksBatchSoa::zeroed(batch.len());
+        rung.compute(&batch, &mut out);
+        for (i, &(s, x, t)) in opts.iter().enumerate() {
+            let (c, p) = rung.compute_one(s, x, t);
+            assert_eq!(out.call.at(i).delta.to_bits(), c.delta.to_bits(), "{i}");
+            assert_eq!(out.put.at(i).rho.to_bits(), p.rho.to_bits(), "{i}");
+        }
+    }
+}

@@ -24,8 +24,14 @@
 //!    telemetry (queue-depth gauge, occupancy + latency histograms, shed
 //!    counters).
 //!
+//! The same plane also serves risk: [`GreeksRequest`]s ride the shared
+//! admission queue into a dedicated [`greeks`] lane that computes all
+//! five sensitivities for both contract sides on the analytic SIMD sweep
+//! (W=8 → W=4 → scalar degradation ladder, every level bit-identical).
+//!
 //! [`loadgen`] adds closed- and open-loop synthetic load; the harness
-//! exposes it as the `serve_bench` experiment (`finbench serve-bench`).
+//! exposes it as the `serve_bench` experiment (`finbench serve-bench`),
+//! with the greeks lane measured by `greeks_bench`.
 //!
 //! ## Fault tolerance
 //!
@@ -44,6 +50,7 @@
 
 pub mod batcher;
 pub mod breaker;
+pub mod greeks;
 pub mod loadgen;
 pub mod pricer;
 pub mod queue;
@@ -52,8 +59,11 @@ pub mod server;
 
 pub use batcher::{target_batch, BatchPolicy, MicroBatcher};
 pub use breaker::{Breaker, BreakerPolicy, BreakerState, FailureAction, Gate};
+pub use greeks::{greeks_ladder, GreeksRung};
 pub use loadgen::{run_load, LoadMode, LoadReport, OptionStream};
 pub use pricer::{padded_batch, servable_ladder, PricerConfig, ServingRung};
 pub use queue::AdmissionQueue;
-pub use request::{PriceRequest, PriceResponse, Priced, Rejected};
+pub use request::{
+    GreeksOut, GreeksRequest, GreeksResponse, PriceRequest, PriceResponse, Priced, Rejected,
+};
 pub use server::{KernelSnapshot, ServeConfig, ServeSnapshot, Server};

@@ -15,6 +15,7 @@
 
 use crate::request::{PriceRequest, PriceResponse, Rejected};
 use crate::server::Server;
+use finbench_telemetry as telemetry;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -225,15 +226,26 @@ fn open_loop(
     drop(tx);
     // Every submitted request gets exactly one response (priced or
     // rejected), so the collector terminates once the server drains.
-    collector
-        .join()
-        .expect("collector thread")
-        .into_iter()
-        .map(|(resp, arrived)| {
-            let sent = sent_at[resp.id as usize];
-            (resp, arrived.duration_since(sent))
-        })
-        .collect()
+    match_sent(&sent_at, collector.join().expect("collector thread"))
+}
+
+/// Pair each collected response with its send timestamp by id. A
+/// response whose id falls outside the dense `sent_at` range (a replayed
+/// id after a lane restart, or a foreign stream sharing the channel) is
+/// dropped from the report and counted on `loadgen.unmatched_response`
+/// instead of panicking or misattributing another request's latency.
+fn match_sent(
+    sent_at: &[Instant],
+    collected: Vec<(PriceResponse, Instant)>,
+) -> Vec<(PriceResponse, Duration)> {
+    let mut matched = Vec::with_capacity(collected.len());
+    for (resp, arrived) in collected {
+        match sent_at.get(resp.id as usize) {
+            Some(&sent) => matched.push((resp, arrived.saturating_duration_since(sent))),
+            None => telemetry::counter_add("loadgen.unmatched_response", 1),
+        }
+    }
+    matched
 }
 
 fn summarize(
@@ -269,12 +281,12 @@ fn summarize(
     // Total order even in release builds where the debug_assert above is
     // compiled out: NaN sorts last instead of panicking the summary.
     lat_us.sort_by(f64::total_cmp);
+    // Shared nearest-rank convention (empty → 0.0 sentinel for reports).
     let pct = |q: f64| -> f64 {
         if lat_us.is_empty() {
             0.0
         } else {
-            let idx = ((lat_us.len() as f64 - 1.0) * q).round() as usize;
-            lat_us[idx.min(lat_us.len() - 1)]
+            telemetry::nearest_rank(&lat_us, q)
         }
     };
     LoadReport {
@@ -349,6 +361,28 @@ mod tests {
         assert!(report.throughput > 0.0);
         assert!(report.p50_us > 0.0 && report.p50_us <= report.p99_us);
         assert_eq!(server.shutdown().total_shed(), 0);
+    }
+
+    #[test]
+    fn out_of_range_response_ids_are_dropped_and_counted() {
+        let resp = |id: u64| PriceResponse {
+            id,
+            outcome: Err(Rejected::ShuttingDown),
+        };
+        let before = telemetry::counter_value("loadgen.unmatched_response");
+        let now = Instant::now();
+        let sent_at = vec![now, now];
+        // id 7 is outside the dense [0, 2) range the injector assigned —
+        // pre-fix this indexed out of bounds and panicked the report.
+        let collected = vec![(resp(0), now), (resp(7), now), (resp(1), now)];
+        let matched = match_sent(&sent_at, collected);
+        assert_eq!(matched.len(), 2);
+        assert_eq!(matched[0].0.id, 0);
+        assert_eq!(matched[1].0.id, 1);
+        assert_eq!(
+            telemetry::counter_value("loadgen.unmatched_response"),
+            before + 1
+        );
     }
 
     #[test]

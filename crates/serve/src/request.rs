@@ -3,11 +3,36 @@
 //! A [`PriceRequest`] names a registry kernel and carries one option's
 //! scalar parameters plus an optional deadline; the server answers every
 //! request with exactly one [`PriceResponse`] — priced or rejected with a
-//! typed [`Rejected`] reason. There are no silent drops anywhere on the
-//! path: queue overflow, blown deadlines, and bad kernel names all come
-//! back as responses.
+//! typed [`Rejected`] reason. A [`GreeksRequest`] rides the same
+//! admission queue and micro-batcher but lands on the greeks lane, which
+//! answers with both contract sides' full sensitivity vectors
+//! ([`GreeksResponse`]). There are no silent drops anywhere on the path:
+//! queue overflow, blown deadlines, and bad kernel names all come back as
+//! responses.
 
+use finbench_core::greeks::Greeks;
 use std::time::{Duration, Instant};
+
+/// Admission-side domain validation shared by every request type: spot,
+/// strike, and expiry must be finite and strictly positive before they
+/// are allowed anywhere near a SIMD kernel (NaN/Inf propagate silently
+/// through vector math, and the closed forms take `ln(s/x)` and
+/// `sqrt(t)`). Returns the typed rejection for the first violation.
+fn validate_params(s: f64, x: f64, t: f64) -> Result<(), Rejected> {
+    for (name, v) in [("spot", s), ("strike", x), ("expiry", t)] {
+        if !v.is_finite() {
+            return Err(Rejected::InvalidInput {
+                reason: format!("{name} is not finite ({v})"),
+            });
+        }
+        if v <= 0.0 {
+            return Err(Rejected::InvalidInput {
+                reason: format!("{name} must be positive (got {v})"),
+            });
+        }
+    }
+    Ok(())
+}
 
 /// One pricing request: a single option against a named kernel.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,25 +72,50 @@ impl PriceRequest {
         self
     }
 
-    /// Admission-side domain validation: every numeric parameter must be
-    /// finite and strictly positive before it is allowed anywhere near a
-    /// SIMD kernel (NaN/Inf propagate silently through vector math, and
-    /// the closed forms take `ln(s/x)` and `sqrt(t)`). Returns the typed
-    /// rejection for the first violation.
+    /// Admission-side domain validation (see [`validate_params`]).
     pub fn validate(&self) -> Result<(), Rejected> {
-        for (name, v) in [("spot", self.s), ("strike", self.x), ("expiry", self.t)] {
-            if !v.is_finite() {
-                return Err(Rejected::InvalidInput {
-                    reason: format!("{name} is not finite ({v})"),
-                });
-            }
-            if v <= 0.0 {
-                return Err(Rejected::InvalidInput {
-                    reason: format!("{name} must be positive (got {v})"),
-                });
-            }
+        validate_params(self.s, self.x, self.t)
+    }
+}
+
+/// One risk request: all five greeks for both sides of a single option,
+/// computed on the analytic greeks lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreeksRequest {
+    /// Caller-chosen correlation id, echoed back on the response.
+    pub id: u64,
+    /// Spot price of the underlying.
+    pub s: f64,
+    /// Strike price.
+    pub x: f64,
+    /// Time to expiry in years.
+    pub t: f64,
+    /// Absolute latency SLO, enforced exactly like
+    /// [`PriceRequest::deadline`].
+    pub deadline: Option<Instant>,
+}
+
+impl GreeksRequest {
+    /// A request with no deadline.
+    pub fn new(id: u64, s: f64, x: f64, t: f64) -> Self {
+        Self {
+            id,
+            s,
+            x,
+            t,
+            deadline: None,
         }
-        Ok(())
+    }
+
+    /// Attach a deadline `slo` from now.
+    pub fn with_slo(mut self, slo: Duration) -> Self {
+        self.deadline = Some(Instant::now() + slo);
+        self
+    }
+
+    /// Admission-side domain validation (see [`validate_params`]).
+    pub fn validate(&self) -> Result<(), Rejected> {
+        validate_params(self.s, self.x, self.t)
     }
 }
 
@@ -166,6 +216,38 @@ impl PriceResponse {
     }
 }
 
+/// A successfully computed [`GreeksRequest`]: both contract sides' full
+/// sensitivity vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreeksOut {
+    /// Call-side greeks.
+    pub call: Greeks,
+    /// Put-side greeks.
+    pub put: Greeks,
+    /// Slug of the greeks rung that computed the batch.
+    pub rung: String,
+    /// How many requests rode in the same micro-batch (before padding).
+    pub batch_len: usize,
+    /// Submit-to-scatter-back latency.
+    pub latency: Duration,
+}
+
+/// The answer to one [`GreeksRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreeksResponse {
+    /// The request's id, echoed back.
+    pub id: u64,
+    /// Computed, or rejected with a typed reason.
+    pub outcome: Result<GreeksOut, Rejected>,
+}
+
+impl GreeksResponse {
+    /// True when the request was computed.
+    pub fn is_computed(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +298,25 @@ mod tests {
         assert!(PriceRequest::new(1, "black_scholes", 5.0, 1.0, 0.25)
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn greeks_requests_validate_like_price_requests() {
+        assert!(GreeksRequest::new(1, 30.0, 35.0, 1.0).validate().is_ok());
+        for (s, x, t, needle) in [
+            (f64::NAN, 35.0, 1.0, "spot"),
+            (30.0, -1.0, 1.0, "strike"),
+            (30.0, 35.0, 0.0, "expiry"),
+        ] {
+            match GreeksRequest::new(1, s, x, t).validate() {
+                Err(Rejected::InvalidInput { reason }) => {
+                    assert!(reason.contains(needle), "{reason} should name {needle}");
+                }
+                other => panic!("expected InvalidInput, got {other:?}"),
+            }
+        }
+        let r = GreeksRequest::new(3, 30.0, 35.0, 1.0).with_slo(Duration::from_secs(3600));
+        assert!(r.deadline.unwrap() > Instant::now());
     }
 
     #[test]

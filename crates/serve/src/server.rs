@@ -46,10 +46,14 @@
 
 use crate::batcher::{target_batch, BatchPolicy, MicroBatcher};
 use crate::breaker::{Breaker, BreakerPolicy, BreakerState, FailureAction, Gate};
+use crate::greeks::{greeks_ladder, GreeksRung};
 use crate::pricer::{self, padded_batch, PricerConfig, ServingRung};
 use crate::queue::AdmissionQueue;
-use crate::request::{PriceRequest, PriceResponse, Priced, Rejected};
+use crate::request::{
+    GreeksOut, GreeksRequest, GreeksResponse, PriceRequest, PriceResponse, Priced, Rejected,
+};
 use finbench_core::engine::registry;
+use finbench_core::greeks::GreeksBatchSoa;
 use finbench_engine::Engine;
 use finbench_faults::{self as faults, FaultKind};
 use finbench_telemetry::{self as telemetry, Histogram};
@@ -94,6 +98,23 @@ struct Envelope {
     tx: Sender<PriceResponse>,
 }
 
+struct GreeksEnvelope {
+    req: GreeksRequest,
+    submitted: Instant,
+    tx: Sender<GreeksResponse>,
+}
+
+/// One admitted unit of work: both request planes ride the same bounded
+/// queue, so backpressure is shared and admission order is global.
+enum Work {
+    Price(Envelope),
+    Greeks(GreeksEnvelope),
+}
+
+/// Stats/telemetry key for the greeks lane (kernel-less, so it gets its
+/// own reserved name alongside the registry kernels).
+const GREEKS_LANE: &str = "greeks";
+
 /// One kernel's serving state inside the dispatcher: its degradation
 /// ladder (index 0 = planned serving rung, last = scalar reference),
 /// the level it currently serves at, and its supervising breaker.
@@ -107,6 +128,26 @@ struct Lane {
 
 impl Lane {
     fn active_rung(&self) -> &ServingRung {
+        &self.ladder[self.level]
+    }
+
+    fn at_bottom(&self) -> bool {
+        self.level + 1 >= self.ladder.len()
+    }
+}
+
+/// The greeks lane: same supervision shape as [`Lane`] (degradation
+/// ladder + breaker + micro-batcher) over the analytic greeks rungs.
+struct GreeksLane {
+    ladder: Vec<GreeksRung>,
+    level: usize,
+    breaker: Breaker,
+    batcher: MicroBatcher<GreeksEnvelope>,
+    target: usize,
+}
+
+impl GreeksLane {
+    fn active_rung(&self) -> &GreeksRung {
         &self.ladder[self.level]
     }
 
@@ -225,7 +266,7 @@ impl ServeSnapshot {
 /// The batched pricing server. Dropping it shuts the dispatcher down
 /// (pending work is still flushed and answered).
 pub struct Server {
-    queue: Arc<AdmissionQueue<Envelope>>,
+    queue: Arc<AdmissionQueue<Work>>,
     stats: Arc<Mutex<StatsInner>>,
     worker: Option<JoinHandle<()>>,
 }
@@ -237,7 +278,7 @@ fn lock_stats(stats: &Mutex<StatsInner>) -> MutexGuard<'_, StatsInner> {
 }
 
 impl Server {
-    /// Start a server over the workspace's six-kernel registry, planning
+    /// Start a server over the workspace's kernel registry, planning
     /// rungs for the build host.
     pub fn start(config: ServeConfig) -> Self {
         let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
@@ -299,7 +340,7 @@ impl Server {
             submitted: Instant::now(),
             tx: tx.clone(),
         };
-        if let Err(env) = self.queue.try_push(env) {
+        if let Err(Work::Price(env)) = self.queue.try_push(Work::Price(env)) {
             let reason = if self.queue.is_closed() {
                 Rejected::ShuttingDown
             } else {
@@ -310,6 +351,67 @@ impl Server {
                 }
             };
             let _ = env.tx.send(PriceResponse {
+                id,
+                outcome: Err(reason),
+            });
+        }
+    }
+
+    /// Submit one greeks request; the response arrives on the returned
+    /// channel.
+    pub fn submit_greeks(&self, req: GreeksRequest) -> Receiver<GreeksResponse> {
+        let (tx, rx) = mpsc::channel();
+        self.submit_greeks_with(req, &tx);
+        rx
+    }
+
+    /// Submit one greeks request, delivering the response on `tx`. Same
+    /// synchronous backpressure and validation contract as
+    /// [`submit_with`](Self::submit_with): the shared admission queue
+    /// answers `Rejected::QueueFull`, and domain-invalid parameters
+    /// answer `Rejected::InvalidInput` on the caller's thread.
+    pub fn submit_greeks_with(&self, req: GreeksRequest, tx: &Sender<GreeksResponse>) {
+        let id = req.id;
+        let mut req = req;
+        // Fault injection mirrors the pricing plane: corrupt inputs
+        // *before* validation so chaos runs exercise the admission
+        // filter, never the greeks kernels.
+        if faults::armed() {
+            for kind in faults::fire("admit.greeks") {
+                if let FaultKind::CorruptInput(c) = kind {
+                    match c {
+                        finbench_faults::Corruption::NaN => req.s = c.apply(req.s),
+                        finbench_faults::Corruption::Inf => req.x = c.apply(req.x),
+                        finbench_faults::Corruption::Negative => req.t = c.apply(req.t),
+                    }
+                }
+            }
+        }
+        if let Err(reason) = req.validate() {
+            lock_stats(&self.stats).invalid_input += 1;
+            telemetry::counter_add("greeks.invalid_input", 1);
+            let _ = tx.send(GreeksResponse {
+                id,
+                outcome: Err(reason),
+            });
+            return;
+        }
+        let env = GreeksEnvelope {
+            req,
+            submitted: Instant::now(),
+            tx: tx.clone(),
+        };
+        if let Err(Work::Greeks(env)) = self.queue.try_push(Work::Greeks(env)) {
+            let reason = if self.queue.is_closed() {
+                Rejected::ShuttingDown
+            } else {
+                lock_stats(&self.stats).shed_queue_full += 1;
+                telemetry::counter_add("greeks.shed.queue_full", 1);
+                Rejected::QueueFull {
+                    capacity: self.queue.capacity(),
+                }
+            };
+            let _ = env.tx.send(GreeksResponse {
                 id,
                 outcome: Err(reason),
             });
@@ -378,13 +480,10 @@ fn snapshot(st: &StatsInner) -> ServeSnapshot {
     }
 }
 
-fn dispatch_loop(
-    queue: &AdmissionQueue<Envelope>,
-    stats: &Mutex<StatsInner>,
-    config: &ServeConfig,
-) {
+fn dispatch_loop(queue: &AdmissionQueue<Work>, stats: &Mutex<StatsInner>, config: &ServeConfig) {
     let engine = Engine::new(registry());
     let mut lanes: BTreeMap<String, Lane> = BTreeMap::new();
+    let mut greeks: Option<GreeksLane> = None;
     loop {
         // Fault injection: a stalled (or slowed) dispatcher — the queue
         // backs up and admission-side shedding takes over.
@@ -404,14 +503,20 @@ fn dispatch_loop(
         let wait = lanes
             .values()
             .filter_map(|l| l.batcher.next_deadline())
+            .chain(greeks.iter().filter_map(|l| l.batcher.next_deadline()))
             .min()
             .map(|d| d.saturating_duration_since(now))
             .unwrap_or(config.max_delay)
             .min(config.max_delay);
         match queue.pop_timeout(wait.max(Duration::from_micros(50))) {
-            Some(env) => {
+            Some(work) => {
                 telemetry::gauge_set("serve.queue_depth", queue.len() as f64);
-                admit(env, &engine, &mut lanes, stats, config);
+                match work {
+                    Work::Price(env) => admit(env, &engine, &mut lanes, stats, config),
+                    Work::Greeks(env) => {
+                        admit_greeks(env, &engine, &mut greeks, stats, config);
+                    }
+                }
             }
             None => {
                 if queue.is_closed() && queue.is_empty() {
@@ -427,12 +532,24 @@ fn dispatch_loop(
                 execute(kernel, lane, batch, stats);
             }
         }
+        if let Some(lane) = greeks.as_mut() {
+            if lane.batcher.due(now) {
+                let batch = lane.batcher.flush();
+                execute_greeks(lane, batch, stats);
+            }
+        }
     }
     // Drain: answer everything still pending in the batchers.
     for (kernel, lane) in lanes.iter_mut() {
         let batch = lane.batcher.flush();
         if !batch.is_empty() {
             execute(kernel, lane, batch, stats);
+        }
+    }
+    if let Some(lane) = greeks.as_mut() {
+        let batch = lane.batcher.flush();
+        if !batch.is_empty() {
+            execute_greeks(lane, batch, stats);
         }
     }
 }
@@ -476,7 +593,9 @@ fn admit(
 fn make_lane(engine: &Engine, kernel: &str, config: &ServeConfig) -> Result<Lane, Rejected> {
     let ladder = pricer::servable_ladder(engine, kernel, &config.pricer)?;
     // Size the batch to what the planned rung can chew through in one
-    // delay window; the planner's predicted rate is per-item.
+    // delay window; the planner's predicted rate is per-item. A batch can
+    // never hold more than the queue can admit, so the cap is the tighter
+    // of `max_batch` and the queue capacity.
     let predicted = engine
         .plan(kernel)
         .map(|p| p.predicted_rate)
@@ -485,7 +604,7 @@ fn make_lane(engine: &Engine, kernel: &str, config: &ServeConfig) -> Result<Lane
         predicted,
         config.max_delay,
         ladder[0].width,
-        config.max_batch,
+        config.max_batch.min(config.queue_capacity),
     );
     Ok(Lane {
         batcher: MicroBatcher::new(BatchPolicy {
@@ -497,6 +616,50 @@ fn make_lane(engine: &Engine, kernel: &str, config: &ServeConfig) -> Result<Lane
         breaker: Breaker::new(config.breaker),
         target,
     })
+}
+
+/// Route one admitted greeks envelope into the greeks lane, building the
+/// lane on first use.
+fn admit_greeks(
+    env: GreeksEnvelope,
+    engine: &Engine,
+    greeks: &mut Option<GreeksLane>,
+    stats: &Mutex<StatsInner>,
+    config: &ServeConfig,
+) {
+    let lane = greeks.get_or_insert_with(|| {
+        // The analytic sweep shares the pricing kernel's cost shape, so
+        // the greeks kernel's planned rate sizes the batch trigger.
+        let predicted = engine
+            .plan(GREEKS_LANE)
+            .map(|p| p.predicted_rate)
+            .unwrap_or(f64::NAN);
+        let ladder = greeks_ladder(config.pricer.market);
+        let target = target_batch(
+            predicted,
+            config.max_delay,
+            ladder[0].width,
+            config.max_batch.min(config.queue_capacity),
+        );
+        let lane = GreeksLane {
+            batcher: MicroBatcher::new(BatchPolicy {
+                max_batch: target,
+                max_delay: config.max_delay,
+            }),
+            ladder,
+            level: 0,
+            breaker: Breaker::new(config.breaker),
+            target,
+        };
+        let mut st = lock_stats(stats);
+        let ks = st.kernels.entry(GREEKS_LANE.to_string()).or_default();
+        ks.rung = lane.active_rung().slug.clone();
+        ks.target_batch = lane.target;
+        lane
+    });
+    if let Some(batch) = lane.batcher.offer(env, Instant::now()) {
+        execute_greeks(lane, batch, stats);
+    }
 }
 
 /// Answer every envelope in `live` with `Rejected::Internal`.
@@ -661,6 +824,163 @@ fn execute(kernel: &str, lane: &mut Lane, batch: Vec<Envelope>, stats: &Mutex<St
     publish_lane_health(kernel, lane, stats);
 }
 
+/// Answer every greeks envelope in `live` with `Rejected::Internal`.
+fn reject_internal_greeks(live: Vec<GreeksEnvelope>, reason: &str, stats: &Mutex<StatsInner>) {
+    let n = live.len() as u64;
+    lock_stats(stats).internal += n;
+    telemetry::counter_add("greeks.internal", n);
+    for env in live {
+        let _ = env.tx.send(GreeksResponse {
+            id: env.req.id,
+            outcome: Err(Rejected::Internal {
+                reason: reason.to_string(),
+            }),
+        });
+    }
+}
+
+/// Compute one flushed greeks batch and scatter results back — the same
+/// shed/breaker/degrade/scatter contract as [`execute`], on the greeks
+/// ladder.
+fn execute_greeks(lane: &mut GreeksLane, batch: Vec<GreeksEnvelope>, stats: &Mutex<StatsInner>) {
+    let now = Instant::now();
+    let mut live: Vec<GreeksEnvelope> = Vec::with_capacity(batch.len());
+    for env in batch {
+        match env.req.deadline {
+            Some(d) if now > d => {
+                let late_by = now.duration_since(d);
+                lock_stats(stats).shed_deadline += 1;
+                telemetry::counter_add("greeks.shed.deadline", 1);
+                let _ = env.tx.send(GreeksResponse {
+                    id: env.req.id,
+                    outcome: Err(Rejected::DeadlineExceeded { late_by }),
+                });
+            }
+            _ => live.push(env),
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    match lane.breaker.allow(now) {
+        Err(remaining) => {
+            reject_internal_greeks(
+                live,
+                &format!("circuit open for greeks (retry in {remaining:?})"),
+                stats,
+            );
+            publish_greeks_health(lane, stats);
+            return;
+        }
+        Ok(Gate::Restarted) => {
+            telemetry::counter_add("greeks.lane_restarts", 1);
+            lock_stats(stats)
+                .kernels
+                .entry(GREEKS_LANE.to_string())
+                .or_default()
+                .restarts += 1;
+        }
+        Ok(Gate::Proceed | Gate::Probe) => {}
+    }
+
+    let level = lane.level;
+    let slug = lane.ladder[level].slug.clone();
+    let width = lane.ladder[level].width;
+
+    let _g = telemetry::span("serve.batch.greeks");
+    telemetry::set_attr("rung", slug.as_str());
+    telemetry::set_attr("occupancy", live.len());
+    telemetry::set_attr("target", lane.target);
+    telemetry::set_attr("degradation_level", level);
+
+    let opts: Vec<(f64, f64, f64)> = live.iter().map(|e| (e.req.s, e.req.x, e.req.t)).collect();
+    let soa = padded_batch(&opts, width);
+    telemetry::set_attr("padded", soa.len());
+    let mut out = GreeksBatchSoa::zeroed(soa.len());
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if faults::armed() {
+            faults::fire_compute("batch.greeks");
+        }
+        lane.ladder[level].compute(&soa, &mut out);
+    }));
+    let done = Instant::now();
+
+    match outcome {
+        Ok(()) => {
+            if lane.breaker.on_success() && lane.level > 0 {
+                lane.level -= 1;
+                telemetry::counter_add("greeks.promotions", 1);
+            }
+            let degraded = level > 0;
+            if degraded {
+                telemetry::counter_add("greeks.degraded_batches", 1);
+            }
+            let mut st = lock_stats(stats);
+            let ks = st.kernels.entry(GREEKS_LANE.to_string()).or_default();
+            ks.batches += 1;
+            if degraded {
+                ks.degraded_batches += 1;
+            }
+            ks.occupancy.record(live.len() as f64);
+            for (i, env) in live.iter().enumerate() {
+                let latency = done.duration_since(env.submitted);
+                ks.served += 1;
+                ks.latency_us.record(latency.as_secs_f64() * 1e6);
+                let _ = env.tx.send(GreeksResponse {
+                    id: env.req.id,
+                    outcome: Ok(GreeksOut {
+                        call: out.call.at(i),
+                        put: out.put.at(i),
+                        rung: slug.clone(),
+                        batch_len: live.len(),
+                        latency,
+                    }),
+                });
+            }
+            drop(st);
+            telemetry::counter_add("greeks.served", live.len() as u64);
+        }
+        Err(payload) => {
+            let reason = panic_reason(payload.as_ref());
+            telemetry::set_attr("panic", reason.as_str());
+            let at_bottom = lane.at_bottom();
+            match lane.breaker.on_failure(Instant::now(), at_bottom) {
+                FailureAction::Degrade => {
+                    lane.level += 1;
+                    telemetry::counter_add("greeks.degradations", 1);
+                }
+                FailureAction::Opened => {
+                    telemetry::counter_add("greeks.breaker_open", 1);
+                    lock_stats(stats)
+                        .kernels
+                        .entry(GREEKS_LANE.to_string())
+                        .or_default()
+                        .breaker_open += 1;
+                }
+                FailureAction::Tolerate => {}
+            }
+            reject_internal_greeks(live, &format!("kernel panic: {reason}"), stats);
+        }
+    }
+    publish_greeks_health(lane, stats);
+}
+
+/// Push the greeks lane's breaker state and degradation level into the
+/// stats map and the telemetry gauges.
+fn publish_greeks_health(lane: &GreeksLane, stats: &Mutex<StatsInner>) {
+    let state = lane.breaker.state();
+    let mut st = lock_stats(stats);
+    let ks = st.kernels.entry(GREEKS_LANE.to_string()).or_default();
+    ks.breaker = BreakerSnapshotState(state);
+    ks.degradation_level = lane.level;
+    ks.rung = lane.active_rung().slug.clone();
+    drop(st);
+    telemetry::gauge_set("serve.breaker.greeks", state.as_gauge());
+    telemetry::gauge_set("serve.degradation.greeks", lane.level as f64);
+}
+
 /// Push the lane's breaker state and degradation level into the stats
 /// map and the telemetry gauges.
 fn publish_lane_health(kernel: &str, lane: &Lane, stats: &Mutex<StatsInner>) {
@@ -728,6 +1048,105 @@ mod tests {
         }
         assert_eq!(snap.internal, 0);
         assert_eq!(snap.invalid_input, 0);
+    }
+
+    #[test]
+    fn greeks_requests_ride_the_same_plane() {
+        use crate::request::GreeksRequest;
+        let server = Server::start(quick_config());
+        let rx = server.submit_greeks(GreeksRequest::new(11, 30.0, 35.0, 1.0));
+        let resp = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(resp.id, 11);
+        let out = resp.outcome.unwrap();
+        // Call delta in (0,1), put delta = call delta − 1, shared gamma.
+        assert!(out.call.delta > 0.0 && out.call.delta < 1.0, "{out:?}");
+        assert!((out.put.delta - (out.call.delta - 1.0)).abs() < 1e-15);
+        assert_eq!(out.call.gamma.to_bits(), out.put.gamma.to_bits());
+        assert_eq!(out.rung, "intermediate_simd_soa_greeks_w_8");
+        let snap = server.shutdown();
+        let k = snap.kernels.iter().find(|k| k.kernel == "greeks").unwrap();
+        assert_eq!(k.served, 1);
+        assert_eq!(k.breaker, "closed");
+        assert_eq!(snap.total_shed(), 0);
+    }
+
+    #[test]
+    fn greeks_invalid_inputs_and_deadlines_get_typed_answers() {
+        use crate::request::GreeksRequest;
+        let server = Server::start(quick_config());
+        let rx = server.submit_greeks(GreeksRequest::new(1, f64::NAN, 35.0, 1.0));
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap().outcome,
+            Err(Rejected::InvalidInput { .. })
+        ));
+        let mut req = GreeksRequest::new(2, 30.0, 35.0, 1.0);
+        req.deadline = Some(Instant::now() - Duration::from_millis(1));
+        let rx = server.submit_greeks(req);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap().outcome,
+            Err(Rejected::DeadlineExceeded { .. })
+        ));
+        let snap = server.shutdown();
+        assert_eq!(snap.invalid_input, 1);
+        assert_eq!(snap.shed_deadline, 1);
+    }
+
+    #[test]
+    fn greeks_lane_survives_an_injected_panic_and_degrades() {
+        use crate::request::GreeksRequest;
+        let _l = faults_lock();
+        faults::silence_injected_panics();
+        let _g = PlanGuard::install(
+            FaultPlan::new().with(FaultSpec::always("batch.greeks", FaultKind::Panic)),
+        );
+        let server = Server::start(quick_config());
+        let rx = server.submit_greeks(GreeksRequest::new(1, 30.0, 35.0, 1.0));
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap().outcome {
+            Err(Rejected::Internal { reason }) => {
+                assert!(reason.contains("injected panic"), "{reason}");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        drop(_g);
+        // Still alive; the next request is served on a degraded rung that
+        // answers bit-identically to the planned one.
+        let rx = server.submit_greeks(GreeksRequest::new(2, 30.0, 35.0, 1.0));
+        let out = rx
+            .recv_timeout(Duration::from_secs(10))
+            .unwrap()
+            .outcome
+            .expect("greeks lane must keep serving after a caught panic");
+        let (want_c, _) = crate::greeks::greeks_ladder(quick_config().pricer.market)[0]
+            .compute_one(30.0, 35.0, 1.0);
+        assert_eq!(out.call.delta.to_bits(), want_c.delta.to_bits());
+        let snap = server.shutdown();
+        let k = snap.kernels.iter().find(|k| k.kernel == "greeks").unwrap();
+        assert!(k.degradation_level >= 1, "{k:?}");
+        assert_eq!(snap.internal, 1);
+    }
+
+    #[test]
+    fn mixed_price_and_greeks_load_shares_the_queue_without_cross_talk() {
+        use crate::request::GreeksRequest;
+        let server = Server::start(quick_config());
+        let (ptx, prx) = mpsc::channel();
+        let (gtx, grx) = mpsc::channel();
+        for i in 0..20u64 {
+            server.submit_with(PriceRequest::new(i, "black_scholes", 30.0, 35.0, 1.0), &ptx);
+            server.submit_greeks_with(GreeksRequest::new(i, 25.0, 20.0, 0.5), &gtx);
+        }
+        drop(ptx);
+        drop(gtx);
+        let priced: Vec<PriceResponse> = prx.iter().collect();
+        let greeked: Vec<crate::request::GreeksResponse> = grx.iter().collect();
+        let snap = server.shutdown();
+        assert_eq!(priced.len(), 20);
+        assert_eq!(greeked.len(), 20);
+        assert!(priced.iter().all(PriceResponse::is_priced));
+        assert!(greeked.iter().all(|g| g.is_computed()));
+        assert_eq!(snap.total_shed(), 0);
+        let names: Vec<&str> = snap.kernels.iter().map(|k| k.kernel.as_str()).collect();
+        assert!(names.contains(&"black_scholes") && names.contains(&"greeks"));
     }
 
     #[test]

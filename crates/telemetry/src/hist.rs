@@ -160,10 +160,10 @@ impl Histogram {
 mod tests {
     use super::*;
 
-    /// Nearest-rank quantile on a sorted vector — the oracle.
+    /// Nearest-rank quantile on a sorted vector — the oracle (the shared
+    /// definition in [`crate::stats`]).
     fn oracle(sorted: &[f64], q: f64) -> f64 {
-        let target = ((q * sorted.len() as f64).ceil() as usize).max(1);
-        sorted[target - 1]
+        crate::stats::nearest_rank(sorted, q)
     }
 
     #[test]

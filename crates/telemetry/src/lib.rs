@@ -31,6 +31,7 @@ pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod span;
+pub mod stats;
 
 pub use export::{render_tree, span_to_json, to_csv, to_jsonl, write_jsonl};
 pub use filter::{enabled, set_filter, Kind};
@@ -40,3 +41,4 @@ pub use metrics::{
     reset_metrics,
 };
 pub use span::{current_name, drain, set_attr, snapshot, span, AttrValue, SpanGuard, SpanRecord};
+pub use stats::{nearest_rank, nearest_rank_unsorted};

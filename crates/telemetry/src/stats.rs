@@ -1,0 +1,87 @@
+//! Shared order statistics: the nearest-rank percentile definition every
+//! report path in the workspace uses.
+//!
+//! Three call sites used to hand-roll this computation (the engine's
+//! timing samples, the serve load generator's latency report, and the
+//! histogram test oracle) with two subtly different rank conventions.
+//! This module is the single definition: the classic nearest-rank method,
+//! `rank = ceil(q * n)` (1-based, clamped to `[1, n]`), which always
+//! returns an element of the sample — no interpolation.
+
+/// Nearest-rank quantile of an **ascending-sorted, finite** sample.
+///
+/// `q` is clamped to `[0, 1]`; `q = 0` returns the minimum and `q = 1`
+/// the maximum. An empty sample returns `NaN` (callers that prefer a
+/// sentinel map it themselves).
+pub fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Nearest-rank quantile of an **unsorted** sample: sorts a copy, then
+/// applies [`nearest_rank`]. Convenience for one-shot report paths.
+pub fn nearest_rank_unsorted(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    nearest_rank(&sorted, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_nan() {
+        assert!(nearest_rank(&[], 0.5).is_nan());
+        assert!(nearest_rank_unsorted(&[], 0.99).is_nan());
+    }
+
+    #[test]
+    fn singleton_returns_the_value_for_every_q() {
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(nearest_rank(&[7.5], q), 7.5, "q={q}");
+        }
+    }
+
+    #[test]
+    fn exact_quantiles_on_a_small_sorted_sample() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        // rank = ceil(q * 5): q=0.2 → element 1, q=0.4 → element 2, ...
+        assert_eq!(nearest_rank(&v, 0.0), 1.0);
+        assert_eq!(nearest_rank(&v, 0.2), 1.0);
+        assert_eq!(nearest_rank(&v, 0.4), 2.0);
+        assert_eq!(nearest_rank(&v, 0.5), 3.0);
+        assert_eq!(nearest_rank(&v, 0.8), 4.0);
+        assert_eq!(nearest_rank(&v, 0.95), 5.0);
+        assert_eq!(nearest_rank(&v, 1.0), 5.0);
+    }
+
+    #[test]
+    fn q_outside_unit_interval_clamps() {
+        let v = [10.0, 20.0];
+        assert_eq!(nearest_rank(&v, -0.5), 10.0);
+        assert_eq!(nearest_rank(&v, 1.5), 20.0);
+    }
+
+    #[test]
+    fn unsorted_variant_sorts_first() {
+        let v = [9.0, 1.0, 5.0];
+        assert_eq!(nearest_rank_unsorted(&v, 0.5), 5.0);
+        assert_eq!(nearest_rank_unsorted(&v, 1.0), 9.0);
+        assert_eq!(nearest_rank_unsorted(&v, 0.0), 1.0);
+    }
+
+    #[test]
+    fn always_returns_a_sample_element() {
+        let v: Vec<f64> = (0..17).map(|i| i as f64 * 1.5).collect();
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let got = nearest_rank(&v, q);
+            assert!(v.contains(&got), "q={q} returned non-element {got}");
+        }
+    }
+}

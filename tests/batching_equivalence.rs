@@ -16,7 +16,7 @@ use finbench::core::engine::registry;
 use finbench::engine::Engine;
 use finbench::serve::batcher::{BatchPolicy, MicroBatcher};
 use finbench::serve::pricer::{self, padded_batch, PricerConfig};
-use finbench::serve::{LoadMode, PriceRequest, ServeConfig, Server};
+use finbench::serve::{greeks_ladder, GreeksRequest, LoadMode, PriceRequest, ServeConfig, Server};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::time::{Duration, Instant};
@@ -177,6 +177,68 @@ proptest! {
                 priced.put.to_bits(), put.to_bits(),
                 "{} put for request {}", kernels[which], i
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // The same invisibility contract for the greeks lane: every
+    // GreeksRequest that rides a micro-batch scatters back all ten
+    // sensitivities (five per contract side) bit-identical to computing
+    // that option alone on the rung that served it.
+    #[test]
+    fn greeks_through_the_server_match_the_solo_oracle_bit_for_bit(
+        opts in vec(contract(), 1..60usize),
+    ) {
+        let cfg = pricer_config();
+        let oracles: std::collections::BTreeMap<String, _> = greeks_ladder(cfg.market)
+            .into_iter()
+            .map(|r| (r.slug.clone(), r))
+            .collect();
+
+        let server = Server::start(ServeConfig {
+            queue_capacity: opts.len().max(1),
+            max_delay: Duration::from_micros(100),
+            max_batch: 16,
+            pricer: cfg,
+            ..ServeConfig::default()
+        });
+        let (tx, rx) = std::sync::mpsc::channel();
+        for (i, &(s, x, t)) in opts.iter().enumerate() {
+            server.submit_greeks_with(GreeksRequest::new(i as u64, s, x, t), &tx);
+        }
+        drop(tx);
+        let mut responses: Vec<_> = rx.iter().collect();
+        let snap = server.shutdown();
+        prop_assert_eq!(snap.total_shed(), 0);
+        prop_assert_eq!(responses.len(), opts.len());
+        responses.sort_by_key(|r| r.id);
+        for resp in responses {
+            let i = resp.id as usize;
+            let (s, x, t) = opts[i];
+            let out = resp.outcome.expect("nothing rejected");
+            let rung = oracles.get(&out.rung).expect("served on a ladder rung");
+            let (call, put) = rung.compute_one(s, x, t);
+            for (name, got, want) in [
+                ("call delta", out.call.delta, call.delta),
+                ("call gamma", out.call.gamma, call.gamma),
+                ("call vega", out.call.vega, call.vega),
+                ("call theta", out.call.theta, call.theta),
+                ("call rho", out.call.rho, call.rho),
+                ("put delta", out.put.delta, put.delta),
+                ("put gamma", out.put.gamma, put.gamma),
+                ("put vega", out.put.vega, put.vega),
+                ("put theta", out.put.theta, put.theta),
+                ("put rho", out.put.rho, put.rho),
+            ] {
+                prop_assert_eq!(
+                    got.to_bits(), want.to_bits(),
+                    "{} diverges for request {} on {} (batch of {})",
+                    name, i, &out.rung, out.batch_len
+                );
+            }
         }
     }
 }
