@@ -45,6 +45,28 @@ echo "$greeks_out" | grep -q "total shed: 0" || {
   exit 1
 }
 
+echo "==> perf-regression gate (bench-report vs committed trajectory)"
+# Compare a fresh quick snapshot against the latest committed BENCH_<n>.json.
+# Gated metrics (non-threaded rung medians, serve shed, allocs/iter) fail CI
+# past the threshold; latency/peak metrics are advisory. Override with e.g.
+# FINBENCH_BENCH_THRESHOLD=15 on noisy machines.
+bench_threshold="${FINBENCH_BENCH_THRESHOLD:-10}"
+latest_bench=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
+bench_tmp=$(mktemp -t finbench_bench_XXXXXX.json)
+trap 'rm -f "$bench_tmp"' EXIT
+cargo run --release -q -p finbench-harness --bin finbench -- bench-report --quick --out "$bench_tmp"
+if [ -n "$latest_bench" ]; then
+  echo "--> bench-compare $latest_bench vs fresh snapshot (threshold ${bench_threshold}%)"
+  cargo run --release -q -p finbench-harness --bin finbench -- \
+    bench-compare "$latest_bench" "$bench_tmp" --threshold "$bench_threshold"
+else
+  echo "--> no committed BENCH_<n>.json yet; skipping comparison"
+fi
+
+echo "==> regression-gate self-test (gate must fire on a degraded snapshot)"
+cargo run --release -q -p finbench-harness --bin finbench -- \
+  bench-compare --self-test "$bench_tmp" --threshold "$bench_threshold"
+
 echo "==> examples (quick mode)"
 cargo build --release --examples
 for ex in quickstart portfolio_pricing american_options asian_option_mc ninja_gap_report qmc_convergence; do

@@ -8,13 +8,32 @@ use crate::kernel::{Check, WorkloadSpec};
 use crate::planner::{Plan, Planner};
 use crate::registry::{AnyKernel, Registry};
 use crate::slug::min_secs;
-use crate::timing::throughput_samples;
+use crate::timing::{throughput_samples, Samples};
 use finbench_parallel::ExecPolicy;
 use finbench_telemetry as telemetry;
 
 /// A measured ladder: `(label, best items/s)` per rung, ladder order —
 /// the shape the harness bar charts consume.
 pub type LadderRates = Vec<(String, f64)>;
+
+/// One rung's merged measurement across the interleaved trials of
+/// [`Engine::run_ladder_samples`].
+#[derive(Debug, Clone)]
+pub struct RungSamples {
+    /// Span-name segment for the rung.
+    pub slug: String,
+    /// Display label.
+    pub label: &'static str,
+    /// Optimization level name.
+    pub level: &'static str,
+    /// True for thread-pool rungs (noisier; bench gates treat them as
+    /// advisory).
+    pub threaded: bool,
+    /// Items processed per rung step.
+    pub items: usize,
+    /// Merged per-rep samples across every trial.
+    pub samples: Samples,
+}
 
 /// The unified pricing-engine plane: a kernel [`Registry`] plus the
 /// [`Planner`] that picks a serving rung per kernel from the machine cost
@@ -93,6 +112,65 @@ impl Engine {
     /// are a typed error.
     pub fn run_ladder_named(&self, name: &str, quick: bool) -> Result<LadderRates, EngineError> {
         Ok(self.run_ladder(self.registry.resolve(name)?, quick))
+    }
+
+    /// Measure every rung of `kernel` `trials` times in interleaved order
+    /// (rung 0..n, then rung 0..n again, ...), merging each rung's per-rep
+    /// samples across trials. Interleaving spreads slow drift — thermal
+    /// throttle, frequency steps, a neighbor hogging the socket — across
+    /// all rungs instead of biasing whichever rung happened to run last,
+    /// which is what makes the merged median stable enough to gate on.
+    ///
+    /// One `bench.<kernel>.<slug>` span is opened per rung visit with the
+    /// usual [`throughput_samples`] summary attributes.
+    pub fn run_ladder_samples(
+        &self,
+        kernel: &dyn AnyKernel,
+        quick: bool,
+        trials: usize,
+    ) -> Vec<RungSamples> {
+        let spec = WorkloadSpec::measure(quick);
+        let session = kernel.session(&spec);
+        let secs = min_secs(quick);
+        let items = session.items();
+        let rungs = kernel.rungs();
+        let mut merged: Vec<Option<Samples>> = vec![None; rungs.len()];
+        for trial in 0..trials.max(1) {
+            for (i, info) in rungs.iter().enumerate() {
+                let _g = telemetry::span(format!("bench.{}.{}", kernel.name(), info.slug));
+                telemetry::set_attr("trial", trial);
+                telemetry::set_attr("items", items);
+                let mut body = session.body(i, ExecPolicy::OwnPool(0));
+                let s = throughput_samples(items, secs, || body.step());
+                match &mut merged[i] {
+                    Some(acc) => acc.merge(&s),
+                    slot => *slot = Some(s),
+                }
+            }
+        }
+        rungs
+            .iter()
+            .zip(merged)
+            .map(|(info, samples)| RungSamples {
+                slug: info.slug.clone(),
+                label: info.label,
+                level: info.level.as_str(),
+                threaded: info.threaded,
+                items,
+                samples: samples.expect("every rung measured at least once"),
+            })
+            .collect()
+    }
+
+    /// [`run_ladder_samples`](Self::run_ladder_samples) by registry name;
+    /// unknown names are a typed error.
+    pub fn run_ladder_samples_named(
+        &self,
+        name: &str,
+        quick: bool,
+        trials: usize,
+    ) -> Result<Vec<RungSamples>, EngineError> {
+        Ok(self.run_ladder_samples(self.registry.resolve(name)?, quick, trials))
     }
 
     fn emit_plan_span(&self, kernel: &dyn AnyKernel) {
@@ -229,6 +307,37 @@ mod tests {
         assert!(names.contains(&"plan.toy"), "{names:?}");
         assert!(names.contains(&"native.toy.basic_scalar"), "{names:?}");
         assert!(names.contains(&"native.toy.advanced_pairwise"), "{names:?}");
+    }
+
+    #[test]
+    fn interleaved_trials_merge_per_rung_samples() {
+        telemetry::set_filter("all");
+        let e = engine();
+        let rungs = e.run_ladder_samples_named("toy", true, 3).unwrap();
+        assert_eq!(rungs.len(), 2);
+        assert_eq!(rungs[0].slug, "basic_scalar");
+        assert_eq!(rungs[1].slug, "advanced_pairwise");
+        for r in &rungs {
+            // >= 2 timed reps per trial, 3 trials merged.
+            assert!(r.samples.count() >= 6, "{}: {}", r.slug, r.samples.count());
+            assert_eq!(r.samples.cycles_per_item.len(), r.samples.count());
+            assert!(r.samples.median() > 0.0);
+            assert!(r.samples.median_cycles_per_item() >= 0.0);
+            assert!(r.items > 0);
+        }
+        // One bench span per rung per trial — but the registry is shared
+        // with concurrently running tests that drain it, so only assert
+        // the spans exist and never exceed the trial count.
+        let spans = telemetry::snapshot();
+        let visits = spans
+            .iter()
+            .filter(|s| s.name == "bench.toy.basic_scalar")
+            .count();
+        assert!((1..=3).contains(&visits), "{visits}");
+        assert!(matches!(
+            e.run_ladder_samples_named("missing", true, 1).unwrap_err(),
+            EngineError::UnknownKernel { .. }
+        ));
     }
 
     #[test]

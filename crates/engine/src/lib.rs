@@ -27,7 +27,7 @@ pub mod registry;
 pub mod slug;
 pub mod timing;
 
-pub use engine::{Engine, LadderRates};
+pub use engine::{Engine, LadderRates, RungSamples};
 pub use error::EngineError;
 pub use kernel::{fn_body, Check, Kernel, OptLevel, Rung, RungBody, WorkloadSpec};
 pub use planner::{Bound, Plan, Planner};

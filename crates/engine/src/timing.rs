@@ -18,6 +18,11 @@ use std::time::Instant;
 pub struct Samples {
     /// Per-rep rates in measurement order.
     pub rates: Vec<f64>,
+    /// Per-rep overhead-compensated cycles per item, same order as
+    /// `rates` (empty when built via [`from_rates`](Self::from_rates)).
+    /// "Cycles" are nanoseconds on hosts without an RDTSC source — see
+    /// [`telemetry::cycles::cycle_source`].
+    pub cycles_per_item: Vec<f64>,
     /// Streaming log-bucketed sketch of the same rates.
     pub hist: telemetry::Histogram,
 }
@@ -25,11 +30,34 @@ pub struct Samples {
 impl Samples {
     /// Build from raw per-rep rates (also used by tests).
     pub fn from_rates(rates: Vec<f64>) -> Self {
+        Self::from_parts(rates, Vec::new())
+    }
+
+    /// Build from per-rep rates plus matching cycles-per-item samples.
+    pub fn from_parts(rates: Vec<f64>, cycles_per_item: Vec<f64>) -> Self {
         let mut hist = telemetry::Histogram::new();
         for &r in &rates {
             hist.record(r);
         }
-        Self { rates, hist }
+        Self {
+            rates,
+            cycles_per_item,
+            hist,
+        }
+    }
+
+    /// Fold another run's samples into this one (used to merge
+    /// interleaved trials of the same rung).
+    pub fn merge(&mut self, other: &Samples) {
+        self.rates.extend_from_slice(&other.rates);
+        self.cycles_per_item
+            .extend_from_slice(&other.cycles_per_item);
+        self.hist.merge(&other.hist);
+    }
+
+    /// Median cycles per item (NaN when no cycle samples were taken).
+    pub fn median_cycles_per_item(&self) -> f64 {
+        telemetry::nearest_rank_unsorted(&self.cycles_per_item, 0.5)
     }
 
     /// Number of timed repetitions.
@@ -76,21 +104,28 @@ impl Samples {
 ///
 /// When a telemetry span is open on this thread, the summary lands on it
 /// as attributes: `reps`, `best_rate`, `median_rate`, `p95_rate`,
-/// `min_rate`, `max_rate`.
+/// `min_rate`, `max_rate`, `median_cpi` (overhead-compensated cycles per
+/// item, nanoseconds on non-x86_64 hosts).
 pub fn throughput_samples(items: usize, min_secs: f64, mut body: impl FnMut()) -> Samples {
     body(); // warmup
     let cap = (min_secs / 4.0).max(1e-9);
     let wall_limit = 3.0 * min_secs + 0.05;
     let started = Instant::now();
     let mut rates = Vec::new();
+    let mut cycles_per_item = Vec::new();
     let mut hist = telemetry::Histogram::new();
     let mut spent = 0.0;
     loop {
+        // The cycle window nests inside the wall window so the Instant
+        // reads never land in the cycle count.
         let t0 = Instant::now();
+        let c0 = telemetry::cycles::start();
         body();
+        let cyc = c0.elapsed_cycles();
         let dt = t0.elapsed().as_secs_f64().max(1e-9);
         let rate = items as f64 / dt;
         rates.push(rate);
+        cycles_per_item.push(cyc / items.max(1) as f64);
         hist.record(rate);
         spent += dt.min(cap);
         let reps = rates.len();
@@ -100,13 +135,18 @@ pub fn throughput_samples(items: usize, min_secs: f64, mut body: impl FnMut()) -
             break;
         }
     }
-    let s = Samples { rates, hist };
+    let s = Samples {
+        rates,
+        cycles_per_item,
+        hist,
+    };
     telemetry::set_attr("reps", s.count());
     telemetry::set_attr("best_rate", s.best());
     telemetry::set_attr("median_rate", s.median());
     telemetry::set_attr("p95_rate", s.p95());
     telemetry::set_attr("min_rate", s.worst());
     telemetry::set_attr("max_rate", s.best());
+    telemetry::set_attr("median_cpi", s.median_cycles_per_item());
     s
 }
 
@@ -168,6 +208,37 @@ mod tests {
         assert_eq!(s.hist.min(), 1.0);
         assert_eq!(s.hist.max(), 5.0);
         assert_eq!(s.hist.count(), 5);
+    }
+
+    #[test]
+    fn timed_reps_carry_cycle_samples() {
+        let s = throughput_samples(1000, 0.005, || {
+            std::hint::black_box((0..2000u64).sum::<u64>());
+        });
+        assert_eq!(s.cycles_per_item.len(), s.rates.len());
+        for &c in &s.cycles_per_item {
+            assert!(c.is_finite() && c >= 0.0, "{c}");
+        }
+        let med = s.median_cycles_per_item();
+        assert!(med.is_finite() && med >= 0.0, "{med}");
+    }
+
+    #[test]
+    fn merge_concatenates_samples() {
+        let mut a = Samples::from_parts(vec![1.0, 2.0], vec![10.0, 20.0]);
+        let b = Samples::from_parts(vec![3.0], vec![30.0]);
+        a.merge(&b);
+        assert_eq!(a.rates, vec![1.0, 2.0, 3.0]);
+        assert_eq!(a.cycles_per_item, vec![10.0, 20.0, 30.0]);
+        assert_eq!(a.hist.count(), 3);
+        assert_eq!(a.best(), 3.0);
+    }
+
+    #[test]
+    fn from_rates_has_no_cycle_samples() {
+        let s = Samples::from_rates(vec![1.0]);
+        assert!(s.cycles_per_item.is_empty());
+        assert!(s.median_cycles_per_item().is_nan());
     }
 
     #[test]

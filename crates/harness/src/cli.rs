@@ -13,6 +13,7 @@
 //! parse as deprecated aliases for `run` / `list`, so existing scripts
 //! keep working.
 
+use crate::report::{BenchCompareArgs, BenchReportOptions, CompareMode, DEFAULT_THRESHOLD_PCT};
 use crate::{RunOptions, EXPERIMENTS};
 
 /// A fully parsed command line: which experiments to run and with what
@@ -34,6 +35,10 @@ pub enum CliAction {
     List,
     /// Print usage and exit.
     Help,
+    /// Run the full bench sweep and write a `BENCH_<n>.json` snapshot.
+    BenchReport(BenchReportOptions),
+    /// Compare two snapshots (or self-test the gate on one).
+    BenchCompare(BenchCompareArgs),
 }
 
 /// Multi-line usage string (the error path points people here).
@@ -45,6 +50,11 @@ pub fn usage_line() -> String {
          \x20 finbench serve-bench           serving-plane load benchmark (alias for `run serve_bench`)\n\
          \x20 finbench chaos-bench           fault-injection chaos benchmark (alias for `run chaos_bench`)\n\
          \x20 finbench greeks-bench          greeks/risk workload benchmark (alias for `run greeks_bench`)\n\
+         \x20 finbench bench-report [--quick] [--trials N] [--out FILE]\n\
+         \x20     run every kernel ladder + serve/greeks sweep, write BENCH_<n>.json\n\
+         \x20 finbench bench-compare OLD.json NEW.json [--threshold PCT]\n\
+         \x20 finbench bench-compare --self-test SNAP.json [--threshold PCT]\n\
+         \x20     delta table between two snapshots; exit 1 on gated regressions\n\
          flags: [--quick] [--only KERNEL[,KERNEL...]] [--csv DIR] [--json FILE] [--report]\n\
          note: the flat forms `finbench [EXPERIMENT ...]` and `--list` are deprecated\n\
          \x20     aliases for `run` / `list`; prefer the subcommands.\n\
@@ -160,6 +170,8 @@ where
         Some("serve-bench") => parse_experiment_alias("serve-bench", "serve_bench", &args[1..]),
         Some("chaos-bench") => parse_experiment_alias("chaos-bench", "chaos_bench", &args[1..]),
         Some("greeks-bench") => parse_experiment_alias("greeks-bench", "greeks_bench", &args[1..]),
+        Some("bench-report") => parse_bench_report(&args[1..]),
+        Some("bench-compare") => parse_bench_compare(&args[1..]),
         // Deprecated flat grammar: `finbench [EXPERIMENT ...] [FLAGS]`.
         _ => parse_run(&args),
     }
@@ -180,6 +192,69 @@ fn parse_experiment_alias(sub: &str, id: &str, args: &[String]) -> Result<CliAct
             }))
         }
     }
+}
+
+/// `bench-report [--quick] [--trials N] [--out FILE]` — its flag set is
+/// disjoint from the experiment flags, so it has its own tiny loop.
+fn parse_bench_report(args: &[String]) -> Result<CliAction, String> {
+    let mut opts = BenchReportOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" | "-q" => opts.quick = true,
+            "--trials" => match it.next().map(|s| s.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => opts.trials = n,
+                Some(_) => return Err("--trials requires a positive integer".into()),
+                None => return Err("--trials requires a count argument".into()),
+            },
+            "--out" => match it.next() {
+                Some(f) => opts.out = Some(f.clone()),
+                None => return Err("--out requires a file argument".into()),
+            },
+            "--help" | "-h" => return Ok(CliAction::Help),
+            other => return Err(format!("bench-report: unexpected argument: {other}")),
+        }
+    }
+    Ok(CliAction::BenchReport(opts))
+}
+
+/// `bench-compare OLD NEW [--threshold PCT]` or
+/// `bench-compare --self-test SNAP [--threshold PCT]`.
+fn parse_bench_compare(args: &[String]) -> Result<CliAction, String> {
+    let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
+    let mut self_test = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => match it.next().map(|s| s.parse::<f64>()) {
+                Some(Ok(t)) if t.is_finite() && t >= 0.0 => threshold_pct = t,
+                Some(_) => return Err("--threshold requires a non-negative percent".into()),
+                None => return Err("--threshold requires a percent argument".into()),
+            },
+            "--self-test" => self_test = true,
+            "--help" | "-h" => return Ok(CliAction::Help),
+            other if other.starts_with('-') => {
+                return Err(format!("bench-compare: unknown flag: {other}"));
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    let mode = match (self_test, files.as_slice()) {
+        (true, [snap]) => CompareMode::SelfTest {
+            snapshot: snap.clone(),
+        },
+        (false, [old, new]) => CompareMode::Files {
+            old: old.clone(),
+            new: new.clone(),
+        },
+        (true, _) => return Err("bench-compare --self-test takes exactly one snapshot file".into()),
+        (false, _) => return Err("bench-compare takes exactly two snapshot files".into()),
+    };
+    Ok(CliAction::BenchCompare(BenchCompareArgs {
+        mode,
+        threshold_pct,
+    }))
 }
 
 fn parse_run(args: &[String]) -> Result<CliAction, String> {
@@ -267,6 +342,90 @@ mod tests {
         assert_eq!(p.ids, ["serve_bench"]);
         assert_eq!(p.opts.only, Some(vec!["rng".to_string()]));
         assert_eq!(p.opts.json.as_deref(), Some("t.jsonl"));
+    }
+
+    // ---- bench-report / bench-compare ----
+
+    #[test]
+    fn bench_report_parses_flags() {
+        let a = parse_args([
+            "bench-report",
+            "--quick",
+            "--trials",
+            "2",
+            "--out",
+            "b.json",
+        ]);
+        assert_eq!(
+            a,
+            Ok(CliAction::BenchReport(BenchReportOptions {
+                quick: true,
+                trials: 2,
+                out: Some("b.json".into()),
+            }))
+        );
+        // Defaults: full mode, auto trials, auto-numbered output path.
+        assert_eq!(
+            parse_args(["bench-report"]),
+            Ok(CliAction::BenchReport(BenchReportOptions::default()))
+        );
+    }
+
+    #[test]
+    fn bench_report_rejects_bad_input() {
+        assert!(parse_args(["bench-report", "fig4"]).is_err());
+        assert!(parse_args(["bench-report", "--trials"]).is_err());
+        assert!(parse_args(["bench-report", "--trials", "0"]).is_err());
+        assert!(parse_args(["bench-report", "--trials", "many"]).is_err());
+        assert!(parse_args(["bench-report", "--out"]).is_err());
+    }
+
+    #[test]
+    fn bench_compare_parses_two_files_and_threshold() {
+        let a = parse_args(["bench-compare", "old.json", "new.json", "--threshold", "5"]);
+        assert_eq!(
+            a,
+            Ok(CliAction::BenchCompare(BenchCompareArgs {
+                mode: CompareMode::Files {
+                    old: "old.json".into(),
+                    new: "new.json".into(),
+                },
+                threshold_pct: 5.0,
+            }))
+        );
+    }
+
+    #[test]
+    fn bench_compare_self_test_takes_one_file() {
+        let a = parse_args(["bench-compare", "--self-test", "snap.json"]);
+        assert_eq!(
+            a,
+            Ok(CliAction::BenchCompare(BenchCompareArgs {
+                mode: CompareMode::SelfTest {
+                    snapshot: "snap.json".into(),
+                },
+                threshold_pct: DEFAULT_THRESHOLD_PCT,
+            }))
+        );
+        assert!(parse_args(["bench-compare", "--self-test"]).is_err());
+        assert!(parse_args(["bench-compare", "--self-test", "a.json", "b.json"]).is_err());
+    }
+
+    #[test]
+    fn bench_compare_rejects_bad_input() {
+        assert!(parse_args(["bench-compare"]).is_err());
+        assert!(parse_args(["bench-compare", "only_one.json"]).is_err());
+        assert!(parse_args(["bench-compare", "a.json", "b.json", "c.json"]).is_err());
+        assert!(parse_args(["bench-compare", "a.json", "b.json", "--threshold"]).is_err());
+        assert!(parse_args(["bench-compare", "a.json", "b.json", "--threshold", "-3"]).is_err());
+        assert!(parse_args(["bench-compare", "a.json", "b.json", "--frob"]).is_err());
+    }
+
+    #[test]
+    fn usage_mentions_the_bench_subcommands() {
+        let u = usage_line();
+        assert!(u.contains("bench-report"), "{u}");
+        assert!(u.contains("bench-compare"), "{u}");
     }
 
     // ---- deprecated flat grammar (aliases for `run` / `list`) ----

@@ -31,8 +31,16 @@ pub mod cli;
 pub mod experiments;
 pub mod native;
 pub mod render;
+pub mod report;
 
 use finbench_telemetry as telemetry;
+
+/// Every harness process (the `finbench` binary and this crate's tests)
+/// allocates through the counting allocator, so `bench-report` can put
+/// allocations-per-batch numbers in the snapshot. The counters are two
+/// relaxed atomics per call — noise next to a real `malloc`.
+#[global_allocator]
+static COUNTING_ALLOC: telemetry::CountingAlloc = telemetry::CountingAlloc;
 
 /// Global run options.
 #[derive(Debug, Clone, Default, PartialEq)]

@@ -11,6 +11,7 @@
 //! ```
 
 use finbench_harness::cli::{parse_args, CliAction};
+use finbench_harness::report::{self, CompareMode};
 use finbench_harness::run_experiment;
 use finbench_telemetry as telemetry;
 
@@ -33,6 +34,16 @@ fn main() {
                 println!("{id}");
             }
             return;
+        }
+        CliAction::BenchReport(opts) => {
+            if let Err(msg) = report::bench_report(&opts) {
+                eprintln!("error: bench-report: {msg}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        CliAction::BenchCompare(args) => {
+            std::process::exit(run_bench_compare(&args));
         }
         CliAction::Run(p) => p,
     };
@@ -74,5 +85,48 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("telemetry trace written to {path}");
+    }
+}
+
+/// `bench-compare` exit codes: 0 clean, 1 gated regressions (or a failed
+/// self-test), 2 on typed load/compare errors — the same code parse
+/// errors use, so CI can tell "slow" from "broken".
+fn run_bench_compare(args: &finbench_harness::report::BenchCompareArgs) -> i32 {
+    use std::path::Path;
+    match &args.mode {
+        CompareMode::Files { old, new } => {
+            match report::bench_compare(Path::new(old), Path::new(new), args.threshold_pct) {
+                Ok(rep) => {
+                    print!("{}", rep.render());
+                    i32::from(rep.gated_regressions() > 0)
+                }
+                Err(e) => {
+                    eprintln!("error: bench-compare: {e}");
+                    2
+                }
+            }
+        }
+        CompareMode::SelfTest { snapshot } => {
+            match report::gate_self_test(Path::new(snapshot), args.threshold_pct) {
+                Ok((flagged, gated_total, rep)) => {
+                    print!("{}", rep.render());
+                    if flagged == gated_total && gated_total > 0 {
+                        println!(
+                            "  self-test OK: gate flagged all {gated_total} degraded gated metrics"
+                        );
+                        0
+                    } else {
+                        eprintln!(
+                            "error: self-test FAILED: gate flagged {flagged} of {gated_total} degraded gated metrics"
+                        );
+                        1
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: bench-compare --self-test: {e}");
+                    2
+                }
+            }
+        }
     }
 }

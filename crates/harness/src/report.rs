@@ -1,0 +1,1327 @@
+//! `finbench bench-report` / `bench-compare`: the machine-readable perf
+//! trajectory.
+//!
+//! `bench-report` runs the full engine registry (all kernels × all rungs
+//! through [`Engine::run_ladder_samples`]'s interleaved trials), a quick
+//! serve + greeks load sweep (closed-loop latency percentiles plus an
+//! open-loop peak-sustainable-load search), and an allocations-per-batch
+//! measurement on the hot pricing paths, then writes one schema-versioned
+//! `BENCH_<n>.json` at the repo root — the trajectory point every future
+//! PR compares against.
+//!
+//! `bench-compare` diffs two such snapshots into a per-metric delta table
+//! with a configurable noise threshold. Metrics are **gated** (a harmful
+//! move beyond the threshold fails CI: per-rung median rates on
+//! non-threaded rungs, serve shed counts, allocations/iter) or
+//! **advisory** (reported, never fatal: latency percentiles, peak load,
+//! best-of rates, cycle counts, threaded rungs). `--self-test` degrades
+//! every gated metric of a snapshot synthetically and verifies the gate
+//! actually fires — the regression gate's own regression test.
+
+use crate::native;
+use crate::render::{fmt_num, section, table};
+use finbench_core::greeks::GreeksBatchSoa;
+use finbench_engine::RungSamples;
+use finbench_serve::{
+    padded_batch, search_peak, GreeksRequest, GreeksResponse, LoadMode, PeakReport,
+    PeakSearchConfig, PeakStep, PricerConfig, Rejected, ServeConfig, Server, ServingRung,
+};
+use finbench_telemetry as telemetry;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+use telemetry::json::{self, Json};
+
+/// Schema version stamped into every `BENCH_<n>.json`; [`load_bench`]
+/// rejects versions it doesn't know with a typed [`CompareError`].
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Default noise threshold for gated metrics, percent.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
+
+/// Options for `bench-report`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchReportOptions {
+    /// Shrink workloads and sweep sizes (CI-friendly).
+    pub quick: bool,
+    /// Interleaved trials per kernel ladder (0 = auto: 2 quick, 3 full).
+    pub trials: usize,
+    /// Output path (default: next free `BENCH_<n>.json` in the cwd).
+    pub out: Option<String>,
+}
+
+impl BenchReportOptions {
+    fn effective_trials(&self) -> usize {
+        match self.trials {
+            0 if self.quick => 2,
+            0 => 3,
+            t => t,
+        }
+    }
+}
+
+/// How `bench-compare` was invoked.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompareMode {
+    /// Diff two snapshot files.
+    Files {
+        /// Baseline snapshot path.
+        old: String,
+        /// Candidate snapshot path.
+        new: String,
+    },
+    /// Degrade `snapshot` synthetically and verify the gate fires.
+    SelfTest {
+        /// Snapshot to degrade.
+        snapshot: String,
+    },
+}
+
+/// Parsed `bench-compare` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCompareArgs {
+    /// Files or self-test.
+    pub mode: CompareMode,
+    /// Noise threshold for gated metrics, percent.
+    pub threshold_pct: f64,
+}
+
+// ---------------------------------------------------------------------------
+// bench-report
+// ---------------------------------------------------------------------------
+
+struct LaneStats {
+    lane: String,
+    rung: String,
+    offered: usize,
+    served: usize,
+    shed: usize,
+    other_rejected: usize,
+    throughput_rps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    peak: PeakReport,
+}
+
+struct AllocLane {
+    lane: String,
+    rung: String,
+    batch: usize,
+    iters: usize,
+    allocs_per_iter: f64,
+    bytes_per_iter: f64,
+}
+
+/// Run the full bench sweep and write the snapshot; returns the path
+/// written. Errors are I/O only — measurement itself cannot fail.
+pub fn bench_report(opts: &BenchReportOptions) -> Result<PathBuf, String> {
+    // Counters/spans must be on for shed counters and rung summaries to
+    // record; an explicit FINBENCH_LOG still wins.
+    if std::env::var("FINBENCH_LOG").is_err() {
+        telemetry::set_filter("all");
+    }
+    telemetry::reset_metrics();
+    let quick = opts.quick;
+    let trials = opts.effective_trials();
+    let engine = native::engine();
+
+    println!(
+        "{}",
+        section(&format!(
+            "bench-report (schema v{BENCH_SCHEMA_VERSION}, {} mode, {trials} trials, {} timer @ {:.2} GHz)",
+            if quick { "quick" } else { "full" },
+            telemetry::cycles::cycle_source(),
+            telemetry::cycles::tsc_ghz(),
+        ))
+    );
+
+    // 1. Native ladders: every kernel × every rung, interleaved trials.
+    let mut kernels_json = Vec::new();
+    let mut rows = Vec::new();
+    for kernel in engine.registry().kernels() {
+        let rungs = engine.run_ladder_samples(kernel, quick, trials);
+        for r in &rungs {
+            rows.push(vec![
+                kernel.name().to_string(),
+                r.slug.clone(),
+                r.samples.count().to_string(),
+                fmt_num(r.samples.median()),
+                fmt_num(r.samples.p95()),
+                fmt_num(r.samples.median_cycles_per_item()),
+            ]);
+        }
+        kernels_json.push(kernel_json(kernel.name(), kernel.unit(), &rungs));
+    }
+    println!(
+        "{}",
+        table(
+            &["kernel", "rung", "reps", "median", "p95", "cycles/item"],
+            &rows
+        )
+    );
+
+    // 2. Serve + greeks lanes: closed-loop latency, open-loop peak.
+    let pricer = PricerConfig {
+        binomial_steps: if quick { 64 } else { 256 },
+        ..PricerConfig::default()
+    };
+    let lanes = vec![
+        price_lane("black_scholes", pricer, quick),
+        greeks_lane(pricer, quick),
+    ];
+    let lane_rows: Vec<Vec<String>> = lanes
+        .iter()
+        .map(|l| {
+            vec![
+                l.lane.clone(),
+                l.served.to_string(),
+                l.shed.to_string(),
+                fmt_num(l.throughput_rps),
+                format!("{:.0}", l.p50_us),
+                format!("{:.0}", l.p95_us),
+                format!("{:.0}", l.p99_us),
+                fmt_num(l.peak.sustained_hz()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "lane",
+                "served",
+                "shed",
+                "req/s",
+                "p50 µs",
+                "p95 µs",
+                "p99 µs",
+                "peak req/s"
+            ],
+            &lane_rows
+        )
+    );
+
+    // 3. Allocations per batch iteration on the hot pricing paths (all
+    // servers above have shut down, so no other thread is allocating).
+    let allocs = alloc_lanes(pricer);
+    if telemetry::counting_allocator_active() {
+        let alloc_rows: Vec<Vec<String>> = allocs
+            .iter()
+            .map(|a| {
+                vec![
+                    a.lane.clone(),
+                    a.batch.to_string(),
+                    format!("{:.1}", a.allocs_per_iter),
+                    fmt_num(a.bytes_per_iter),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table(
+                &["alloc lane", "batch", "allocs/iter", "bytes/iter"],
+                &alloc_rows
+            )
+        );
+    } else {
+        println!("  (counting allocator not installed; allocs/iter unavailable)");
+    }
+
+    // 4. Shed/degradation counters accumulated by the sweep above.
+    let counters: Vec<(String, u64)> = telemetry::counter_snapshot()
+        .into_iter()
+        .filter(|(name, _)| {
+            ["serve.", "greeks.", "loadgen."]
+                .iter()
+                .any(|p| name.starts_with(p))
+        })
+        .collect();
+
+    let doc = assemble_json(opts, trials, kernels_json, &lanes, &allocs, &counters);
+    let path = match &opts.out {
+        Some(p) => PathBuf::from(p),
+        None => next_bench_path(Path::new(".")),
+    };
+    std::fs::write(&path, doc.to_json() + "\n")
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("  snapshot written to {}", path.display());
+    Ok(path)
+}
+
+fn kernel_json(name: &str, unit: &str, rungs: &[RungSamples]) -> Json {
+    let rungs_json: Vec<Json> = rungs
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("slug".into(), Json::Str(r.slug.clone())),
+                ("label".into(), Json::Str(r.label.to_string())),
+                ("level".into(), Json::Str(r.level.to_string())),
+                ("threaded".into(), Json::Bool(r.threaded)),
+                ("items".into(), Json::Num(r.items as f64)),
+                ("reps".into(), Json::Num(r.samples.count() as f64)),
+                ("median_rate".into(), Json::Num(r.samples.median())),
+                ("p95_rate".into(), Json::Num(r.samples.p95())),
+                ("best_rate".into(), Json::Num(r.samples.best())),
+                (
+                    "median_cpi".into(),
+                    Json::Num(r.samples.median_cycles_per_item()),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("name".into(), Json::Str(name.to_string())),
+        ("unit".into(), Json::Str(unit.to_string())),
+        ("rungs".into(), Json::Arr(rungs_json)),
+    ])
+}
+
+fn serve_config(pricer: PricerConfig, queue_capacity: usize) -> ServeConfig {
+    ServeConfig {
+        queue_capacity,
+        max_delay: Duration::from_micros(500),
+        max_batch: 4096,
+        pricer,
+        ..ServeConfig::default()
+    }
+}
+
+fn peak_schedule(closed_rps: f64, quick: bool) -> PeakSearchConfig {
+    PeakSearchConfig {
+        // Start well under the closed-loop throughput so the first steps
+        // establish a sustained floor before the search rides into shed.
+        start_hz: (closed_rps * 0.25).max(200.0),
+        growth: 1.7,
+        max_steps: if quick { 5 } else { 8 },
+        window_secs: if quick { 0.12 } else { 0.3 },
+        seed: 0xBEA7,
+    }
+}
+
+/// Closed-loop latency + open-loop peak for one price-request kernel.
+fn price_lane(kernel: &str, pricer: PricerConfig, quick: bool) -> LaneStats {
+    let rung = finbench_serve::pricer::resolve(native::engine(), kernel, &pricer)
+        .map(|r: ServingRung| r.slug)
+        .unwrap_or_default();
+    let clients = 4;
+    let per_client = if quick { 150 } else { 600 };
+    let server = Server::start(serve_config(pricer, clients * per_client));
+    let closed = finbench_serve::run_load(
+        &server,
+        kernel,
+        LoadMode::Closed {
+            clients,
+            requests_per_client: per_client,
+        },
+        0xC0FFEE,
+        None,
+    );
+    server.shutdown();
+    // Peak search against a realistically bounded queue: overload must
+    // shed, not buffer forever.
+    let peak = finbench_serve::find_peak_sustained(
+        || Server::start(serve_config(pricer, 256)),
+        kernel,
+        &peak_schedule(closed.throughput, quick),
+    );
+    LaneStats {
+        lane: kernel.to_string(),
+        rung,
+        offered: closed.offered,
+        served: closed.served,
+        shed: closed.total_shed(),
+        other_rejected: closed.rejected + closed.invalid_input + closed.internal,
+        throughput_rps: closed.throughput,
+        p50_us: closed.p50_us,
+        p95_us: closed.p95_us,
+        p99_us: closed.p99_us,
+        peak,
+    }
+}
+
+/// Closed-loop latency + open-loop peak for the greeks lane (its own
+/// request type, so it can't ride [`finbench_serve::run_load`]).
+fn greeks_lane(pricer: PricerConfig, quick: bool) -> LaneStats {
+    let rung = finbench_serve::greeks_ladder(pricer.market)
+        .first()
+        .map(|r| r.slug.clone())
+        .unwrap_or_default();
+    let clients = 4;
+    let per_client = if quick { 150 } else { 600 };
+    let server = Server::start(serve_config(pricer, clients * per_client));
+    let t0 = Instant::now();
+    let per_client_results: Vec<(Vec<f64>, usize, usize, usize)> = std::thread::scope(|scope| {
+        (0..clients)
+            .map(|c| {
+                let server = &server;
+                scope.spawn(move || {
+                    let mut stream = finbench_serve::OptionStream::new(0x9EEC5 + c as u64);
+                    let mut lat_us = Vec::with_capacity(per_client);
+                    let (mut served, mut shed, mut other) = (0usize, 0usize, 0usize);
+                    for i in 0..per_client {
+                        let (s, x, t) = stream.next_option();
+                        let id = (c * per_client + i) as u64;
+                        let sent = Instant::now();
+                        let rx = server.submit_greeks(GreeksRequest::new(id, s, x, t));
+                        match rx.recv() {
+                            Ok(resp) => tally(
+                                &resp,
+                                sent.elapsed(),
+                                &mut lat_us,
+                                &mut served,
+                                &mut shed,
+                                &mut other,
+                            ),
+                            Err(_) => break,
+                        }
+                    }
+                    (lat_us, served, shed, other)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("greeks client thread"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+    server.shutdown();
+    let mut lat_us = Vec::new();
+    let (mut served, mut shed, mut other) = (0usize, 0usize, 0usize);
+    for (lat, s, sh, o) in per_client_results {
+        lat_us.extend(lat);
+        served += s;
+        shed += sh;
+        other += o;
+    }
+    let throughput_rps = served as f64 / wall.as_secs_f64().max(1e-9);
+    let pct = |q: f64| {
+        if lat_us.is_empty() {
+            0.0
+        } else {
+            telemetry::nearest_rank_unsorted(&lat_us, q)
+        }
+    };
+    let (p50_us, p95_us, p99_us) = (pct(0.50), pct(0.95), pct(0.99));
+    let peak = search_peak(
+        &peak_schedule(throughput_rps, quick),
+        |rate_hz, total, seed| {
+            let server = Server::start(serve_config(pricer, 256));
+            let step = greeks_open_step(&server, rate_hz, total, seed);
+            server.shutdown();
+            step
+        },
+    );
+    LaneStats {
+        lane: "greeks".into(),
+        rung,
+        offered: clients * per_client,
+        served,
+        shed,
+        other_rejected: other,
+        throughput_rps,
+        p50_us,
+        p95_us,
+        p99_us,
+        peak,
+    }
+}
+
+fn tally(
+    resp: &GreeksResponse,
+    rtt: Duration,
+    lat_us: &mut Vec<f64>,
+    served: &mut usize,
+    shed: &mut usize,
+    other: &mut usize,
+) {
+    match &resp.outcome {
+        Ok(_) => {
+            *served += 1;
+            lat_us.push(rtt.as_secs_f64() * 1e6);
+        }
+        Err(Rejected::QueueFull { .. }) | Err(Rejected::DeadlineExceeded { .. }) => *shed += 1,
+        Err(_) => *other += 1,
+    }
+}
+
+/// One paced open-loop window of greeks requests (the greeks analogue of
+/// the loadgen open loop, counting outcomes instead of latencies).
+fn greeks_open_step(server: &Server, rate_hz: f64, total: usize, seed: u64) -> PeakStep {
+    let gap = Duration::from_secs_f64(1.0 / rate_hz.max(1.0));
+    let mut stream = finbench_serve::OptionStream::new(seed);
+    let (tx, rx) = mpsc::channel::<GreeksResponse>();
+    let collector = std::thread::spawn(move || {
+        let (mut served, mut shed, mut other) = (0usize, 0usize, 0usize);
+        let mut lat = Vec::new();
+        for resp in rx.iter() {
+            tally(
+                &resp,
+                Duration::ZERO,
+                &mut lat,
+                &mut served,
+                &mut shed,
+                &mut other,
+            );
+        }
+        (served, shed, other)
+    });
+    let t0 = Instant::now();
+    for i in 0..total {
+        let due = t0 + gap.mul_f64(i as f64);
+        if let Some(sleep) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(sleep);
+        }
+        let (s, x, t) = stream.next_option();
+        server.submit_greeks_with(GreeksRequest::new(i as u64, s, x, t), &tx);
+    }
+    drop(tx);
+    let (served, shed, other_rejected) = collector.join().expect("greeks collector thread");
+    PeakStep {
+        rate_hz,
+        offered: total,
+        served,
+        shed,
+        other_rejected,
+    }
+}
+
+const ALLOC_BATCH: usize = 128;
+const ALLOC_ITERS: usize = 64;
+
+/// Allocations per batch iteration on the hot pricing paths. Zeros mean
+/// either a genuinely allocation-free path or an uninstalled counting
+/// allocator — the snapshot records which via `alloc_counter_active`.
+fn alloc_lanes(pricer: PricerConfig) -> Vec<AllocLane> {
+    let mut stream = finbench_serve::OptionStream::new(0xA110C);
+    let opts: Vec<(f64, f64, f64)> = (0..ALLOC_BATCH).map(|_| stream.next_option()).collect();
+    let mut out = Vec::new();
+    for kernel in ["black_scholes", "binomial"] {
+        if let Ok(rung) = finbench_serve::pricer::resolve(native::engine(), kernel, &pricer) {
+            let per_iter = |_: usize| {
+                let mut batch = padded_batch(&opts, rung.width);
+                rung.price(&mut batch);
+                std::hint::black_box(&batch);
+            };
+            let (allocs_per_iter, bytes_per_iter) = measure_allocs(per_iter);
+            out.push(AllocLane {
+                lane: kernel.to_string(),
+                rung: rung.slug.clone(),
+                batch: ALLOC_BATCH,
+                iters: ALLOC_ITERS,
+                allocs_per_iter,
+                bytes_per_iter,
+            });
+        }
+    }
+    if let Some(rung) = finbench_serve::greeks_ladder(pricer.market)
+        .into_iter()
+        .next()
+    {
+        let per_iter = |_: usize| {
+            let batch = padded_batch(&opts, rung.width);
+            let mut greeks = GreeksBatchSoa::zeroed(batch.len());
+            rung.compute(&batch, &mut greeks);
+            std::hint::black_box(&greeks);
+        };
+        let (allocs_per_iter, bytes_per_iter) = measure_allocs(per_iter);
+        out.push(AllocLane {
+            lane: "greeks".into(),
+            rung: rung.slug.clone(),
+            batch: ALLOC_BATCH,
+            iters: ALLOC_ITERS,
+            allocs_per_iter,
+            bytes_per_iter,
+        });
+    }
+    out
+}
+
+fn measure_allocs(mut per_iter: impl FnMut(usize)) -> (f64, f64) {
+    for i in 0..4 {
+        per_iter(i); // warmup: lazy statics, pool spin-up
+    }
+    let before = telemetry::alloc_stats();
+    for i in 0..ALLOC_ITERS {
+        per_iter(i);
+    }
+    let d = telemetry::alloc_stats().since(before);
+    (
+        d.allocs as f64 / ALLOC_ITERS as f64,
+        d.bytes as f64 / ALLOC_ITERS as f64,
+    )
+}
+
+fn assemble_json(
+    opts: &BenchReportOptions,
+    trials: usize,
+    kernels: Vec<Json>,
+    lanes: &[LaneStats],
+    allocs: &[AllocLane],
+    counters: &[(String, u64)],
+) -> Json {
+    let lanes_json: Vec<Json> = lanes
+        .iter()
+        .map(|l| {
+            Json::Obj(vec![
+                ("lane".into(), Json::Str(l.lane.clone())),
+                ("rung".into(), Json::Str(l.rung.clone())),
+                ("offered".into(), Json::Num(l.offered as f64)),
+                ("served".into(), Json::Num(l.served as f64)),
+                ("shed".into(), Json::Num(l.shed as f64)),
+                ("other_rejected".into(), Json::Num(l.other_rejected as f64)),
+                ("throughput_rps".into(), Json::Num(l.throughput_rps)),
+                ("p50_us".into(), Json::Num(l.p50_us)),
+                ("p95_us".into(), Json::Num(l.p95_us)),
+                ("p99_us".into(), Json::Num(l.p99_us)),
+                ("peak_sustained_hz".into(), Json::Num(l.peak.sustained_hz())),
+                (
+                    "peak_last_attempted_hz".into(),
+                    Json::Num(l.peak.last_attempted_hz),
+                ),
+                ("peak_steps".into(), Json::Num(l.peak.steps.len() as f64)),
+            ])
+        })
+        .collect();
+    let allocs_json: Vec<Json> = allocs
+        .iter()
+        .map(|a| {
+            Json::Obj(vec![
+                ("lane".into(), Json::Str(a.lane.clone())),
+                ("rung".into(), Json::Str(a.rung.clone())),
+                ("batch".into(), Json::Num(a.batch as f64)),
+                ("iters".into(), Json::Num(a.iters as f64)),
+                ("allocs_per_iter".into(), Json::Num(a.allocs_per_iter)),
+                ("bytes_per_iter".into(), Json::Num(a.bytes_per_iter)),
+            ])
+        })
+        .collect();
+    let counters_json: Vec<(String, Json)> = counters
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+        .collect();
+    Json::Obj(vec![
+        (
+            "schema_version".into(),
+            Json::Num(BENCH_SCHEMA_VERSION as f64),
+        ),
+        ("tool".into(), Json::Str("finbench bench-report".into())),
+        ("quick".into(), Json::Bool(opts.quick)),
+        ("trials".into(), Json::Num(trials as f64)),
+        (
+            "cycle_source".into(),
+            Json::Str(telemetry::cycles::cycle_source().into()),
+        ),
+        ("tsc_ghz".into(), Json::Num(telemetry::cycles::tsc_ghz())),
+        (
+            "cycle_overhead".into(),
+            Json::Num(telemetry::cycles::overhead_cycles()),
+        ),
+        (
+            "alloc_counter_active".into(),
+            Json::Bool(telemetry::counting_allocator_active()),
+        ),
+        ("kernels".into(), Json::Arr(kernels)),
+        ("serve".into(), Json::Arr(lanes_json)),
+        ("allocs".into(), Json::Arr(allocs_json)),
+        ("counters".into(), Json::Obj(counters_json)),
+    ])
+}
+
+/// Next free `BENCH_<n>.json` in `dir`: one past the highest committed
+/// trajectory point.
+pub fn next_bench_path(dir: &Path) -> PathBuf {
+    let mut max_n = 0u64;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(n) = name
+                .strip_prefix("BENCH_")
+                .and_then(|s| s.strip_suffix(".json"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                max_n = max_n.max(n);
+            }
+        }
+    }
+    dir.join(format!("BENCH_{}.json", max_n + 1))
+}
+
+// ---------------------------------------------------------------------------
+// bench-compare
+// ---------------------------------------------------------------------------
+
+/// Typed failure modes of snapshot loading/comparison — never a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompareError {
+    /// The file couldn't be read.
+    Io {
+        /// Offending path.
+        path: String,
+        /// OS error text.
+        msg: String,
+    },
+    /// The file isn't valid JSON.
+    Parse {
+        /// Offending path.
+        path: String,
+        /// Parser error text.
+        msg: String,
+    },
+    /// The snapshot declares a schema version this binary doesn't know
+    /// (or none at all).
+    UnknownSchema {
+        /// Offending path.
+        path: String,
+        /// What the file declared (`"missing"` when absent).
+        found: String,
+        /// The version this binary supports.
+        supported: u64,
+    },
+    /// The snapshot parses but doesn't have the expected shape, or the
+    /// two snapshots aren't comparable (quick vs. full).
+    Malformed {
+        /// Offending path (or both, for comparability errors).
+        path: String,
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for CompareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompareError::Io { path, msg } => write!(f, "{path}: {msg}"),
+            CompareError::Parse { path, msg } => write!(f, "{path}: invalid JSON: {msg}"),
+            CompareError::UnknownSchema {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{path}: unknown schema_version {found} (this binary supports {supported})"
+            ),
+            CompareError::Malformed { path, what } => write!(f, "{path}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CompareError {}
+
+/// One comparable scalar extracted from a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Dotted metric path, e.g. `native.black_scholes.simd_soa_w_8.median_rate`.
+    pub path: String,
+    /// The value.
+    pub value: f64,
+    /// Gated metrics fail CI on a harmful move beyond threshold;
+    /// advisory metrics only report.
+    pub gated: bool,
+    /// Direction of "good".
+    pub higher_is_better: bool,
+    /// Minimum harmful delta that counts, in metric units — lets
+    /// count-like metrics sitting at 0 gate on "any increase" while
+    /// ignoring float dust.
+    pub abs_floor: f64,
+}
+
+/// A loaded, flattened snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// Whether the snapshot was taken in `--quick` mode.
+    pub quick: bool,
+    /// All comparable metrics, document order.
+    pub metrics: Vec<Metric>,
+}
+
+/// Load and flatten one `BENCH_<n>.json`.
+pub fn load_bench(path: &Path) -> Result<BenchDoc, CompareError> {
+    let label = path.display().to_string();
+    let text = std::fs::read_to_string(path).map_err(|e| CompareError::Io {
+        path: label.clone(),
+        msg: e.to_string(),
+    })?;
+    let doc = json::parse(&text).map_err(|e| CompareError::Parse {
+        path: label.clone(),
+        msg: e,
+    })?;
+    flatten(&doc, &label)
+}
+
+fn flatten(doc: &Json, label: &str) -> Result<BenchDoc, CompareError> {
+    match doc.get("schema_version") {
+        Some(Json::Num(v)) if *v == BENCH_SCHEMA_VERSION as f64 => {}
+        Some(other) => {
+            return Err(CompareError::UnknownSchema {
+                path: label.to_string(),
+                found: other.to_json(),
+                supported: BENCH_SCHEMA_VERSION,
+            })
+        }
+        None => {
+            return Err(CompareError::UnknownSchema {
+                path: label.to_string(),
+                found: "missing".to_string(),
+                supported: BENCH_SCHEMA_VERSION,
+            })
+        }
+    }
+    let quick = matches!(doc.get("quick"), Some(Json::Bool(true)));
+    let mut metrics = Vec::new();
+
+    let arr = |key: &str| -> Result<&[Json], CompareError> {
+        match doc.get(key) {
+            Some(Json::Arr(items)) => Ok(items),
+            _ => Err(CompareError::Malformed {
+                path: label.to_string(),
+                what: format!("missing or non-array {key:?} section"),
+            }),
+        }
+    };
+    let str_of = |obj: &Json, key: &str| -> Result<String, CompareError> {
+        obj.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| CompareError::Malformed {
+                path: label.to_string(),
+                what: format!("entry missing string {key:?}"),
+            })
+    };
+
+    for kernel in arr("kernels")? {
+        let name = str_of(kernel, "name")?;
+        let Some(Json::Arr(rungs)) = kernel.get("rungs") else {
+            return Err(CompareError::Malformed {
+                path: label.to_string(),
+                what: format!("kernel {name:?} has no rungs array"),
+            });
+        };
+        for rung in rungs {
+            let slug = str_of(rung, "slug")?;
+            let threaded = matches!(rung.get("threaded"), Some(Json::Bool(true)));
+            let base = format!("native.{name}.{slug}");
+            let mut push = |field: &str, gated: bool, higher: bool| {
+                if let Some(v) = rung.get(field).and_then(Json::as_f64) {
+                    metrics.push(Metric {
+                        path: format!("{base}.{field}"),
+                        value: v,
+                        gated,
+                        higher_is_better: higher,
+                        abs_floor: 0.0,
+                    });
+                }
+            };
+            // Thread-pool rungs wobble with scheduler load; advisory.
+            push("median_rate", !threaded, true);
+            push("p95_rate", false, true);
+            push("best_rate", false, true);
+            push("median_cpi", false, false);
+        }
+    }
+
+    for lane in arr("serve")? {
+        let name = str_of(lane, "lane")?;
+        let base = format!("serve.{name}");
+        let mut push = |field: &str, gated: bool, higher: bool, floor: f64| {
+            if let Some(v) = lane.get(field).and_then(Json::as_f64) {
+                metrics.push(Metric {
+                    path: format!("{base}.{field}"),
+                    value: v,
+                    gated,
+                    higher_is_better: higher,
+                    abs_floor: floor,
+                });
+            }
+        };
+        // A closed-loop lane with ample queue must not shed at all: any
+        // increase (floor 0.5 ⇒ ≥ 1 whole request) is a gated regression.
+        push("shed", true, false, 0.5);
+        push("other_rejected", true, false, 0.5);
+        push("throughput_rps", false, true, 0.0);
+        push("p50_us", false, false, 0.0);
+        push("p95_us", false, false, 0.0);
+        push("p99_us", false, false, 0.0);
+        push("peak_sustained_hz", false, true, 0.0);
+    }
+
+    for lane in arr("allocs")? {
+        let name = str_of(lane, "lane")?;
+        let base = format!("allocs.{name}");
+        let mut push = |field: &str, gated: bool, floor: f64| {
+            if let Some(v) = lane.get(field).and_then(Json::as_f64) {
+                metrics.push(Metric {
+                    path: format!("{base}.{field}"),
+                    value: v,
+                    gated,
+                    higher_is_better: false,
+                    abs_floor: floor,
+                });
+            }
+        };
+        // Floor of 4 allocs/iter: the hot path gate triggers on real
+        // regressions (a new Vec per batch = +1.0), not allocator jitter
+        // around tiny counts.
+        push("allocs_per_iter", true, 4.0);
+        push("bytes_per_iter", false, 0.0);
+    }
+
+    if let Some(Json::Obj(counters)) = doc.get("counters") {
+        for (name, v) in counters {
+            let Some(v) = v.as_f64() else { continue };
+            // Only failure-ish counters are comparable (advisory): raw
+            // served/offered totals scale with sweep size, not health.
+            let failure_ish = [
+                "shed",
+                "degraded",
+                "restart",
+                "internal",
+                "unmatched",
+                "rejected",
+            ]
+            .iter()
+            .any(|s| name.contains(s));
+            if failure_ish {
+                metrics.push(Metric {
+                    path: format!("counters.{name}"),
+                    value: v,
+                    gated: false,
+                    higher_is_better: false,
+                    abs_floor: 0.5,
+                });
+            }
+        }
+    }
+
+    Ok(BenchDoc { quick, metrics })
+}
+
+/// One metric's old-vs-new delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Dotted metric path.
+    pub path: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Signed relative change, percent (NaN when old == 0).
+    pub pct: f64,
+    /// Whether this metric is gated.
+    pub gated: bool,
+    /// Gated and harmfully past threshold.
+    pub regressed: bool,
+    /// Beneficially past threshold (any metric).
+    pub improved: bool,
+}
+
+/// A finished comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Per-metric deltas for paths present in both snapshots, baseline
+    /// order.
+    pub deltas: Vec<Delta>,
+    /// Paths only in the candidate.
+    pub added: Vec<String>,
+    /// Paths only in the baseline.
+    pub removed: Vec<String>,
+    /// The noise threshold used, percent.
+    pub threshold_pct: f64,
+}
+
+impl CompareReport {
+    /// Number of gated regressions (CI fails when > 0).
+    pub fn gated_regressions(&self) -> usize {
+        self.deltas.iter().filter(|d| d.regressed).count()
+    }
+
+    /// Render the delta table: every gated metric, plus advisory metrics
+    /// that moved past the threshold, plus a summary.
+    pub fn render(&self) -> String {
+        let mut rows = Vec::new();
+        for d in &self.deltas {
+            if !d.gated && !d.regressed && !d.improved {
+                continue;
+            }
+            let status = if d.regressed {
+                "REGRESSED"
+            } else if d.improved {
+                "improved"
+            } else {
+                "ok"
+            };
+            let pct = if d.pct.is_nan() {
+                "n/a".to_string()
+            } else {
+                format!("{:+.1}%", d.pct)
+            };
+            rows.push(vec![
+                d.path.clone(),
+                fmt_num(d.old),
+                fmt_num(d.new),
+                pct,
+                (if d.gated { "gated" } else { "advisory" }).to_string(),
+                status.to_string(),
+            ]);
+        }
+        let mut out = table(&["metric", "old", "new", "delta", "class", "status"], &rows);
+        if !self.added.is_empty() || !self.removed.is_empty() {
+            out.push_str(&format!(
+                "  metrics added: {}, removed: {}\n",
+                self.added.len(),
+                self.removed.len()
+            ));
+        }
+        out.push_str(&format!(
+            "  gated regressions: {} (threshold {:.1}%)\n",
+            self.gated_regressions(),
+            self.threshold_pct
+        ));
+        out
+    }
+}
+
+/// Compare two flattened metric sets. A gated metric regresses when its
+/// harmful delta exceeds `max(threshold% × |old|, abs_floor)`.
+pub fn compare_metrics(old: &[Metric], new: &[Metric], threshold_pct: f64) -> CompareReport {
+    let new_by_path: BTreeMap<&str, &Metric> = new.iter().map(|m| (m.path.as_str(), m)).collect();
+    let old_paths: std::collections::BTreeSet<&str> = old.iter().map(|m| m.path.as_str()).collect();
+    let mut deltas = Vec::new();
+    for o in old {
+        let Some(n) = new_by_path.get(o.path.as_str()) else {
+            continue;
+        };
+        let harmful = if o.higher_is_better {
+            o.value - n.value
+        } else {
+            n.value - o.value
+        };
+        let allowed = (threshold_pct / 100.0 * o.value.abs()).max(o.abs_floor);
+        let pct = if o.value == 0.0 {
+            f64::NAN
+        } else {
+            (n.value - o.value) / o.value.abs() * 100.0
+        };
+        deltas.push(Delta {
+            path: o.path.clone(),
+            old: o.value,
+            new: n.value,
+            pct,
+            gated: o.gated,
+            regressed: o.gated && harmful > allowed,
+            improved: harmful < -allowed,
+        });
+    }
+    CompareReport {
+        deltas,
+        added: new
+            .iter()
+            .filter(|m| !old_paths.contains(m.path.as_str()))
+            .map(|m| m.path.clone())
+            .collect(),
+        removed: old
+            .iter()
+            .filter(|m| !new_by_path.contains_key(m.path.as_str()))
+            .map(|m| m.path.clone())
+            .collect(),
+        threshold_pct,
+    }
+}
+
+/// Load two snapshots and compare. Quick and full snapshots are not
+/// comparable (different workload sizes) — that's a typed error, not a
+/// wall of bogus regressions.
+pub fn bench_compare(
+    old_path: &Path,
+    new_path: &Path,
+    threshold_pct: f64,
+) -> Result<CompareReport, CompareError> {
+    let old = load_bench(old_path)?;
+    let new = load_bench(new_path)?;
+    if old.quick != new.quick {
+        return Err(CompareError::Malformed {
+            path: format!("{} vs {}", old_path.display(), new_path.display()),
+            what: format!(
+                "mode mismatch: baseline quick={}, candidate quick={} (re-run bench-report with matching --quick)",
+                old.quick, new.quick
+            ),
+        });
+    }
+    Ok(compare_metrics(&old.metrics, &new.metrics, threshold_pct))
+}
+
+/// Degrade every gated metric of `doc` harmfully past `threshold_pct`.
+fn degrade(metrics: &[Metric], threshold_pct: f64) -> Vec<Metric> {
+    let rel = (2.0 * threshold_pct / 100.0).min(0.99);
+    metrics
+        .iter()
+        .map(|m| {
+            let mut out = m.clone();
+            if m.gated {
+                out.value = if m.higher_is_better {
+                    m.value * (1.0 - rel)
+                } else {
+                    m.value * (1.0 + rel) + 2.0 * m.abs_floor + 1.0
+                };
+            }
+            out
+        })
+        .collect()
+}
+
+/// The regression gate's own regression test: synthetically degrade
+/// every gated metric of `snapshot` and verify the gate flags each one.
+/// Returns `(flagged, gated_total, report)`; the gate is healthy iff
+/// `flagged == gated_total > 0`.
+pub fn gate_self_test(
+    snapshot: &Path,
+    threshold_pct: f64,
+) -> Result<(usize, usize, CompareReport), CompareError> {
+    let doc = load_bench(snapshot)?;
+    let degraded = degrade(&doc.metrics, threshold_pct);
+    let report = compare_metrics(&doc.metrics, &degraded, threshold_pct);
+    let gated_total = doc.metrics.iter().filter(|m| m.gated).count();
+    Ok((report.gated_regressions(), gated_total, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature but schema-complete snapshot document.
+    fn sample_doc(quick: bool, rate: f64, shed: f64, allocs: f64) -> String {
+        format!(
+            r#"{{
+              "schema_version": 1,
+              "quick": {quick},
+              "kernels": [
+                {{"name": "black_scholes", "unit": "options/s", "rungs": [
+                  {{"slug": "simd_w8", "threaded": false,
+                    "median_rate": {rate}, "p95_rate": {rate}, "best_rate": {rate}, "median_cpi": 4.0}},
+                  {{"slug": "threads", "threaded": true, "median_rate": 99.0}}
+                ]}}
+              ],
+              "serve": [
+                {{"lane": "black_scholes", "shed": {shed}, "other_rejected": 0,
+                  "throughput_rps": 1000.0, "p50_us": 50.0, "p95_us": 80.0, "p99_us": 120.0,
+                  "peak_sustained_hz": 2000.0}}
+              ],
+              "allocs": [
+                {{"lane": "black_scholes", "allocs_per_iter": {allocs}, "bytes_per_iter": 4096.0}}
+              ],
+              "counters": {{"serve.shed.queue_full": {shed}, "serve.served": 600}}
+            }}"#
+        )
+    }
+
+    fn write_tmp(name: &str, text: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("finbench_report_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    #[test]
+    fn flatten_classifies_gated_and_advisory() {
+        let doc = json::parse(&sample_doc(true, 100.0, 0.0, 2.0)).unwrap();
+        let bench = flatten(&doc, "x").unwrap();
+        assert!(bench.quick);
+        let by_path: BTreeMap<&str, &Metric> =
+            bench.metrics.iter().map(|m| (m.path.as_str(), m)).collect();
+        assert!(by_path["native.black_scholes.simd_w8.median_rate"].gated);
+        assert!(!by_path["native.black_scholes.simd_w8.p95_rate"].gated);
+        // Threaded rungs are advisory even on median.
+        assert!(!by_path["native.black_scholes.threads.median_rate"].gated);
+        assert!(by_path["serve.black_scholes.shed"].gated);
+        assert!(!by_path["serve.black_scholes.p99_us"].gated);
+        assert!(by_path["allocs.black_scholes.allocs_per_iter"].gated);
+        // Only failure-ish counters flatten, advisory.
+        assert!(!by_path["counters.serve.shed.queue_full"].gated);
+        assert!(!by_path.contains_key("counters.serve.served"));
+    }
+
+    #[test]
+    fn identical_snapshots_have_zero_gated_regressions() {
+        let a = load_bench(&write_tmp(
+            "ident_a.json",
+            &sample_doc(true, 100.0, 0.0, 2.0),
+        ))
+        .unwrap();
+        let report = compare_metrics(&a.metrics, &a.metrics, DEFAULT_THRESHOLD_PCT);
+        assert_eq!(report.gated_regressions(), 0);
+        assert!(report.added.is_empty() && report.removed.is_empty());
+        assert!(report.render().contains("gated regressions: 0"));
+    }
+
+    #[test]
+    fn noise_inside_threshold_does_not_gate() {
+        let old = flatten(
+            &json::parse(&sample_doc(true, 100.0, 0.0, 2.0)).unwrap(),
+            "o",
+        )
+        .unwrap();
+        let new = flatten(
+            &json::parse(&sample_doc(true, 93.0, 0.0, 2.0)).unwrap(),
+            "n",
+        )
+        .unwrap();
+        let report = compare_metrics(&old.metrics, &new.metrics, 10.0);
+        assert_eq!(report.gated_regressions(), 0, "{report:?}");
+    }
+
+    #[test]
+    fn rate_drop_past_threshold_gates() {
+        let old = flatten(
+            &json::parse(&sample_doc(true, 100.0, 0.0, 2.0)).unwrap(),
+            "o",
+        )
+        .unwrap();
+        let new = flatten(
+            &json::parse(&sample_doc(true, 80.0, 0.0, 2.0)).unwrap(),
+            "n",
+        )
+        .unwrap();
+        let report = compare_metrics(&old.metrics, &new.metrics, 10.0);
+        assert_eq!(report.gated_regressions(), 1);
+        let bad = report.deltas.iter().find(|d| d.regressed).unwrap();
+        assert_eq!(bad.path, "native.black_scholes.simd_w8.median_rate");
+        assert!(report.render().contains("REGRESSED"), "{}", report.render());
+    }
+
+    #[test]
+    fn new_shed_gates_via_abs_floor_even_from_zero() {
+        let old = flatten(
+            &json::parse(&sample_doc(true, 100.0, 0.0, 2.0)).unwrap(),
+            "o",
+        )
+        .unwrap();
+        let new = flatten(
+            &json::parse(&sample_doc(true, 100.0, 3.0, 2.0)).unwrap(),
+            "n",
+        )
+        .unwrap();
+        let report = compare_metrics(&old.metrics, &new.metrics, 10.0);
+        assert!(report
+            .deltas
+            .iter()
+            .any(|d| d.path == "serve.black_scholes.shed" && d.regressed));
+    }
+
+    #[test]
+    fn alloc_jitter_under_floor_does_not_gate_but_real_growth_does() {
+        let old = flatten(
+            &json::parse(&sample_doc(true, 100.0, 0.0, 2.0)).unwrap(),
+            "o",
+        )
+        .unwrap();
+        // +3 allocs/iter is under the floor of 4: noise.
+        let small = flatten(
+            &json::parse(&sample_doc(true, 100.0, 0.0, 5.0)).unwrap(),
+            "n",
+        )
+        .unwrap();
+        assert_eq!(
+            compare_metrics(&old.metrics, &small.metrics, 10.0).gated_regressions(),
+            0
+        );
+        // +40 allocs/iter is a real hot-path regression.
+        let big = flatten(
+            &json::parse(&sample_doc(true, 100.0, 0.0, 42.0)).unwrap(),
+            "n",
+        )
+        .unwrap();
+        assert_eq!(
+            compare_metrics(&old.metrics, &big.metrics, 10.0).gated_regressions(),
+            1
+        );
+    }
+
+    #[test]
+    fn unknown_schema_version_is_a_typed_error() {
+        let text = sample_doc(true, 100.0, 0.0, 2.0)
+            .replace("\"schema_version\": 1", "\"schema_version\": 99");
+        let err = load_bench(&write_tmp("schema99.json", &text)).unwrap_err();
+        assert!(
+            matches!(err, CompareError::UnknownSchema { ref found, supported, .. }
+                if found == "99" && supported == BENCH_SCHEMA_VERSION),
+            "{err:?}"
+        );
+        // Missing entirely is also UnknownSchema, not a panic.
+        let text = sample_doc(true, 100.0, 0.0, 2.0).replace("\"schema_version\": 1,", "");
+        let err = load_bench(&write_tmp("schema_none.json", &text)).unwrap_err();
+        assert!(matches!(err, CompareError::UnknownSchema { ref found, .. } if found == "missing"));
+    }
+
+    #[test]
+    fn io_and_parse_errors_are_typed() {
+        let err = load_bench(Path::new("/nonexistent/bench.json")).unwrap_err();
+        assert!(matches!(err, CompareError::Io { .. }), "{err:?}");
+        let err = load_bench(&write_tmp("garbage.json", "{not json")).unwrap_err();
+        assert!(matches!(err, CompareError::Parse { .. }), "{err:?}");
+        let err = load_bench(&write_tmp("shapeless.json", "{\"schema_version\": 1}")).unwrap_err();
+        assert!(matches!(err, CompareError::Malformed { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn quick_vs_full_snapshots_refuse_to_compare() {
+        let q = write_tmp("mode_q.json", &sample_doc(true, 100.0, 0.0, 2.0));
+        let f = write_tmp("mode_f.json", &sample_doc(false, 100.0, 0.0, 2.0));
+        let err = bench_compare(&q, &f, 10.0).unwrap_err();
+        assert!(
+            matches!(err, CompareError::Malformed { ref what, .. } if what.contains("mode mismatch")),
+            "{err:?}"
+        );
+        assert!(bench_compare(&q, &q, 10.0).is_ok());
+    }
+
+    #[test]
+    fn self_test_flags_every_gated_metric() {
+        let path = write_tmp("selftest.json", &sample_doc(true, 100.0, 0.0, 2.0));
+        let (flagged, gated_total, report) = gate_self_test(&path, 10.0).unwrap();
+        assert!(gated_total > 0);
+        assert_eq!(flagged, gated_total, "{}", report.render());
+        // And an un-degraded comparison stays clean at the same threshold.
+        let doc = load_bench(&path).unwrap();
+        assert_eq!(
+            compare_metrics(&doc.metrics, &doc.metrics, 10.0).gated_regressions(),
+            0
+        );
+    }
+
+    #[test]
+    fn added_and_removed_paths_are_reported_not_fatal() {
+        let old = flatten(
+            &json::parse(&sample_doc(true, 100.0, 0.0, 2.0)).unwrap(),
+            "o",
+        )
+        .unwrap();
+        let mut new = old.clone();
+        new.metrics.remove(0);
+        new.metrics.push(Metric {
+            path: "native.new_kernel.rung.median_rate".into(),
+            value: 1.0,
+            gated: true,
+            higher_is_better: true,
+            abs_floor: 0.0,
+        });
+        let report = compare_metrics(&old.metrics, &new.metrics, 10.0);
+        assert_eq!(report.removed.len(), 1);
+        assert_eq!(report.added.len(), 1);
+        assert_eq!(report.gated_regressions(), 0);
+    }
+
+    #[test]
+    fn next_bench_path_increments_past_the_highest() {
+        let dir = std::env::temp_dir().join("finbench_bench_numbering");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(next_bench_path(&dir), dir.join("BENCH_1.json"));
+        std::fs::write(dir.join("BENCH_2.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_10.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_x.json"), "{}").unwrap();
+        assert_eq!(next_bench_path(&dir), dir.join("BENCH_11.json"));
+    }
+}

@@ -60,7 +60,10 @@ pub mod server;
 pub use batcher::{target_batch, BatchPolicy, MicroBatcher};
 pub use breaker::{Breaker, BreakerPolicy, BreakerState, FailureAction, Gate};
 pub use greeks::{greeks_ladder, GreeksRung};
-pub use loadgen::{run_load, LoadMode, LoadReport, OptionStream};
+pub use loadgen::{
+    find_peak_sustained, last_sustained_hz, run_load, search_peak, LoadMode, LoadReport,
+    OptionStream, PeakReport, PeakSearchConfig, PeakStep,
+};
 pub use pricer::{padded_batch, servable_ladder, PricerConfig, ServingRung};
 pub use queue::AdmissionQueue;
 pub use request::{

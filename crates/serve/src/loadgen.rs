@@ -306,6 +306,145 @@ fn summarize(
     }
 }
 
+/// One step of a peak-sustainable-load search: the offered open-loop
+/// rate and what the serving plane did with it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeakStep {
+    /// Offered arrival rate, requests/second.
+    pub rate_hz: f64,
+    /// Requests injected over the window.
+    pub offered: usize,
+    /// Requests priced.
+    pub served: usize,
+    /// Requests shed (queue-full + deadline).
+    pub shed: usize,
+    /// Requests answered with any other rejection (invalid input,
+    /// internal, shutdown).
+    pub other_rejected: usize,
+}
+
+impl PeakStep {
+    /// A step is *sustained* when every offered request was priced:
+    /// zero shed, zero other rejections, over the full window.
+    pub fn sustained(&self) -> bool {
+        self.shed == 0 && self.other_rejected == 0 && self.served == self.offered
+    }
+}
+
+/// The highest *sustained* rate among `steps` (0.0 when no step was
+/// sustained). This is what "peak sustainable load" means in
+/// `BENCH_<n>.json`: the last zero-shed step, **not** the last attempted
+/// one — a search that stops on its first shedding step would otherwise
+/// report a rate it just proved unsustainable.
+pub fn last_sustained_hz(steps: &[PeakStep]) -> f64 {
+    steps
+        .iter()
+        .rev()
+        .find(|s| s.sustained())
+        .map(|s| s.rate_hz)
+        .unwrap_or(0.0)
+}
+
+/// Peak-search schedule: geometric rate steps over fixed windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakSearchConfig {
+    /// First offered rate, requests/second.
+    pub start_hz: f64,
+    /// Per-step rate multiplier (> 1).
+    pub growth: f64,
+    /// Maximum number of steps.
+    pub max_steps: usize,
+    /// Window length per step, seconds (arrivals = rate × window).
+    pub window_secs: f64,
+    /// Seed for the option-parameter stream (stepped per step).
+    pub seed: u64,
+}
+
+impl Default for PeakSearchConfig {
+    fn default() -> Self {
+        Self {
+            start_hz: 500.0,
+            growth: 1.6,
+            max_steps: 8,
+            window_secs: 0.2,
+            seed: 0xBEA7,
+        }
+    }
+}
+
+/// A finished peak search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeakReport {
+    /// Every step attempted, in order.
+    pub steps: Vec<PeakStep>,
+    /// The last rate the search offered (may well have shed).
+    pub last_attempted_hz: f64,
+}
+
+impl PeakReport {
+    /// Peak sustainable load: see [`last_sustained_hz`].
+    pub fn sustained_hz(&self) -> f64 {
+        last_sustained_hz(&self.steps)
+    }
+}
+
+/// Generic peak search: step the offered rate geometrically per
+/// [`PeakSearchConfig`], driving each step through `step(rate_hz, total,
+/// seed)`, stopping at the first step that wasn't sustained (or at
+/// `max_steps`). The greeks lane reuses this with its own request type.
+pub fn search_peak(
+    cfg: &PeakSearchConfig,
+    mut step: impl FnMut(f64, usize, u64) -> PeakStep,
+) -> PeakReport {
+    let mut steps = Vec::new();
+    let mut rate = cfg.start_hz.max(1.0);
+    let growth = cfg.growth.max(1.01);
+    let mut last_attempted_hz = 0.0;
+    for i in 0..cfg.max_steps {
+        let total = ((rate * cfg.window_secs) as usize).max(32);
+        let s = step(rate, total, cfg.seed.wrapping_add(i as u64));
+        last_attempted_hz = rate;
+        let sustained = s.sustained();
+        steps.push(s);
+        if !sustained {
+            break;
+        }
+        rate *= growth;
+    }
+    PeakReport {
+        steps,
+        last_attempted_hz,
+    }
+}
+
+/// Search for the peak sustainable open-loop load on `kernel`.
+/// `make_server` builds a fresh server per step so queue state, breaker
+/// state, and latency histograms never leak across steps.
+pub fn find_peak_sustained(
+    mut make_server: impl FnMut() -> Server,
+    kernel: &str,
+    cfg: &PeakSearchConfig,
+) -> PeakReport {
+    search_peak(cfg, |rate_hz, total, seed| {
+        let server = make_server();
+        let r = run_load(
+            &server,
+            kernel,
+            LoadMode::Open { rate_hz, total },
+            seed,
+            None,
+        );
+        server.shutdown();
+        PeakStep {
+            rate_hz,
+            offered: r.offered,
+            served: r.served,
+            shed: r.total_shed(),
+            other_rejected: r.rejected + r.invalid_input + r.internal,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +522,91 @@ mod tests {
             telemetry::counter_value("loadgen.unmatched_response"),
             before + 1
         );
+    }
+
+    fn step(rate_hz: f64, offered: usize, served: usize) -> PeakStep {
+        PeakStep {
+            rate_hz,
+            offered,
+            served,
+            shed: offered - served,
+            other_rejected: 0,
+        }
+    }
+
+    #[test]
+    fn peak_reports_last_sustained_not_last_attempted() {
+        // The classic off-by-one this fixes: search stops at 400/s
+        // because 400/s shed, so the peak is 200/s.
+        let steps = vec![
+            step(100.0, 20, 20),
+            step(200.0, 40, 40),
+            step(400.0, 80, 61),
+        ];
+        assert_eq!(last_sustained_hz(&steps), 200.0);
+        let report = PeakReport {
+            steps,
+            last_attempted_hz: 400.0,
+        };
+        assert_eq!(report.sustained_hz(), 200.0);
+        assert_ne!(report.sustained_hz(), report.last_attempted_hz);
+    }
+
+    #[test]
+    fn peak_is_zero_when_nothing_was_sustained() {
+        assert_eq!(last_sustained_hz(&[]), 0.0);
+        assert_eq!(last_sustained_hz(&[step(100.0, 20, 10)]), 0.0);
+    }
+
+    #[test]
+    fn a_fully_served_window_with_other_rejections_is_not_sustained() {
+        let mut s = step(100.0, 20, 20);
+        s.other_rejected = 1;
+        assert!(!s.sustained());
+    }
+
+    #[test]
+    fn peak_search_stops_on_first_shedding_step() {
+        // A 1-slot queue with a long batching delay sheds almost
+        // immediately at any real rate, so the search terminates fast.
+        let cfg = PeakSearchConfig {
+            start_hz: 2_000.0,
+            growth: 2.0,
+            max_steps: 4,
+            window_secs: 0.05,
+            seed: 3,
+        };
+        let report = find_peak_sustained(|| quick_server(1), "black_scholes", &cfg);
+        assert!(!report.steps.is_empty());
+        assert!(report.last_attempted_hz > 0.0);
+        assert!(report.sustained_hz() <= report.last_attempted_hz);
+        // Every step before the last was sustained; the last either shed
+        // or the search ran out of steps.
+        for s in &report.steps[..report.steps.len() - 1] {
+            assert!(s.sustained(), "{s:?}");
+        }
+        if let Some(last) = report.steps.last() {
+            assert_eq!(
+                last.offered,
+                last.served + last.shed + last.other_rejected,
+                "{last:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn peak_search_with_ample_capacity_sustains_every_step() {
+        let cfg = PeakSearchConfig {
+            start_hz: 100.0,
+            growth: 1.5,
+            max_steps: 2,
+            window_secs: 0.05,
+            seed: 5,
+        };
+        let report = find_peak_sustained(|| quick_server(4096), "black_scholes", &cfg);
+        assert_eq!(report.steps.len(), 2);
+        assert!(report.steps.iter().all(PeakStep::sustained), "{report:?}");
+        assert_eq!(report.sustained_hz(), report.last_attempted_hz);
     }
 
     #[test]

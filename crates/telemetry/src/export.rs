@@ -10,6 +10,12 @@ use crate::span::{snapshot, AttrValue, SpanRecord};
 use std::fmt::Write as _;
 use std::io::Write as _;
 
+/// Schema version stamped on the leading `meta` line of every JSONL
+/// export. Bump when the line shapes change incompatibly; consumers
+/// (`finbench bench-compare` and external tooling) reject versions they
+/// don't know.
+pub const JSONL_SCHEMA_VERSION: u64 = 1;
+
 fn attr_json(v: &AttrValue) -> Json {
     match v {
         AttrValue::Int(i) => Json::Num(*i as f64),
@@ -39,9 +45,29 @@ pub fn span_to_json(rec: &SpanRecord) -> Json {
 }
 
 /// Serialize the given spans plus all counters and gauges as JSON lines.
+///
+/// The output is deterministic for a deterministic run: a `meta` line
+/// carrying [`JSONL_SCHEMA_VERSION`] comes first, spans follow in
+/// document order (`start_ns`, then id — not the racy completion order
+/// the registry stores), then counters and gauges sorted by name.
 pub fn to_jsonl(spans: &[SpanRecord]) -> String {
     let mut out = String::new();
-    for rec in spans {
+    let meta = Json::Obj(vec![
+        ("type".into(), Json::Str("meta".into())),
+        (
+            "schema_version".into(),
+            Json::Num(JSONL_SCHEMA_VERSION as f64),
+        ),
+        (
+            "format".into(),
+            Json::Str("finbench-telemetry-jsonl".into()),
+        ),
+    ]);
+    out.push_str(&meta.to_json());
+    out.push('\n');
+    let mut ordered: Vec<&SpanRecord> = spans.iter().collect();
+    ordered.sort_by_key(|r| (r.start_ns, r.id));
+    for rec in ordered {
         out.push_str(&span_to_json(rec).to_json());
         out.push('\n');
     }
@@ -224,6 +250,67 @@ mod tests {
             n += 1;
         }
         assert!(n >= 2);
+    }
+
+    #[test]
+    fn jsonl_leads_with_a_versioned_meta_line() {
+        let text = to_jsonl(&[sample_span()]);
+        let first = json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(first.get("type").unwrap().as_str(), Some("meta"));
+        assert_eq!(
+            first.get("schema_version").unwrap().as_f64(),
+            Some(JSONL_SCHEMA_VERSION as f64)
+        );
+    }
+
+    #[test]
+    fn jsonl_orders_spans_by_start_time_not_completion_order() {
+        // Completion order (children first) feeds spans in reverse start
+        // order; the export must re-sort to document order.
+        let mut child = sample_span();
+        child.id = 9;
+        child.start_ns = 5000;
+        let mut parent = sample_span();
+        parent.id = 8;
+        parent.start_ns = 100;
+        let text = to_jsonl(&[child, parent]);
+        let ids: Vec<f64> = text
+            .lines()
+            .map(|l| json::parse(l).unwrap())
+            .filter(|v| v.get("type").and_then(|t| t.as_str()) == Some("span"))
+            .map(|v| v.get("id").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(ids, vec![8.0, 9.0]);
+    }
+
+    #[test]
+    fn jsonl_counters_and_gauges_come_out_sorted_by_name() {
+        crate::filter::set_filter("all");
+        // Register deliberately out of alphabetical order.
+        crate::metrics::counter_add("export_order_test.zz", 1);
+        crate::metrics::counter_add("export_order_test.aa", 1);
+        crate::metrics::gauge_set("export_order_test.gz", 2.0);
+        crate::metrics::gauge_set("export_order_test.ga", 1.0);
+        let text = to_jsonl(&[]);
+        let names_of = |kind: &str| -> Vec<String> {
+            text.lines()
+                .map(|l| json::parse(l).unwrap())
+                .filter(|v| v.get("type").and_then(|t| t.as_str()) == Some(kind))
+                .filter_map(|v| {
+                    v.get("name")
+                        .and_then(|n| n.as_str())
+                        .filter(|n| n.starts_with("export_order_test."))
+                        .map(str::to_string)
+                })
+                .collect()
+        };
+        for kind in ["counter", "gauge"] {
+            let names = names_of(kind);
+            let mut sorted = names.clone();
+            sorted.sort();
+            assert!(!names.is_empty(), "{kind}");
+            assert_eq!(names, sorted, "{kind}: {names:?}");
+        }
     }
 
     #[test]

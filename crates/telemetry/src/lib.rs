@@ -18,6 +18,12 @@
 //! - **Exporters** ([`render_tree`], [`to_jsonl`], [`write_jsonl`],
 //!   [`to_csv`]): pull everything recorded so far out of the registries.
 //!
+//! Two measurement substrates ride along for the bench-report plane:
+//! [`cycles`] (fenced RDTSC timestamps with calibrated overhead
+//! subtraction, nanosecond fallback off x86_64) and [`alloc`] (a counting
+//! global allocator binaries may install to get allocations-per-iteration
+//! numbers).
+//!
 //! Instrumentation cost is governed by the `FINBENCH_LOG` environment
 //! variable (see [`filter`]): every hot-path call first does one relaxed
 //! atomic load and returns immediately when its signal class is filtered
@@ -25,6 +31,8 @@
 //! constant `false` so the optimizer removes the instrumentation
 //! entirely.
 
+pub mod alloc;
+pub mod cycles;
 pub mod export;
 pub mod filter;
 pub mod hist;
@@ -33,7 +41,8 @@ pub mod metrics;
 pub mod span;
 pub mod stats;
 
-pub use export::{render_tree, span_to_json, to_csv, to_jsonl, write_jsonl};
+pub use alloc::{alloc_stats, counting_allocator_active, AllocStats, CountingAlloc};
+pub use export::{render_tree, span_to_json, to_csv, to_jsonl, write_jsonl, JSONL_SCHEMA_VERSION};
 pub use filter::{enabled, set_filter, Kind};
 pub use hist::Histogram;
 pub use metrics::{

@@ -22,10 +22,12 @@ pub fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
-/// Nearest-rank quantile of an **unsorted** sample: sorts a copy, then
-/// applies [`nearest_rank`]. Convenience for one-shot report paths.
+/// Nearest-rank quantile of an **unsorted** sample: drops NaN samples
+/// (so one poisoned measurement can't become "the median"), sorts a
+/// copy, then applies [`nearest_rank`]. An all-NaN (or empty) sample
+/// returns `NaN`. Convenience for one-shot report paths.
 pub fn nearest_rank_unsorted(samples: &[f64], q: f64) -> f64 {
-    let mut sorted = samples.to_vec();
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| !v.is_nan()).collect();
     sorted.sort_by(f64::total_cmp);
     nearest_rank(&sorted, q)
 }
@@ -73,6 +75,38 @@ mod tests {
         assert_eq!(nearest_rank_unsorted(&v, 0.5), 5.0);
         assert_eq!(nearest_rank_unsorted(&v, 1.0), 9.0);
         assert_eq!(nearest_rank_unsorted(&v, 0.0), 1.0);
+    }
+
+    #[test]
+    fn all_equal_sample_returns_that_value_for_every_q() {
+        let v = [3.25; 9];
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            assert_eq!(nearest_rank(&v, q), 3.25, "q={q}");
+            assert_eq!(nearest_rank_unsorted(&v, q), 3.25, "q={q}");
+        }
+    }
+
+    #[test]
+    fn nan_samples_are_rejected_not_ranked() {
+        // Without rejection, total_cmp sorts NaN last and q=1.0 would
+        // report NaN as "the maximum".
+        let v = [2.0, f64::NAN, 1.0, f64::NAN, 3.0];
+        assert_eq!(nearest_rank_unsorted(&v, 0.0), 1.0);
+        assert_eq!(nearest_rank_unsorted(&v, 0.5), 2.0);
+        assert_eq!(nearest_rank_unsorted(&v, 1.0), 3.0);
+        // An all-NaN sample has no rankable elements: NaN, like empty.
+        assert!(nearest_rank_unsorted(&[f64::NAN, f64::NAN], 0.5).is_nan());
+    }
+
+    #[test]
+    fn infinities_still_rank() {
+        // Only NaN is rejected; infinite samples are real measurements of
+        // a degenerate kind and keep their order.
+        let v = [1.0, f64::INFINITY, f64::NEG_INFINITY];
+        assert_eq!(nearest_rank_unsorted(&v, 0.0), f64::NEG_INFINITY);
+        assert_eq!(nearest_rank_unsorted(&v, 0.5), 1.0);
+        assert_eq!(nearest_rank_unsorted(&v, 1.0), f64::INFINITY);
     }
 
     #[test]
