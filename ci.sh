@@ -13,17 +13,37 @@ echo "==> engine registry consistency"
 cargo test -q -p finbench --test engine_plane
 cargo test -q -p finbench-core --lib engine::
 
-echo "==> serve-bench smoke gate (zero shed)"
+echo "==> serve-bench smoke gate (zero shed + shard scaling)"
 serve_out=$(cargo run --release -q -p finbench-harness --bin finbench -- serve-bench --quick)
 echo "$serve_out" | tail -3
 echo "$serve_out" | grep -q "total shed: 0" || {
   echo "serve-bench shed requests under a zero-shed configuration" >&2
   exit 1
 }
+# The sharded tier must demonstrate closed-loop scaling. Real speedup
+# needs real parallelism: enforce the 2-shard >= 1.3x ratio only when
+# the host has >= 2 cores; on smaller boxes just require that the sweep
+# ran (the shed gate above already covers its correctness).
+scaling_line=$(echo "$serve_out" | grep "shard scaling 1->2:" || true)
+if [ -z "$scaling_line" ]; then
+  echo "serve-bench did not run the shard-scaling sweep" >&2
+  exit 1
+fi
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "$cores" -ge 2 ]; then
+  speedup=$(echo "$scaling_line" | sed -n 's/.*: \([0-9.]*\)x/\1/p')
+  awk -v s="$speedup" 'BEGIN { exit !(s >= 1.3) }' || {
+    echo "shard scaling 1->2 below 1.3x on a ${cores}-core host: ${speedup}x" >&2
+    exit 1
+  }
+  echo "--> shard scaling 1->2: ${speedup}x (>= 1.3x on ${cores} cores)"
+else
+  echo "--> 1-core host: shard-scaling ratio check skipped (${scaling_line#"${scaling_line%%[![:space:]]*}"})"
+fi
 
-echo "==> chaos gate (faults degrade, never corrupt)"
+echo "==> chaos gate (faults degrade, never corrupt; shard kill survivable)"
 chaos_out=$(cargo run --release -q -p finbench-harness --bin finbench -- chaos-bench --quick)
-echo "$chaos_out" | grep -E "corrupted prices|degraded batches"
+echo "$chaos_out" | grep -E "corrupted prices|degraded batches|shard-kill"
 echo "$chaos_out" | grep -q "corrupted prices: 0" || {
   echo "chaos-bench found corrupted prices under fault injection" >&2
   exit 1
@@ -32,6 +52,18 @@ if echo "$chaos_out" | grep -q "degraded batches: 0"; then
   echo "chaos-bench never exercised the degradation ladder (degraded batches: 0)" >&2
   exit 1
 fi
+# Killing one of two shards must leave a serving survivor and keep
+# availability above the SLO floor: the router reroutes, it never
+# corrupts (the zero-corruption grep above covers the kill plan too).
+echo "$chaos_out" | grep -q "shard-kill survivors: 1/2 shards alive" || {
+  echo "chaos-bench shard-kill plan did not leave exactly one survivor" >&2
+  exit 1
+}
+kill_avail=$(echo "$chaos_out" | sed -n 's/.*shard-kill availability: \([0-9.]*\)%.*/\1/p')
+awk -v a="$kill_avail" 'BEGIN { exit !(a >= 90.0) }' || {
+  echo "shard-kill availability ${kill_avail}% below the 90% floor" >&2
+  exit 1
+}
 
 echo "==> greeks gate (bump agreement + zero shed on the greeks lane)"
 greeks_out=$(cargo run --release -q -p finbench-harness --bin finbench -- greeks-bench --quick)
@@ -55,10 +87,42 @@ latest_bench=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
 bench_tmp=$(mktemp -t finbench_bench_XXXXXX.json)
 trap 'rm -f "$bench_tmp"' EXIT
 cargo run --release -q -p finbench-harness --bin finbench -- bench-report --quick --out "$bench_tmp"
+# Print the metric names a compare run flagged as REGRESSED.
+regressed_metrics() {
+  awk -F'|' '/REGRESSED/ { gsub(/ /, "", $2); print $2 }'
+}
 if [ -n "$latest_bench" ]; then
   echo "--> bench-compare $latest_bench vs fresh snapshot (threshold ${bench_threshold}%)"
-  cargo run --release -q -p finbench-harness --bin finbench -- \
-    bench-compare "$latest_bench" "$bench_tmp" --threshold "$bench_threshold"
+  # Shared boxes have bursty noise windows that depress whole groups of
+  # kernels at once; a real regression reproduces *on the same metric*,
+  # noise lands somewhere else each time. Fail only when a second fresh
+  # measurement flags an overlapping metric.
+  rc1=0
+  out1=$(cargo run --release -q -p finbench-harness --bin finbench -- \
+    bench-compare "$latest_bench" "$bench_tmp" --threshold "$bench_threshold") || rc1=$?
+  echo "$out1"
+  if [ "$rc1" -eq 1 ]; then
+    echo "--> gated regression on first measurement; re-measuring once to rule out ambient noise"
+    cargo run --release -q -p finbench-harness --bin finbench -- bench-report --quick --out "$bench_tmp"
+    rc2=0
+    out2=$(cargo run --release -q -p finbench-harness --bin finbench -- \
+      bench-compare "$latest_bench" "$bench_tmp" --threshold "$bench_threshold") || rc2=$?
+    echo "$out2"
+    if [ "$rc2" -eq 1 ]; then
+      common=$(comm -12 <(echo "$out1" | regressed_metrics | sort) \
+                        <(echo "$out2" | regressed_metrics | sort))
+      if [ -n "$common" ]; then
+        echo "persistent gated regressions (flagged in both measurements):" >&2
+        echo "$common" >&2
+        exit 1
+      fi
+      echo "--> regressions did not reproduce on the same metrics; ambient noise, gate passes"
+    elif [ "$rc2" -ne 0 ]; then
+      exit "$rc2"
+    fi
+  elif [ "$rc1" -ne 0 ]; then
+    exit "$rc1"
+  fi
 else
   echo "--> no committed BENCH_<n>.json yet; skipping comparison"
 fi

@@ -21,7 +21,8 @@
 //!   equal to it or a dotted prefix of it (`batch` matches
 //!   `batch.black_scholes`).
 //! * `kind` — `panic` | `latency:<dur>` (`100ns`, `250us`, `5ms`, `1s`) |
-//!   `corrupt:<nan|inf|neg>` | `stall`.
+//!   `corrupt:<nan|inf|neg>` | `stall` | `kill` (for killable components
+//!   such as serving shards: `serve.shard.<i>=kill`).
 //! * `@rate` — firing probability in `[0, 1]`; defaults to `1`.
 //! * `#seed` — per-entry SplitMix64 seed; defaults to `0x5EED`.
 //!
@@ -29,8 +30,11 @@
 //!
 //! Each installed spec owns a SplitMix64 counter stream: the *n*-th
 //! firing decision of a spec is a pure function of `(seed, n)`, so a
-//! chaos run replays identically given the same call order per site —
-//! which the single-dispatcher serving plane provides.
+//! chaos run replays identically given the same call order per site.
+//! A single-shard serving plane provides that order exactly; with
+//! multiple shards the *decision stream* stays deterministic while the
+//! assignment of decisions to shards follows the (scheduler-dependent)
+//! interleaving of their calls.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -74,6 +78,11 @@ pub enum FaultKind {
     CorruptInput(Corruption),
     /// Stall the consumer side of a queue for one scheduling window.
     StallQueue,
+    /// Kill the component at the site outright (e.g. a serving shard:
+    /// `serve.shard.<i>=kill`). The component answers everything it
+    /// holds with typed rejections and exits — availability degrades,
+    /// correctness must not.
+    Kill,
 }
 
 impl std::fmt::Display for FaultKind {
@@ -93,6 +102,7 @@ impl std::fmt::Display for FaultKind {
             FaultKind::CorruptInput(Corruption::Inf) => write!(f, "corrupt:inf"),
             FaultKind::CorruptInput(Corruption::Negative) => write!(f, "corrupt:neg"),
             FaultKind::StallQueue => write!(f, "stall"),
+            FaultKind::Kill => write!(f, "kill"),
         }
     }
 }
@@ -252,6 +262,7 @@ fn parse_kind(s: &str) -> Option<FaultKind> {
     match s {
         "panic" => Some(FaultKind::Panic),
         "stall" => Some(FaultKind::StallQueue),
+        "kill" => Some(FaultKind::Kill),
         _ => {
             if let Some(d) = s.strip_prefix("latency:") {
                 return parse_duration(d.trim()).map(FaultKind::Latency);
@@ -646,7 +657,7 @@ mod tests {
         #[test]
         fn display_reparses_to_the_same_plan(
             site_idx in 0usize..4,
-            kind_idx in 0usize..6,
+            kind_idx in 0usize..7,
             nanos in 0u64..5_000_000,
             rate in 0.0f64..1.0,
             seed in 0u64..u64::MAX,
@@ -658,6 +669,7 @@ mod tests {
                 2 => FaultKind::CorruptInput(Corruption::NaN),
                 3 => FaultKind::CorruptInput(Corruption::Inf),
                 4 => FaultKind::CorruptInput(Corruption::Negative),
+                5 => FaultKind::Kill,
                 _ => FaultKind::StallQueue,
             };
             let plan = FaultPlan::new().with(FaultSpec {

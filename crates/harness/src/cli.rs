@@ -39,6 +39,12 @@ pub enum CliAction {
     BenchReport(BenchReportOptions),
     /// Compare two snapshots (or self-test the gate on one).
     BenchCompare(BenchCompareArgs),
+    /// Render the gated-metric trajectory across every committed
+    /// `BENCH_<n>.json` in a directory.
+    BenchTrend {
+        /// Directory holding the `BENCH_<n>.json` snapshots.
+        dir: String,
+    },
 }
 
 /// Multi-line usage string (the error path points people here).
@@ -55,7 +61,9 @@ pub fn usage_line() -> String {
          \x20 finbench bench-compare OLD.json NEW.json [--threshold PCT]\n\
          \x20 finbench bench-compare --self-test SNAP.json [--threshold PCT]\n\
          \x20     delta table between two snapshots; exit 1 on gated regressions\n\
-         flags: [--quick] [--only KERNEL[,KERNEL...]] [--csv DIR] [--json FILE] [--report]\n\
+         \x20 finbench bench-trend [DIR]\n\
+         \x20     gated-metric trajectory across every BENCH_<n>.json in DIR (default .)\n\
+         flags: [--quick] [--only KERNEL[,KERNEL...]] [--shards N] [--csv DIR] [--json FILE] [--report]\n\
          note: the flat forms `finbench [EXPERIMENT ...]` and `--list` are deprecated\n\
          \x20     aliases for `run` / `list`; prefer the subcommands.\n\
          experiments: {} | all\n\
@@ -102,6 +110,11 @@ fn collect(args: &[String]) -> Result<Collected, String> {
             "--only" => match it.next() {
                 Some(list) => opts.only = Some(parse_only(list)?),
                 None => return Err("--only requires a kernel list argument".into()),
+            },
+            "--shards" => match it.next().map(|s| s.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => opts.shards = Some(n),
+                Some(_) => return Err("--shards requires a positive integer".into()),
+                None => return Err("--shards requires a count argument".into()),
             },
             "--report" => opts.report = true,
             "--list" => return Ok(Collected::Short(CliAction::List)),
@@ -172,6 +185,7 @@ where
         Some("greeks-bench") => parse_experiment_alias("greeks-bench", "greeks_bench", &args[1..]),
         Some("bench-report") => parse_bench_report(&args[1..]),
         Some("bench-compare") => parse_bench_compare(&args[1..]),
+        Some("bench-trend") => parse_bench_trend(&args[1..]),
         // Deprecated flat grammar: `finbench [EXPERIMENT ...] [FLAGS]`.
         _ => parse_run(&args),
     }
@@ -255,6 +269,28 @@ fn parse_bench_compare(args: &[String]) -> Result<CliAction, String> {
         mode,
         threshold_pct,
     }))
+}
+
+/// `bench-trend [DIR]` — one optional directory operand (default `.`).
+fn parse_bench_trend(args: &[String]) -> Result<CliAction, String> {
+    let mut dir: Option<String> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(CliAction::Help),
+            other if other.starts_with('-') => {
+                return Err(format!("bench-trend: unknown flag: {other}"));
+            }
+            other => {
+                if dir.is_some() {
+                    return Err("bench-trend takes at most one directory operand".into());
+                }
+                dir = Some(other.to_string());
+            }
+        }
+    }
+    Ok(CliAction::BenchTrend {
+        dir: dir.unwrap_or_else(|| ".".to_string()),
+    })
 }
 
 fn parse_run(args: &[String]) -> Result<CliAction, String> {
@@ -426,6 +462,37 @@ mod tests {
         let u = usage_line();
         assert!(u.contains("bench-report"), "{u}");
         assert!(u.contains("bench-compare"), "{u}");
+        assert!(u.contains("bench-trend"), "{u}");
+        assert!(u.contains("--shards"), "{u}");
+    }
+
+    #[test]
+    fn bench_trend_takes_an_optional_directory() {
+        assert_eq!(
+            parse_args(["bench-trend"]),
+            Ok(CliAction::BenchTrend { dir: ".".into() })
+        );
+        assert_eq!(
+            parse_args(["bench-trend", "snaps"]),
+            Ok(CliAction::BenchTrend {
+                dir: "snaps".into()
+            })
+        );
+        assert!(parse_args(["bench-trend", "a", "b"]).is_err());
+        assert!(parse_args(["bench-trend", "--frob"]).is_err());
+        assert_eq!(parse_args(["bench-trend", "-h"]), Ok(CliAction::Help));
+    }
+
+    #[test]
+    fn shards_flag_parses_on_serve_bench() {
+        let p = run(&["serve-bench", "--shards", "4"]);
+        assert_eq!(p.ids, ["serve_bench"]);
+        assert_eq!(p.opts.shards, Some(4));
+        // Default: mode decides the sweep top.
+        assert_eq!(run(&["serve-bench"]).opts.shards, None);
+        assert!(parse_args(["serve-bench", "--shards"]).is_err());
+        assert!(parse_args(["serve-bench", "--shards", "0"]).is_err());
+        assert!(parse_args(["serve-bench", "--shards", "lots"]).is_err());
     }
 
     // ---- deprecated flat grammar (aliases for `run` / `list`) ----

@@ -419,6 +419,11 @@ pub fn native_all(opts: &RunOptions) {
 /// offered load and no deadlines are attached, so a healthy serving
 /// plane sheds nothing — `ci.sh` greps the final `total shed:` line as
 /// its smoke gate.
+///
+/// A shard-scaling sweep closes the run: the same closed-loop drive
+/// against 1, 2, … worker shards (`--shards N` sets the top; default 2
+/// quick / 4 full), printing a `shard scaling 1->2:` speedup line that
+/// `ci.sh` gates at ≥ 1.3×.
 pub fn serve_bench(opts: &RunOptions) {
     use finbench_serve::{run_load, LoadMode, LoadReport, PricerConfig, ServeConfig, Server};
     use std::time::Duration;
@@ -553,6 +558,100 @@ pub fn serve_bench(opts: &RunOptions) {
         );
         maybe_write_csv(&opts.csv_dir, &format!("serve_bench_{kernel}.csv"), &curve);
     }
+
+    // Shard-scaling sweep: the same closed-loop drive against a router
+    // with 1, 2, … worker shards on the analytic kernel. `ci.sh` greps
+    // the `shard scaling 1->2:` line as its scaling smoke gate.
+    {
+        let top = opts.shards.unwrap_or(if opts.quick { 2 } else { 4 }).max(1);
+        let mut shard_counts = vec![1usize];
+        while shard_counts.last().unwrap() * 2 <= top {
+            shard_counts.push(shard_counts.last().unwrap() * 2);
+        }
+        if *shard_counts.last().unwrap() < top {
+            shard_counts.push(top);
+        }
+        let clients = 8;
+        let per_client = if opts.quick { 250 } else { 1200 };
+        println!(
+            "  [shard scaling] black_scholes, closed loop x{clients}, {per_client} req/client"
+        );
+        let mut scale_rows: Vec<Vec<String>> = Vec::new();
+        let mut scale_csv = String::from("shards,served,shed,throughput_rps,speedup\n");
+        let mut base_rps = 0.0f64;
+        for (i, &n) in shard_counts.iter().enumerate() {
+            let server = Server::start(ServeConfig {
+                queue_capacity: 4096,
+                max_delay: Duration::from_micros(200),
+                max_batch: 512,
+                shards: n,
+                pricer,
+                ..ServeConfig::default()
+            });
+            let r = run_load(
+                &server,
+                "black_scholes",
+                LoadMode::Closed {
+                    clients,
+                    requests_per_client: per_client,
+                },
+                0x5CA1E + i as u64,
+                None,
+            );
+            server.shutdown();
+            total_shed += r.total_shed();
+            total_rejected += r.rejected;
+            total_invalid += r.invalid_input;
+            total_internal += r.internal;
+            if n == 1 {
+                base_rps = r.throughput;
+            }
+            // A collapsed baseline (e.g. an armed kill plan took out the
+            // single shard) makes the ratio meaningless — say so instead
+            // of printing an astronomically large number.
+            let speedup = (base_rps > 1.0).then(|| r.throughput / base_rps);
+            let speedup_str = speedup.map_or_else(|| "n/a".to_string(), |s| format!("{s:.2}x"));
+            let shard_avail: Vec<String> = r
+                .shards
+                .iter()
+                .map(|s| format!("{:.2}", s.availability()))
+                .collect();
+            scale_rows.push(vec![
+                n.to_string(),
+                r.served.to_string(),
+                r.total_shed().to_string(),
+                fmt_num(r.throughput),
+                speedup_str.clone(),
+                shard_avail.join("/"),
+            ]);
+            scale_csv.push_str(&format!(
+                "{n},{},{},{:.1},{}\n",
+                r.served,
+                r.total_shed(),
+                r.throughput,
+                speedup.map_or_else(|| "n/a".to_string(), |s| format!("{s:.3}")),
+            ));
+            if n > 1 {
+                println!("  shard scaling 1->{n}: {speedup_str}");
+            }
+        }
+        println!(
+            "{}",
+            table(
+                &[
+                    "shards",
+                    "served",
+                    "shed",
+                    "req/s",
+                    "speedup",
+                    "shard avail"
+                ],
+                &scale_rows
+            )
+        );
+        maybe_write_csv(&opts.csv_dir, "serve_bench_shard_scaling.csv", &scale_csv);
+    }
+
     println!("  total shed: {total_shed}");
     println!("  total rejected: {total_rejected}");
     if total_invalid + total_internal > 0 {
@@ -572,7 +671,10 @@ pub fn serve_bench(opts: &RunOptions) {
 ///
 /// `ci.sh` greps the final `corrupted prices:` / `degraded batches:`
 /// lines: corruption must be zero and the panic plans must actually
-/// exercise the degradation ladder (non-zero degraded batches).
+/// exercise the degradation ladder (non-zero degraded batches). The
+/// server runs two worker shards, and a `shard kill` plan kills one
+/// mid-run — the `shard-kill availability:` line must stay above the CI
+/// floor while the surviving shard keeps serving.
 pub fn chaos_bench(opts: &RunOptions) {
     use finbench_faults::{self as faults, FaultPlan, PlanGuard};
     use finbench_serve::{
@@ -602,6 +704,10 @@ pub fn chaos_bench(opts: &RunOptions) {
             "combined",
             "batch.black_scholes=panic@0.1,admit.black_scholes=corrupt:inf@0.05,queue=stall@0.01",
         ),
+        // Kill one of the two worker shards mid-run: the router stops
+        // routing there, in-flight work on the dead shard answers
+        // `Rejected::Internal`, and the surviving shard keeps serving.
+        ("shard kill", "serve.shard.1=kill@0.05#7"),
     ];
 
     let pricer_cfg = PricerConfig::default();
@@ -622,6 +728,7 @@ pub fn chaos_bench(opts: &RunOptions) {
 
     let mut total_corrupted = 0usize;
     let mut total_degraded = 0u64;
+    let mut kill_stats: Option<(f64, usize, usize, u64)> = None;
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut csv = String::from(
         "plan,offered,served,availability,invalid,internal,shed,degraded_batches,restarts,breaker_open,corrupted\n",
@@ -633,6 +740,9 @@ pub fn chaos_bench(opts: &RunOptions) {
             queue_capacity: 4096,
             max_delay: Duration::from_micros(300),
             max_batch: 512,
+            // Two worker shards: every plan exercises the sharded router,
+            // and the shard-kill plan has a survivor to fail over to.
+            shards: 2,
             pricer: pricer_cfg,
             breaker: BreakerPolicy {
                 // Short cooldown so an opened breaker restarts within the
@@ -705,6 +815,18 @@ pub fn chaos_bench(opts: &RunOptions) {
         };
         total_corrupted += corrupted;
         total_degraded += degraded;
+        if *label == "shard kill" {
+            kill_stats = Some((
+                avail,
+                snap.alive_shards(),
+                snap.shards.len(),
+                snap.shards
+                    .iter()
+                    .filter(|s| s.alive)
+                    .map(|s| s.served)
+                    .sum(),
+            ));
+        }
         rows.push(vec![
             label.to_string(),
             offered.to_string(),
@@ -744,6 +866,10 @@ pub fn chaos_bench(opts: &RunOptions) {
     maybe_write_csv(&opts.csv_dir, "chaos_bench.csv", &csv);
     println!("  corrupted prices: {total_corrupted}");
     println!("  degraded batches: {total_degraded}");
+    if let Some((avail, alive, shards, survivor_served)) = kill_stats {
+        println!("  shard-kill availability: {:.1}%", 100.0 * avail);
+        println!("  shard-kill survivors: {alive}/{shards} shards alive, served {survivor_served}");
+    }
     println!("  (corrupted compares every Priced response bit-for-bit against solo");
     println!("  pricing on the rung that served it — faults shed or degrade, never corrupt)");
 }

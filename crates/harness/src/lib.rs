@@ -55,6 +55,9 @@ pub struct RunOptions {
     pub report: bool,
     /// Restrict `native` to these registry kernels (none = all).
     pub only: Option<Vec<String>>,
+    /// Top of the serving-plane shard sweep (`serve_bench`): shard counts
+    /// double 1, 2, … up to this value (none = mode default).
+    pub shards: Option<usize>,
 }
 
 /// All experiment ids, in paper order (plus the op-count audit).

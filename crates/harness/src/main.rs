@@ -45,6 +45,16 @@ fn main() {
         CliAction::BenchCompare(args) => {
             std::process::exit(run_bench_compare(&args));
         }
+        CliAction::BenchTrend { dir } => {
+            match report::bench_trend(std::path::Path::new(&dir)) {
+                Ok(table) => print!("{table}"),
+                Err(e) => {
+                    eprintln!("error: bench-trend: {e}");
+                    std::process::exit(2);
+                }
+            }
+            return;
+        }
         CliAction::Run(p) => p,
     };
 

@@ -622,11 +622,84 @@ fn assemble_json(
             "alloc_counter_active".into(),
             Json::Bool(telemetry::counting_allocator_active()),
         ),
+        ("host".into(), HostFingerprint::current().to_json()),
         ("kernels".into(), Json::Arr(kernels)),
         ("serve".into(), Json::Arr(lanes_json)),
         ("allocs".into(), Json::Arr(allocs_json)),
         ("counters".into(), Json::Obj(counters_json)),
     ])
+}
+
+/// The machine a snapshot was taken on. Rates are only comparable
+/// between identical hosts; `bench-compare` downgrades gated metrics to
+/// advisory when fingerprints differ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostFingerprint {
+    /// CPU model string (`/proc/cpuinfo` "model name"; "unknown" when
+    /// unavailable).
+    pub cpu_model: String,
+    /// Logical core count.
+    pub logical_cores: u64,
+    /// Calibrated TSC frequency, GHz.
+    pub tsc_ghz: f64,
+}
+
+impl HostFingerprint {
+    /// Fingerprint of the machine running this process.
+    pub fn current() -> Self {
+        Self {
+            cpu_model: cpu_model_string(),
+            logical_cores: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(0),
+            tsc_ghz: telemetry::cycles::tsc_ghz(),
+        }
+    }
+
+    /// Whether two fingerprints describe different machines: model or
+    /// core count differs, or the calibrated TSC differs by more than 5%
+    /// (calibration wobbles a little between boots; a different part
+    /// doesn't).
+    pub fn differs_from(&self, other: &Self) -> bool {
+        if self.cpu_model != other.cpu_model || self.logical_cores != other.logical_cores {
+            return true;
+        }
+        let base = self.tsc_ghz.abs().max(1e-9);
+        (self.tsc_ghz - other.tsc_ghz).abs() / base > 0.05
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("cpu_model".into(), Json::Str(self.cpu_model.clone())),
+            ("logical_cores".into(), Json::Num(self.logical_cores as f64)),
+            ("tsc_ghz".into(), Json::Num(self.tsc_ghz)),
+        ])
+    }
+}
+
+impl std::fmt::Display for HostFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} × {} @ {:.2} GHz",
+            self.logical_cores, self.cpu_model, self.tsc_ghz
+        )
+    }
+}
+
+/// First `model name` line of `/proc/cpuinfo` (Linux); "unknown"
+/// elsewhere or when the file is unreadable.
+fn cpu_model_string() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Next free `BENCH_<n>.json` in `dir`: one past the highest committed
@@ -733,6 +806,9 @@ pub struct Metric {
 pub struct BenchDoc {
     /// Whether the snapshot was taken in `--quick` mode.
     pub quick: bool,
+    /// The machine the snapshot was taken on (absent in snapshots
+    /// predating the fingerprint field).
+    pub host: Option<HostFingerprint>,
     /// All comparable metrics, document order.
     pub metrics: Vec<Metric>,
 }
@@ -770,6 +846,15 @@ fn flatten(doc: &Json, label: &str) -> Result<BenchDoc, CompareError> {
         }
     }
     let quick = matches!(doc.get("quick"), Some(Json::Bool(true)));
+    let host = doc.get("host").map(|h| HostFingerprint {
+        cpu_model: h
+            .get("cpu_model")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        logical_cores: h.get("logical_cores").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+        tsc_ghz: h.get("tsc_ghz").and_then(Json::as_f64).unwrap_or(0.0),
+    });
     let mut metrics = Vec::new();
 
     let arr = |key: &str| -> Result<&[Json], CompareError> {
@@ -895,7 +980,11 @@ fn flatten(doc: &Json, label: &str) -> Result<BenchDoc, CompareError> {
         }
     }
 
-    Ok(BenchDoc { quick, metrics })
+    Ok(BenchDoc {
+        quick,
+        host,
+        metrics,
+    })
 }
 
 /// One metric's old-vs-new delta.
@@ -929,6 +1018,9 @@ pub struct CompareReport {
     pub removed: Vec<String>,
     /// The noise threshold used, percent.
     pub threshold_pct: f64,
+    /// Printed warning when the snapshots came from different machines
+    /// and gated metrics were downgraded to advisory.
+    pub note: Option<String>,
 }
 
 impl CompareReport {
@@ -966,7 +1058,14 @@ impl CompareReport {
                 status.to_string(),
             ]);
         }
-        let mut out = table(&["metric", "old", "new", "delta", "class", "status"], &rows);
+        let mut out = String::new();
+        if let Some(note) = &self.note {
+            out.push_str(&format!("  warning: {note}\n"));
+        }
+        out.push_str(&table(
+            &["metric", "old", "new", "delta", "class", "status"],
+            &rows,
+        ));
         if !self.added.is_empty() || !self.removed.is_empty() {
             out.push_str(&format!(
                 "  metrics added: {}, removed: {}\n",
@@ -1027,6 +1126,7 @@ pub fn compare_metrics(old: &[Metric], new: &[Metric], threshold_pct: f64) -> Co
             .map(|m| m.path.clone())
             .collect(),
         threshold_pct,
+        note: None,
     }
 }
 
@@ -1049,7 +1149,26 @@ pub fn bench_compare(
             ),
         });
     }
-    Ok(compare_metrics(&old.metrics, &new.metrics, threshold_pct))
+    // Rates from different machines don't gate: downgrade every gated
+    // metric to advisory and say so. A missing fingerprint (pre-schema
+    // snapshot) keeps the gate armed — same-host is the safe assumption
+    // for a trajectory committed to one repo.
+    let mut old_metrics = old.metrics;
+    let mut note = None;
+    if let (Some(a), Some(b)) = (&old.host, &new.host) {
+        if a.differs_from(b) {
+            for m in &mut old_metrics {
+                m.gated = false;
+            }
+            note = Some(format!(
+                "host fingerprint mismatch (baseline: {a}; candidate: {b}); \
+                 gated metrics downgraded to advisory"
+            ));
+        }
+    }
+    let mut rep = compare_metrics(&old_metrics, &new.metrics, threshold_pct);
+    rep.note = note;
+    Ok(rep)
 }
 
 /// Degrade every gated metric of `doc` harmfully past `threshold_pct`.
@@ -1084,6 +1203,94 @@ pub fn gate_self_test(
     let report = compare_metrics(&doc.metrics, &degraded, threshold_pct);
     let gated_total = doc.metrics.iter().filter(|m| m.gated).count();
     Ok((report.gated_regressions(), gated_total, report))
+}
+
+// ---------------------------------------------------------------------------
+// bench-trend
+// ---------------------------------------------------------------------------
+
+/// All `BENCH_<n>.json` files in `dir`, ascending by `n`.
+fn bench_snapshots(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut files = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(n) = name
+                .strip_prefix("BENCH_")
+                .and_then(|s| s.strip_suffix(".json"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                files.push((n, entry.path()));
+            }
+        }
+    }
+    files.sort_by_key(|(n, _)| *n);
+    files
+}
+
+/// Render the gated-metric trajectory across every committed
+/// `BENCH_<n>.json` in `dir`: one row per (metric, snapshot) with the
+/// value and its delta against the previous snapshot carrying that
+/// metric. Mixed quick/full trajectories are rendered with a mode column
+/// (deltas across a mode switch reflect the workload change, not a
+/// regression).
+pub fn bench_trend(dir: &Path) -> Result<String, CompareError> {
+    let files = bench_snapshots(dir);
+    if files.is_empty() {
+        return Err(CompareError::Malformed {
+            path: dir.display().to_string(),
+            what: "no BENCH_<n>.json snapshots found".to_string(),
+        });
+    }
+    let mut snaps: Vec<(u64, BenchDoc)> = Vec::with_capacity(files.len());
+    for (n, path) in &files {
+        snaps.push((*n, load_bench(path)?));
+    }
+    // Gated metric paths in first-appearance order across the trajectory.
+    let mut order: Vec<String> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (_, doc) in &snaps {
+        for m in doc.metrics.iter().filter(|m| m.gated) {
+            if seen.insert(m.path.clone()) {
+                order.push(m.path.clone());
+            }
+        }
+    }
+    let mut rows = Vec::new();
+    for path in &order {
+        let mut prev: Option<f64> = None;
+        for (n, doc) in &snaps {
+            let Some(m) = doc.metrics.iter().find(|m| m.gated && &m.path == path) else {
+                continue;
+            };
+            let delta = match prev {
+                Some(p) if p != 0.0 => format!("{:+.1}%", (m.value - p) / p.abs() * 100.0),
+                Some(p) => {
+                    // From an exact zero (e.g. shed counts) percentages
+                    // are meaningless; show the absolute move.
+                    format!("{:+}", m.value - p)
+                }
+                None => "-".to_string(),
+            };
+            rows.push(vec![
+                path.clone(),
+                n.to_string(),
+                (if doc.quick { "quick" } else { "full" }).to_string(),
+                fmt_num(m.value),
+                delta,
+            ]);
+            prev = Some(m.value);
+        }
+    }
+    let mut out = section(&format!(
+        "bench-trend ({} snapshots, {} gated metrics)",
+        snaps.len(),
+        order.len()
+    ));
+    out.push('\n');
+    out.push_str(&table(&["metric", "n", "mode", "value", "delta"], &rows));
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1311,6 +1518,112 @@ mod tests {
         assert_eq!(report.removed.len(), 1);
         assert_eq!(report.added.len(), 1);
         assert_eq!(report.gated_regressions(), 0);
+    }
+
+    /// Inject a host fingerprint into a [`sample_doc`] snapshot.
+    fn with_host(doc: &str, model: &str, cores: u64, ghz: f64) -> String {
+        doc.replacen(
+            "\"quick\":",
+            &format!(
+                "\"host\": {{\"cpu_model\": \"{model}\", \"logical_cores\": {cores}, \
+                 \"tsc_ghz\": {ghz}}},\n              \"quick\":"
+            ),
+            1,
+        )
+    }
+
+    #[test]
+    fn host_fingerprint_round_trips_and_detects_difference() {
+        let doc = json::parse(&with_host(
+            &sample_doc(true, 100.0, 0.0, 2.0),
+            "Xeon E5-2670",
+            32,
+            2.6,
+        ))
+        .unwrap();
+        let bench = flatten(&doc, "x").unwrap();
+        let host = bench.host.expect("host fingerprint parsed");
+        assert_eq!(host.cpu_model, "Xeon E5-2670");
+        assert_eq!(host.logical_cores, 32);
+        assert!(!host.differs_from(&host.clone()));
+        // TSC wobble inside 5% is the same machine; beyond it isn't.
+        let mut wobble = host.clone();
+        wobble.tsc_ghz = 2.65;
+        assert!(!host.differs_from(&wobble));
+        wobble.tsc_ghz = 3.2;
+        assert!(host.differs_from(&wobble));
+        let mut other = host.clone();
+        other.cpu_model = "Xeon Phi 7120".into();
+        assert!(host.differs_from(&other));
+        // Pre-fingerprint snapshots load with no host at all.
+        let legacy = flatten(
+            &json::parse(&sample_doc(true, 100.0, 0.0, 2.0)).unwrap(),
+            "x",
+        )
+        .unwrap();
+        assert_eq!(legacy.host, None);
+        // And the fingerprint of this machine is at least well-formed.
+        let cur = HostFingerprint::current();
+        assert!(!cur.cpu_model.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_downgrades_gated_metrics_with_a_warning() {
+        // A 20% rate drop that would normally gate...
+        let old = write_tmp(
+            "fp_old.json",
+            &with_host(&sample_doc(true, 100.0, 0.0, 2.0), "Xeon E5-2670", 32, 2.6),
+        );
+        let new_other_host = write_tmp(
+            "fp_new_other.json",
+            &with_host(&sample_doc(true, 80.0, 0.0, 2.0), "Xeon Phi 7120", 244, 1.2),
+        );
+        let rep = bench_compare(&old, &new_other_host, 10.0).unwrap();
+        assert_eq!(rep.gated_regressions(), 0, "{}", rep.render());
+        let rendered = rep.render();
+        assert!(rendered.contains("warning:"), "{rendered}");
+        assert!(rendered.contains("fingerprint mismatch"), "{rendered}");
+        // ...still gates on the same machine...
+        let new_same_host = write_tmp(
+            "fp_new_same.json",
+            &with_host(&sample_doc(true, 80.0, 0.0, 2.0), "Xeon E5-2670", 32, 2.6),
+        );
+        let rep = bench_compare(&old, &new_same_host, 10.0).unwrap();
+        assert_eq!(rep.gated_regressions(), 1);
+        assert_eq!(rep.note, None);
+        // ...and a missing baseline fingerprint keeps the gate armed, so
+        // pre-fingerprint trajectory points don't lose their teeth.
+        let legacy_old = write_tmp("fp_legacy.json", &sample_doc(true, 100.0, 0.0, 2.0));
+        let rep = bench_compare(&legacy_old, &new_other_host, 10.0).unwrap();
+        assert_eq!(rep.gated_regressions(), 1);
+        assert_eq!(rep.note, None);
+    }
+
+    #[test]
+    fn bench_trend_renders_per_metric_deltas_in_snapshot_order() {
+        let dir = std::env::temp_dir().join("finbench_bench_trend");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(
+            bench_trend(&dir).is_err(),
+            "empty dir must be a typed error"
+        );
+        std::fs::write(dir.join("BENCH_1.json"), sample_doc(true, 100.0, 0.0, 2.0)).unwrap();
+        std::fs::write(dir.join("BENCH_2.json"), sample_doc(true, 110.0, 0.0, 2.0)).unwrap();
+        std::fs::write(dir.join("BENCH_10.json"), sample_doc(true, 99.0, 0.0, 2.0)).unwrap();
+        let out = bench_trend(&dir).unwrap();
+        assert!(out.contains("3 snapshots"), "{out}");
+        assert!(
+            out.contains("native.black_scholes.simd_w8.median_rate"),
+            "{out}"
+        );
+        assert!(out.contains("+10.0%"), "{out}");
+        assert!(out.contains("-10.0%"), "{out}");
+        // Advisory metrics stay out of the trend table.
+        assert!(!out.contains("p99_us"), "{out}");
+        // A broken snapshot is a typed error, not a panic.
+        std::fs::write(dir.join("BENCH_11.json"), "{nope").unwrap();
+        assert!(matches!(bench_trend(&dir), Err(CompareError::Parse { .. })));
     }
 
     #[test]

@@ -62,11 +62,11 @@ pub use breaker::{Breaker, BreakerPolicy, BreakerState, FailureAction, Gate};
 pub use greeks::{greeks_ladder, GreeksRung};
 pub use loadgen::{
     find_peak_sustained, last_sustained_hz, run_load, search_peak, LoadMode, LoadReport,
-    OptionStream, PeakReport, PeakSearchConfig, PeakStep,
+    OptionStream, PeakReport, PeakSearchConfig, PeakStep, ShardLoad,
 };
 pub use pricer::{padded_batch, servable_ladder, PricerConfig, ServingRung};
 pub use queue::AdmissionQueue;
 pub use request::{
     GreeksOut, GreeksRequest, GreeksResponse, PriceRequest, PriceResponse, Priced, Rejected,
 };
-pub use server::{KernelSnapshot, ServeConfig, ServeSnapshot, Server};
+pub use server::{KernelSnapshot, ServeConfig, ServeSnapshot, Server, ShardSnapshot};

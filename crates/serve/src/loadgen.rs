@@ -70,6 +70,9 @@ pub struct LoadReport {
     pub p95_us: f64,
     /// 99th percentile.
     pub p99_us: f64,
+    /// Per-shard activity over this run (snapshot deltas): what each
+    /// worker shard admitted, served, and stole while the load ran.
+    pub shards: Vec<ShardLoad>,
 }
 
 impl LoadReport {
@@ -85,6 +88,36 @@ impl LoadReport {
             0.0
         } else {
             self.served as f64 / self.offered as f64
+        }
+    }
+}
+
+/// One worker shard's activity over a load run, measured as the delta of
+/// its [`ShardSnapshot`](crate::server::ShardSnapshot) tallies between
+/// run start and run end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardLoad {
+    /// Shard index (stable over the server's lifetime).
+    pub index: usize,
+    /// Whether the shard was still alive at the end of the run.
+    pub alive: bool,
+    /// Work items the router pushed to this shard during the run.
+    pub submitted: u64,
+    /// Requests this shard answered with a result during the run.
+    pub served: u64,
+    /// Work items this shard stole from siblings during the run.
+    pub stolen: u64,
+}
+
+impl ShardLoad {
+    /// Served-over-submitted for this shard (1.0 when it was never
+    /// routed to). Stolen work is served here but submitted elsewhere,
+    /// so a busy thief can exceed 1.
+    pub fn availability(&self) -> f64 {
+        if self.submitted == 0 {
+            1.0
+        } else {
+            self.served as f64 / self.submitted as f64
         }
     }
 }
@@ -137,6 +170,7 @@ pub fn run_load(
     seed: u64,
     slo: Option<Duration>,
 ) -> LoadReport {
+    let before = server.snapshot().shards;
     let t0 = Instant::now();
     let responses: Vec<(PriceResponse, Duration)> = match mode {
         LoadMode::Closed {
@@ -146,7 +180,36 @@ pub fn run_load(
         LoadMode::Open { rate_hz, total } => open_loop(server, kernel, rate_hz, total, seed, slo),
     };
     let wall = t0.elapsed();
-    summarize(kernel, responses, wall)
+    let mut report = summarize(kernel, responses, wall);
+    report.shards = shard_deltas(&before, &server.snapshot().shards);
+    report
+}
+
+/// Per-shard activity between two snapshots (same server, so shards are
+/// index-aligned; a shard killed mid-run shows `alive: false`).
+fn shard_deltas(
+    before: &[crate::server::ShardSnapshot],
+    after: &[crate::server::ShardSnapshot],
+) -> Vec<ShardLoad> {
+    after
+        .iter()
+        .map(|a| {
+            let b = before.iter().find(|b| b.index == a.index);
+            let base =
+                |f: fn(&crate::server::ShardSnapshot) -> u64| a_minus(f(a), b.map(f).unwrap_or(0));
+            ShardLoad {
+                index: a.index,
+                alive: a.alive,
+                submitted: base(|s| s.submitted),
+                served: base(|s| s.served),
+                stolen: base(|s| s.stolen),
+            }
+        })
+        .collect()
+}
+
+fn a_minus(a: u64, b: u64) -> u64 {
+    a.saturating_sub(b)
 }
 
 fn closed_loop(
@@ -303,6 +366,7 @@ fn summarize(
         p50_us: pct(0.50),
         p95_us: pct(0.95),
         p99_us: pct(0.99),
+        shards: Vec::new(),
     }
 }
 
@@ -500,6 +564,39 @@ mod tests {
         assert!(report.throughput > 0.0);
         assert!(report.p50_us > 0.0 && report.p50_us <= report.p99_us);
         assert_eq!(server.shutdown().total_shed(), 0);
+    }
+
+    #[test]
+    fn load_reports_carry_per_shard_activity_deltas_not_totals() {
+        let server = Server::start(ServeConfig {
+            queue_capacity: 1024,
+            max_delay: Duration::from_micros(200),
+            shards: 2,
+            ..ServeConfig::default()
+        });
+        let mode = |n: usize| LoadMode::Closed {
+            clients: 2,
+            requests_per_client: n,
+        };
+        let report = run_load(&server, "black_scholes", mode(30), 3, None);
+        assert_eq!(report.offered, 60);
+        assert_eq!(report.shards.len(), 2);
+        assert!(report.shards.iter().all(|s| s.alive));
+        let submitted: u64 = report.shards.iter().map(|s| s.submitted).sum();
+        let served: u64 = report.shards.iter().map(|s| s.served).sum();
+        assert_eq!(submitted, 60);
+        assert_eq!(served, 60);
+        // A second run reports only its own delta, not cumulative
+        // totals, so per-run availability stays meaningful.
+        let again = run_load(&server, "black_scholes", mode(5), 4, None);
+        let submitted2: u64 = again.shards.iter().map(|s| s.submitted).sum();
+        let served2: u64 = again.shards.iter().map(|s| s.served).sum();
+        assert_eq!(submitted2, 10);
+        // Stolen work serves at the thief, so a single shard's
+        // availability may sit either side of 1.0 — the deltas still
+        // account for every request of *this* run exactly once.
+        assert_eq!(served2, 10);
+        server.shutdown();
     }
 
     #[test]

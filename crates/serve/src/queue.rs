@@ -1,4 +1,4 @@
-//! The bounded admission queue: the single backpressure point of the
+//! The bounded admission queue: the per-shard backpressure point of the
 //! serving plane.
 //!
 //! Capacity is fixed at construction; a full queue rejects the producer
@@ -7,6 +7,18 @@
 //! [`Rejected::QueueFull`](crate::request::Rejected::QueueFull) response.
 //! The consumer side supports timed pops so the dispatcher can wake up
 //! for micro-batch flush deadlines even when no new work arrives.
+//!
+//! ## MPMC wakeup discipline
+//!
+//! The queue is multi-producer *and* multi-consumer: every shard worker
+//! pops its own queue, and idle siblings [`steal_up_to`](AdmissionQueue::steal_up_to)
+//! from it. `try_push` still issues a single `notify_one` (waking more
+//! poppers than items would just burn wakeups), but a successful pop that
+//! leaves items behind re-notifies — so a notification that landed on a
+//! popper which was already awake (and therefore consumed two pushes'
+//! worth of signal) cascades to the next sleeper instead of stranding an
+//! item until some popper's timeout. [`close`](AdmissionQueue::close)
+//! broadcasts so every popper observes shutdown promptly.
 
 //!
 //! ## Poison recovery
@@ -28,7 +40,7 @@ struct State<T> {
     closed: bool,
 }
 
-/// A bounded MPSC queue with reject-on-full semantics.
+/// A bounded MPMC queue with reject-on-full semantics.
 pub struct AdmissionQueue<T> {
     state: Mutex<State<T>>,
     not_empty: Condvar,
@@ -90,6 +102,12 @@ impl<T> AdmissionQueue<T> {
         let mut st = self.lock_state();
         loop {
             if let Some(item) = st.items.pop_front() {
+                // MPMC cascade: if items remain, another popper may be
+                // asleep having missed its notification (it raced us to
+                // the lock and lost). Pass the signal on.
+                if !st.items.is_empty() {
+                    self.not_empty.notify_one();
+                }
                 return Some(item);
             }
             if st.closed {
@@ -113,6 +131,27 @@ impl<T> AdmissionQueue<T> {
                 return None;
             }
         }
+    }
+
+    /// Steal up to `max` items from the *back* of the queue (the newest
+    /// work), leaving the front for the owning popper so the oldest
+    /// requests — the ones closest to their deadlines — stay with the
+    /// shard that admitted them. Returns the stolen items oldest-first.
+    /// Never blocks; an empty or contended-empty queue yields `Vec::new()`.
+    pub fn steal_up_to(&self, max: usize) -> Vec<T> {
+        let mut st = self.lock_state();
+        let take = st.items.len().min(max);
+        if take == 0 {
+            return Vec::new();
+        }
+        let mut stolen: Vec<T> = Vec::with_capacity(take);
+        for _ in 0..take {
+            if let Some(item) = st.items.pop_back() {
+                stolen.push(item);
+            }
+        }
+        stolen.reverse();
+        stolen
     }
 
     /// Close the queue: producers get their items back from
@@ -215,5 +254,146 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.try_push(42u32).unwrap();
         assert_eq!(h.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn a_burst_wakes_every_blocked_consumer_not_just_one() {
+        // Two consumers block; one producer pushes two items back-to-back
+        // while holding no lock between pushes. Under the old
+        // single-`notify_one` discipline both notifications could land on
+        // the same consumer, stranding the second item until the other
+        // consumer's timeout. The pop-side cascade must deliver both well
+        // before the 5 s deadline.
+        let q: Arc<AdmissionQueue<u32>> = Arc::new(AdmissionQueue::new(8));
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop_timeout(Duration::from_secs(5)))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let t0 = Instant::now();
+        let mut got: Vec<u32> = consumers
+            .into_iter()
+            .map(|h| h.join().unwrap().expect("consumer starved"))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, [1, 2]);
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "consumers only drained via timeout: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn steal_takes_newest_items_and_leaves_the_oldest() {
+        let q = AdmissionQueue::new(8);
+        for i in 1..=5 {
+            q.try_push(i).unwrap();
+        }
+        // Stealing 2 of 5 takes the two newest, oldest-first.
+        assert_eq!(q.steal_up_to(2), vec![4, 5]);
+        // The owner still sees its oldest work in order.
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
+        assert_eq!(q.steal_up_to(10), vec![2, 3]);
+        assert_eq!(q.steal_up_to(10), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn mpmc_stress_concurrent_push_pop_steal_shutdown_with_poison() {
+        // Satellite hardening test: N producers, M poppers, one thief,
+        // one mid-flight poisoner, then shutdown. Every item pushed must
+        // come out exactly once; nobody may panic or deadlock.
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: usize = 500;
+        const POPPERS: usize = 3;
+        let q: Arc<AdmissionQueue<u64>> = Arc::new(AdmissionQueue::new(64));
+        let drained: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+        std::thread::scope(|scope| {
+            let producers: Vec<_> = (0..PRODUCERS)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    scope.spawn(move || {
+                        let mut accepted = Vec::new();
+                        for i in 0..PER_PRODUCER {
+                            let item = (p * PER_PRODUCER + i) as u64;
+                            let mut v = item;
+                            // Spin until accepted: full-queue rejections
+                            // hand the item back and we retry.
+                            loop {
+                                match q.try_push(v) {
+                                    Ok(()) => {
+                                        accepted.push(item);
+                                        break;
+                                    }
+                                    Err(back) => {
+                                        v = back;
+                                        std::thread::yield_now();
+                                    }
+                                }
+                            }
+                        }
+                        accepted
+                    })
+                })
+                .collect();
+
+            let poppers: Vec<_> = (0..POPPERS)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    let drained = Arc::clone(&drained);
+                    scope.spawn(move || loop {
+                        match q.pop_timeout(Duration::from_millis(5)) {
+                            Some(item) => {
+                                drained.lock().unwrap_or_else(|e| e.into_inner()).push(item)
+                            }
+                            None if q.is_closed() => break,
+                            None => {}
+                        }
+                    })
+                })
+                .collect();
+
+            // A thief steals batches from the shared queue concurrently.
+            let thief = {
+                let q = Arc::clone(&q);
+                let drained = Arc::clone(&drained);
+                scope.spawn(move || {
+                    while !q.is_closed() || !q.is_empty() {
+                        let stolen = q.steal_up_to(8);
+                        if stolen.is_empty() {
+                            std::thread::yield_now();
+                        } else {
+                            drained
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .extend(stolen);
+                        }
+                    }
+                })
+            };
+
+            // Poison the queue lock mid-flight; everyone must recover.
+            std::thread::sleep(Duration::from_millis(5));
+            let qp = Arc::clone(&q);
+            let _ = std::thread::spawn(move || qp.poison_for_test()).join();
+
+            let pushed: usize = producers.into_iter().map(|h| h.join().unwrap().len()).sum();
+            assert_eq!(pushed, PRODUCERS * PER_PRODUCER);
+            q.close();
+            for h in poppers {
+                h.join().unwrap();
+            }
+            thief.join().unwrap();
+        });
+
+        let mut got = drained.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        got.sort_unstable();
+        let want: Vec<u64> = (0..(PRODUCERS * PER_PRODUCER) as u64).collect();
+        assert_eq!(got, want, "every item must come out exactly once");
     }
 }

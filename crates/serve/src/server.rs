@@ -1,24 +1,54 @@
-//! The pricing server: one dispatcher thread pulling from the bounded
-//! admission queue, micro-batching per kernel, dispatching batches onto
-//! the resolved ladder rung, and scattering results back per request.
+//! The sharded pricing service: a front-end **router** that validates
+//! and distributes admission across `N` **worker shards**, each a thread
+//! owning its own bounded admission queue, per-kernel micro-batcher
+//! lanes, circuit breakers, and degradation ladders.
 //!
 //! ```text
 //! submit() ──► validate ── invalid ⇒ Rejected::InvalidInput (synchronous)
 //!                   │
-//!                   ▼
-//!             AdmissionQueue (bounded; full ⇒ Rejected::QueueFull)
-//!                   │ pop
-//!                   ▼
-//!             dispatcher thread
-//!     ┌── MicroBatcher per kernel ──┐   size/delay trigger
-//!     ▼                             ▼
-//!  black_scholes lane           binomial lane
-//!     │ padded SOA batch            │   each lane: circuit breaker +
-//!     ▼                             ▼   degradation ladder + supervisor
-//!  catch_unwind(rung.price)     catch_unwind(rung.price)
+//!                   ▼ route (round-robin over alive shards,
+//!                   │        spill to least-loaded before QueueFull)
+//!     ┌─────────────┼──────────────┐
+//!     ▼             ▼              ▼
+//!  shard 0       shard 1   …    shard N-1      (each: AdmissionQueue +
+//!     │ pop         │ pop          │ pop        worker thread)
+//!     ▼             ▼              ▼
+//!  per-kernel MicroBatcher lanes, one set per shard
+//!     │ padded SOA batch   idle shards steal queued work from the
+//!     ▼                    busiest sibling (bit-invisible: any shard
+//!  catch_unwind(rung.price)        prices the same rung identically)
 //!     │ scatter-back │ panic ⇒ Rejected::Internal, breaker feeds back
 //!     └────► PriceResponse per request (mpsc) ◄─────┘
 //! ```
+//!
+//! ## The shard boundary is a message-passing seam
+//!
+//! The router talks to a shard **only** through its [`AdmissionQueue`]
+//! (owned work messages in) and the per-request `mpsc` response channels
+//! carried inside each envelope (results out); shared-memory state is
+//! limited to monotonic telemetry tallies. A later PR can therefore move
+//! shards behind a socket/IPC transport by serializing `Work` at this
+//! seam without touching lane logic.
+//!
+//! ## Cross-shard backpressure and work stealing
+//!
+//! Admission round-robins over *alive* shards; when the chosen shard's
+//! queue is full the router spills to the least-loaded alive shard and
+//! only answers [`Rejected::QueueFull`] once every alive shard is full.
+//! On the worker side an idle shard (its own queue empty at a pop
+//! timeout) steals queued work from the back of the deepest sibling
+//! queue into its own same-kernel lanes. Both mechanisms are
+//! bit-invisible: batching is padded and lane-wise, so a request prices
+//! identically on whichever shard executes it (property-tested in
+//! `tests/batching_equivalence.rs`).
+//!
+//! ## Shard loss
+//!
+//! A shard killed by the `serve.shard.<i>=kill` fault marks itself dead,
+//! answers everything pending in its lanes and queue with a typed
+//! [`Rejected::Internal`], and exits; the router stops routing to it.
+//! Availability degrades (in-flight work on the dead shard is rejected,
+//! capacity shrinks), correctness never does.
 //!
 //! ## Fault tolerance
 //!
@@ -59,6 +89,7 @@ use finbench_faults::{self as faults, FaultKind};
 use finbench_telemetry::{self as telemetry, Histogram};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -67,13 +98,16 @@ use std::time::{Duration, Instant};
 /// Server construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
-    /// Admission queue capacity — the backpressure bound.
+    /// Admission queue capacity **per shard** — the backpressure bound.
     pub queue_capacity: usize,
     /// Micro-batch delay trigger: the longest a request waits for
     /// companions before its batch flushes anyway.
     pub max_delay: Duration,
     /// Upper clamp for the planner-derived size trigger.
     pub max_batch: usize,
+    /// Worker shard count (`>= 1`; clamped up). One shard reproduces the
+    /// original single-dispatcher plane exactly.
+    pub shards: usize,
     /// Pricer configuration (market params, binomial steps, pool chunk).
     pub pricer: PricerConfig,
     /// Per-lane circuit-breaker tuning.
@@ -86,6 +120,7 @@ impl Default for ServeConfig {
             queue_capacity: 4096,
             max_delay: Duration::from_millis(1),
             max_batch: 4096,
+            shards: 1,
             pricer: PricerConfig::default(),
             breaker: BreakerPolicy::default(),
         }
@@ -191,6 +226,66 @@ struct StatsInner {
     internal: u64,
 }
 
+/// Per-shard tallies shared between the router and one worker thread.
+/// All monotonic counters plus the liveness flag — the only shared-memory
+/// state crossing the router/shard seam besides the queue itself.
+#[derive(Default)]
+struct ShardSeat {
+    /// False once the shard has been killed (fault) or exited.
+    dead: AtomicBool,
+    /// Work items the router successfully pushed to this shard.
+    submitted: AtomicU64,
+    /// Requests this shard answered with a priced/computed result.
+    served: AtomicU64,
+    /// Work items this shard stole from sibling queues while idle.
+    stolen: AtomicU64,
+}
+
+impl ShardSeat {
+    fn alive(&self) -> bool {
+        !self.dead.load(Ordering::Acquire)
+    }
+}
+
+/// Router-side handle to one worker shard: its queue (the message seam),
+/// its shared tallies, and the worker thread.
+struct ShardHandle {
+    queue: Arc<AdmissionQueue<Work>>,
+    seat: Arc<ShardSeat>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// Point-in-time statistics for one worker shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// Shard index (stable; `serve.shard.<index>.*` telemetry names).
+    pub index: usize,
+    /// False once the shard was killed by a fault or has exited.
+    pub alive: bool,
+    /// Work items routed to this shard.
+    pub submitted: u64,
+    /// Requests this shard served.
+    pub served: u64,
+    /// Work items this shard stole from siblings while idle.
+    pub stolen: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+}
+
+impl ShardSnapshot {
+    /// Served / submitted for this shard (1.0 when it saw no work —
+    /// an idle shard is healthy, not unavailable). Stolen work is served
+    /// here but submitted elsewhere, so per-shard availability can
+    /// exceed 1; clamp when aggregating.
+    pub fn availability(&self) -> f64 {
+        if self.submitted == 0 {
+            1.0
+        } else {
+            self.served as f64 / self.submitted as f64
+        }
+    }
+}
+
 /// Point-in-time statistics for one kernel lane.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelSnapshot {
@@ -227,12 +322,15 @@ pub struct KernelSnapshot {
     pub max_occupancy: f64,
 }
 
-/// Point-in-time server statistics.
+/// Point-in-time server statistics, merged across every shard (kernel
+/// stats are shared tallies; `shards` carries the per-shard split).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeSnapshot {
-    /// Per-kernel lane statistics, kernel-name order.
+    /// Per-kernel lane statistics, kernel-name order, summed over shards.
     pub kernels: Vec<KernelSnapshot>,
-    /// Requests shed at admission (queue full).
+    /// Per-shard statistics, shard-index order.
+    pub shards: Vec<ShardSnapshot>,
+    /// Requests shed at admission (every alive shard's queue full).
     pub shed_queue_full: u64,
     /// Requests shed at dispatch (deadline already blown).
     pub shed_deadline: u64,
@@ -240,8 +338,8 @@ pub struct ServeSnapshot {
     pub rejected: u64,
     /// Requests rejected by admission-side input validation.
     pub invalid_input: u64,
-    /// Requests answered `Rejected::Internal` (caught panic or open
-    /// breaker).
+    /// Requests answered `Rejected::Internal` (caught panic, open
+    /// breaker, or killed shard).
     pub internal: u64,
 }
 
@@ -261,14 +359,31 @@ impl ServeSnapshot {
     pub fn total_degraded(&self) -> u64 {
         self.kernels.iter().map(|k| k.degraded_batches).sum()
     }
+
+    /// Total work items stolen between shards.
+    pub fn total_stolen(&self) -> u64 {
+        self.shards.iter().map(|s| s.stolen).sum()
+    }
+
+    /// Shards still alive at snapshot time.
+    pub fn alive_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.alive).count()
+    }
 }
 
-/// The batched pricing server. Dropping it shuts the dispatcher down
-/// (pending work is still flushed and answered).
+/// The batched pricing service: the front-end router plus its worker
+/// shards. Dropping it shuts every shard down (pending work is still
+/// flushed and answered).
 pub struct Server {
-    queue: Arc<AdmissionQueue<Work>>,
+    shards: Vec<ShardHandle>,
     stats: Arc<Mutex<StatsInner>>,
-    worker: Option<JoinHandle<()>>,
+    /// Round-robin admission cursor.
+    rr: AtomicUsize,
+    /// Per-shard queue capacity, echoed in `Rejected::QueueFull`.
+    capacity: usize,
+    /// True once shutdown started (distinguishes `ShuttingDown` from a
+    /// dead-shard rejection).
+    closing: AtomicBool,
 }
 
 /// Lock the stats, recovering from poison: statistics are monotonic
@@ -279,21 +394,115 @@ fn lock_stats(stats: &Mutex<StatsInner>) -> MutexGuard<'_, StatsInner> {
 
 impl Server {
     /// Start a server over the workspace's kernel registry, planning
-    /// rungs for the build host.
+    /// rungs for the build host: `config.shards` worker shards behind
+    /// one router.
     pub fn start(config: ServeConfig) -> Self {
-        let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
+        let n = config.shards.max(1);
         let stats = Arc::new(Mutex::new(StatsInner::default()));
-        let q = Arc::clone(&queue);
-        let s = Arc::clone(&stats);
-        let worker = std::thread::Builder::new()
-            .name("finbench-serve".into())
-            .spawn(move || dispatch_loop(&q, &s, &config))
-            .expect("spawn dispatcher");
+        let queues: Vec<Arc<AdmissionQueue<Work>>> = (0..n)
+            .map(|_| Arc::new(AdmissionQueue::new(config.queue_capacity)))
+            .collect();
+        let seats: Vec<Arc<ShardSeat>> = (0..n).map(|_| Arc::new(ShardSeat::default())).collect();
+        let shards = (0..n)
+            .map(|i| {
+                let ctx = ShardCtx {
+                    index: i,
+                    queues: queues.clone(),
+                    seats: seats.clone(),
+                    stats: Arc::clone(&stats),
+                    config,
+                };
+                let worker = std::thread::Builder::new()
+                    .name(format!("finbench-serve-{i}"))
+                    .spawn(move || shard_loop(ctx))
+                    .expect("spawn shard worker");
+                ShardHandle {
+                    queue: Arc::clone(&queues[i]),
+                    seat: Arc::clone(&seats[i]),
+                    worker: Some(worker),
+                }
+            })
+            .collect();
         Self {
-            queue,
+            shards,
             stats,
-            worker: Some(worker),
+            rr: AtomicUsize::new(0),
+            capacity: config.queue_capacity.max(1),
+            closing: AtomicBool::new(false),
         }
+    }
+
+    /// Route one admitted work item: round-robin over alive shards, then
+    /// spill to the least-loaded alive shard before giving up. Returns
+    /// the item with a typed rejection when no shard can take it.
+    // The Err carries the Work back by value so the caller can scatter
+    // the rejection without a clone; the size is fine off the hot path.
+    #[allow(clippy::result_large_err)]
+    fn route(&self, work: Work) -> Result<(), (Work, Rejected)> {
+        let n = self.shards.len();
+        let start = self.rr.fetch_add(1, Ordering::Relaxed);
+        let mut work = work;
+        // Pass 1: the round-robin pick — the first alive shard at or
+        // after the cursor.
+        let Some(primary) = (0..n)
+            .map(|k| (start + k) % n)
+            .find(|&i| self.shards[i].seat.alive())
+        else {
+            let reason = if self.closing.load(Ordering::Acquire) {
+                Rejected::ShuttingDown
+            } else {
+                Rejected::Internal {
+                    reason: "no alive shards".to_string(),
+                }
+            };
+            return Err((work, reason));
+        };
+        match self.shards[primary].queue.try_push(work) {
+            Ok(()) => {
+                self.shards[primary]
+                    .seat
+                    .submitted
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            Err(back) => work = back,
+        }
+        // Pass 2 (cross-shard backpressure): spill to alive shards in
+        // ascending queue-depth order before rejecting QueueFull.
+        let mut full = !self.shards[primary].queue.is_closed();
+        let mut by_depth: Vec<usize> = (0..n)
+            .filter(|&i| i != primary && self.shards[i].seat.alive())
+            .collect();
+        by_depth.sort_by_key(|&i| self.shards[i].queue.len());
+        for i in by_depth {
+            match self.shards[i].queue.try_push(work) {
+                Ok(()) => {
+                    self.shards[i]
+                        .seat
+                        .submitted
+                        .fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter_add("serve.spills", 1);
+                    return Ok(());
+                }
+                Err(back) => {
+                    work = back;
+                    full = full || !self.shards[i].queue.is_closed();
+                }
+            }
+        }
+        let reason = if self.closing.load(Ordering::Acquire) {
+            Rejected::ShuttingDown
+        } else if full {
+            // At least one alive shard rejected on capacity, not closure.
+            Rejected::QueueFull {
+                capacity: self.capacity,
+            }
+        } else {
+            Rejected::Internal {
+                reason: "no alive shards".to_string(),
+            }
+        };
+        Err((work, reason))
     }
 
     /// Submit one request; the response arrives on the returned channel.
@@ -340,16 +549,11 @@ impl Server {
             submitted: Instant::now(),
             tx: tx.clone(),
         };
-        if let Err(Work::Price(env)) = self.queue.try_push(Work::Price(env)) {
-            let reason = if self.queue.is_closed() {
-                Rejected::ShuttingDown
-            } else {
+        if let Err((Work::Price(env), reason)) = self.route(Work::Price(env)) {
+            if matches!(reason, Rejected::QueueFull { .. }) {
                 lock_stats(&self.stats).shed_queue_full += 1;
                 telemetry::counter_add("serve.shed.queue_full", 1);
-                Rejected::QueueFull {
-                    capacity: self.queue.capacity(),
-                }
-            };
+            }
             let _ = env.tx.send(PriceResponse {
                 id,
                 outcome: Err(reason),
@@ -401,16 +605,11 @@ impl Server {
             submitted: Instant::now(),
             tx: tx.clone(),
         };
-        if let Err(Work::Greeks(env)) = self.queue.try_push(Work::Greeks(env)) {
-            let reason = if self.queue.is_closed() {
-                Rejected::ShuttingDown
-            } else {
+        if let Err((Work::Greeks(env), reason)) = self.route(Work::Greeks(env)) {
+            if matches!(reason, Rejected::QueueFull { .. }) {
                 lock_stats(&self.stats).shed_queue_full += 1;
                 telemetry::counter_add("greeks.shed.queue_full", 1);
-                Rejected::QueueFull {
-                    capacity: self.queue.capacity(),
-                }
-            };
+            }
             let _ = env.tx.send(GreeksResponse {
                 id,
                 outcome: Err(reason),
@@ -418,33 +617,70 @@ impl Server {
         }
     }
 
-    /// Current admission-queue depth.
+    /// Current admission-queue depth, summed over all shards.
     pub fn queue_depth(&self) -> usize {
-        self.queue.len()
+        self.shards.iter().map(|s| s.queue.len()).sum()
     }
 
-    /// Point-in-time statistics.
+    /// Number of worker shards (alive or not).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Point-in-time statistics, merged across shards.
     pub fn snapshot(&self) -> ServeSnapshot {
-        snapshot(&lock_stats(&self.stats))
+        let snap = snapshot(&lock_stats(&self.stats));
+        ServeSnapshot {
+            shards: self.shard_snapshots(),
+            ..snap
+        }
+    }
+
+    fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardSnapshot {
+                index: i,
+                alive: s.seat.alive(),
+                submitted: s.seat.submitted.load(Ordering::Relaxed),
+                served: s.seat.served.load(Ordering::Relaxed),
+                stolen: s.seat.stolen.load(Ordering::Relaxed),
+                queue_depth: s.queue.len(),
+            })
+            .collect()
     }
 
     /// Stop accepting work, drain and answer everything pending, and
     /// return the final statistics.
     pub fn shutdown(mut self) -> ServeSnapshot {
-        self.queue.close();
-        if let Some(h) = self.worker.take() {
-            let _ = h.join();
+        self.closing.store(true, Ordering::Release);
+        for s in &self.shards {
+            s.queue.close();
+        }
+        for s in &mut self.shards {
+            if let Some(h) = s.worker.take() {
+                let _ = h.join();
+            }
         }
         let snap = snapshot(&lock_stats(&self.stats));
-        snap
+        ServeSnapshot {
+            shards: self.shard_snapshots(),
+            ..snap
+        }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.queue.close();
-        if let Some(h) = self.worker.take() {
-            let _ = h.join();
+        self.closing.store(true, Ordering::Release);
+        for s in &self.shards {
+            s.queue.close();
+        }
+        for s in &mut self.shards {
+            if let Some(h) = s.worker.take() {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -472,6 +708,7 @@ fn snapshot(st: &StatsInner) -> ServeSnapshot {
                 max_occupancy: k.occupancy.max(),
             })
             .collect(),
+        shards: Vec::new(),
         shed_queue_full: st.shed_queue_full,
         shed_deadline: st.shed_deadline,
         rejected: st.rejected,
@@ -480,13 +717,34 @@ fn snapshot(st: &StatsInner) -> ServeSnapshot {
     }
 }
 
-fn dispatch_loop(queue: &AdmissionQueue<Work>, stats: &Mutex<StatsInner>, config: &ServeConfig) {
+/// Everything one worker shard needs: its index, the full queue list
+/// (its own plus siblings, for stealing), the shared per-shard seats,
+/// the merged stats, and the config. Moved into the worker thread.
+struct ShardCtx {
+    index: usize,
+    queues: Vec<Arc<AdmissionQueue<Work>>>,
+    seats: Vec<Arc<ShardSeat>>,
+    stats: Arc<Mutex<StatsInner>>,
+    config: ServeConfig,
+}
+
+/// Most work items an idle shard steals from one sibling in one pass —
+/// enough to refill a micro-batch, small enough to keep the victim warm.
+const STEAL_MAX: usize = 64;
+
+fn shard_loop(ctx: ShardCtx) {
     let engine = Engine::new(registry());
     let mut lanes: BTreeMap<String, Lane> = BTreeMap::new();
     let mut greeks: Option<GreeksLane> = None;
+    let queue = Arc::clone(&ctx.queues[ctx.index]);
+    let seat = Arc::clone(&ctx.seats[ctx.index]);
+    let stats = &*ctx.stats;
+    let config = &ctx.config;
+    let depth_gauge = format!("serve.shard.{}.queue_depth", ctx.index);
+    let kill_site = format!("serve.shard.{}", ctx.index);
     loop {
-        // Fault injection: a stalled (or slowed) dispatcher — the queue
-        // backs up and admission-side shedding takes over.
+        // Fault injection: a stalled (or slowed) worker — its queue backs
+        // up and spill/steal/shedding take over.
         if faults::armed() {
             for kind in faults::fire("queue") {
                 match kind {
@@ -496,6 +754,16 @@ fn dispatch_loop(queue: &AdmissionQueue<Work>, stats: &Mutex<StatsInner>, config
                     FaultKind::Latency(d) => std::thread::sleep(d),
                     _ => {}
                 }
+            }
+            // Shard-kill fault: this worker dies, answering everything it
+            // holds with typed rejections. Availability degrades;
+            // correctness and the rest of the fleet do not.
+            if faults::fire(&kill_site)
+                .iter()
+                .any(|k| matches!(k, FaultKind::Kill))
+            {
+                kill_shard(ctx.index, &queue, &seat, lanes, greeks, stats);
+                return;
             }
         }
         // Sleep until new work or the earliest lane flush deadline.
@@ -510,17 +778,34 @@ fn dispatch_loop(queue: &AdmissionQueue<Work>, stats: &Mutex<StatsInner>, config
             .min(config.max_delay);
         match queue.pop_timeout(wait.max(Duration::from_micros(50))) {
             Some(work) => {
-                telemetry::gauge_set("serve.queue_depth", queue.len() as f64);
+                telemetry::gauge_set(&depth_gauge, queue.len() as f64);
+                let total: usize = ctx.queues.iter().map(|q| q.len()).sum();
+                telemetry::gauge_set("serve.queue_depth", total as f64);
                 match work {
-                    Work::Price(env) => admit(env, &engine, &mut lanes, stats, config),
+                    Work::Price(env) => admit(env, &engine, &mut lanes, stats, config, &seat),
                     Work::Greeks(env) => {
-                        admit_greeks(env, &engine, &mut greeks, stats, config);
+                        admit_greeks(env, &engine, &mut greeks, stats, config, &seat);
                     }
                 }
             }
             None => {
                 if queue.is_closed() && queue.is_empty() {
                     break;
+                }
+                // Idle with nothing batched locally: steal queued work
+                // from the deepest sibling queue (newest items, so the
+                // victim keeps its oldest, deadline-critical work).
+                if ctx.queues.len() > 1 && queue.is_empty() {
+                    for work in steal_from_siblings(&ctx, &seat) {
+                        match work {
+                            Work::Price(env) => {
+                                admit(env, &engine, &mut lanes, stats, config, &seat);
+                            }
+                            Work::Greeks(env) => {
+                                admit_greeks(env, &engine, &mut greeks, stats, config, &seat);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -529,13 +814,13 @@ fn dispatch_loop(queue: &AdmissionQueue<Work>, stats: &Mutex<StatsInner>, config
         for (kernel, lane) in lanes.iter_mut() {
             if lane.batcher.due(now) {
                 let batch = lane.batcher.flush();
-                execute(kernel, lane, batch, stats);
+                execute(kernel, lane, batch, stats, &seat);
             }
         }
         if let Some(lane) = greeks.as_mut() {
             if lane.batcher.due(now) {
                 let batch = lane.batcher.flush();
-                execute_greeks(lane, batch, stats);
+                execute_greeks(lane, batch, stats, &seat);
             }
         }
     }
@@ -543,14 +828,83 @@ fn dispatch_loop(queue: &AdmissionQueue<Work>, stats: &Mutex<StatsInner>, config
     for (kernel, lane) in lanes.iter_mut() {
         let batch = lane.batcher.flush();
         if !batch.is_empty() {
-            execute(kernel, lane, batch, stats);
+            execute(kernel, lane, batch, stats, &seat);
         }
     }
     if let Some(lane) = greeks.as_mut() {
         let batch = lane.batcher.flush();
         if !batch.is_empty() {
-            execute_greeks(lane, batch, stats);
+            execute_greeks(lane, batch, stats, &seat);
         }
+    }
+}
+
+/// Steal up to [`STEAL_MAX`] work items from the deepest sibling queue.
+/// Stolen items land in this shard's own same-kernel lanes; padding and
+/// lane-wise rungs make the move bit-invisible to every response.
+fn steal_from_siblings(ctx: &ShardCtx, seat: &ShardSeat) -> Vec<Work> {
+    let victim = (0..ctx.queues.len())
+        .filter(|&i| i != ctx.index)
+        .max_by_key(|&i| ctx.queues[i].len());
+    let Some(victim) = victim else {
+        return Vec::new();
+    };
+    let depth = ctx.queues[victim].len();
+    if depth < 2 {
+        // Leave a lone item with its owner: the wakeup it already
+        // triggered there is about to consume it.
+        return Vec::new();
+    }
+    let stolen = ctx.queues[victim].steal_up_to((depth / 2).min(STEAL_MAX));
+    if !stolen.is_empty() {
+        seat.stolen
+            .fetch_add(stolen.len() as u64, Ordering::Relaxed);
+        telemetry::counter_add("serve.steals", stolen.len() as u64);
+    }
+    stolen
+}
+
+/// Tear one shard down under the kill fault: mark it dead (the router
+/// stops routing here), close its queue, and answer everything pending —
+/// batched in lanes or still queued — with `Rejected::Internal`.
+fn kill_shard(
+    index: usize,
+    queue: &AdmissionQueue<Work>,
+    seat: &ShardSeat,
+    mut lanes: BTreeMap<String, Lane>,
+    mut greeks: Option<GreeksLane>,
+    stats: &Mutex<StatsInner>,
+) {
+    seat.dead.store(true, Ordering::Release);
+    queue.close();
+    telemetry::counter_add("serve.shard_kills", 1);
+    telemetry::gauge_set(&format!("serve.shard.{index}.alive"), 0.0);
+    let reason = format!("shard {index} killed by fault injection");
+    for (kernel, lane) in lanes.iter_mut() {
+        let batch = lane.batcher.flush();
+        if !batch.is_empty() {
+            reject_internal(kernel, batch, &reason, stats);
+        }
+    }
+    if let Some(lane) = greeks.as_mut() {
+        let batch = lane.batcher.flush();
+        if !batch.is_empty() {
+            reject_internal_greeks(batch, &reason, stats);
+        }
+    }
+    let mut orphans_price = Vec::new();
+    let mut orphans_greeks = Vec::new();
+    for work in queue.steal_up_to(usize::MAX) {
+        match work {
+            Work::Price(env) => orphans_price.push(env),
+            Work::Greeks(env) => orphans_greeks.push(env),
+        }
+    }
+    if !orphans_price.is_empty() {
+        reject_internal("killed", orphans_price, &reason, stats);
+    }
+    if !orphans_greeks.is_empty() {
+        reject_internal_greeks(orphans_greeks, &reason, stats);
     }
 }
 
@@ -562,6 +916,7 @@ fn admit(
     lanes: &mut BTreeMap<String, Lane>,
     stats: &Mutex<StatsInner>,
     config: &ServeConfig,
+    seat: &ShardSeat,
 ) {
     let kernel = env.req.kernel.clone();
     if !lanes.contains_key(&kernel) {
@@ -586,7 +941,7 @@ fn admit(
     }
     let lane = lanes.get_mut(&kernel).expect("lane just ensured");
     if let Some(batch) = lane.batcher.offer(env, Instant::now()) {
-        execute(&kernel, lane, batch, stats);
+        execute(&kernel, lane, batch, stats, seat);
     }
 }
 
@@ -626,6 +981,7 @@ fn admit_greeks(
     greeks: &mut Option<GreeksLane>,
     stats: &Mutex<StatsInner>,
     config: &ServeConfig,
+    seat: &ShardSeat,
 ) {
     let lane = greeks.get_or_insert_with(|| {
         // The analytic sweep shares the pricing kernel's cost shape, so
@@ -658,7 +1014,7 @@ fn admit_greeks(
         lane
     });
     if let Some(batch) = lane.batcher.offer(env, Instant::now()) {
-        execute_greeks(lane, batch, stats);
+        execute_greeks(lane, batch, stats, seat);
     }
 }
 
@@ -693,7 +1049,13 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
 /// request whose deadline passed while it waited. The pricing call runs
 /// under `catch_unwind` with the lane's breaker supervising: panics
 /// reject the in-flight batch and degrade/open; successes climb back.
-fn execute(kernel: &str, lane: &mut Lane, batch: Vec<Envelope>, stats: &Mutex<StatsInner>) {
+fn execute(
+    kernel: &str,
+    lane: &mut Lane,
+    batch: Vec<Envelope>,
+    stats: &Mutex<StatsInner>,
+    seat: &ShardSeat,
+) {
     let now = Instant::now();
     let mut live: Vec<Envelope> = Vec::with_capacity(batch.len());
     for env in batch {
@@ -781,6 +1143,11 @@ fn execute(kernel: &str, lane: &mut Lane, batch: Vec<Envelope>, stats: &Mutex<St
                 ks.degraded_batches += 1;
             }
             ks.occupancy.record(live.len() as f64);
+            // Tally before scattering: a client that holds its response
+            // must see it in the next snapshot (loadgen deltas rely on
+            // this ordering).
+            seat.served.fetch_add(live.len() as u64, Ordering::Relaxed);
+            telemetry::counter_add("serve.served", live.len() as u64);
             for (i, env) in live.iter().enumerate() {
                 let latency = done.duration_since(env.submitted);
                 ks.served += 1;
@@ -797,7 +1164,6 @@ fn execute(kernel: &str, lane: &mut Lane, batch: Vec<Envelope>, stats: &Mutex<St
                 });
             }
             drop(st);
-            telemetry::counter_add("serve.served", live.len() as u64);
         }
         Err(payload) => {
             let reason = panic_reason(payload.as_ref());
@@ -842,7 +1208,12 @@ fn reject_internal_greeks(live: Vec<GreeksEnvelope>, reason: &str, stats: &Mutex
 /// Compute one flushed greeks batch and scatter results back — the same
 /// shed/breaker/degrade/scatter contract as [`execute`], on the greeks
 /// ladder.
-fn execute_greeks(lane: &mut GreeksLane, batch: Vec<GreeksEnvelope>, stats: &Mutex<StatsInner>) {
+fn execute_greeks(
+    lane: &mut GreeksLane,
+    batch: Vec<GreeksEnvelope>,
+    stats: &Mutex<StatsInner>,
+    seat: &ShardSeat,
+) {
     let now = Instant::now();
     let mut live: Vec<GreeksEnvelope> = Vec::with_capacity(batch.len());
     for env in batch {
@@ -924,6 +1295,9 @@ fn execute_greeks(lane: &mut GreeksLane, batch: Vec<GreeksEnvelope>, stats: &Mut
                 ks.degraded_batches += 1;
             }
             ks.occupancy.record(live.len() as f64);
+            // Tally before scattering (see the pricing lane above).
+            seat.served.fetch_add(live.len() as u64, Ordering::Relaxed);
+            telemetry::counter_add("greeks.served", live.len() as u64);
             for (i, env) in live.iter().enumerate() {
                 let latency = done.duration_since(env.submitted);
                 ks.served += 1;
@@ -940,7 +1314,6 @@ fn execute_greeks(lane: &mut GreeksLane, batch: Vec<GreeksEnvelope>, stats: &Mut
                 });
             }
             drop(st);
-            telemetry::counter_add("greeks.served", live.len() as u64);
         }
         Err(payload) => {
             let reason = panic_reason(payload.as_ref());
@@ -1012,6 +1385,7 @@ mod tests {
             queue_capacity: 64,
             max_delay: Duration::from_micros(200),
             max_batch: 64,
+            shards: 1,
             pricer: PricerConfig {
                 binomial_steps: 32,
                 ..PricerConfig::default()
@@ -1393,5 +1767,155 @@ mod tests {
         }
         let snap = server.shutdown();
         assert_eq!(snap.invalid_input, 1);
+    }
+
+    #[test]
+    fn multi_shard_server_serves_everything_and_merges_telemetry() {
+        use crate::request::GreeksRequest;
+        let server = Server::start(ServeConfig {
+            shards: 4,
+            ..quick_config()
+        });
+        assert_eq!(server.shard_count(), 4);
+        let (ptx, prx) = mpsc::channel();
+        let (gtx, grx) = mpsc::channel();
+        for i in 0..100u64 {
+            server.submit_with(PriceRequest::new(i, "black_scholes", 30.0, 35.0, 1.0), &ptx);
+            server.submit_greeks_with(GreeksRequest::new(i, 25.0, 20.0, 0.5), &gtx);
+        }
+        drop(ptx);
+        drop(gtx);
+        let priced: Vec<PriceResponse> = prx.iter().collect();
+        let greeked: Vec<crate::request::GreeksResponse> = grx.iter().collect();
+        assert_eq!(priced.len(), 100);
+        assert_eq!(greeked.len(), 100);
+        assert!(priced.iter().all(PriceResponse::is_priced));
+        assert!(greeked.iter().all(|g| g.is_computed()));
+        let snap = server.shutdown();
+        assert_eq!(snap.shards.len(), 4);
+        assert_eq!(snap.alive_shards(), 4);
+        assert_eq!(snap.total_shed(), 0);
+        // Every admitted request was routed to exactly one shard and
+        // answered by exactly one shard (possibly a thief).
+        let submitted: u64 = snap.shards.iter().map(|s| s.submitted).sum();
+        let served: u64 = snap.shards.iter().map(|s| s.served).sum();
+        assert_eq!(submitted, 200);
+        assert_eq!(served, 200);
+        // Round-robin admission: no shard was starved of submissions.
+        assert!(snap.shards.iter().all(|s| s.submitted > 0), "{snap:?}");
+    }
+
+    #[test]
+    fn router_spills_to_a_less_loaded_sibling_before_rejecting() {
+        let _l = faults_lock();
+        // Stall both workers so pushed work stays queued long enough to
+        // observe routing decisions deterministically.
+        let _g = PlanGuard::install(
+            FaultPlan::new().with(FaultSpec::always("queue", FaultKind::StallQueue)),
+        );
+        let server = Server::start(ServeConfig {
+            shards: 2,
+            queue_capacity: 1,
+            max_delay: Duration::from_millis(300),
+            ..quick_config()
+        });
+        // Occupy shard 0's queue directly (in-module backdoor), so the
+        // round-robin primary is full while shard 1 has room.
+        let (otx, orx) = mpsc::channel();
+        server.shards[0]
+            .queue
+            .try_push(Work::Price(Envelope {
+                req: PriceRequest::new(0, "black_scholes", 30.0, 35.0, 1.0),
+                submitted: Instant::now(),
+                tx: otx,
+            }))
+            .unwrap_or_else(|_| panic!("occupant push must succeed"));
+        server.rr.store(0, Ordering::Relaxed);
+        // The router's primary (shard 0) is full: this must spill to
+        // shard 1 and be served, not answer QueueFull.
+        let rx = server.submit(PriceRequest::new(1, "black_scholes", 30.0, 35.0, 1.0));
+        let resp = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(resp.is_priced(), "{:?}", resp.outcome);
+        let occupant = orx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(occupant.is_priced(), "{:?}", occupant.outcome);
+        let snap = server.shutdown();
+        // The spilled request is the only *routed* submission; the
+        // occupant bypassed the router.
+        assert_eq!(snap.shards[1].submitted, 1, "{snap:?}");
+        assert_eq!(snap.shed_queue_full, 0);
+    }
+
+    #[test]
+    fn idle_shards_steal_queued_work_from_the_deepest_sibling() {
+        let _l = faults_lock();
+        // Stall shard 0's loop so its queue stays deep; idle shard 1
+        // must steal from it.
+        let _g = PlanGuard::install(
+            FaultPlan::new().with(FaultSpec::always("queue", FaultKind::StallQueue)),
+        );
+        let server = Server::start(ServeConfig {
+            shards: 2,
+            max_delay: Duration::from_millis(100),
+            ..quick_config()
+        });
+        // Load shard 0's queue directly so all depth sits on one shard.
+        let (tx, rx) = mpsc::channel();
+        for i in 0..20u64 {
+            server.shards[0]
+                .queue
+                .try_push(Work::Price(Envelope {
+                    req: PriceRequest::new(i, "black_scholes", 30.0, 35.0, 1.0),
+                    submitted: Instant::now(),
+                    tx: tx.clone(),
+                }))
+                .unwrap_or_else(|_| panic!("direct push must succeed"));
+        }
+        drop(tx);
+        let got: Vec<PriceResponse> = rx.iter().collect();
+        assert_eq!(got.len(), 20, "every request got exactly one answer");
+        assert!(got.iter().all(PriceResponse::is_priced));
+        let snap = server.shutdown();
+        assert!(
+            snap.total_stolen() > 0,
+            "idle shard 1 should have stolen from stalled shard 0: {snap:?}"
+        );
+        assert_eq!(snap.shards[1].stolen, snap.total_stolen());
+        let served: u64 = snap.shards.iter().map(|s| s.served).sum();
+        assert_eq!(served, 20);
+    }
+
+    #[test]
+    fn a_killed_shard_degrades_availability_never_correctness() {
+        let _l = faults_lock();
+        let _g = PlanGuard::install(
+            FaultPlan::new().with(FaultSpec::always("serve.shard.0", FaultKind::Kill)),
+        );
+        let server = Server::start(ServeConfig {
+            shards: 2,
+            ..quick_config()
+        });
+        // Shard 0 dies on its first loop iteration; wait for the router
+        // to see it.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.snapshot().shards[0].alive {
+            assert!(Instant::now() < deadline, "shard 0 never died");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (tx, rx) = mpsc::channel();
+        for i in 0..40u64 {
+            server.submit_with(PriceRequest::new(i, "black_scholes", 30.0, 35.0, 1.0), &tx);
+        }
+        drop(tx);
+        let got: Vec<PriceResponse> = rx.iter().collect();
+        assert_eq!(got.len(), 40);
+        // Correctness never degrades: everything routed to the surviving
+        // shard is served, nothing answers corrupt prices.
+        assert!(got.iter().all(PriceResponse::is_priced));
+        let snap = server.shutdown();
+        assert_eq!(snap.alive_shards(), 1);
+        assert!(!snap.shards[0].alive);
+        assert_eq!(snap.shards[1].submitted, 40);
+        assert_eq!(snap.shards[1].served, 40);
+        assert!((snap.shards[1].availability() - 1.0).abs() < 1e-12);
     }
 }

@@ -10,16 +10,28 @@
 //! * a *pure* replay of the [`MicroBatcher`] flush logic with synthetic
 //!   clocks (every servable rung, arbitrary size/delay interleavings),
 //! * an end-to-end pass through the threaded [`Server`] with real
-//!   queueing and scatter-back.
+//!   queueing and scatter-back — over a random shard count, so router
+//!   placement, cross-shard spills, and work stealing are all exercised
+//!   under the same bit-identity contract.
 
 use finbench::core::engine::registry;
 use finbench::engine::Engine;
+use finbench::faults::{FaultKind, FaultPlan, FaultSpec, PlanGuard};
 use finbench::serve::batcher::{BatchPolicy, MicroBatcher};
 use finbench::serve::pricer::{self, padded_batch, PricerConfig};
 use finbench::serve::{greeks_ladder, GreeksRequest, LoadMode, PriceRequest, ServeConfig, Server};
 use proptest::collection::vec;
 use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// The fault registry is process-global; tests that install a plan
+/// serialize on this lock so concurrent cases never see each other's
+/// faults.
+fn faults_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn contract() -> impl Strategy<Value = (f64, f64, f64)> {
     // The paper's workload ranges.
@@ -132,6 +144,7 @@ proptest! {
     fn threaded_server_matches_the_solo_oracle_bit_for_bit(
         opts in vec(contract(), 1..60usize),
         kernel_picks in vec(0usize..2, 1..60usize),
+        shards in 1usize..5,
     ) {
         let cfg = pricer_config();
         let engine = Engine::new(registry());
@@ -145,6 +158,7 @@ proptest! {
             queue_capacity: opts.len().max(1),
             max_delay: Duration::from_micros(100),
             max_batch: 16,
+            shards,
             pricer: cfg,
             ..ServeConfig::default()
         });
@@ -161,6 +175,13 @@ proptest! {
         let snap = server.shutdown();
         prop_assert_eq!(snap.total_shed(), 0);
         prop_assert_eq!(responses.len(), opts.len());
+        // The merged snapshot accounts for every request exactly once
+        // across the shard set, however the router placed them.
+        prop_assert_eq!(snap.shards.len(), shards);
+        let submitted: u64 = snap.shards.iter().map(|s| s.submitted).sum();
+        let served: u64 = snap.shards.iter().map(|s| s.served).sum();
+        prop_assert_eq!(submitted, opts.len() as u64);
+        prop_assert_eq!(served, opts.len() as u64);
         responses.sort_by_key(|r| r.id);
         for resp in responses {
             let i = resp.id as usize;
@@ -191,6 +212,7 @@ proptest! {
     #[test]
     fn greeks_through_the_server_match_the_solo_oracle_bit_for_bit(
         opts in vec(contract(), 1..60usize),
+        shards in 1usize..4,
     ) {
         let cfg = pricer_config();
         let oracles: std::collections::BTreeMap<String, _> = greeks_ladder(cfg.market)
@@ -202,6 +224,7 @@ proptest! {
             queue_capacity: opts.len().max(1),
             max_delay: Duration::from_micros(100),
             max_batch: 16,
+            shards,
             pricer: cfg,
             ..ServeConfig::default()
         });
@@ -239,6 +262,84 @@ proptest! {
                     name, i, &out.rung, out.batch_len
                 );
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    // Sharding under duress: random seeded stalls hold work in shard
+    // queues at data-dependent points, so the router spills between
+    // shards and idle shards steal from deep siblings — interleavings
+    // the happy path never produces. The contract is unchanged: every
+    // response bit-identical to solo pricing on the rung that served
+    // it, nothing shed, every request accounted for exactly once in
+    // the merged shard telemetry.
+    #[test]
+    fn sharded_routing_and_stealing_stay_bit_invisible(
+        opts in vec(contract(), 1..48usize),
+        kernel_picks in vec(0usize..2, 1..48usize),
+        shards in 2usize..5,
+        stall_rate in 0.05f64..0.6,
+        seed in 0u64..1_000,
+    ) {
+        let _l = faults_lock();
+        let _g = PlanGuard::install(FaultPlan::new().with(
+            FaultSpec::at_rate("queue", FaultKind::StallQueue, stall_rate).seeded(seed),
+        ));
+        let cfg = pricer_config();
+        let engine = Engine::new(registry());
+        let kernels = ["black_scholes", "binomial"];
+        let oracles: Vec<_> = kernels
+            .iter()
+            .map(|k| pricer::resolve(&engine, k, &cfg).unwrap())
+            .collect();
+
+        let server = Server::start(ServeConfig {
+            queue_capacity: opts.len().max(1),
+            max_delay: Duration::from_micros(100),
+            max_batch: 8,
+            shards,
+            pricer: cfg,
+            ..ServeConfig::default()
+        });
+        let (tx, rx) = std::sync::mpsc::channel();
+        for (i, &(s, x, t)) in opts.iter().enumerate() {
+            let which = kernel_picks[i % kernel_picks.len()];
+            server.submit_with(
+                PriceRequest::new(i as u64, kernels[which], s, x, t),
+                &tx,
+            );
+        }
+        drop(tx);
+        let mut responses: Vec<_> = rx.iter().collect();
+        let snap = server.shutdown();
+        prop_assert_eq!(snap.total_shed(), 0);
+        prop_assert_eq!(responses.len(), opts.len());
+        prop_assert_eq!(snap.shards.len(), shards);
+        // Stolen work is served at the thief but submitted at the
+        // victim; both tallies still sum to the request count.
+        let submitted: u64 = snap.shards.iter().map(|s| s.submitted).sum();
+        let served: u64 = snap.shards.iter().map(|s| s.served).sum();
+        prop_assert_eq!(submitted, opts.len() as u64);
+        prop_assert_eq!(served, opts.len() as u64);
+        responses.sort_by_key(|r| r.id);
+        for resp in responses {
+            let i = resp.id as usize;
+            let which = kernel_picks[i % kernel_picks.len()];
+            let (s, x, t) = opts[i];
+            let priced = resp.outcome.expect("nothing rejected");
+            let (call, put) = oracles[which].price_one(s, x, t);
+            prop_assert_eq!(
+                priced.call.to_bits(), call.to_bits(),
+                "{} call for request {} under stalls (batch of {})",
+                kernels[which], i, priced.batch_len
+            );
+            prop_assert_eq!(
+                priced.put.to_bits(), put.to_bits(),
+                "{} put for request {} under stalls", kernels[which], i
+            );
         }
     }
 }

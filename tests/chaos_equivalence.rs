@@ -109,6 +109,7 @@ proptest! {
             queue_capacity: opts.len().max(1),
             max_delay: Duration::from_micros(max_delay_us),
             max_batch,
+            shards: 1,
             pricer: pricer_config(),
             breaker: BreakerPolicy {
                 cooldown: Duration::from_millis(1),
