@@ -86,7 +86,25 @@ bench_threshold="${FINBENCH_BENCH_THRESHOLD:-10}"
 latest_bench=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
 bench_tmp=$(mktemp -t finbench_bench_XXXXXX.json)
 trap 'rm -f "$bench_tmp"' EXIT
-cargo run --release -q -p finbench-harness --bin finbench -- bench-report --quick --out "$bench_tmp"
+bench_out=$(cargo run --release -q -p finbench-harness --bin finbench -- bench-report --quick --out "$bench_tmp")
+echo "$bench_out"
+
+echo "==> zero-alloc gate (steady-state serve batch paths)"
+# Every pooled (steady-state serve) alloc lane must report exactly zero
+# allocations per batch iteration: the *_into buffer-pool path promises
+# an allocation-free hot loop, not just a cheap one.
+alloc_gate_lines=$(echo "$bench_out" | grep 'alloc-gate' || true)
+if [ -z "$alloc_gate_lines" ]; then
+  echo "bench-report emitted no alloc-gate lines (counting allocator inactive?)" >&2
+  exit 1
+fi
+echo "$alloc_gate_lines"
+nonzero=$(echo "$alloc_gate_lines" | grep -v 'allocs_per_iter=0.0' || true)
+if [ -n "$nonzero" ]; then
+  echo "steady-state serve batch paths allocated:" >&2
+  echo "$nonzero" >&2
+  exit 1
+fi
 # Print the metric names a compare run flagged as REGRESSED.
 regressed_metrics() {
   awk -F'|' '/REGRESSED/ { gsub(/ /, "", $2); print $2 }'

@@ -9,22 +9,50 @@ use finbench_simd::F64v;
 
 const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
 
-/// Scalar loop over the SOA layout — same arithmetic as the AOS reference,
-/// unit-stride accesses. Isolates the layout effect from vectorization.
-pub fn price_soa_scalar(batch: &mut OptionBatchSoa, market: MarketParams) {
+/// Shape check shared by every `*_into` kernel: all five caller-owned
+/// slices must cover the same `n` options.
+#[inline]
+fn assert_into_shape(s: &[f64], x: &[f64], t: &[f64], call: &[f64], put: &[f64]) -> usize {
+    let n = s.len();
+    assert!(
+        x.len() == n && t.len() == n && call.len() == n && put.len() == n,
+        "output slices must match the batch"
+    );
+    n
+}
+
+/// Scalar SOA sweep into caller-owned output slices — the allocation-free
+/// form of [`price_soa_scalar`]; same arithmetic as the AOS reference,
+/// unit-stride accesses.
+pub fn price_soa_scalar_into(
+    s: &[f64],
+    x: &[f64],
+    t: &[f64],
+    call: &mut [f64],
+    put: &mut [f64],
+    market: MarketParams,
+) {
+    let n = assert_into_shape(s, x, t, call, put);
     let r = market.r;
     let sig = market.sigma;
     let sig22 = sig * sig * 0.5;
-    for i in 0..batch.len() {
-        let (s, x, t) = (batch.s[i], batch.x[i], batch.t[i]);
+    for i in 0..n {
+        let (s, x, t) = (s[i], x[i], t[i]);
         let qlog = fm::ln(s / x);
         let denom = 1.0 / (sig * t.sqrt());
         let d1 = (qlog + (r + sig22) * t) * denom;
         let d2 = (qlog + (r - sig22) * t) * denom;
         let xexp = x * fm::exp(-(r * t));
-        batch.call[i] = s * fm::norm_cdf(d1) - xexp * fm::norm_cdf(d2);
-        batch.put[i] = xexp * fm::norm_cdf(-d2) - s * fm::norm_cdf(-d1);
+        call[i] = s * fm::norm_cdf(d1) - xexp * fm::norm_cdf(d2);
+        put[i] = xexp * fm::norm_cdf(-d2) - s * fm::norm_cdf(-d1);
     }
+}
+
+/// Scalar loop over the SOA layout — same arithmetic as the AOS reference,
+/// unit-stride accesses. Isolates the layout effect from vectorization.
+pub fn price_soa_scalar(batch: &mut OptionBatchSoa, market: MarketParams) {
+    let OptionBatchSoa { s, x, t, call, put } = batch;
+    price_soa_scalar_into(s, x, t, call, put, market);
 }
 
 /// Price one vector of `W` options (shared by the SIMD drivers below).
@@ -75,38 +103,57 @@ fn price_vec_erf_parity<const W: usize>(
 }
 
 macro_rules! soa_simd_driver {
-    ($(#[$doc:meta])* $name:ident, $body:ident) => {
-        $(#[$doc])*
-        pub fn $name<const W: usize>(batch: &mut OptionBatchSoa, market: MarketParams) {
-            let n = batch.len();
+    ($(#[$doc_into:meta])* $name_into:ident,
+     $(#[$doc:meta])* $name:ident, $body:ident) => {
+        $(#[$doc_into])*
+        pub fn $name_into<const W: usize>(
+            s: &[f64],
+            x: &[f64],
+            t: &[f64],
+            call: &mut [f64],
+            put: &mut [f64],
+            market: MarketParams,
+        ) {
+            let n = assert_into_shape(s, x, t, call, put);
             let main = n - n % W;
             let mut i = 0;
             while i < main {
-                let s = F64v::<W>::load(&batch.s, i);
-                let x = F64v::<W>::load(&batch.x, i);
-                let t = F64v::<W>::load(&batch.t, i);
-                let (call, put) = $body(s, x, t, market);
-                call.store(&mut batch.call, i);
-                put.store(&mut batch.put, i);
+                let sv = F64v::<W>::load(s, i);
+                let xv = F64v::<W>::load(x, i);
+                let tv = F64v::<W>::load(t, i);
+                let (cv, pv) = $body(sv, xv, tv, market);
+                cv.store(call, i);
+                pv.store(put, i);
                 i += W;
             }
             for j in main..n {
-                let (c, p) =
-                    super::price_single(batch.s[j], batch.x[j], batch.t[j], market);
-                batch.call[j] = c;
-                batch.put[j] = p;
+                let (c, p) = super::price_single(s[j], x[j], t[j], market);
+                call[j] = c;
+                put[j] = p;
             }
+        }
+
+        $(#[$doc])*
+        pub fn $name<const W: usize>(batch: &mut OptionBatchSoa, market: MarketParams) {
+            let OptionBatchSoa { s, x, t, call, put } = batch;
+            $name_into::<W>(s, x, t, call, put, market);
         }
     };
 }
 
 soa_simd_driver!(
+    /// Allocation-free form of [`price_soa_simd`]: SIMD across options
+    /// into caller-owned output slices.
+    price_soa_simd_into,
     /// Intermediate level: SIMD across options on the SOA layout, one
     /// option per lane, vector `cnd`.
     price_soa_simd, price_vec_cnd
 );
 
 soa_simd_driver!(
+    /// Allocation-free form of [`price_soa_simd_erf_parity`] into
+    /// caller-owned output slices.
+    price_soa_simd_erf_parity_into,
     /// Advanced level: SIMD + `erf` substitution + call/put parity.
     price_soa_simd_erf_parity, price_vec_erf_parity
 );
@@ -212,6 +259,53 @@ mod tests {
         price_soa_simd_erf_parity::<8>(&mut a, m);
         par_price_soa::<8>(&mut b, m, 512);
         assert_close(&a, &b, 1e-15, "parallel");
+    }
+
+    #[test]
+    fn into_forms_are_bit_identical_to_batch_forms() {
+        let m = MarketParams::PAPER;
+        // 101 is deliberately ragged so the scalar tails run too.
+        let base = batch(101);
+        let mut call = vec![0.0; base.len()];
+        let mut put = vec![0.0; base.len()];
+        for (run_batch, run_into, label) in [
+            (
+                price_soa_scalar as fn(&mut OptionBatchSoa, MarketParams),
+                price_soa_scalar_into
+                    as fn(&[f64], &[f64], &[f64], &mut [f64], &mut [f64], MarketParams),
+                "scalar",
+            ),
+            (price_soa_simd::<8>, price_soa_simd_into::<8>, "simd"),
+            (
+                price_soa_simd_erf_parity::<8>,
+                price_soa_simd_erf_parity_into::<8>,
+                "erf-parity",
+            ),
+        ] {
+            let mut a = base.clone();
+            run_batch(&mut a, m);
+            run_into(&base.s, &base.x, &base.t, &mut call, &mut put, m);
+            for i in 0..base.len() {
+                assert_eq!(a.call[i].to_bits(), call[i].to_bits(), "{label} call {i}");
+                assert_eq!(a.put[i].to_bits(), put[i].to_bits(), "{label} put {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output slices must match")]
+    fn into_forms_reject_short_outputs() {
+        let base = batch(8);
+        let mut call = vec![0.0; 4];
+        let mut put = vec![0.0; 8];
+        price_soa_simd_into::<8>(
+            &base.s,
+            &base.x,
+            &base.t,
+            &mut call,
+            &mut put,
+            MarketParams::PAPER,
+        );
     }
 
     #[test]

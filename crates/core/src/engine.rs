@@ -916,6 +916,22 @@ impl Kernel for GreeksKernel {
             )
             .check(Check::BitExact)
             .cost_level(1),
+            // Prices + all ten greeks in one SOA pass sharing the
+            // d1/√t/discount/N(d1) subexpressions; bit-identical to the
+            // separate sweeps (declared below, validated like any rung).
+            Rung::new(
+                OptLevel::Advanced,
+                "Advanced: fused price+greeks (W=8)",
+                |w: &GreeksWorkload, _p| {
+                    fn_body(
+                        (w.batch.clone(), GreeksBatchSoa::zeroed(w.batch.len())),
+                        |(batch, out)| crate::greeks::price_and_greeks_into::<8>(batch, M, out),
+                        |(_, out)| out.call.delta.clone(),
+                    )
+                },
+            )
+            .check(Check::BitExact)
+            .cost_level(1),
             bump_rung("Advanced: bump-and-reprice closed form", |w, i| {
                 bs_bump_greeks(
                     OptionType::Call,
@@ -1145,6 +1161,7 @@ mod tests {
                 "Basic: scalar greeks sweep",
                 "Intermediate: SIMD SOA greeks (W=4)",
                 "Intermediate: SIMD SOA greeks (W=8)",
+                "Advanced: fused price+greeks (W=8)",
                 "Advanced: bump-and-reprice closed form",
                 "Advanced: bump-and-reprice binomial",
                 "Advanced: MC pathwise (delta/vega)",

@@ -14,7 +14,10 @@
 //!   differences under common random numbers.
 
 pub mod bump;
+pub mod fused;
 pub mod mc;
+
+pub use fused::price_and_greeks_into;
 
 use crate::workload::MarketParams;
 use finbench_math::{exp, ln, norm_cdf, norm_pdf};
@@ -203,6 +206,16 @@ impl GreeksSoa {
         }
     }
 
+    /// Resize to `n` options in place, zero-filling new tail slots.
+    /// Capacity only grows, so reuse across batches stops allocating.
+    pub fn resize(&mut self, n: usize) {
+        self.delta.resize(n, 0.0);
+        self.gamma.resize(n, 0.0);
+        self.vega.resize(n, 0.0);
+        self.theta.resize(n, 0.0);
+        self.rho.resize(n, 0.0);
+    }
+
     /// Number of options.
     pub fn len(&self) -> usize {
         self.delta.len()
@@ -242,6 +255,12 @@ impl GreeksBatchSoa {
             call: GreeksSoa::zeroed(n),
             put: GreeksSoa::zeroed(n),
         }
+    }
+
+    /// Resize both sides to `n` options in place; capacity only grows.
+    pub fn resize(&mut self, n: usize) {
+        self.call.resize(n);
+        self.put.resize(n);
     }
 
     /// Number of options.

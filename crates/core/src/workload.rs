@@ -104,6 +104,17 @@ impl OptionBatchSoa {
         }
     }
 
+    /// Resize to `n` options in place, zero-filling any new tail slots.
+    /// Capacity only ever grows, so a batch reused as serve-lane scratch
+    /// stops allocating once it has seen its largest flush.
+    pub fn resize(&mut self, n: usize) {
+        self.s.resize(n, 0.0);
+        self.x.resize(n, 0.0);
+        self.t.resize(n, 0.0);
+        self.call.resize(n, 0.0);
+        self.put.resize(n, 0.0);
+    }
+
     /// Generate a reproducible random batch of `n` options.
     pub fn random(n: usize, seed: u64, ranges: WorkloadRanges) -> Self {
         let mut batch = Self::zeroed(n);

@@ -23,8 +23,8 @@ use crate::render::{fmt_num, section, table};
 use finbench_core::greeks::GreeksBatchSoa;
 use finbench_engine::RungSamples;
 use finbench_serve::{
-    padded_batch, search_peak, GreeksRequest, GreeksResponse, LoadMode, PeakReport,
-    PeakSearchConfig, PeakStep, PricerConfig, Rejected, ServeConfig, Server, ServingRung,
+    padded_batch_into, search_peak, GreeksRequest, GreeksResponse, LoadMode, PeakReport,
+    PeakSearchConfig, PeakStep, PricerConfig, Rejected, Scratch, ServeConfig, Server, ServingRung,
 };
 use finbench_telemetry as telemetry;
 use std::collections::BTreeMap;
@@ -225,6 +225,14 @@ pub fn bench_report(opts: &BenchReportOptions) -> Result<PathBuf, String> {
                 &alloc_rows
             )
         );
+        // Machine-readable zero-alloc gate lines: ci.sh requires every
+        // pooled (steady-state serve) lane to report exactly 0.0.
+        for a in allocs.iter().filter(|a| a.lane.ends_with("_pooled")) {
+            println!(
+                "  alloc-gate {} allocs_per_iter={:.1}",
+                a.lane, a.allocs_per_iter
+            );
+        }
     } else {
         println!("  (counting allocator not installed; allocs/iter unavailable)");
     }
@@ -493,6 +501,12 @@ const ALLOC_ITERS: usize = 64;
 /// Allocations per batch iteration on the hot pricing paths. Zeros mean
 /// either a genuinely allocation-free path or an uninstalled counting
 /// allocator — the snapshot records which via `alloc_counter_active`.
+///
+/// Two families per kernel: the historical *allocating* lane (fresh
+/// batch per iteration, the pre-`*_into` serve path) and a `_pooled`
+/// lane that reuses one [`Scratch`] across iterations the way a serve
+/// lane does at steady state. The pooled SOA lanes must report **0**
+/// allocs/iter — ci.sh greps the `alloc-gate` lines for exactly that.
 fn alloc_lanes(pricer: PricerConfig) -> Vec<AllocLane> {
     let mut stream = finbench_serve::OptionStream::new(0xA110C);
     let opts: Vec<(f64, f64, f64)> = (0..ALLOC_BATCH).map(|_| stream.next_option()).collect();
@@ -500,7 +514,8 @@ fn alloc_lanes(pricer: PricerConfig) -> Vec<AllocLane> {
     for kernel in ["black_scholes", "binomial"] {
         if let Ok(rung) = finbench_serve::pricer::resolve(native::engine(), kernel, &pricer) {
             let per_iter = |_: usize| {
-                let mut batch = padded_batch(&opts, rung.width);
+                let mut batch = finbench_core::OptionBatchSoa::zeroed(0);
+                padded_batch_into(&mut batch, &opts, rung.width);
                 rung.price(&mut batch);
                 std::hint::black_box(&batch);
             };
@@ -515,12 +530,34 @@ fn alloc_lanes(pricer: PricerConfig) -> Vec<AllocLane> {
             });
         }
     }
+    // Pooled Black-Scholes: the steady-state serve price path (binomial
+    // is excluded — its lattice kernel allocates internally by design).
+    if let Ok(rung) = finbench_serve::pricer::resolve(native::engine(), "black_scholes", &pricer) {
+        let mut scratch = Scratch::new();
+        let per_iter = |_: usize| {
+            scratch.opts.clear();
+            scratch.opts.extend_from_slice(&opts);
+            scratch.stage(rung.width);
+            rung.price(&mut scratch.soa);
+            std::hint::black_box(&scratch.soa);
+        };
+        let (allocs_per_iter, bytes_per_iter) = measure_allocs(per_iter);
+        out.push(AllocLane {
+            lane: "black_scholes_pooled".into(),
+            rung: rung.slug.clone(),
+            batch: ALLOC_BATCH,
+            iters: ALLOC_ITERS,
+            allocs_per_iter,
+            bytes_per_iter,
+        });
+    }
     if let Some(rung) = finbench_serve::greeks_ladder(pricer.market)
         .into_iter()
         .next()
     {
         let per_iter = |_: usize| {
-            let batch = padded_batch(&opts, rung.width);
+            let mut batch = finbench_core::OptionBatchSoa::zeroed(0);
+            padded_batch_into(&mut batch, &opts, rung.width);
             let mut greeks = GreeksBatchSoa::zeroed(batch.len());
             rung.compute(&batch, &mut greeks);
             std::hint::black_box(&greeks);
@@ -529,6 +566,52 @@ fn alloc_lanes(pricer: PricerConfig) -> Vec<AllocLane> {
         out.push(AllocLane {
             lane: "greeks".into(),
             rung: rung.slug.clone(),
+            batch: ALLOC_BATCH,
+            iters: ALLOC_ITERS,
+            allocs_per_iter,
+            bytes_per_iter,
+        });
+        // Pooled greeks: the steady-state serve greeks path.
+        let mut scratch = Scratch::new();
+        let per_iter = |_: usize| {
+            scratch.opts.clear();
+            scratch.opts.extend_from_slice(&opts);
+            scratch.stage(rung.width);
+            scratch.greeks.resize(scratch.soa.len());
+            rung.compute(&scratch.soa, &mut scratch.greeks);
+            std::hint::black_box(&scratch.greeks);
+        };
+        let (allocs_per_iter, bytes_per_iter) = measure_allocs(per_iter);
+        out.push(AllocLane {
+            lane: "greeks_pooled".into(),
+            rung: rung.slug.clone(),
+            batch: ALLOC_BATCH,
+            iters: ALLOC_ITERS,
+            allocs_per_iter,
+            bytes_per_iter,
+        });
+    }
+    // Pooled fused pass: prices + all ten greeks in one sweep over the
+    // same reused scratch — the cheapest way to serve both planes.
+    {
+        let mut scratch = Scratch::new();
+        let market = pricer.market;
+        let per_iter = |_: usize| {
+            scratch.opts.clear();
+            scratch.opts.extend_from_slice(&opts);
+            scratch.stage(8);
+            scratch.greeks.resize(scratch.soa.len());
+            finbench_core::greeks::price_and_greeks_into::<8>(
+                &mut scratch.soa,
+                market,
+                &mut scratch.greeks,
+            );
+            std::hint::black_box(&scratch.greeks);
+        };
+        let (allocs_per_iter, bytes_per_iter) = measure_allocs(per_iter);
+        out.push(AllocLane {
+            lane: "fused_pooled".into(),
+            rung: "advanced_fused_price_greeks_w_8".into(),
             batch: ALLOC_BATCH,
             iters: ALLOC_ITERS,
             allocs_per_iter,
@@ -946,10 +1029,12 @@ fn flatten(doc: &Json, label: &str) -> Result<BenchDoc, CompareError> {
                 });
             }
         };
-        // Floor of 4 allocs/iter: the hot path gate triggers on real
-        // regressions (a new Vec per batch = +1.0), not allocator jitter
-        // around tiny counts.
-        push("allocs_per_iter", true, 4.0);
+        // Floor of 4 allocs/iter on the allocating lanes: the hot path
+        // gate triggers on real regressions (a new Vec per batch = +1.0),
+        // not allocator jitter around tiny counts. Pooled lanes promise
+        // exactly zero, so any allocation at all (≥ 1/iter) is gated.
+        let floor = if name.ends_with("_pooled") { 0.5 } else { 4.0 };
+        push("allocs_per_iter", true, floor);
         push("bytes_per_iter", false, 0.0);
     }
 

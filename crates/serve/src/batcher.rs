@@ -96,14 +96,27 @@ impl<T> MicroBatcher<T> {
         self.pending.is_empty()
     }
 
-    /// Accept one request at time `now`. Returns the full batch when this
-    /// arrival fires the size trigger.
-    pub fn offer(&mut self, req: T, now: Instant) -> Option<Vec<T>> {
+    /// Accept one request at time `now` without flushing — the
+    /// allocation-free half of [`offer`](Self::offer). Pair with
+    /// [`full`](Self::full) and [`flush_into`](Self::flush_into) so the
+    /// flushed batch lands in a reused buffer.
+    pub fn push(&mut self, req: T, now: Instant) {
         if self.pending.is_empty() {
             self.oldest = Some(now);
         }
         self.pending.push(req);
-        (self.pending.len() >= self.policy.max_batch).then(|| self.flush())
+    }
+
+    /// True when the size trigger has fired.
+    pub fn full(&self) -> bool {
+        self.pending.len() >= self.policy.max_batch
+    }
+
+    /// Accept one request at time `now`. Returns the full batch when this
+    /// arrival fires the size trigger.
+    pub fn offer(&mut self, req: T, now: Instant) -> Option<Vec<T>> {
+        self.push(req, now);
+        self.full().then(|| self.flush())
     }
 
     /// True when the delay trigger has fired at `now`.
@@ -122,10 +135,21 @@ impl<T> MicroBatcher<T> {
             .map(|t0| t0 + self.policy.max_delay)
     }
 
+    /// Drain everything pending (possibly empty) into `out`, which is
+    /// cleared first. Neither the pending buffer nor `out` give up their
+    /// capacity, so a lane flushing into its reusable scratch allocates
+    /// nothing once both have grown to the largest batch seen.
+    pub fn flush_into(&mut self, out: &mut Vec<T>) {
+        self.oldest = None;
+        out.clear();
+        out.append(&mut self.pending);
+    }
+
     /// Take everything pending (possibly empty).
     pub fn flush(&mut self) -> Vec<T> {
-        self.oldest = None;
-        std::mem::take(&mut self.pending)
+        let mut out = Vec::with_capacity(self.pending.len());
+        self.flush_into(&mut out);
+        out
     }
 }
 
@@ -168,6 +192,51 @@ mod tests {
         assert_eq!(b.next_deadline(), Some(t0 + Duration::from_millis(10)));
         assert_eq!(b.flush().len(), 2);
         assert!(!b.due(t0 + Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn flush_into_drains_in_place_and_keeps_capacity() {
+        let mut b = MicroBatcher::new(policy(100, 10));
+        let mut out: Vec<u64> = Vec::new();
+        let t0 = Instant::now();
+        for round in 0..3u64 {
+            for i in 0..10 {
+                b.push(req(round * 10 + i), t0);
+            }
+            assert!(!b.full());
+            b.flush_into(&mut out);
+            assert_eq!(out.len(), 10, "round {round}");
+            assert_eq!(out[0], round * 10, "round {round}");
+            assert!(b.is_empty());
+            assert_eq!(b.next_deadline(), None);
+        }
+        // Steady state: neither the pending buffer nor the flush target
+        // reallocates once both have grown.
+        let cap = out.capacity();
+        for i in 0..10 {
+            b.push(req(i), t0);
+        }
+        b.flush_into(&mut out);
+        assert_eq!(out.capacity(), cap);
+    }
+
+    #[test]
+    fn push_full_flush_into_agrees_with_offer() {
+        let mut a = MicroBatcher::new(policy(3, 1000));
+        let mut b = MicroBatcher::new(policy(3, 1000));
+        let now = Instant::now();
+        let mut flushed = Vec::new();
+        for i in 1..=3 {
+            let via_offer = a.offer(req(i), now);
+            b.push(req(i), now);
+            if b.full() {
+                b.flush_into(&mut flushed);
+                let via_offer = via_offer.expect("offer flushes at max_batch");
+                assert_eq!(flushed, via_offer);
+            } else {
+                assert!(via_offer.is_none());
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! padding contract [`pricer`](crate::pricer) enforces for prices, pinned
 //! down by `tests/batching_equivalence.rs`.
 
-use crate::pricer::padded_batch;
+use crate::pricer::padded_batch_into;
 use finbench_core::greeks::{greeks_batch_simd, Greeks, GreeksBatchSoa};
 use finbench_core::{MarketParams, OptionBatchSoa};
 
@@ -32,7 +32,7 @@ pub struct GreeksRung {
 impl GreeksRung {
     /// Compute all five greeks for both sides of every option in `batch`.
     /// The caller guarantees `batch.len()` is a multiple of
-    /// [`width`](Self::width) (use [`padded_batch`]).
+    /// [`width`](Self::width) (use [`padded_batch_into`]).
     pub fn compute(&self, batch: &OptionBatchSoa, out: &mut GreeksBatchSoa) {
         debug_assert_eq!(batch.len() % self.width, 0);
         (self.compute)(batch, out);
@@ -42,7 +42,8 @@ impl GreeksRung {
     /// compare scattered batch results against. Pads a singleton batch to
     /// the rung's width so the option still rides a vector lane.
     pub fn compute_one(&self, s: f64, x: f64, t: f64) -> (Greeks, Greeks) {
-        let batch = padded_batch(&[(s, x, t)], self.width);
+        let mut batch = OptionBatchSoa::zeroed(0);
+        padded_batch_into(&mut batch, &[(s, x, t)], self.width);
         let mut out = GreeksBatchSoa::zeroed(batch.len());
         self.compute(&batch, &mut out);
         (out.call.at(0), out.put.at(0))
@@ -128,7 +129,8 @@ mod tests {
         let ladder = greeks_ladder(M);
         let rung = &ladder[0];
         let opts = [(30.0, 35.0, 1.0), (25.0, 20.0, 0.5), (10.0, 90.0, 7.5)];
-        let batch = padded_batch(&opts, rung.width);
+        let mut batch = OptionBatchSoa::zeroed(0);
+        padded_batch_into(&mut batch, &opts, rung.width);
         let mut out = GreeksBatchSoa::zeroed(batch.len());
         rung.compute(&batch, &mut out);
         for (i, &(s, x, t)) in opts.iter().enumerate() {

@@ -56,6 +56,7 @@ pub mod pricer;
 pub mod queue;
 pub mod request;
 pub mod server;
+pub mod workload;
 
 pub use batcher::{target_batch, BatchPolicy, MicroBatcher};
 pub use breaker::{Breaker, BreakerPolicy, BreakerState, FailureAction, Gate};
@@ -64,9 +65,12 @@ pub use loadgen::{
     find_peak_sustained, last_sustained_hz, run_load, search_peak, LoadMode, LoadReport,
     OptionStream, PeakReport, PeakSearchConfig, PeakStep, ShardLoad,
 };
-pub use pricer::{padded_batch, servable_ladder, PricerConfig, ServingRung};
+#[allow(deprecated)]
+pub use pricer::padded_batch;
+pub use pricer::{padded_batch_into, servable_ladder, PricerConfig, ServingRung};
 pub use queue::AdmissionQueue;
 pub use request::{
     GreeksOut, GreeksRequest, GreeksResponse, PriceRequest, PriceResponse, Priced, Rejected,
 };
 pub use server::{KernelSnapshot, ServeConfig, ServeSnapshot, Server, ShardSnapshot};
+pub use workload::{GreeksWorkload, LaneCounters, PriceWorkload, Scratch, ServeWorkload};

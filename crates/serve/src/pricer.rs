@@ -78,28 +78,47 @@ impl ServingRung {
     /// compare scattered batch results against. Pads a singleton batch to
     /// the rung's width so the option still rides a vector lane.
     pub fn price_one(&self, s: f64, x: f64, t: f64) -> (f64, f64) {
-        let mut batch = padded_batch(&[(s, x, t)], self.width);
+        let mut batch = OptionBatchSoa::zeroed(0);
+        padded_batch_into(&mut batch, &[(s, x, t)], self.width);
         self.price(&mut batch);
         (batch.call[0], batch.put[0])
     }
 }
 
-/// Build an SOA batch from `(s, x, t)` triples, padded to a multiple of
-/// `width` with benign dummy options (never surfaced to any caller).
-pub fn padded_batch(opts: &[(f64, f64, f64)], width: usize) -> OptionBatchSoa {
+/// Stage `(s, x, t)` triples into a caller-owned SOA batch, padded to a
+/// multiple of `width` with benign dummy options (never surfaced to any
+/// caller). The batch is resized in place — its capacity only ever
+/// grows, so a lane reusing one batch across flushes stops allocating
+/// once it has seen its largest flush. Outputs are zeroed for the live
+/// prefix (stale padding lanes keep whatever the previous flush wrote;
+/// they are never scattered back).
+pub fn padded_batch_into(batch: &mut OptionBatchSoa, opts: &[(f64, f64, f64)], width: usize) {
     let width = width.max(1);
-    let padded = opts.len().div_ceil(width) * width;
-    let mut batch = OptionBatchSoa::zeroed(padded.max(width));
+    let padded = (opts.len().div_ceil(width) * width).max(width);
+    batch.resize(padded);
     for (i, &(s, x, t)) in opts.iter().enumerate() {
         batch.s[i] = s;
         batch.x[i] = x;
         batch.t[i] = t;
+        batch.call[i] = 0.0;
+        batch.put[i] = 0.0;
     }
-    for i in opts.len()..batch.len() {
+    for i in opts.len()..padded {
         batch.s[i] = 1.0;
         batch.x[i] = 1.0;
         batch.t[i] = 1.0;
     }
+}
+
+/// Build an SOA batch from `(s, x, t)` triples, padded to a multiple of
+/// `width` with benign dummy options (never surfaced to any caller).
+#[deprecated(
+    since = "0.8.0",
+    note = "allocates a fresh batch per call; use `padded_batch_into` with a reused batch"
+)]
+pub fn padded_batch(opts: &[(f64, f64, f64)], width: usize) -> OptionBatchSoa {
+    let mut batch = OptionBatchSoa::zeroed(0);
+    padded_batch_into(&mut batch, opts, width);
     batch
 }
 
@@ -284,13 +303,35 @@ mod tests {
         let e = engine();
         let rung = resolve(&e, "black_scholes", &PricerConfig::default()).unwrap();
         let opts = [(30.0, 35.0, 1.0), (25.0, 20.0, 0.5), (10.0, 90.0, 7.5)];
-        let mut batch = padded_batch(&opts, rung.width);
+        let mut batch = OptionBatchSoa::zeroed(0);
+        padded_batch_into(&mut batch, &opts, rung.width);
         assert_eq!(batch.len() % rung.width, 0);
         rung.price(&mut batch);
         for (i, &(s, x, t)) in opts.iter().enumerate() {
             let (c1, p1) = rung.price_one(s, x, t);
             assert_eq!(batch.call[i].to_bits(), c1.to_bits(), "call {i}");
             assert_eq!(batch.put[i].to_bits(), p1.to_bits(), "put {i}");
+        }
+    }
+
+    #[test]
+    fn padded_batch_into_reuse_matches_a_fresh_batch() {
+        let mut reused = OptionBatchSoa::zeroed(0);
+        // Shrinks and regrowths across flushes must stage the same
+        // inputs as a freshly allocated batch every time.
+        for n in [5usize, 11, 2, 0, 16] {
+            let opts: Vec<(f64, f64, f64)> = (0..n)
+                .map(|i| (30.0 + i as f64, 35.0, 1.0 + i as f64))
+                .collect();
+            padded_batch_into(&mut reused, &opts, 8);
+            #[allow(deprecated)]
+            let fresh = padded_batch(&opts, 8);
+            assert_eq!(reused.len(), fresh.len(), "n={n}");
+            assert_eq!(reused.s, fresh.s, "n={n}");
+            assert_eq!(reused.x, fresh.x, "n={n}");
+            assert_eq!(reused.t, fresh.t, "n={n}");
+            assert_eq!(reused.call[..n], fresh.call[..n], "n={n}");
+            assert_eq!(reused.put[..n], fresh.put[..n], "n={n}");
         }
     }
 

@@ -76,14 +76,11 @@
 
 use crate::batcher::{target_batch, BatchPolicy, MicroBatcher};
 use crate::breaker::{Breaker, BreakerPolicy, BreakerState, FailureAction, Gate};
-use crate::greeks::{greeks_ladder, GreeksRung};
-use crate::pricer::{self, padded_batch, PricerConfig, ServingRung};
+use crate::pricer::PricerConfig;
 use crate::queue::AdmissionQueue;
-use crate::request::{
-    GreeksOut, GreeksRequest, GreeksResponse, PriceRequest, PriceResponse, Priced, Rejected,
-};
+use crate::request::{GreeksRequest, GreeksResponse, PriceRequest, PriceResponse, Rejected};
+use crate::workload::{Envelope, GreeksWorkload, PriceWorkload, Scratch, ServeWorkload};
 use finbench_core::engine::registry;
-use finbench_core::greeks::GreeksBatchSoa;
 use finbench_engine::Engine;
 use finbench_faults::{self as faults, FaultKind};
 use finbench_telemetry::{self as telemetry, Histogram};
@@ -127,63 +124,43 @@ impl Default for ServeConfig {
     }
 }
 
-struct Envelope {
-    req: PriceRequest,
-    submitted: Instant,
-    tx: Sender<PriceResponse>,
-}
-
-struct GreeksEnvelope {
-    req: GreeksRequest,
-    submitted: Instant,
-    tx: Sender<GreeksResponse>,
-}
-
 /// One admitted unit of work: both request planes ride the same bounded
 /// queue, so backpressure is shared and admission order is global.
 enum Work {
-    Price(Envelope),
-    Greeks(GreeksEnvelope),
+    Price(Envelope<PriceWorkload>),
+    Greeks(Envelope<GreeksWorkload>),
 }
 
-/// Stats/telemetry key for the greeks lane (kernel-less, so it gets its
-/// own reserved name alongside the registry kernels).
-const GREEKS_LANE: &str = "greeks";
-
-/// One kernel's serving state inside the dispatcher: its degradation
-/// ladder (index 0 = planned serving rung, last = scalar reference),
-/// the level it currently serves at, and its supervising breaker.
-struct Lane {
-    ladder: Vec<ServingRung>,
+/// One lane's serving state inside the dispatcher, generic over the
+/// request plane it runs ([`ServeWorkload`]): its degradation ladder
+/// (index 0 = planned serving rung, last = scalar reference), the level
+/// it currently serves at, its supervising breaker, and its reusable
+/// batch buffers. The flush target and [`Scratch`] are recycled across
+/// batches — grown to the largest flush seen, never shrunk — so
+/// steady-state batch execution allocates nothing.
+struct Lane<W: ServeWorkload> {
+    /// Lane key: the kernel name (stats map key, telemetry `<key>`).
+    key: String,
+    ladder: Vec<W::Rung>,
     level: usize,
     breaker: Breaker,
-    batcher: MicroBatcher<Envelope>,
+    batcher: MicroBatcher<Envelope<W>>,
     target: usize,
+    /// The flushed batch being executed, reused across flushes.
+    flush: Vec<Envelope<W>>,
+    /// Reusable staging + output buffers for batch execution.
+    scratch: Scratch,
+    /// Telemetry names, formatted once at lane construction so the hot
+    /// path never builds a metric name.
+    span_name: String,
+    fault_site: String,
+    breaker_gauge: String,
+    degradation_gauge: String,
 }
 
-impl Lane {
-    fn active_rung(&self) -> &ServingRung {
-        &self.ladder[self.level]
-    }
-
-    fn at_bottom(&self) -> bool {
-        self.level + 1 >= self.ladder.len()
-    }
-}
-
-/// The greeks lane: same supervision shape as [`Lane`] (degradation
-/// ladder + breaker + micro-batcher) over the analytic greeks rungs.
-struct GreeksLane {
-    ladder: Vec<GreeksRung>,
-    level: usize,
-    breaker: Breaker,
-    batcher: MicroBatcher<GreeksEnvelope>,
-    target: usize,
-}
-
-impl GreeksLane {
-    fn active_rung(&self) -> &GreeksRung {
-        &self.ladder[self.level]
+impl<W: ServeWorkload> Lane<W> {
+    fn active_slug(&self) -> &str {
+        W::slug(&self.ladder[self.level])
     }
 
     fn at_bottom(&self) -> bool {
@@ -600,7 +577,7 @@ impl Server {
             });
             return;
         }
-        let env = GreeksEnvelope {
+        let env = Envelope {
             req,
             submitted: Instant::now(),
             tx: tx.clone(),
@@ -734,8 +711,8 @@ const STEAL_MAX: usize = 64;
 
 fn shard_loop(ctx: ShardCtx) {
     let engine = Engine::new(registry());
-    let mut lanes: BTreeMap<String, Lane> = BTreeMap::new();
-    let mut greeks: Option<GreeksLane> = None;
+    let mut price_lanes: BTreeMap<String, Lane<PriceWorkload>> = BTreeMap::new();
+    let mut greeks_lanes: BTreeMap<String, Lane<GreeksWorkload>> = BTreeMap::new();
     let queue = Arc::clone(&ctx.queues[ctx.index]);
     let seat = Arc::clone(&ctx.seats[ctx.index]);
     let stats = &*ctx.stats;
@@ -762,16 +739,20 @@ fn shard_loop(ctx: ShardCtx) {
                 .iter()
                 .any(|k| matches!(k, FaultKind::Kill))
             {
-                kill_shard(ctx.index, &queue, &seat, lanes, greeks, stats);
+                kill_shard(ctx.index, &queue, &seat, price_lanes, greeks_lanes, stats);
                 return;
             }
         }
         // Sleep until new work or the earliest lane flush deadline.
         let now = Instant::now();
-        let wait = lanes
+        let wait = price_lanes
             .values()
             .filter_map(|l| l.batcher.next_deadline())
-            .chain(greeks.iter().filter_map(|l| l.batcher.next_deadline()))
+            .chain(
+                greeks_lanes
+                    .values()
+                    .filter_map(|l| l.batcher.next_deadline()),
+            )
             .min()
             .map(|d| d.saturating_duration_since(now))
             .unwrap_or(config.max_delay)
@@ -782,9 +763,11 @@ fn shard_loop(ctx: ShardCtx) {
                 let total: usize = ctx.queues.iter().map(|q| q.len()).sum();
                 telemetry::gauge_set("serve.queue_depth", total as f64);
                 match work {
-                    Work::Price(env) => admit(env, &engine, &mut lanes, stats, config, &seat),
+                    Work::Price(env) => {
+                        admit(env, &engine, &mut price_lanes, stats, config, &seat);
+                    }
                     Work::Greeks(env) => {
-                        admit_greeks(env, &engine, &mut greeks, stats, config, &seat);
+                        admit(env, &engine, &mut greeks_lanes, stats, config, &seat);
                     }
                 }
             }
@@ -799,10 +782,10 @@ fn shard_loop(ctx: ShardCtx) {
                     for work in steal_from_siblings(&ctx, &seat) {
                         match work {
                             Work::Price(env) => {
-                                admit(env, &engine, &mut lanes, stats, config, &seat);
+                                admit(env, &engine, &mut price_lanes, stats, config, &seat);
                             }
                             Work::Greeks(env) => {
-                                admit_greeks(env, &engine, &mut greeks, stats, config, &seat);
+                                admit(env, &engine, &mut greeks_lanes, stats, config, &seat);
                             }
                         }
                     }
@@ -811,30 +794,26 @@ fn shard_loop(ctx: ShardCtx) {
         }
         // Fire every lane whose delay trigger has passed.
         let now = Instant::now();
-        for (kernel, lane) in lanes.iter_mut() {
+        for lane in price_lanes.values_mut() {
             if lane.batcher.due(now) {
-                let batch = lane.batcher.flush();
-                execute(kernel, lane, batch, stats, &seat);
+                execute(lane, stats, &seat);
             }
         }
-        if let Some(lane) = greeks.as_mut() {
+        for lane in greeks_lanes.values_mut() {
             if lane.batcher.due(now) {
-                let batch = lane.batcher.flush();
-                execute_greeks(lane, batch, stats, &seat);
+                execute(lane, stats, &seat);
             }
         }
     }
     // Drain: answer everything still pending in the batchers.
-    for (kernel, lane) in lanes.iter_mut() {
-        let batch = lane.batcher.flush();
-        if !batch.is_empty() {
-            execute(kernel, lane, batch, stats, &seat);
+    for lane in price_lanes.values_mut() {
+        if !lane.batcher.is_empty() {
+            execute(lane, stats, &seat);
         }
     }
-    if let Some(lane) = greeks.as_mut() {
-        let batch = lane.batcher.flush();
-        if !batch.is_empty() {
-            execute_greeks(lane, batch, stats, &seat);
+    for lane in greeks_lanes.values_mut() {
+        if !lane.batcher.is_empty() {
+            execute(lane, stats, &seat);
         }
     }
 }
@@ -871,8 +850,8 @@ fn kill_shard(
     index: usize,
     queue: &AdmissionQueue<Work>,
     seat: &ShardSeat,
-    mut lanes: BTreeMap<String, Lane>,
-    mut greeks: Option<GreeksLane>,
+    mut price_lanes: BTreeMap<String, Lane<PriceWorkload>>,
+    mut greeks_lanes: BTreeMap<String, Lane<GreeksWorkload>>,
     stats: &Mutex<StatsInner>,
 ) {
     seat.dead.store(true, Ordering::Release);
@@ -880,85 +859,89 @@ fn kill_shard(
     telemetry::counter_add("serve.shard_kills", 1);
     telemetry::gauge_set(&format!("serve.shard.{index}.alive"), 0.0);
     let reason = format!("shard {index} killed by fault injection");
-    for (kernel, lane) in lanes.iter_mut() {
-        let batch = lane.batcher.flush();
-        if !batch.is_empty() {
-            reject_internal(kernel, batch, &reason, stats);
-        }
-    }
-    if let Some(lane) = greeks.as_mut() {
-        let batch = lane.batcher.flush();
-        if !batch.is_empty() {
-            reject_internal_greeks(batch, &reason, stats);
-        }
-    }
-    let mut orphans_price = Vec::new();
-    let mut orphans_greeks = Vec::new();
+    kill_lanes(&mut price_lanes, &reason, stats);
+    kill_lanes(&mut greeks_lanes, &reason, stats);
+    let mut orphans_price: Vec<Envelope<PriceWorkload>> = Vec::new();
+    let mut orphans_greeks: Vec<Envelope<GreeksWorkload>> = Vec::new();
     for work in queue.steal_up_to(usize::MAX) {
         match work {
             Work::Price(env) => orphans_price.push(env),
             Work::Greeks(env) => orphans_greeks.push(env),
         }
     }
-    if !orphans_price.is_empty() {
-        reject_internal("killed", orphans_price, &reason, stats);
-    }
-    if !orphans_greeks.is_empty() {
-        reject_internal_greeks(orphans_greeks, &reason, stats);
+    reject_internal(&mut orphans_price, &reason, stats);
+    reject_internal(&mut orphans_greeks, &reason, stats);
+}
+
+/// Flush every lane's pending batch and answer it with the kill reason.
+fn kill_lanes<W: ServeWorkload>(
+    lanes: &mut BTreeMap<String, Lane<W>>,
+    reason: &str,
+    stats: &Mutex<StatsInner>,
+) {
+    for lane in lanes.values_mut() {
+        let Lane { batcher, flush, .. } = lane;
+        batcher.flush_into(flush);
+        reject_internal(flush, reason, stats);
     }
 }
 
-/// Route one admitted envelope into its kernel lane, resolving the lane
-/// on first use; bad kernels answer immediately with a typed rejection.
-fn admit(
-    env: Envelope,
+/// Route one admitted envelope into its lane, resolving the lane on
+/// first use; bad kernels answer immediately with a typed rejection.
+fn admit<W: ServeWorkload>(
+    env: Envelope<W>,
     engine: &Engine,
-    lanes: &mut BTreeMap<String, Lane>,
+    lanes: &mut BTreeMap<String, Lane<W>>,
     stats: &Mutex<StatsInner>,
     config: &ServeConfig,
     seat: &ShardSeat,
 ) {
-    let kernel = env.req.kernel.clone();
-    if !lanes.contains_key(&kernel) {
-        match make_lane(engine, &kernel, config) {
+    if !lanes.contains_key(W::lane_key(&env.req)) {
+        let key = W::lane_key(&env.req).to_string();
+        match make_lane::<W>(engine, &key, config) {
             Ok(lane) => {
                 let mut st = lock_stats(stats);
-                let ks = st.kernels.entry(kernel.clone()).or_default();
-                ks.rung = lane.active_rung().slug.clone();
+                let ks = st.kernels.entry(key.clone()).or_default();
+                ks.rung = lane.active_slug().to_string();
                 ks.target_batch = lane.target;
-                lanes.insert(kernel.clone(), lane);
+                drop(st);
+                lanes.insert(key, lane);
             }
             Err(reason) => {
                 lock_stats(stats).rejected += 1;
-                telemetry::counter_add("serve.rejected", 1);
-                let _ = env.tx.send(PriceResponse {
-                    id: env.req.id,
-                    outcome: Err(reason),
-                });
+                telemetry::counter_add(W::COUNTERS.rejected, 1);
+                let _ = env.tx.send(W::respond(W::id(&env.req), Err(reason)));
                 return;
             }
         }
     }
-    let lane = lanes.get_mut(&kernel).expect("lane just ensured");
-    if let Some(batch) = lane.batcher.offer(env, Instant::now()) {
-        execute(&kernel, lane, batch, stats, seat);
+    let lane = lanes
+        .get_mut(W::lane_key(&env.req))
+        .expect("lane just ensured");
+    lane.batcher.push(env, Instant::now());
+    if lane.batcher.full() {
+        execute(lane, stats, seat);
     }
 }
 
-fn make_lane(engine: &Engine, kernel: &str, config: &ServeConfig) -> Result<Lane, Rejected> {
-    let ladder = pricer::servable_ladder(engine, kernel, &config.pricer)?;
+fn make_lane<W: ServeWorkload>(
+    engine: &Engine,
+    key: &str,
+    config: &ServeConfig,
+) -> Result<Lane<W>, Rejected> {
+    let ladder = W::ladder(engine, key, &config.pricer)?;
     // Size the batch to what the planned rung can chew through in one
     // delay window; the planner's predicted rate is per-item. A batch can
     // never hold more than the queue can admit, so the cap is the tighter
     // of `max_batch` and the queue capacity.
     let predicted = engine
-        .plan(kernel)
+        .plan(key)
         .map(|p| p.predicted_rate)
         .unwrap_or(f64::NAN);
     let target = target_batch(
         predicted,
         config.max_delay,
-        ladder[0].width,
+        W::width(&ladder[0]),
         config.max_batch.min(config.queue_capacity),
     );
     Ok(Lane {
@@ -970,67 +953,35 @@ fn make_lane(engine: &Engine, kernel: &str, config: &ServeConfig) -> Result<Lane
         level: 0,
         breaker: Breaker::new(config.breaker),
         target,
+        flush: Vec::new(),
+        scratch: Scratch::new(),
+        span_name: format!("serve.batch.{key}"),
+        fault_site: format!("batch.{key}"),
+        breaker_gauge: format!("serve.breaker.{key}"),
+        degradation_gauge: format!("serve.degradation.{key}"),
+        key: key.to_string(),
     })
 }
 
-/// Route one admitted greeks envelope into the greeks lane, building the
-/// lane on first use.
-fn admit_greeks(
-    env: GreeksEnvelope,
-    engine: &Engine,
-    greeks: &mut Option<GreeksLane>,
+/// Answer (and drain) every envelope in `live` with `Rejected::Internal`.
+fn reject_internal<W: ServeWorkload>(
+    live: &mut Vec<Envelope<W>>,
+    reason: &str,
     stats: &Mutex<StatsInner>,
-    config: &ServeConfig,
-    seat: &ShardSeat,
 ) {
-    let lane = greeks.get_or_insert_with(|| {
-        // The analytic sweep shares the pricing kernel's cost shape, so
-        // the greeks kernel's planned rate sizes the batch trigger.
-        let predicted = engine
-            .plan(GREEKS_LANE)
-            .map(|p| p.predicted_rate)
-            .unwrap_or(f64::NAN);
-        let ladder = greeks_ladder(config.pricer.market);
-        let target = target_batch(
-            predicted,
-            config.max_delay,
-            ladder[0].width,
-            config.max_batch.min(config.queue_capacity),
-        );
-        let lane = GreeksLane {
-            batcher: MicroBatcher::new(BatchPolicy {
-                max_batch: target,
-                max_delay: config.max_delay,
-            }),
-            ladder,
-            level: 0,
-            breaker: Breaker::new(config.breaker),
-            target,
-        };
-        let mut st = lock_stats(stats);
-        let ks = st.kernels.entry(GREEKS_LANE.to_string()).or_default();
-        ks.rung = lane.active_rung().slug.clone();
-        ks.target_batch = lane.target;
-        lane
-    });
-    if let Some(batch) = lane.batcher.offer(env, Instant::now()) {
-        execute_greeks(lane, batch, stats, seat);
-    }
-}
-
-/// Answer every envelope in `live` with `Rejected::Internal`.
-fn reject_internal(kernel: &str, live: Vec<Envelope>, reason: &str, stats: &Mutex<StatsInner>) {
     let n = live.len() as u64;
+    if n == 0 {
+        return;
+    }
     lock_stats(stats).internal += n;
-    telemetry::counter_add("serve.internal", n);
-    let _ = kernel;
-    for env in live {
-        let _ = env.tx.send(PriceResponse {
-            id: env.req.id,
-            outcome: Err(Rejected::Internal {
+    telemetry::counter_add(W::COUNTERS.internal, n);
+    for env in live.drain(..) {
+        let _ = env.tx.send(W::respond(
+            W::id(&env.req),
+            Err(Rejected::Internal {
                 reason: reason.to_string(),
             }),
-        });
+        ));
     }
 }
 
@@ -1045,55 +996,54 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Price one flushed batch and scatter results back, shedding any
-/// request whose deadline passed while it waited. The pricing call runs
-/// under `catch_unwind` with the lane's breaker supervising: panics
-/// reject the in-flight batch and degrade/open; successes climb back.
-fn execute(
-    kernel: &str,
-    lane: &mut Lane,
-    batch: Vec<Envelope>,
-    stats: &Mutex<StatsInner>,
-    seat: &ShardSeat,
-) {
-    let now = Instant::now();
-    let mut live: Vec<Envelope> = Vec::with_capacity(batch.len());
-    for env in batch {
-        match env.req.deadline {
-            Some(d) if now > d => {
-                let late_by = now.duration_since(d);
-                lock_stats(stats).shed_deadline += 1;
-                telemetry::counter_add("serve.shed.deadline", 1);
-                let _ = env.tx.send(PriceResponse {
-                    id: env.req.id,
-                    outcome: Err(Rejected::DeadlineExceeded { late_by }),
-                });
-            }
-            _ => live.push(env),
-        }
+/// Flush the lane's micro-batch and execute it: shed blown deadlines,
+/// gate on the breaker, stage the batch into the lane's reusable
+/// [`Scratch`], run the workload's kernel under `catch_unwind`, and
+/// scatter results back. Panics reject the in-flight batch and
+/// degrade/open the breaker; successes climb back. Written once,
+/// generically — the pricing and greeks planes both run through here.
+///
+/// The flush target, staging triples, padded SOA batch, and output
+/// sweep are all lane-owned and recycled, so a lane at steady state
+/// executes whole batches without allocating (the per-response channel
+/// sends are the callers' buffers, not the lane's).
+fn execute<W: ServeWorkload>(lane: &mut Lane<W>, stats: &Mutex<StatsInner>, seat: &ShardSeat) {
+    {
+        let Lane { batcher, flush, .. } = lane;
+        batcher.flush_into(flush);
     }
-    if live.is_empty() {
+    let now = Instant::now();
+    lane.flush.retain(|env| match W::deadline(&env.req) {
+        Some(d) if now > d => {
+            let late_by = now.duration_since(d);
+            lock_stats(stats).shed_deadline += 1;
+            telemetry::counter_add(W::COUNTERS.shed_deadline, 1);
+            let _ = env.tx.send(W::respond(
+                W::id(&env.req),
+                Err(Rejected::DeadlineExceeded { late_by }),
+            ));
+            false
+        }
+        _ => true,
+    });
+    if lane.flush.is_empty() {
         return;
     }
 
-    // The breaker gates the batch before any pricing work happens.
+    // The breaker gates the batch before any kernel work happens.
     match lane.breaker.allow(now) {
         Err(remaining) => {
-            reject_internal(
-                kernel,
-                live,
-                &format!("circuit open for {kernel} (retry in {remaining:?})"),
-                stats,
-            );
-            publish_lane_health(kernel, lane, stats);
+            let reason = format!("circuit open for {} (retry in {remaining:?})", lane.key);
+            reject_internal(&mut lane.flush, &reason, stats);
+            publish_lane_health(lane, stats);
             return;
         }
         Ok(Gate::Restarted) => {
             // Supervised restart after the cooldown: count it and probe.
-            telemetry::counter_add("serve.lane_restarts", 1);
+            telemetry::counter_add(W::COUNTERS.lane_restarts, 1);
             lock_stats(stats)
                 .kernels
-                .entry(kernel.to_string())
+                .entry(lane.key.clone())
                 .or_default()
                 .restarts += 1;
         }
@@ -1101,27 +1051,39 @@ fn execute(
     }
 
     let level = lane.level;
-    let slug = lane.ladder[level].slug.clone();
-    let width = lane.ladder[level].width;
+    let width = W::width(&lane.ladder[level]);
 
-    let _g = telemetry::span(format!("serve.batch.{kernel}"));
-    telemetry::set_attr("rung", slug.as_str());
-    telemetry::set_attr("occupancy", live.len());
+    let _g = telemetry::span(lane.span_name.as_str());
+    telemetry::set_attr("rung", W::slug(&lane.ladder[level]));
+    telemetry::set_attr("occupancy", lane.flush.len());
     telemetry::set_attr("target", lane.target);
     telemetry::set_attr("degradation_level", level);
 
-    let opts: Vec<(f64, f64, f64)> = live.iter().map(|e| (e.req.s, e.req.x, e.req.t)).collect();
-    let mut soa = padded_batch(&opts, width);
-    telemetry::set_attr("padded", soa.len());
+    lane.scratch.opts.clear();
+    for env in &lane.flush {
+        lane.scratch.opts.push(W::contract(&env.req));
+    }
+    lane.scratch.stage(width);
+    telemetry::set_attr("padded", lane.scratch.soa.len());
 
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        // Fault injection for this batch: added latency and/or a panic,
-        // inside the unwind boundary so it exercises the real supervisor.
-        if faults::armed() {
-            faults::fire_compute(&format!("batch.{kernel}"));
-        }
-        lane.ladder[level].price(&mut soa);
-    }));
+    let outcome = {
+        let Lane {
+            ladder,
+            scratch,
+            fault_site,
+            ..
+        } = lane;
+        let rung = &ladder[level];
+        catch_unwind(AssertUnwindSafe(|| {
+            // Fault injection for this batch: added latency and/or a
+            // panic, inside the unwind boundary so it exercises the real
+            // supervisor.
+            if faults::armed() {
+                faults::fire_compute(fault_site);
+            }
+            W::compute(rung, scratch);
+        }))
+    };
     let done = Instant::now();
 
     match outcome {
@@ -1130,40 +1092,37 @@ fn execute(
                 // Sustained health: promote one level back toward the
                 // planned rung.
                 lane.level -= 1;
-                telemetry::counter_add("serve.promotions", 1);
+                telemetry::counter_add(W::COUNTERS.promotions, 1);
             }
             let degraded = level > 0;
             if degraded {
-                telemetry::counter_add("serve.degraded_batches", 1);
+                telemetry::counter_add(W::COUNTERS.degraded_batches, 1);
             }
+            let slug = W::slug(&lane.ladder[level]);
+            let batch_len = lane.flush.len();
             let mut st = lock_stats(stats);
-            let ks = st.kernels.entry(kernel.to_string()).or_default();
+            let ks = st.kernels.entry(lane.key.clone()).or_default();
             ks.batches += 1;
             if degraded {
                 ks.degraded_batches += 1;
             }
-            ks.occupancy.record(live.len() as f64);
+            ks.occupancy.record(batch_len as f64);
             // Tally before scattering: a client that holds its response
             // must see it in the next snapshot (loadgen deltas rely on
             // this ordering).
-            seat.served.fetch_add(live.len() as u64, Ordering::Relaxed);
-            telemetry::counter_add("serve.served", live.len() as u64);
-            for (i, env) in live.iter().enumerate() {
+            seat.served.fetch_add(batch_len as u64, Ordering::Relaxed);
+            telemetry::counter_add(W::COUNTERS.served, batch_len as u64);
+            for (i, env) in lane.flush.iter().enumerate() {
                 let latency = done.duration_since(env.submitted);
                 ks.served += 1;
                 ks.latency_us.record(latency.as_secs_f64() * 1e6);
-                let _ = env.tx.send(PriceResponse {
-                    id: env.req.id,
-                    outcome: Ok(Priced {
-                        call: soa.call[i],
-                        put: soa.put[i],
-                        rung: slug.clone(),
-                        batch_len: live.len(),
-                        latency,
-                    }),
-                });
+                let _ = env.tx.send(W::respond(
+                    W::id(&env.req),
+                    Ok(W::payload(&lane.scratch, i, slug, batch_len, latency)),
+                ));
             }
             drop(st);
+            lane.flush.clear();
         }
         Err(payload) => {
             let reason = panic_reason(payload.as_ref());
@@ -1172,205 +1131,42 @@ fn execute(
             match lane.breaker.on_failure(Instant::now(), at_bottom) {
                 FailureAction::Degrade => {
                     lane.level += 1;
-                    telemetry::counter_add("serve.degradations", 1);
+                    telemetry::counter_add(W::COUNTERS.degradations, 1);
                 }
                 FailureAction::Opened => {
-                    telemetry::counter_add("serve.breaker_open", 1);
+                    telemetry::counter_add(W::COUNTERS.breaker_open, 1);
                     lock_stats(stats)
                         .kernels
-                        .entry(kernel.to_string())
+                        .entry(lane.key.clone())
                         .or_default()
                         .breaker_open += 1;
                 }
                 FailureAction::Tolerate => {}
             }
-            reject_internal(kernel, live, &format!("kernel panic: {reason}"), stats);
+            reject_internal(&mut lane.flush, &format!("kernel panic: {reason}"), stats);
         }
     }
-    publish_lane_health(kernel, lane, stats);
-}
-
-/// Answer every greeks envelope in `live` with `Rejected::Internal`.
-fn reject_internal_greeks(live: Vec<GreeksEnvelope>, reason: &str, stats: &Mutex<StatsInner>) {
-    let n = live.len() as u64;
-    lock_stats(stats).internal += n;
-    telemetry::counter_add("greeks.internal", n);
-    for env in live {
-        let _ = env.tx.send(GreeksResponse {
-            id: env.req.id,
-            outcome: Err(Rejected::Internal {
-                reason: reason.to_string(),
-            }),
-        });
-    }
-}
-
-/// Compute one flushed greeks batch and scatter results back — the same
-/// shed/breaker/degrade/scatter contract as [`execute`], on the greeks
-/// ladder.
-fn execute_greeks(
-    lane: &mut GreeksLane,
-    batch: Vec<GreeksEnvelope>,
-    stats: &Mutex<StatsInner>,
-    seat: &ShardSeat,
-) {
-    let now = Instant::now();
-    let mut live: Vec<GreeksEnvelope> = Vec::with_capacity(batch.len());
-    for env in batch {
-        match env.req.deadline {
-            Some(d) if now > d => {
-                let late_by = now.duration_since(d);
-                lock_stats(stats).shed_deadline += 1;
-                telemetry::counter_add("greeks.shed.deadline", 1);
-                let _ = env.tx.send(GreeksResponse {
-                    id: env.req.id,
-                    outcome: Err(Rejected::DeadlineExceeded { late_by }),
-                });
-            }
-            _ => live.push(env),
-        }
-    }
-    if live.is_empty() {
-        return;
-    }
-
-    match lane.breaker.allow(now) {
-        Err(remaining) => {
-            reject_internal_greeks(
-                live,
-                &format!("circuit open for greeks (retry in {remaining:?})"),
-                stats,
-            );
-            publish_greeks_health(lane, stats);
-            return;
-        }
-        Ok(Gate::Restarted) => {
-            telemetry::counter_add("greeks.lane_restarts", 1);
-            lock_stats(stats)
-                .kernels
-                .entry(GREEKS_LANE.to_string())
-                .or_default()
-                .restarts += 1;
-        }
-        Ok(Gate::Proceed | Gate::Probe) => {}
-    }
-
-    let level = lane.level;
-    let slug = lane.ladder[level].slug.clone();
-    let width = lane.ladder[level].width;
-
-    let _g = telemetry::span("serve.batch.greeks");
-    telemetry::set_attr("rung", slug.as_str());
-    telemetry::set_attr("occupancy", live.len());
-    telemetry::set_attr("target", lane.target);
-    telemetry::set_attr("degradation_level", level);
-
-    let opts: Vec<(f64, f64, f64)> = live.iter().map(|e| (e.req.s, e.req.x, e.req.t)).collect();
-    let soa = padded_batch(&opts, width);
-    telemetry::set_attr("padded", soa.len());
-    let mut out = GreeksBatchSoa::zeroed(soa.len());
-
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        if faults::armed() {
-            faults::fire_compute("batch.greeks");
-        }
-        lane.ladder[level].compute(&soa, &mut out);
-    }));
-    let done = Instant::now();
-
-    match outcome {
-        Ok(()) => {
-            if lane.breaker.on_success() && lane.level > 0 {
-                lane.level -= 1;
-                telemetry::counter_add("greeks.promotions", 1);
-            }
-            let degraded = level > 0;
-            if degraded {
-                telemetry::counter_add("greeks.degraded_batches", 1);
-            }
-            let mut st = lock_stats(stats);
-            let ks = st.kernels.entry(GREEKS_LANE.to_string()).or_default();
-            ks.batches += 1;
-            if degraded {
-                ks.degraded_batches += 1;
-            }
-            ks.occupancy.record(live.len() as f64);
-            // Tally before scattering (see the pricing lane above).
-            seat.served.fetch_add(live.len() as u64, Ordering::Relaxed);
-            telemetry::counter_add("greeks.served", live.len() as u64);
-            for (i, env) in live.iter().enumerate() {
-                let latency = done.duration_since(env.submitted);
-                ks.served += 1;
-                ks.latency_us.record(latency.as_secs_f64() * 1e6);
-                let _ = env.tx.send(GreeksResponse {
-                    id: env.req.id,
-                    outcome: Ok(GreeksOut {
-                        call: out.call.at(i),
-                        put: out.put.at(i),
-                        rung: slug.clone(),
-                        batch_len: live.len(),
-                        latency,
-                    }),
-                });
-            }
-            drop(st);
-        }
-        Err(payload) => {
-            let reason = panic_reason(payload.as_ref());
-            telemetry::set_attr("panic", reason.as_str());
-            let at_bottom = lane.at_bottom();
-            match lane.breaker.on_failure(Instant::now(), at_bottom) {
-                FailureAction::Degrade => {
-                    lane.level += 1;
-                    telemetry::counter_add("greeks.degradations", 1);
-                }
-                FailureAction::Opened => {
-                    telemetry::counter_add("greeks.breaker_open", 1);
-                    lock_stats(stats)
-                        .kernels
-                        .entry(GREEKS_LANE.to_string())
-                        .or_default()
-                        .breaker_open += 1;
-                }
-                FailureAction::Tolerate => {}
-            }
-            reject_internal_greeks(live, &format!("kernel panic: {reason}"), stats);
-        }
-    }
-    publish_greeks_health(lane, stats);
-}
-
-/// Push the greeks lane's breaker state and degradation level into the
-/// stats map and the telemetry gauges.
-fn publish_greeks_health(lane: &GreeksLane, stats: &Mutex<StatsInner>) {
-    let state = lane.breaker.state();
-    let mut st = lock_stats(stats);
-    let ks = st.kernels.entry(GREEKS_LANE.to_string()).or_default();
-    ks.breaker = BreakerSnapshotState(state);
-    ks.degradation_level = lane.level;
-    ks.rung = lane.active_rung().slug.clone();
-    drop(st);
-    telemetry::gauge_set("serve.breaker.greeks", state.as_gauge());
-    telemetry::gauge_set("serve.degradation.greeks", lane.level as f64);
+    publish_lane_health(lane, stats);
 }
 
 /// Push the lane's breaker state and degradation level into the stats
 /// map and the telemetry gauges.
-fn publish_lane_health(kernel: &str, lane: &Lane, stats: &Mutex<StatsInner>) {
+fn publish_lane_health<W: ServeWorkload>(lane: &Lane<W>, stats: &Mutex<StatsInner>) {
     let state = lane.breaker.state();
     let mut st = lock_stats(stats);
-    let ks = st.kernels.entry(kernel.to_string()).or_default();
+    let ks = st.kernels.entry(lane.key.clone()).or_default();
     ks.breaker = BreakerSnapshotState(state);
     ks.degradation_level = lane.level;
-    ks.rung = lane.active_rung().slug.clone();
+    ks.rung = lane.active_slug().to_string();
     drop(st);
-    telemetry::gauge_set(&format!("serve.breaker.{kernel}"), state.as_gauge());
-    telemetry::gauge_set(&format!("serve.degradation.{kernel}"), lane.level as f64);
+    telemetry::gauge_set(&lane.breaker_gauge, state.as_gauge());
+    telemetry::gauge_set(&lane.degradation_gauge, lane.level as f64);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pricer;
     use finbench_faults::{FaultPlan, FaultSpec, PlanGuard};
 
     /// Fault-registry state is process-global; tests that arm it

@@ -1,0 +1,290 @@
+//! The [`ServeWorkload`] seam: one trait describing everything the
+//! sharded server needs to run a request plane — request/response types,
+//! the servable degradation ladder, and how to execute a staged batch
+//! into reusable scratch buffers.
+//!
+//! `server.rs` writes its lane plumbing (micro-batching, deadline
+//! shedding, breaker supervision, degrade/promote, scatter-back) exactly
+//! once, generically over this trait; the pricing and greeks planes are
+//! the two implementations. The ROADMAP's portfolio market-risk plane
+//! plugs in here as a third implementation instead of a third copy of
+//! the lane code.
+//!
+//! ## Buffer ownership
+//!
+//! Each lane owns one [`Scratch`]: the staged `(s, x, t)` triples, the
+//! padded SOA batch, and the greeks output sweep. The lane stages into
+//! it, the workload's [`compute`](ServeWorkload::compute) fills it, and
+//! the lane scatters from it — buffers never cross threads and are
+//! recycled across flushes (grown to the largest batch seen, never
+//! shrunk), so steady-state batch execution allocates nothing.
+
+use crate::pricer::{self, padded_batch_into, PricerConfig, ServingRung};
+use crate::request::{
+    GreeksOut, GreeksRequest, GreeksResponse, PriceRequest, PriceResponse, Priced, Rejected,
+};
+use finbench_core::greeks::GreeksBatchSoa;
+use finbench_core::OptionBatchSoa;
+use finbench_engine::Engine;
+use std::time::{Duration, Instant};
+
+/// Reusable per-lane batch buffers: staged inputs, the padded SOA batch
+/// (inputs + price outputs), and the greeks output sweep. Capacities
+/// only ever grow, so a lane that has seen its largest flush stops
+/// allocating entirely — the zero-alloc steady state ci.sh gates.
+#[derive(Default)]
+pub struct Scratch {
+    /// Staged `(s, x, t)` triples for the flush being executed.
+    pub opts: Vec<(f64, f64, f64)>,
+    /// Padded SOA staging and price outputs.
+    pub soa: OptionBatchSoa,
+    /// Greeks outputs (resized on demand by the greeks workload).
+    pub greeks: GreeksBatchSoa,
+}
+
+impl Scratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pad the staged [`opts`](Self::opts) into the SOA batch at the
+    /// given lane width. Allocation-free once the batch has grown.
+    pub fn stage(&mut self, width: usize) {
+        padded_batch_into(&mut self.soa, &self.opts, width);
+    }
+}
+
+/// The telemetry counter names one request plane tallies under — static
+/// so the hot path never formats a metric name.
+pub struct LaneCounters {
+    /// Requests answered with a result.
+    pub served: &'static str,
+    /// Requests shed at dispatch because their deadline passed.
+    pub shed_deadline: &'static str,
+    /// Requests answered `Rejected::Internal`.
+    pub internal: &'static str,
+    /// Requests rejected for unknown/unservable kernels.
+    pub rejected: &'static str,
+    /// Batches executed below the planned rung.
+    pub degraded_batches: &'static str,
+    /// Ladder steps down after failures.
+    pub degradations: &'static str,
+    /// Ladder steps back up after sustained health.
+    pub promotions: &'static str,
+    /// Breaker open transitions.
+    pub breaker_open: &'static str,
+    /// Supervised lane restarts after cooldown.
+    pub lane_restarts: &'static str,
+}
+
+/// One request plane the sharded server can run: how to key, ladder,
+/// batch-execute, and answer its requests. Implementations are stateless
+/// marker types; all state lives in the generic lane.
+pub trait ServeWorkload: Sized + 'static {
+    /// Validated request type carried through the admission queue.
+    type Req: Send + 'static;
+    /// Per-request success payload.
+    type Out;
+    /// Response message delivered on the envelope's channel.
+    type Resp: Send + 'static;
+    /// One rung of the servable degradation ladder.
+    type Rung;
+
+    /// Counter names for this plane's tallies.
+    const COUNTERS: LaneCounters;
+
+    /// The request's correlation id, echoed on every response.
+    fn id(req: &Self::Req) -> u64;
+    /// The request's optional completion deadline.
+    fn deadline(req: &Self::Req) -> Option<Instant>;
+    /// The option contract `(s, x, t)` to stage into the SOA batch.
+    fn contract(req: &Self::Req) -> (f64, f64, f64);
+    /// Lane key for this request — also the engine registry kernel the
+    /// planner sizes the batch trigger from, and the `<key>` in the
+    /// `serve.batch.<key>` / `serve.breaker.<key>` telemetry names.
+    fn lane_key(req: &Self::Req) -> &str;
+
+    /// The servable degradation ladder for `key`, most advanced first;
+    /// a typed rejection when the key names no servable ladder.
+    fn ladder(
+        engine: &Engine,
+        key: &str,
+        config: &PricerConfig,
+    ) -> Result<Vec<Self::Rung>, Rejected>;
+    /// The rung's ladder slug (reported on every response).
+    fn slug(rung: &Self::Rung) -> &str;
+    /// The rung's SIMD width (batches are padded to a multiple of it).
+    fn width(rung: &Self::Rung) -> usize;
+
+    /// Execute the staged batch in `scratch.soa`, writing results back
+    /// into the scratch buffers. Must not allocate at steady state.
+    fn compute(rung: &Self::Rung, scratch: &mut Scratch);
+    /// The `i`-th staged request's success payload, read back out of the
+    /// scratch buffers.
+    fn payload(
+        scratch: &Scratch,
+        i: usize,
+        slug: &str,
+        batch_len: usize,
+        latency: Duration,
+    ) -> Self::Out;
+    /// Wrap an outcome into this plane's response message.
+    fn respond(id: u64, outcome: Result<Self::Out, Rejected>) -> Self::Resp;
+}
+
+/// One queued request of workload `W`, with its response channel.
+pub(crate) struct Envelope<W: ServeWorkload> {
+    pub(crate) req: W::Req,
+    pub(crate) submitted: Instant,
+    pub(crate) tx: std::sync::mpsc::Sender<W::Resp>,
+}
+
+/// The batched pricing plane (`PriceRequest` → `Priced`).
+pub struct PriceWorkload;
+
+impl ServeWorkload for PriceWorkload {
+    type Req = PriceRequest;
+    type Out = Priced;
+    type Resp = PriceResponse;
+    type Rung = ServingRung;
+
+    const COUNTERS: LaneCounters = LaneCounters {
+        served: "serve.served",
+        shed_deadline: "serve.shed.deadline",
+        internal: "serve.internal",
+        rejected: "serve.rejected",
+        degraded_batches: "serve.degraded_batches",
+        degradations: "serve.degradations",
+        promotions: "serve.promotions",
+        breaker_open: "serve.breaker_open",
+        lane_restarts: "serve.lane_restarts",
+    };
+
+    fn id(req: &PriceRequest) -> u64 {
+        req.id
+    }
+    fn deadline(req: &PriceRequest) -> Option<Instant> {
+        req.deadline
+    }
+    fn contract(req: &PriceRequest) -> (f64, f64, f64) {
+        (req.s, req.x, req.t)
+    }
+    fn lane_key(req: &PriceRequest) -> &str {
+        &req.kernel
+    }
+
+    fn ladder(
+        engine: &Engine,
+        key: &str,
+        config: &PricerConfig,
+    ) -> Result<Vec<ServingRung>, Rejected> {
+        pricer::servable_ladder(engine, key, config)
+    }
+    fn slug(rung: &ServingRung) -> &str {
+        &rung.slug
+    }
+    fn width(rung: &ServingRung) -> usize {
+        rung.width
+    }
+
+    fn compute(rung: &ServingRung, scratch: &mut Scratch) {
+        rung.price(&mut scratch.soa);
+    }
+    fn payload(
+        scratch: &Scratch,
+        i: usize,
+        slug: &str,
+        batch_len: usize,
+        latency: Duration,
+    ) -> Priced {
+        Priced {
+            call: scratch.soa.call[i],
+            put: scratch.soa.put[i],
+            rung: slug.to_string(),
+            batch_len,
+            latency,
+        }
+    }
+    fn respond(id: u64, outcome: Result<Priced, Rejected>) -> PriceResponse {
+        PriceResponse { id, outcome }
+    }
+}
+
+/// Stats/telemetry key for the greeks lane (also the registry kernel the
+/// planner sizes its batch trigger from).
+pub(crate) const GREEKS_LANE: &str = "greeks";
+
+/// The greeks plane (`GreeksRequest` → `GreeksOut`): all ten
+/// sensitivities per request, riding the same generic lane code.
+pub struct GreeksWorkload;
+
+impl ServeWorkload for GreeksWorkload {
+    type Req = GreeksRequest;
+    type Out = GreeksOut;
+    type Resp = GreeksResponse;
+    type Rung = crate::greeks::GreeksRung;
+
+    const COUNTERS: LaneCounters = LaneCounters {
+        served: "greeks.served",
+        shed_deadline: "greeks.shed.deadline",
+        internal: "greeks.internal",
+        rejected: "greeks.rejected",
+        degraded_batches: "greeks.degraded_batches",
+        degradations: "greeks.degradations",
+        promotions: "greeks.promotions",
+        breaker_open: "greeks.breaker_open",
+        lane_restarts: "greeks.lane_restarts",
+    };
+
+    fn id(req: &GreeksRequest) -> u64 {
+        req.id
+    }
+    fn deadline(req: &GreeksRequest) -> Option<Instant> {
+        req.deadline
+    }
+    fn contract(req: &GreeksRequest) -> (f64, f64, f64) {
+        (req.s, req.x, req.t)
+    }
+    fn lane_key(_req: &GreeksRequest) -> &str {
+        GREEKS_LANE
+    }
+
+    fn ladder(
+        _engine: &Engine,
+        _key: &str,
+        config: &PricerConfig,
+    ) -> Result<Vec<crate::greeks::GreeksRung>, Rejected> {
+        // The analytic sweep always serves; there is no unservable key.
+        Ok(crate::greeks::greeks_ladder(config.market))
+    }
+    fn slug(rung: &crate::greeks::GreeksRung) -> &str {
+        &rung.slug
+    }
+    fn width(rung: &crate::greeks::GreeksRung) -> usize {
+        rung.width
+    }
+
+    fn compute(rung: &crate::greeks::GreeksRung, scratch: &mut Scratch) {
+        scratch.greeks.resize(scratch.soa.len());
+        rung.compute(&scratch.soa, &mut scratch.greeks);
+    }
+    fn payload(
+        scratch: &Scratch,
+        i: usize,
+        slug: &str,
+        batch_len: usize,
+        latency: Duration,
+    ) -> GreeksOut {
+        GreeksOut {
+            call: scratch.greeks.call.at(i),
+            put: scratch.greeks.put.at(i),
+            rung: slug.to_string(),
+            batch_len,
+            latency,
+        }
+    }
+    fn respond(id: u64, outcome: Result<GreeksOut, Rejected>) -> GreeksResponse {
+        GreeksResponse { id, outcome }
+    }
+}

@@ -15,11 +15,15 @@
 //!   under the same bit-identity contract.
 
 use finbench::core::engine::registry;
+use finbench::core::greeks::{greeks_batch_simd, price_and_greeks_into, GreeksBatchSoa};
+use finbench::core::OptionBatchSoa;
 use finbench::engine::Engine;
 use finbench::faults::{FaultKind, FaultPlan, FaultSpec, PlanGuard};
 use finbench::serve::batcher::{BatchPolicy, MicroBatcher};
-use finbench::serve::pricer::{self, padded_batch, PricerConfig};
-use finbench::serve::{greeks_ladder, GreeksRequest, LoadMode, PriceRequest, ServeConfig, Server};
+use finbench::serve::pricer::{self, padded_batch_into, PricerConfig};
+use finbench::serve::{
+    greeks_ladder, GreeksRequest, LoadMode, PriceRequest, Scratch, ServeConfig, Server,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::sync::{Mutex, MutexGuard};
@@ -118,7 +122,8 @@ proptest! {
             prop_assert_eq!(&replayed, &opts);
             for batch in &batches {
                 prop_assert!(batch.len() <= max_batch);
-                let mut soa = padded_batch(batch, rung.width);
+                let mut soa = OptionBatchSoa::zeroed(0);
+                padded_batch_into(&mut soa, batch, rung.width);
                 prop_assert_eq!(soa.len() % rung.width.max(1), 0);
                 rung.price(&mut soa);
                 for (i, &(s, x, t)) in batch.iter().enumerate() {
@@ -340,6 +345,101 @@ proptest! {
                 priced.put.to_bits(), put.to_bits(),
                 "{} put for request {} under stalls", kernels[which], i
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The zero-allocation redesign's core contract: running flush after
+    // flush through ONE reused [`Scratch`] — dirty buffers, shrinking and
+    // growing batch sizes — yields prices and all ten greeks bit-identical
+    // to staging every flush into freshly allocated buffers. And the fused
+    // single-pass kernel (prices + greeks together) agrees with the two
+    // separate sweeps bit-for-bit, so the serve plane can swap it in
+    // without changing a single answer.
+    #[test]
+    fn pooled_scratch_reuse_and_fused_pass_are_bit_identical(
+        rounds in vec(vec(contract(), 0..33usize), 1..6usize),
+        width_pick in 0usize..2,
+    ) {
+        let market = pricer_config().market;
+        let width = [4usize, 8][width_pick];
+        let mut scratch = Scratch::new();
+        for opts in &rounds {
+            // Oracle: fresh allocations for this flush, separate passes.
+            let mut fresh = OptionBatchSoa::zeroed(0);
+            padded_batch_into(&mut fresh, opts, width);
+            let mut fresh_g = GreeksBatchSoa::zeroed(fresh.len());
+            // Pooled: the same flush through the reused scratch.
+            scratch.opts.clear();
+            scratch.opts.extend_from_slice(opts);
+            scratch.stage(width);
+            scratch.greeks.resize(scratch.soa.len());
+            // Fused: one pass computing prices + greeks together.
+            let mut fused = OptionBatchSoa::zeroed(0);
+            padded_batch_into(&mut fused, opts, width);
+            let mut fused_g = GreeksBatchSoa::zeroed(fused.len());
+            match width {
+                4 => {
+                    finbench::core::black_scholes::soa::price_soa_simd::<4>(&mut fresh, market);
+                    greeks_batch_simd::<4>(&fresh, market, &mut fresh_g);
+                    finbench::core::black_scholes::soa::price_soa_simd::<4>(
+                        &mut scratch.soa, market,
+                    );
+                    greeks_batch_simd::<4>(&scratch.soa, market, &mut scratch.greeks);
+                    price_and_greeks_into::<4>(&mut fused, market, &mut fused_g);
+                }
+                _ => {
+                    finbench::core::black_scholes::soa::price_soa_simd::<8>(&mut fresh, market);
+                    greeks_batch_simd::<8>(&fresh, market, &mut fresh_g);
+                    finbench::core::black_scholes::soa::price_soa_simd::<8>(
+                        &mut scratch.soa, market,
+                    );
+                    greeks_batch_simd::<8>(&scratch.soa, market, &mut scratch.greeks);
+                    price_and_greeks_into::<8>(&mut fused, market, &mut fused_g);
+                }
+            }
+            for i in 0..opts.len() {
+                prop_assert_eq!(
+                    scratch.soa.call[i].to_bits(), fresh.call[i].to_bits(),
+                    "pooled call diverges at {} (w={})", i, width
+                );
+                prop_assert_eq!(
+                    scratch.soa.put[i].to_bits(), fresh.put[i].to_bits(),
+                    "pooled put diverges at {} (w={})", i, width
+                );
+                prop_assert_eq!(
+                    fused.call[i].to_bits(), fresh.call[i].to_bits(),
+                    "fused call diverges at {} (w={})", i, width
+                );
+                prop_assert_eq!(
+                    fused.put[i].to_bits(), fresh.put[i].to_bits(),
+                    "fused put diverges at {} (w={})", i, width
+                );
+                for (name, pooled, fused_v, want) in [
+                    ("call delta", scratch.greeks.call.at(i).delta, fused_g.call.at(i).delta, fresh_g.call.at(i).delta),
+                    ("call gamma", scratch.greeks.call.at(i).gamma, fused_g.call.at(i).gamma, fresh_g.call.at(i).gamma),
+                    ("call vega", scratch.greeks.call.at(i).vega, fused_g.call.at(i).vega, fresh_g.call.at(i).vega),
+                    ("call theta", scratch.greeks.call.at(i).theta, fused_g.call.at(i).theta, fresh_g.call.at(i).theta),
+                    ("call rho", scratch.greeks.call.at(i).rho, fused_g.call.at(i).rho, fresh_g.call.at(i).rho),
+                    ("put delta", scratch.greeks.put.at(i).delta, fused_g.put.at(i).delta, fresh_g.put.at(i).delta),
+                    ("put gamma", scratch.greeks.put.at(i).gamma, fused_g.put.at(i).gamma, fresh_g.put.at(i).gamma),
+                    ("put vega", scratch.greeks.put.at(i).vega, fused_g.put.at(i).vega, fresh_g.put.at(i).vega),
+                    ("put theta", scratch.greeks.put.at(i).theta, fused_g.put.at(i).theta, fresh_g.put.at(i).theta),
+                    ("put rho", scratch.greeks.put.at(i).rho, fused_g.put.at(i).rho, fresh_g.put.at(i).rho),
+                ] {
+                    prop_assert_eq!(
+                        pooled.to_bits(), want.to_bits(),
+                        "pooled {} diverges at {} (w={})", name, i, width
+                    );
+                    prop_assert_eq!(
+                        fused_v.to_bits(), want.to_bits(),
+                        "fused {} diverges at {} (w={})", name, i, width
+                    );
+                }
+            }
         }
     }
 }

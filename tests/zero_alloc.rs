@@ -1,0 +1,73 @@
+//! The zero-allocation steady-state contract, asserted directly: once a
+//! serve lane's [`Scratch`] buffers have grown to the largest flush they
+//! will see, executing further batches — staging, padding, pricing,
+//! greeks, the fused price+greeks pass — performs **zero** heap
+//! allocations.
+//!
+//! This binary holds exactly one test: the counting allocator (installed
+//! globally by `finbench_harness`) tallies process-wide, so sharing a
+//! process with concurrently running tests (cargo's default parallel
+//! test threads) would make the "no allocations happened" assertion
+//! meaningless. `ci.sh` additionally gates the same property through
+//! `bench-report`'s `alloc-gate` lines; this test is the fast,
+//! deterministic half of that gate.
+
+use finbench::core::greeks::{greeks_batch_simd, price_and_greeks_into};
+use finbench::core::MarketParams;
+use finbench::serve::Scratch;
+use finbench::telemetry;
+
+const M: MarketParams = MarketParams::PAPER;
+
+/// A deterministic option stream without allocating.
+fn opt(i: usize) -> (f64, f64, f64) {
+    let k = i as f64;
+    (
+        5.0 + (k * 7.3) % 25.0,
+        1.0 + (k * 13.7) % 99.0,
+        0.25 + (k * 0.61) % 9.5,
+    )
+}
+
+#[test]
+fn steady_state_serve_batches_allocate_nothing() {
+    assert!(
+        telemetry::counting_allocator_active(),
+        "counting allocator must be installed in this test binary"
+    );
+    let mut scratch = Scratch::new();
+
+    // Warmup: the largest flush this "lane" will see grows every buffer
+    // to capacity; smaller and ragged flushes afterwards must reuse it.
+    let sizes = [128usize, 37, 93, 128, 1, 64];
+    let run = |scratch: &mut Scratch, n: usize, round: usize| {
+        scratch.opts.clear();
+        for i in 0..n {
+            scratch.opts.push(opt(round * 131 + i));
+        }
+        scratch.stage(8);
+        scratch.greeks.resize(scratch.soa.len());
+        // The three steady-state serve paths: price sweep, greeks sweep,
+        // and the fused single pass.
+        finbench::core::black_scholes::soa::price_soa_simd::<8>(&mut scratch.soa, M);
+        greeks_batch_simd::<8>(&scratch.soa, M, &mut scratch.greeks);
+        price_and_greeks_into::<8>(&mut scratch.soa, M, &mut scratch.greeks);
+        std::hint::black_box(&scratch.greeks);
+    };
+    for (round, &n) in sizes.iter().enumerate() {
+        run(&mut scratch, n, round);
+    }
+
+    // Steady state: the same flush mix again, under the counter.
+    let before = telemetry::alloc_stats();
+    for (round, &n) in sizes.iter().enumerate() {
+        run(&mut scratch, n, round + sizes.len());
+    }
+    let d = telemetry::alloc_stats().since(before);
+    assert_eq!(
+        d.allocs, 0,
+        "steady-state serve batches must not allocate (saw {} allocs / {} bytes)",
+        d.allocs, d.bytes
+    );
+    assert_eq!(d.bytes, 0);
+}
