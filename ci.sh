@@ -64,6 +64,21 @@ awk -v a="$kill_avail" 'BEGIN { exit !(a >= 90.0) }' || {
   echo "shard-kill availability ${kill_avail}% below the 90% floor" >&2
   exit 1
 }
+# Self-healing: the rolling-kill plan must see the supervisor respawn
+# every killed seat, and the healed fleet must serve >= 99% of the
+# post-recovery drive (the zero-corruption grep above covers both
+# phases of the rolling panel too).
+echo "$chaos_out" | grep "rolling-kill"
+respawns=$(echo "$chaos_out" | sed -n 's/.*rolling-kill respawns: \([0-9]*\).*/\1/p')
+if [ -z "$respawns" ] || [ "$respawns" -lt 1 ]; then
+  echo "chaos-bench rolling-kill plan saw no supervised respawns" >&2
+  exit 1
+fi
+heal_avail=$(echo "$chaos_out" | sed -n 's/.*rolling-kill post-recovery availability: \([0-9.]*\)%.*/\1/p')
+awk -v a="$heal_avail" 'BEGIN { exit !(a >= 99.0) }' || {
+  echo "post-recovery availability ${heal_avail}% below the 99% floor" >&2
+  exit 1
+}
 
 echo "==> greeks gate (bump agreement + zero shed on the greeks lane)"
 greeks_out=$(cargo run --release -q -p finbench-harness --bin finbench -- greeks-bench --quick)

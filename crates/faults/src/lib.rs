@@ -11,10 +11,11 @@
 //!
 //! ## The `FINBENCH_FAULTS` grammar
 //!
-//! Comma-separated entries, `site=kind[@rate][#seed]`:
+//! Comma-separated entries, `site=kind[@rate][*max_fires][#seed]`:
 //!
 //! ```text
 //! FINBENCH_FAULTS="batch=panic@0.1,admit=corrupt:nan@0.05#7,queue=stall@0.02"
+//! FINBENCH_FAULTS="serve.shard.0=kill@0.1*1#11"   # fires at most once
 //! ```
 //!
 //! * `site` — a dotted site name; an entry matches a call site when it is
@@ -24,6 +25,11 @@
 //!   `corrupt:<nan|inf|neg>` | `stall` | `kill` (for killable components
 //!   such as serving shards: `serve.shard.<i>=kill`).
 //! * `@rate` — firing probability in `[0, 1]`; defaults to `1`.
+//! * `*max_fires` — firing budget: after the spec has fired this many
+//!   times it never fires again; defaults to unlimited. This is how a
+//!   rolling-kill chaos plan self-terminates against a supervisor that
+//!   respawns killed shards (`serve.shard.0=kill@0.1*1` kills seat 0
+//!   exactly once and then lets the respawned worker live).
 //! * `#seed` — per-entry SplitMix64 seed; defaults to `0x5EED`.
 //!
 //! ## Determinism
@@ -107,7 +113,8 @@ impl std::fmt::Display for FaultKind {
     }
 }
 
-/// One fault: a site pattern, a kind, a firing rate, and a seed.
+/// One fault: a site pattern, a kind, a firing rate, a firing budget,
+/// and a seed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultSpec {
     /// Dotted site pattern; matches sites it equals or prefixes.
@@ -116,17 +123,24 @@ pub struct FaultSpec {
     pub kind: FaultKind,
     /// Firing probability per matching call, in `[0, 1]`.
     pub rate: f64,
+    /// Maximum number of times this spec may fire over the plan's
+    /// lifetime; `u64::MAX` means unlimited. An exhausted spec stops
+    /// consuming decisions from its stream too, so the decisions it
+    /// *would* have made stay reproducible under a smaller budget.
+    pub max_fires: u64,
     /// SplitMix64 seed of this spec's decision stream.
     pub seed: u64,
 }
 
 impl FaultSpec {
-    /// A spec firing on every matching call (`rate = 1`, default seed).
+    /// A spec firing on every matching call (`rate = 1`, default seed,
+    /// unlimited budget).
     pub fn always(site: impl Into<String>, kind: FaultKind) -> Self {
         Self {
             site: site.into(),
             kind,
             rate: 1.0,
+            max_fires: u64::MAX,
             seed: DEFAULT_SEED,
         }
     }
@@ -146,6 +160,13 @@ impl FaultSpec {
         self
     }
 
+    /// Cap the spec's lifetime firing budget (builder style): after
+    /// `max_fires` firings the spec is exhausted and never fires again.
+    pub fn limited(mut self, max_fires: u64) -> Self {
+        self.max_fires = max_fires;
+        self
+    }
+
     /// True when this spec's site pattern covers `site` (equality or
     /// dotted-prefix match).
     pub fn matches(&self, site: &str) -> bool {
@@ -158,7 +179,11 @@ impl FaultSpec {
 
 impl std::fmt::Display for FaultSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}={}@{}#{}", self.site, self.kind, self.rate, self.seed)
+        write!(f, "{}={}@{}", self.site, self.kind, self.rate)?;
+        if self.max_fires != u64::MAX {
+            write!(f, "*{}", self.max_fires)?;
+        }
+        write!(f, "#{}", self.seed)
     }
 }
 
@@ -221,7 +246,7 @@ impl std::fmt::Display for FaultPlan {
 fn parse_entry(entry: &str) -> Result<FaultSpec, String> {
     let (site, rest) = entry
         .split_once('=')
-        .ok_or_else(|| format!("fault entry `{entry}`: want site=kind[@rate][#seed]"))?;
+        .ok_or_else(|| format!("fault entry `{entry}`: want site=kind[@rate][*max][#seed]"))?;
     let site = site.trim();
     if site.is_empty() {
         return Err(format!("fault entry `{entry}`: empty site"));
@@ -234,6 +259,17 @@ fn parse_entry(entry: &str) -> Result<FaultSpec, String> {
                 .map_err(|_| format!("fault entry `{entry}`: bad seed `{s}`"))?,
         ),
         None => (rest, DEFAULT_SEED),
+    };
+    // `*max_fires` sits between the rate and the seed; no kind or rate
+    // token contains `*`, so a reverse split is unambiguous.
+    let (rest, max_fires) = match rest.rsplit_once('*') {
+        Some((r, m)) => (
+            r,
+            m.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("fault entry `{entry}`: bad max_fires `{m}`"))?,
+        ),
+        None => (rest, u64::MAX),
     };
     let (kind_str, rate) = match rest.rsplit_once('@') {
         Some((k, r)) => {
@@ -254,6 +290,7 @@ fn parse_entry(entry: &str) -> Result<FaultSpec, String> {
         site: site.to_string(),
         kind,
         rate,
+        max_fires,
         seed,
     })
 }
@@ -396,11 +433,34 @@ pub fn fire(site: &str) -> Vec<FaultKind> {
         if !a.spec.matches(site) {
             continue;
         }
+        // An exhausted spec neither fires nor consumes decisions.
+        if a.fired.load(Ordering::Relaxed) >= a.spec.max_fires {
+            continue;
+        }
         let n = a.calls.fetch_add(1, Ordering::Relaxed);
         let u = unit_f64(mix(a.spec.seed.wrapping_add(n.wrapping_mul(GAMMA))));
         if u < a.spec.rate {
-            a.fired.fetch_add(1, Ordering::Relaxed);
-            out.push(a.spec.kind);
+            // Claim one unit of the firing budget; a CAS loop (rather
+            // than fetch_add) keeps `fired` exact under concurrent
+            // callers racing for the last unit.
+            let mut fired = a.fired.load(Ordering::Relaxed);
+            let claimed = loop {
+                if fired >= a.spec.max_fires {
+                    break false;
+                }
+                match a.fired.compare_exchange_weak(
+                    fired,
+                    fired + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break true,
+                    Err(cur) => fired = cur,
+                }
+            };
+            if claimed {
+                out.push(a.spec.kind);
+            }
         }
     }
     out
@@ -533,6 +593,29 @@ mod tests {
     }
 
     #[test]
+    fn max_fires_caps_the_budget_and_round_trips() {
+        let _l = lock();
+        let plan = FaultPlan::parse("a=panic@1*2#5, b=kill@0.5*1").unwrap();
+        assert_eq!(plan.specs[0].max_fires, 2);
+        assert_eq!(plan.specs[1].max_fires, 1);
+        assert_eq!(plan.specs[1].kind, FaultKind::Kill);
+        assert_eq!(plan.specs[0].to_string(), "a=panic@1*2#5");
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+        // Unlimited specs keep the old rendering (no `*` token).
+        let unlimited = FaultSpec::always("a", FaultKind::Panic);
+        assert!(!unlimited.to_string().contains('*'));
+
+        let _g = PlanGuard::install(plan);
+        let fired: usize = (0..50).map(|_| fire("a").len()).sum();
+        assert_eq!(fired, 2, "budget of 2 must cap an always-firing spec");
+        let rep = report();
+        assert_eq!(rep[0].2, 2);
+        // Exhausted specs stop consuming decisions: calls froze when the
+        // budget ran out (2 firing calls consumed 2 decisions).
+        assert_eq!(rep[0].1, 2);
+    }
+
+    #[test]
     fn grammar_rejects_bad_entries() {
         for bad in [
             "no_equals",
@@ -544,6 +627,8 @@ mod tests {
             "site=latency:abc",
             "site=corrupt:weird",
             "site=panic#notanumber",
+            "site=panic*x",
+            "site=panic*-1",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
         }
@@ -614,6 +699,7 @@ mod tests {
             site: "x".into(),
             kind: FaultKind::Panic,
             rate: 0.3,
+            max_fires: u64::MAX,
             seed: 99,
         });
         let run = |plan: &FaultPlan| -> Vec<bool> {
@@ -660,9 +746,11 @@ mod tests {
             kind_idx in 0usize..7,
             nanos in 0u64..5_000_000,
             rate in 0.0f64..1.0,
+            max_idx in 0usize..4,
             seed in 0u64..u64::MAX,
         ) {
             const SITES: [&str; 4] = ["batch", "admit.black_scholes", "queue.serve", "a.b.c"];
+            const MAXES: [u64; 4] = [u64::MAX, 1, 7, 1_000_000];
             let kind = match kind_idx {
                 0 => FaultKind::Panic,
                 1 => FaultKind::Latency(Duration::from_nanos(nanos)),
@@ -676,6 +764,7 @@ mod tests {
                 site: SITES[site_idx].to_string(),
                 kind,
                 rate,
+                max_fires: MAXES[max_idx],
                 seed,
             });
             let rendered = plan.to_string();

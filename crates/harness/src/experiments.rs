@@ -425,7 +425,10 @@ pub fn native_all(opts: &RunOptions) {
 /// quick / 4 full), printing a `shard scaling 1->2:` speedup line that
 /// `ci.sh` gates at ≥ 1.3×.
 pub fn serve_bench(opts: &RunOptions) {
-    use finbench_serve::{run_load, LoadMode, LoadReport, PricerConfig, ServeConfig, Server};
+    use finbench_serve::{
+        run_load, run_load_hedged, HedgePolicy, LoadMode, LoadReport, PricerConfig, ServeConfig,
+        Server,
+    };
     use std::time::Duration;
 
     println!(
@@ -478,11 +481,11 @@ pub fn serve_bench(opts: &RunOptions) {
             pricer,
             ..ServeConfig::default()
         };
-        let run = |mode: LoadMode, capacity: usize, seed: u64| -> LoadReport {
+        let run = |mode: LoadMode, capacity: usize, seed: u64, hedge: Option<HedgePolicy>| {
             // A fresh server per load point keeps the latency histograms
             // and shed counters scoped to that point.
             let server = Server::start(config_for(capacity));
-            let report = run_load(&server, kernel, mode, seed, None);
+            let report: LoadReport = run_load_hedged(&server, kernel, mode, seed, None, hedge);
             server.shutdown();
             report
         };
@@ -524,6 +527,7 @@ pub fn serve_bench(opts: &RunOptions) {
                 },
                 total.max(16),
                 0xC0FFEE + i as u64,
+                None,
             );
             closed_peak = closed_peak.max(r.throughput);
             total_shed += r.total_shed();
@@ -532,6 +536,36 @@ pub fn serve_bench(opts: &RunOptions) {
             total_internal += r.internal;
             push(format!("closed x{clients}"), &r, &mut rows, &mut curve);
         }
+        // One hedged closed-loop point at the largest client count: the
+        // tail-at-scale tradeoff in numbers — duplicated work (hedges)
+        // bought against the p99 column. Open-loop runs never hedge (no
+        // per-request wait to hedge from), so this is the only hedged row.
+        let hedge_line = {
+            let clients = *client_points.last().unwrap();
+            let total = clients * per_client;
+            let r = run(
+                LoadMode::Closed {
+                    clients,
+                    requests_per_client: per_client,
+                },
+                total.max(16),
+                0x4ED6ED,
+                Some(HedgePolicy {
+                    delay: Duration::from_micros(300),
+                }),
+            );
+            total_shed += r.total_shed();
+            total_rejected += r.rejected;
+            total_invalid += r.invalid_input;
+            total_internal += r.internal;
+            push(
+                format!("closed x{clients} hedged"),
+                &r,
+                &mut rows,
+                &mut curve,
+            );
+            (r.hedges, r.hedge_wins)
+        };
         for (i, &frac) in open_fractions.iter().enumerate() {
             let rate = (closed_peak * frac).max(100.0);
             let total = ((rate * open_secs) as usize).clamp(50, 20_000);
@@ -542,6 +576,7 @@ pub fn serve_bench(opts: &RunOptions) {
                 },
                 total,
                 0xFEED + i as u64,
+                None,
             );
             total_shed += r.total_shed();
             total_rejected += r.rejected;
@@ -555,6 +590,10 @@ pub fn serve_bench(opts: &RunOptions) {
                 &["load", "offered", "served", "shed", "req/s", "p50 µs", "p95 µs", "p99 µs"],
                 &rows
             )
+        );
+        println!(
+            "  hedged row: {} hedges issued, {} hedge wins",
+            hedge_line.0, hedge_line.1
         );
         maybe_write_csv(&opts.csv_dir, &format!("serve_bench_{kernel}.csv"), &curve);
     }
@@ -679,7 +718,7 @@ pub fn chaos_bench(opts: &RunOptions) {
     use finbench_faults::{self as faults, FaultPlan, PlanGuard};
     use finbench_serve::{
         pricer, BreakerPolicy, PriceRequest, PriceResponse, PricerConfig, Rejected, ServeConfig,
-        Server, ServingRung,
+        Server, ServingRung, SupervisorPolicy, HEDGE_BIT,
     };
     use std::collections::BTreeMap as Map;
     use std::time::Duration;
@@ -750,6 +789,13 @@ pub fn chaos_bench(opts: &RunOptions) {
                 cooldown: Duration::from_millis(2),
                 promote_after: 16,
                 ..BreakerPolicy::default()
+            },
+            // The matrix pins down *terminal* shard loss (the shard-kill
+            // plan's `survivors: 1/2` line); the rolling-kill panel below
+            // is where supervised respawn is measured.
+            supervisor: SupervisorPolicy {
+                respawn: false,
+                ..SupervisorPolicy::default()
             },
         });
         // Closed-loop drive, keeping each request's parameters so priced
@@ -864,6 +910,165 @@ pub fn chaos_bench(opts: &RunOptions) {
         )
     );
     maybe_write_csv(&opts.csv_dir, "chaos_bench.csv", &csv);
+
+    // ---- rolling-kill panel: supervised respawn, redrive, and hedging.
+    // Every shard of a 3-shard fleet is killed exactly once (`*1` caps
+    // the fault budget; staggered rates and seeds roll the kills through
+    // the run instead of firing together). The supervisor must respawn
+    // each seat — MTTR is kill → respawned-and-serving — and a second,
+    // fault-free drive afterwards proves the recovered fleet serves at
+    // full availability. Phase 1 clients hedge: a request caught in a
+    // kill/redrive window races a tagged second copy after 2ms.
+    let rolling_plan =
+        "serve.shard.0=kill@0.05*1#11,serve.shard.1=kill@0.01*1#12,serve.shard.2=kill@0.002*1#13";
+    let rolling_shards = 3usize;
+    {
+        let plan = FaultPlan::parse(rolling_plan).expect("rolling-kill plan parses");
+        let guard = PlanGuard::install(plan);
+        let server = Server::start(ServeConfig {
+            queue_capacity: 4096,
+            max_delay: Duration::from_micros(300),
+            max_batch: 512,
+            shards: rolling_shards,
+            pricer: pricer_cfg,
+            breaker: BreakerPolicy {
+                cooldown: Duration::from_millis(2),
+                promote_after: 16,
+                ..BreakerPolicy::default()
+            },
+            supervisor: SupervisorPolicy::default(),
+        });
+        let hedge_delay = Duration::from_millis(2);
+        // Closed-loop drive keeping each request's parameters for the
+        // bit-exactness oracle; `hedged` adds the client-side race.
+        type Driven = Vec<((f64, f64, f64), PriceResponse)>;
+        let drive = |hedged: bool, seed: u64| -> (Driven, usize, usize) {
+            std::thread::scope(|scope| {
+                let server = &server;
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        scope.spawn(move || {
+                            let mut stream =
+                                finbench_serve::OptionStream::new(seed.wrapping_add(c as u64));
+                            let mut out = Vec::with_capacity(per_client);
+                            let (mut hedges, mut wins) = (0usize, 0usize);
+                            for i in 0..per_client {
+                                let (s, x, t) = stream.next_option();
+                                let id = (c * per_client + i) as u64;
+                                let (tx, rx) = std::sync::mpsc::channel();
+                                server.submit_with(PriceRequest::new(id, kernel, s, x, t), &tx);
+                                let resp = if hedged {
+                                    match rx.recv_timeout(hedge_delay) {
+                                        Ok(r) => Some(r),
+                                        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                                            hedges += 1;
+                                            server.submit_with(
+                                                PriceRequest::new(id | HEDGE_BIT, kernel, s, x, t),
+                                                &tx,
+                                            );
+                                            drop(tx);
+                                            rx.recv().ok()
+                                        }
+                                        Err(_) => None,
+                                    }
+                                } else {
+                                    drop(tx);
+                                    rx.recv().ok()
+                                };
+                                match resp {
+                                    Some(mut r) => {
+                                        if r.id & HEDGE_BIT != 0 {
+                                            wins += 1;
+                                            r.id &= !HEDGE_BIT;
+                                        }
+                                        out.push(((s, x, t), r));
+                                    }
+                                    None => break,
+                                }
+                            }
+                            (out, hedges, wins)
+                        })
+                    })
+                    .collect();
+                let mut all = Vec::new();
+                let (mut th, mut tw) = (0usize, 0usize);
+                for h in handles {
+                    let (o, hh, ww) = h.join().expect("rolling-kill client thread");
+                    all.extend(o);
+                    th += hh;
+                    tw += ww;
+                }
+                (all, th, tw)
+            })
+        };
+        // The same oracle the matrix uses: every Priced response must be
+        // bit-identical to solo pricing on its serving rung.
+        let oracle = |rs: &[((f64, f64, f64), PriceResponse)]| -> (usize, usize) {
+            let mut served = 0usize;
+            let mut corrupted = 0usize;
+            for ((s, x, t), resp) in rs {
+                if let Ok(p) = &resp.outcome {
+                    served += 1;
+                    let rung = rungs
+                        .get(&p.rung)
+                        .unwrap_or_else(|| panic!("response served on unknown rung {}", p.rung));
+                    let (call, put) = rung.price_one(*s, *x, *t);
+                    if call.to_bits() != p.call.to_bits() || put.to_bits() != p.put.to_bits() {
+                        corrupted += 1;
+                    }
+                }
+            }
+            (served, corrupted)
+        };
+
+        let (phase1, hedges, hedge_wins) = drive(true, 0x9011);
+        let (_, corrupted1) = oracle(&phase1);
+        // Idle shard loops keep checking their kill sites, so any kill
+        // that didn't fire under load fires here; wait until every seat
+        // has died once and been respawned.
+        let recovery_deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let snap = server.snapshot();
+            if snap.alive_shards() == rolling_shards
+                && snap.total_respawns() >= rolling_shards as u64
+            {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < recovery_deadline,
+                "rolling-kill fleet never recovered: {snap:?}"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(guard);
+        // Phase 2, faults disarmed: the respawned fleet at full strength.
+        let (phase2, _, _) = drive(false, 0xA077);
+        let (served2, corrupted2) = oracle(&phase2);
+        let avail2 = if phase2.is_empty() {
+            0.0
+        } else {
+            served2 as f64 / phase2.len() as f64
+        };
+        total_corrupted += corrupted1 + corrupted2;
+        let snap = server.shutdown();
+        println!("  rolling-kill plan: {rolling_plan}");
+        println!(
+            "  rolling-kill respawns: {} (MTTR mean {:.2}ms)",
+            snap.total_respawns(),
+            snap.mean_mttr().map_or(0.0, |d| d.as_secs_f64() * 1e3)
+        );
+        println!("  rolling-kill hedges: {hedges} (wins {hedge_wins})");
+        println!(
+            "  rolling-kill redriven: {} (deadline sheds after redrive: {})",
+            snap.total_redriven(),
+            snap.shed_deadline_redrive
+        );
+        println!(
+            "  rolling-kill post-recovery availability: {:.1}%",
+            100.0 * avail2
+        );
+    }
+
     println!("  corrupted prices: {total_corrupted}");
     println!("  degraded batches: {total_degraded}");
     if let Some((avail, alive, shards, survivor_served)) = kill_stats {

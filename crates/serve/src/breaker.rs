@@ -352,6 +352,59 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_post_cooldown_probes_count_exactly_one_restart() {
+        use std::sync::{Arc, Barrier, Mutex};
+        // The Open → HalfOpen edge must be observed by exactly one
+        // caller no matter how many threads race `allow` after the
+        // cooldown: `Restarted` is what the lane counts as a restart, so
+        // a duplicate would double-count supervision telemetry (and a
+        // miss would lose the probe batch). Deterministic stress: each
+        // round seeds a different racer count.
+        for round in 0..32u64 {
+            let threads = 2 + (round % 6) as usize;
+            let mut b = Breaker::new(policy());
+            let t0 = Instant::now();
+            for _ in 0..3 {
+                b.on_failure(t0, true);
+            }
+            assert!(b.allow(t0).is_err(), "round {round}: must start open");
+            let after = t0 + Duration::from_millis(11);
+            let b = Arc::new(Mutex::new(b));
+            let barrier = Arc::new(Barrier::new(threads));
+            let gates: Vec<Gate> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let b = Arc::clone(&b);
+                        let barrier = Arc::clone(&barrier);
+                        scope.spawn(move || {
+                            barrier.wait();
+                            b.lock().unwrap().allow(after).expect("cooldown elapsed")
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("probe thread"))
+                    .collect()
+            });
+            let restarted = gates
+                .iter()
+                .filter(|g| matches!(g, Gate::Restarted))
+                .count();
+            assert_eq!(restarted, 1, "round {round}: {gates:?}");
+            assert!(
+                gates
+                    .iter()
+                    .all(|g| matches!(g, Gate::Restarted | Gate::Probe)),
+                "round {round}: {gates:?}"
+            );
+            let b = b.lock().unwrap();
+            assert_eq!(b.restarts_total(), 1, "round {round}");
+            assert_eq!(b.state(), BreakerState::HalfOpen);
+        }
+    }
+
+    #[test]
     fn state_names_and_gauges_are_stable() {
         assert_eq!(BreakerState::Closed.as_str(), "closed");
         assert_eq!(BreakerState::Open.to_string(), "open");

@@ -47,6 +47,14 @@
 //! [`finbench_faults`] registry injects panics, latency, corruption, and
 //! queue stalls at compiled-in hook sites for chaos testing
 //! (`FINBENCH_FAULTS`).
+//!
+//! The plane also survives losing whole workers: a supervisor thread
+//! ([`SupervisorPolicy`]) respawns killed shard seats in place with
+//! breaker-paced backoff and reports per-seat MTTR; a kill's stranded
+//! work is redriven at-most-once to a live sibling with its response
+//! channel intact; deadline sheds are split first-attempt vs
+//! post-redrive; and [`loadgen`] can hedge slow closed-loop requests
+//! client-side ([`HedgePolicy`], first-response-wins on [`HEDGE_BIT`]).
 
 pub mod batcher;
 pub mod breaker;
@@ -62,15 +70,16 @@ pub use batcher::{target_batch, BatchPolicy, MicroBatcher};
 pub use breaker::{Breaker, BreakerPolicy, BreakerState, FailureAction, Gate};
 pub use greeks::{greeks_ladder, GreeksRung};
 pub use loadgen::{
-    find_peak_sustained, last_sustained_hz, run_load, search_peak, LoadMode, LoadReport,
-    OptionStream, PeakReport, PeakSearchConfig, PeakStep, ShardLoad,
+    find_peak_sustained, last_sustained_hz, run_load, run_load_hedged, search_peak, HedgePolicy,
+    LoadMode, LoadReport, OptionStream, PeakReport, PeakSearchConfig, PeakStep, ShardLoad,
+    HEDGE_BIT,
 };
-#[allow(deprecated)]
-pub use pricer::padded_batch;
 pub use pricer::{padded_batch_into, servable_ladder, PricerConfig, ServingRung};
 pub use queue::AdmissionQueue;
 pub use request::{
     GreeksOut, GreeksRequest, GreeksResponse, PriceRequest, PriceResponse, Priced, Rejected,
 };
-pub use server::{KernelSnapshot, ServeConfig, ServeSnapshot, Server, ShardSnapshot};
+pub use server::{
+    KernelSnapshot, ServeConfig, ServeSnapshot, Server, ShardSnapshot, SupervisorPolicy,
+};
 pub use workload::{GreeksWorkload, LaneCounters, PriceWorkload, Scratch, ServeWorkload};

@@ -12,12 +12,39 @@
 //!
 //! Option parameters are drawn from the workspace's seeded RNG-free
 //! SplitMix-style stream so every run is reproducible.
+//!
+//! ## Hedged requests
+//!
+//! Closed-loop clients can optionally **hedge**: if a response hasn't
+//! arrived within [`HedgePolicy::delay`], the client submits a second
+//! copy of the request (same parameters, same absolute deadline, id
+//! tagged with [`HEDGE_BIT`]) and takes whichever response arrives
+//! first. The loser is simply dropped client-side — the server still
+//! answers both copies, so hedging trades duplicated work for tail
+//! latency, exactly the classic tail-at-scale tradeoff. Open-loop runs
+//! are never hedged: an injector paced on arrivals has no per-request
+//! wait in which to detect a slow response.
 
 use crate::request::{PriceRequest, PriceResponse, Rejected};
 use crate::server::Server;
 use finbench_telemetry as telemetry;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+
+/// High bit of the request-id space, reserved to tag hedge copies. The
+/// load generators assign dense ids well below it, and the winner's id
+/// is masked back before reporting, so the tag never leaks into latency
+/// matching or summaries.
+pub const HEDGE_BIT: u64 = 1 << 63;
+
+/// Client-side hedging policy for closed-loop load (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgePolicy {
+    /// How long a client waits for a response before submitting the
+    /// hedge copy. Pick this near the expected tail (e.g. observed p99):
+    /// too short duplicates most requests, too long never fires.
+    pub delay: Duration,
+}
 
 /// The offered-load model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,6 +97,10 @@ pub struct LoadReport {
     pub p95_us: f64,
     /// 99th percentile.
     pub p99_us: f64,
+    /// Hedge copies submitted (0 unless hedging was enabled).
+    pub hedges: usize,
+    /// Logical requests whose *hedge* copy answered first.
+    pub hedge_wins: usize,
     /// Per-shard activity over this run (snapshot deltas): what each
     /// worker shard admitted, served, and stole while the load ran.
     pub shards: Vec<ShardLoad>,
@@ -170,17 +201,43 @@ pub fn run_load(
     seed: u64,
     slo: Option<Duration>,
 ) -> LoadReport {
+    run_load_hedged(server, kernel, mode, seed, slo, None)
+}
+
+/// [`run_load`] with optional client-side hedging. Hedging applies only
+/// to closed-loop load (see the module docs); an open-loop run ignores
+/// the policy and reports zero hedges.
+pub fn run_load_hedged(
+    server: &Server,
+    kernel: &str,
+    mode: LoadMode,
+    seed: u64,
+    slo: Option<Duration>,
+    hedge: Option<HedgePolicy>,
+) -> LoadReport {
     let before = server.snapshot().shards;
     let t0 = Instant::now();
-    let responses: Vec<(PriceResponse, Duration)> = match mode {
+    let (responses, hedges, hedge_wins) = match mode {
         LoadMode::Closed {
             clients,
             requests_per_client,
-        } => closed_loop(server, kernel, clients, requests_per_client, seed, slo),
-        LoadMode::Open { rate_hz, total } => open_loop(server, kernel, rate_hz, total, seed, slo),
+        } => closed_loop(
+            server,
+            kernel,
+            clients,
+            requests_per_client,
+            seed,
+            slo,
+            hedge,
+        ),
+        LoadMode::Open { rate_hz, total } => {
+            (open_loop(server, kernel, rate_hz, total, seed, slo), 0, 0)
+        }
     };
     let wall = t0.elapsed();
     let mut report = summarize(kernel, responses, wall);
+    report.hedges = hedges;
+    report.hedge_wins = hedge_wins;
     report.shards = shard_deltas(&before, &server.snapshot().shards);
     report
 }
@@ -219,13 +276,16 @@ fn closed_loop(
     requests_per_client: usize,
     seed: u64,
     slo: Option<Duration>,
-) -> Vec<(PriceResponse, Duration)> {
-    std::thread::scope(|scope| {
+    hedge: Option<HedgePolicy>,
+) -> (Vec<(PriceResponse, Duration)>, usize, usize) {
+    let per_client = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients.max(1))
             .map(|c| {
                 scope.spawn(move || {
                     let mut stream = OptionStream::new(seed.wrapping_add(c as u64));
                     let mut out = Vec::with_capacity(requests_per_client);
+                    let mut hedges = 0usize;
+                    let mut wins = 0usize;
                     for i in 0..requests_per_client {
                         let (s, x, t) = stream.next_option();
                         let id = (c * requests_per_client + i) as u64;
@@ -234,21 +294,82 @@ fn closed_loop(
                             req = req.with_slo(d);
                         }
                         let sent = Instant::now();
-                        let rx = server.submit(req);
-                        match rx.recv() {
-                            Ok(resp) => out.push((resp, sent.elapsed())),
-                            Err(_) => break,
+                        match one_hedged(server, req, hedge, &mut hedges, &mut wins) {
+                            Some(resp) => out.push((resp, sent.elapsed())),
+                            None => break,
                         }
                     }
-                    out
+                    (out, hedges, wins)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("client thread"))
-            .collect()
-    })
+            .map(|h| h.join().expect("client thread"))
+            .collect::<Vec<_>>()
+    });
+    let mut responses = Vec::new();
+    let (mut hedges, mut wins) = (0usize, 0usize);
+    for (out, h, w) in per_client {
+        responses.extend(out);
+        hedges += h;
+        wins += w;
+    }
+    (responses, hedges, wins)
+}
+
+/// Issue one closed-loop request, optionally hedging it, and return the
+/// winning response with its id normalized (hedge tag masked off).
+///
+/// First-response-wins dedup: both copies answer on the same channel and
+/// only the first receive is taken, so each logical request contributes
+/// exactly one entry to the report no matter which copy the server
+/// answers first. The hedge copy shares the original's absolute
+/// deadline — hedging never extends the end-to-end budget the server
+/// enforces, it only races a second attempt inside it.
+fn one_hedged(
+    server: &Server,
+    req: PriceRequest,
+    hedge: Option<HedgePolicy>,
+    hedges: &mut usize,
+    wins: &mut usize,
+) -> Option<PriceResponse> {
+    let (tx, rx) = mpsc::channel();
+    let hedge_copy = hedge.map(|_| {
+        let mut copy = req.clone();
+        copy.id |= HEDGE_BIT;
+        copy
+    });
+    server.submit_with(req, &tx);
+    let first = match hedge {
+        None => {
+            // Our sender must not keep the channel open: the server's
+            // clone is the only live producer while we wait.
+            drop(tx);
+            rx.recv().ok()
+        }
+        Some(policy) => match rx.recv_timeout(policy.delay) {
+            Ok(resp) => Some(resp),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                *hedges += 1;
+                telemetry::counter_add("loadgen.hedges", 1);
+                server.submit_with(hedge_copy.expect("hedge copy built"), &tx);
+                // Drop our sender so the receive below can't hang if
+                // (impossibly) neither copy were answered.
+                drop(tx);
+                rx.recv().ok()
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => None,
+        },
+    };
+    let mut resp = first?;
+    if resp.id & HEDGE_BIT != 0 {
+        *wins += 1;
+        telemetry::counter_add("loadgen.hedge_wins", 1);
+        resp.id &= !HEDGE_BIT;
+    }
+    // The losing copy's response (if any) dies with `rx` here.
+    Some(resp)
 }
 
 fn open_loop(
@@ -366,6 +487,8 @@ fn summarize(
         p50_us: pct(0.50),
         p95_us: pct(0.95),
         p99_us: pct(0.99),
+        hedges: 0,
+        hedge_wins: 0,
         shards: Vec::new(),
     }
 }
@@ -596,6 +719,71 @@ mod tests {
         // availability may sit either side of 1.0 — the deltas still
         // account for every request of *this* run exactly once.
         assert_eq!(served2, 10);
+        server.shutdown();
+    }
+
+    #[test]
+    fn hedged_closed_loop_dedups_to_one_response_per_request() {
+        // A long batching delay holds every response back far past the
+        // hedge delay, so every request hedges — and each logical
+        // request must still appear exactly once in the report.
+        let server = Server::start(ServeConfig {
+            queue_capacity: 1024,
+            max_delay: Duration::from_millis(40),
+            max_batch: 256,
+            ..ServeConfig::default()
+        });
+        let before_h = telemetry::counter_value("loadgen.hedges");
+        let report = run_load_hedged(
+            &server,
+            "black_scholes",
+            LoadMode::Closed {
+                clients: 2,
+                requests_per_client: 4,
+            },
+            21,
+            None,
+            Some(HedgePolicy {
+                delay: Duration::from_millis(1),
+            }),
+        );
+        assert_eq!(report.offered, 8, "{report:?}");
+        assert_eq!(report.served, 8, "{report:?}");
+        assert_eq!(report.hedges, 8, "every request outlived the hedge delay");
+        assert!(report.hedge_wins <= report.hedges);
+        assert_eq!(telemetry::counter_value("loadgen.hedges"), before_h + 8);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unhedged_and_open_loop_runs_report_zero_hedges() {
+        let server = quick_server(1024);
+        let closed = run_load(
+            &server,
+            "black_scholes",
+            LoadMode::Closed {
+                clients: 1,
+                requests_per_client: 5,
+            },
+            3,
+            None,
+        );
+        assert_eq!((closed.hedges, closed.hedge_wins), (0, 0));
+        // Open-loop ignores the policy by design (module docs).
+        let open = run_load_hedged(
+            &server,
+            "black_scholes",
+            LoadMode::Open {
+                rate_hz: 5_000.0,
+                total: 50,
+            },
+            4,
+            None,
+            Some(HedgePolicy {
+                delay: Duration::from_micros(1),
+            }),
+        );
+        assert_eq!((open.hedges, open.hedge_wins), (0, 0));
         server.shutdown();
     }
 

@@ -110,18 +110,6 @@ pub fn padded_batch_into(batch: &mut OptionBatchSoa, opts: &[(f64, f64, f64)], w
     }
 }
 
-/// Build an SOA batch from `(s, x, t)` triples, padded to a multiple of
-/// `width` with benign dummy options (never surfaced to any caller).
-#[deprecated(
-    since = "0.8.0",
-    note = "allocates a fresh batch per call; use `padded_batch_into` with a reused batch"
-)]
-pub fn padded_batch(opts: &[(f64, f64, f64)], width: usize) -> OptionBatchSoa {
-    let mut batch = OptionBatchSoa::zeroed(0);
-    padded_batch_into(&mut batch, opts, width);
-    batch
-}
-
 /// The allow-list: a [`ServingRung`] for `slug` if that rung prices each
 /// option independently of its batch neighbours. Public so the batching
 /// property tests can sweep the whole servable set, not just the rung
@@ -183,10 +171,10 @@ pub fn servable_ladder(
         .registry()
         .resolve(kernel)
         .map_err(|e| Rejected::UnknownKernel {
-            reason: e.to_string(),
+            reason: e.to_string().into(),
         })?;
     let plan = engine.plan(kernel).map_err(|e| Rejected::UnknownKernel {
-        reason: e.to_string(),
+        reason: e.to_string().into(),
     })?;
     let rungs = any.rungs();
     let ladder: Vec<ServingRung> = (0..=plan.rung.min(rungs.len().saturating_sub(1)))
@@ -195,7 +183,7 @@ pub fn servable_ladder(
         .collect();
     if ladder.is_empty() {
         Err(Rejected::Unservable {
-            kernel: kernel.to_string(),
+            kernel: kernel.to_string().into(),
         })
     } else {
         Ok(ladder)
@@ -324,8 +312,8 @@ mod tests {
                 .map(|i| (30.0 + i as f64, 35.0, 1.0 + i as f64))
                 .collect();
             padded_batch_into(&mut reused, &opts, 8);
-            #[allow(deprecated)]
-            let fresh = padded_batch(&opts, 8);
+            let mut fresh = OptionBatchSoa::zeroed(0);
+            padded_batch_into(&mut fresh, &opts, 8);
             assert_eq!(reused.len(), fresh.len(), "n={n}");
             assert_eq!(reused.s, fresh.s, "n={n}");
             assert_eq!(reused.x, fresh.x, "n={n}");

@@ -166,6 +166,15 @@ impl<T> AdmissionQueue<T> {
         self.lock_state().closed
     }
 
+    /// Reopen a closed queue so producers are accepted again. The shard
+    /// supervisor respawning a killed worker reuses the seat's queue:
+    /// the kill path closed and drained it, so reopening hands a fresh
+    /// worker an empty, accepting queue without reallocating it or
+    /// re-plumbing the router.
+    pub fn reopen(&self) {
+        self.lock_state().closed = false;
+    }
+
     /// Panic while holding the state lock, poisoning the `Mutex` — the
     /// test hook behind the poison-recovery tests (a real panicking
     /// producer is not constructible from safe queue operations).
@@ -210,6 +219,20 @@ mod tests {
         assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
         assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
         assert!(q.is_closed());
+    }
+
+    #[test]
+    fn reopen_accepts_producers_again_after_close() {
+        let q = AdmissionQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(2));
+        // Drain (the kill path does this before a respawn reopens).
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
+        q.reopen();
+        assert!(!q.is_closed());
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(3));
     }
 
     #[test]

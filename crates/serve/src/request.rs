@@ -11,6 +11,7 @@
 //! responses.
 
 use finbench_core::greeks::Greeks;
+use std::borrow::Cow;
 use std::time::{Duration, Instant};
 
 /// Admission-side domain validation shared by every request type: spot,
@@ -22,12 +23,12 @@ fn validate_params(s: f64, x: f64, t: f64) -> Result<(), Rejected> {
     for (name, v) in [("spot", s), ("strike", x), ("expiry", t)] {
         if !v.is_finite() {
             return Err(Rejected::InvalidInput {
-                reason: format!("{name} is not finite ({v})"),
+                reason: format!("{name} is not finite ({v})").into(),
             });
         }
         if v <= 0.0 {
             return Err(Rejected::InvalidInput {
-                reason: format!("{name} must be positive (got {v})"),
+                reason: format!("{name} must be positive (got {v})").into(),
             });
         }
     }
@@ -136,6 +137,11 @@ pub struct Priced {
 
 /// Why a request was not priced. Every variant is a *response*, never a
 /// silent drop.
+///
+/// Reason strings are `Cow<'static, str>`: the hot rejection paths
+/// (router finding no alive shard, shard-loss redrive exhaustion) carry
+/// static messages without allocating, while dynamic reasons (panic
+/// payloads, validation details) still own their formatted text.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Rejected {
     /// The bounded admission queue was full at submit time.
@@ -152,13 +158,13 @@ pub enum Rejected {
     /// rendered through `Display`).
     UnknownKernel {
         /// The full engine error message (names the valid kernels).
-        reason: String,
+        reason: Cow<'static, str>,
     },
     /// The kernel is registered but has no batch-safe serving rung (its
     /// rungs couple requests within a batch, e.g. shared expiry grids).
     Unservable {
         /// The kernel that cannot be served.
-        kernel: String,
+        kernel: Cow<'static, str>,
     },
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
@@ -168,15 +174,15 @@ pub enum Rejected {
     /// SIMD kernels.
     InvalidInput {
         /// Which parameter failed and why.
-        reason: String,
+        reason: Cow<'static, str>,
     },
     /// The batch this request rode in failed inside the server — a
-    /// kernel panic caught by the lane supervisor, or a lane whose
-    /// circuit breaker is open. The request was *not* priced; retrying
-    /// is safe.
+    /// kernel panic caught by the lane supervisor, a lane whose circuit
+    /// breaker is open, or a killed shard whose stranded work could not
+    /// be redriven. The request was *not* priced; retrying is safe.
     Internal {
-        /// What failed (panic payload or breaker state).
-        reason: String,
+        /// What failed (panic payload, breaker state, or shard loss).
+        reason: Cow<'static, str>,
     },
 }
 

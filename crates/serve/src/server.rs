@@ -42,13 +42,33 @@
 //! identically on whichever shard executes it (property-tested in
 //! `tests/batching_equivalence.rs`).
 //!
-//! ## Shard loss
+//! ## Shard loss, redrive, and supervision
 //!
 //! A shard killed by the `serve.shard.<i>=kill` fault marks itself dead,
-//! answers everything pending in its lanes and queue with a typed
-//! [`Rejected::Internal`], and exits; the router stops routing to it.
-//! Availability degrades (in-flight work on the dead shard is rejected,
-//! capacity shrinks), correctness never does.
+//! closes its queue, and exits; the router stops routing to it. Work
+//! stranded in its lanes and queue is **redriven** once to a live
+//! sibling — the response channel rides inside the envelope, and padded
+//! lane-wise batching makes the move bit-invisible, exactly like a
+//! steal. Each envelope carries a `redriven` flag, so a request caught
+//! in a *second* shard loss is answered [`Rejected::Internal`] instead
+//! of re-routed again: at most one redelivery per request, never a
+//! ping-pong and never a duplicate response. Requests whose deadline
+//! passed while stranded are shed (`shed_deadline` for first attempts,
+//! `shed_deadline_redrive` for already-redriven work), so a retry never
+//! serves a request its client has given up on.
+//!
+//! When [`SupervisorPolicy::respawn`] is on (the default), a monitor
+//! thread owned by the [`Server`] detects the dead seat and **respawns**
+//! a fresh worker in it: the old thread is joined, the seat's queue is
+//! reopened, and the seat is marked alive again — full capacity comes
+//! back instead of shrinking for the rest of the process. Respawn
+//! backoff reuses the [`Breaker`] cooldown discipline (capped
+//! exponential: a seat that keeps dying waits longer each time; a seat
+//! that stays up past `heal_after` resets its backoff), and each
+//! recovery is counted (`serve.shard.<i>.respawns`) with its MTTR
+//! (kill → respawned-and-serving) recorded in the shard snapshot.
+//! Availability degrades during the outage window, correctness never
+//! does.
 //!
 //! ## Fault tolerance
 //!
@@ -84,6 +104,7 @@ use finbench_core::engine::registry;
 use finbench_engine::Engine;
 use finbench_faults::{self as faults, FaultKind};
 use finbench_telemetry::{self as telemetry, Histogram};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -109,6 +130,8 @@ pub struct ServeConfig {
     pub pricer: PricerConfig,
     /// Per-lane circuit-breaker tuning.
     pub breaker: BreakerPolicy,
+    /// Shard supervision: dead-seat respawn and its backoff discipline.
+    pub supervisor: SupervisorPolicy,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +143,46 @@ impl Default for ServeConfig {
             shards: 1,
             pricer: PricerConfig::default(),
             breaker: BreakerPolicy::default(),
+            supervisor: SupervisorPolicy::default(),
+        }
+    }
+}
+
+/// Supervision policy for the serving plane's worker shards: whether a
+/// dead seat is respawned, and the backoff discipline when it is.
+///
+/// The supervisor reuses the [`Breaker`] cooldown state machine per
+/// seat: a death opens the seat's breaker (respawn waits out the
+/// cooldown), a respawned seat is half-open (on probation), surviving
+/// `heal_after` closes it (backoff forgiven), and dying on probation
+/// doubles the cooldown, capped at `max_cooldown` — a seat that is
+/// killed as fast as it comes back converges to one respawn per
+/// `max_cooldown` instead of a hot crash loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorPolicy {
+    /// Respawn dead shards (`false` reproduces the terminal-loss
+    /// behavior: a killed shard stays dead for the process lifetime).
+    pub respawn: bool,
+    /// Initial death → respawn cooldown.
+    pub cooldown: Duration,
+    /// Upper bound for the doubling cooldown.
+    pub max_cooldown: Duration,
+    /// Continuous alive time after which a respawned seat's backoff
+    /// resets to `cooldown`.
+    pub heal_after: Duration,
+    /// Monitor thread poll interval (also bounds how long shutdown
+    /// waits for the monitor to notice `closing`).
+    pub poll: Duration,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        Self {
+            respawn: true,
+            cooldown: Duration::from_millis(1),
+            max_cooldown: Duration::from_millis(250),
+            heal_after: Duration::from_millis(50),
+            poll: Duration::from_micros(500),
         }
     }
 }
@@ -129,6 +192,108 @@ impl Default for ServeConfig {
 enum Work {
     Price(Envelope<PriceWorkload>),
     Greeks(Envelope<GreeksWorkload>),
+}
+
+impl Work {
+    /// The request's absolute deadline — the end-to-end budget every
+    /// hop (admission wait, spill, steal, redrive, batch execution)
+    /// draws from, because it never moves once the client set it.
+    fn deadline(&self) -> Option<Instant> {
+        match self {
+            Work::Price(env) => PriceWorkload::deadline(&env.req),
+            Work::Greeks(env) => GreeksWorkload::deadline(&env.req),
+        }
+    }
+
+    /// True once this item has burned its single shard-loss redrive.
+    fn redriven(&self) -> bool {
+        match self {
+            Work::Price(env) => env.redriven,
+            Work::Greeks(env) => env.redriven,
+        }
+    }
+
+    fn mark_redriven(&mut self) {
+        match self {
+            Work::Price(env) => env.redriven = true,
+            Work::Greeks(env) => env.redriven = true,
+        }
+    }
+
+    /// Answer this item `Rejected::Internal` and tally it. The terminal
+    /// path for stranded work that cannot be redriven.
+    // `&str` would force an owned clone per item; `&Cow` keeps the
+    // (common) borrowed reasons allocation-free.
+    #[allow(clippy::ptr_arg)]
+    fn reject_internal(self, reason: &Cow<'static, str>, stats: &Mutex<StatsInner>) {
+        lock_stats(stats).internal += 1;
+        match self {
+            Work::Price(env) => {
+                telemetry::counter_add(PriceWorkload::COUNTERS.internal, 1);
+                let _ = env.tx.send(PriceWorkload::respond(
+                    PriceWorkload::id(&env.req),
+                    Err(Rejected::Internal {
+                        reason: reason.clone(),
+                    }),
+                ));
+            }
+            Work::Greeks(env) => {
+                telemetry::counter_add(GreeksWorkload::COUNTERS.internal, 1);
+                let _ = env.tx.send(GreeksWorkload::respond(
+                    GreeksWorkload::id(&env.req),
+                    Err(Rejected::Internal {
+                        reason: reason.clone(),
+                    }),
+                ));
+            }
+        }
+    }
+
+    /// Shed this item `Rejected::DeadlineExceeded`, tallying into the
+    /// first-attempt or post-redrive bucket by its `redriven` flag.
+    fn shed_deadline(self, late_by: Duration, stats: &Mutex<StatsInner>) {
+        let redriven = self.redriven();
+        {
+            let mut st = lock_stats(stats);
+            if redriven {
+                st.shed_deadline_redrive += 1;
+            } else {
+                st.shed_deadline += 1;
+            }
+        }
+        match self {
+            Work::Price(env) => {
+                let c = PriceWorkload::COUNTERS;
+                telemetry::counter_add(
+                    if redriven {
+                        c.shed_deadline_redrive
+                    } else {
+                        c.shed_deadline
+                    },
+                    1,
+                );
+                let _ = env.tx.send(PriceWorkload::respond(
+                    PriceWorkload::id(&env.req),
+                    Err(Rejected::DeadlineExceeded { late_by }),
+                ));
+            }
+            Work::Greeks(env) => {
+                let c = GreeksWorkload::COUNTERS;
+                telemetry::counter_add(
+                    if redriven {
+                        c.shed_deadline_redrive
+                    } else {
+                        c.shed_deadline
+                    },
+                    1,
+                );
+                let _ = env.tx.send(GreeksWorkload::respond(
+                    GreeksWorkload::id(&env.req),
+                    Err(Rejected::DeadlineExceeded { late_by }),
+                ));
+            }
+        }
+    }
 }
 
 /// One lane's serving state inside the dispatcher, generic over the
@@ -198,14 +363,16 @@ struct StatsInner {
     kernels: BTreeMap<String, KernelStats>,
     shed_queue_full: u64,
     shed_deadline: u64,
+    shed_deadline_redrive: u64,
     rejected: u64,
     invalid_input: u64,
     internal: u64,
 }
 
-/// Per-shard tallies shared between the router and one worker thread.
-/// All monotonic counters plus the liveness flag — the only shared-memory
-/// state crossing the router/shard seam besides the queue itself.
+/// Per-shard tallies shared between the router, one worker thread, and
+/// the supervisor. All monotonic counters plus the liveness flag — the
+/// only shared-memory state crossing the router/shard seam besides the
+/// queue itself.
 #[derive(Default)]
 struct ShardSeat {
     /// False once the shard has been killed (fault) or exited.
@@ -216,20 +383,26 @@ struct ShardSeat {
     served: AtomicU64,
     /// Work items this shard stole from sibling queues while idle.
     stolen: AtomicU64,
+    /// Times the supervisor respawned a fresh worker in this seat.
+    respawns: AtomicU64,
+    /// Stranded work items this seat's kill path redrove to siblings.
+    redriven: AtomicU64,
+    /// Cumulative kill → respawned-and-serving time, nanoseconds
+    /// (divide by `respawns` for mean MTTR).
+    mttr_nanos: AtomicU64,
+    /// When the seat's worker died; taken by the respawn path to record
+    /// MTTR. A `Mutex` (not an atomic) because `Instant` is opaque.
+    killed_at: Mutex<Option<Instant>>,
 }
 
 impl ShardSeat {
     fn alive(&self) -> bool {
         !self.dead.load(Ordering::Acquire)
     }
-}
 
-/// Router-side handle to one worker shard: its queue (the message seam),
-/// its shared tallies, and the worker thread.
-struct ShardHandle {
-    queue: Arc<AdmissionQueue<Work>>,
-    seat: Arc<ShardSeat>,
-    worker: Option<JoinHandle<()>>,
+    fn lock_killed_at(&self) -> MutexGuard<'_, Option<Instant>> {
+        self.killed_at.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// Point-in-time statistics for one worker shard.
@@ -245,6 +418,13 @@ pub struct ShardSnapshot {
     pub served: u64,
     /// Work items this shard stole from siblings while idle.
     pub stolen: u64,
+    /// Times the supervisor respawned a fresh worker in this seat.
+    pub respawns: u64,
+    /// Stranded work items this seat redrove to live siblings on kill.
+    pub redriven: u64,
+    /// Cumulative kill → respawned-and-serving time across this seat's
+    /// respawns (divide by `respawns` for the seat's mean MTTR).
+    pub mttr: Duration,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
 }
@@ -309,8 +489,13 @@ pub struct ServeSnapshot {
     pub shards: Vec<ShardSnapshot>,
     /// Requests shed at admission (every alive shard's queue full).
     pub shed_queue_full: u64,
-    /// Requests shed at dispatch (deadline already blown).
+    /// Requests shed at dispatch (deadline already blown), first
+    /// attempt — the request had not been redriven.
     pub shed_deadline: u64,
+    /// Requests shed on a blown deadline *after* a shard-loss redrive:
+    /// the retry reached a live sibling but its end-to-end budget ran
+    /// out first.
+    pub shed_deadline_redrive: u64,
     /// Requests rejected for unknown/unservable kernels.
     pub rejected: u64,
     /// Requests rejected by admission-side input validation.
@@ -324,7 +509,7 @@ impl ServeSnapshot {
     /// Total load-shedding rejections (excludes bad-kernel and
     /// bad-input rejections, which are caller errors, not overload).
     pub fn total_shed(&self) -> u64 {
-        self.shed_queue_full + self.shed_deadline
+        self.shed_queue_full + self.shed_deadline + self.shed_deadline_redrive
     }
 
     /// Total supervised lane restarts across kernels.
@@ -346,21 +531,58 @@ impl ServeSnapshot {
     pub fn alive_shards(&self) -> usize {
         self.shards.iter().filter(|s| s.alive).count()
     }
+
+    /// Total supervised shard respawns across seats.
+    pub fn total_respawns(&self) -> u64 {
+        self.shards.iter().map(|s| s.respawns).sum()
+    }
+
+    /// Total stranded work items redriven to live siblings on kill.
+    pub fn total_redriven(&self) -> u64 {
+        self.shards.iter().map(|s| s.redriven).sum()
+    }
+
+    /// Mean time-to-recovery across every respawn (kill →
+    /// respawned-and-serving); `None` when nothing has respawned.
+    pub fn mean_mttr(&self) -> Option<Duration> {
+        let respawns = self.total_respawns();
+        if respawns == 0 {
+            return None;
+        }
+        let total: Duration = self.shards.iter().map(|s| s.mttr).sum();
+        Some(total / respawns as u32)
+    }
 }
 
-/// The batched pricing service: the front-end router plus its worker
-/// shards. Dropping it shuts every shard down (pending work is still
-/// flushed and answered).
+/// The batched pricing service: the front-end router, its worker
+/// shards, and (when respawn is on) the supervising monitor thread.
+/// Dropping it shuts every shard down (pending work is still flushed
+/// and answered).
 pub struct Server {
-    shards: Vec<ShardHandle>,
+    /// Per-seat admission queues (the message seam), seat-index order.
+    queues: Vec<Arc<AdmissionQueue<Work>>>,
+    /// Per-seat shared tallies + liveness, seat-index order.
+    seats: Vec<Arc<ShardSeat>>,
+    /// Per-seat worker handles. Behind an `Arc<Mutex>` because the
+    /// supervisor swaps handles in and out when it respawns a seat.
+    workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    /// The supervising monitor thread (`None` when respawn is off).
+    monitor: Option<JoinHandle<()>>,
     stats: Arc<Mutex<StatsInner>>,
     /// Round-robin admission cursor.
     rr: AtomicUsize,
     /// Per-shard queue capacity, echoed in `Rejected::QueueFull`.
     capacity: usize,
     /// True once shutdown started (distinguishes `ShuttingDown` from a
-    /// dead-shard rejection).
-    closing: AtomicBool,
+    /// dead-shard rejection; also stops the supervisor from respawning
+    /// into a closing server). Shared with the monitor thread.
+    closing: Arc<AtomicBool>,
+}
+
+fn lock_workers(
+    workers: &Mutex<Vec<Option<JoinHandle<()>>>>,
+) -> MutexGuard<'_, Vec<Option<JoinHandle<()>>>> {
+    workers.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Lock the stats, recovering from poison: statistics are monotonic
@@ -380,32 +602,34 @@ impl Server {
             .map(|_| Arc::new(AdmissionQueue::new(config.queue_capacity)))
             .collect();
         let seats: Vec<Arc<ShardSeat>> = (0..n).map(|_| Arc::new(ShardSeat::default())).collect();
-        let shards = (0..n)
-            .map(|i| {
-                let ctx = ShardCtx {
-                    index: i,
-                    queues: queues.clone(),
-                    seats: seats.clone(),
-                    stats: Arc::clone(&stats),
-                    config,
-                };
-                let worker = std::thread::Builder::new()
-                    .name(format!("finbench-serve-{i}"))
-                    .spawn(move || shard_loop(ctx))
-                    .expect("spawn shard worker");
-                ShardHandle {
-                    queue: Arc::clone(&queues[i]),
-                    seat: Arc::clone(&seats[i]),
-                    worker: Some(worker),
-                }
-            })
+        let workers: Vec<Option<JoinHandle<()>>> = (0..n)
+            .map(|i| Some(spawn_worker(i, &queues, &seats, &stats, config)))
             .collect();
+        let workers = Arc::new(Mutex::new(workers));
+        let closing = Arc::new(AtomicBool::new(false));
+        let monitor = config.supervisor.respawn.then(|| {
+            let ctx = SupervisorCtx {
+                queues: queues.clone(),
+                seats: seats.clone(),
+                stats: Arc::clone(&stats),
+                workers: Arc::clone(&workers),
+                closing: Arc::clone(&closing),
+                config,
+            };
+            std::thread::Builder::new()
+                .name("finbench-serve-supervisor".into())
+                .spawn(move || supervisor_loop(ctx))
+                .expect("spawn shard supervisor")
+        });
         Self {
-            shards,
+            queues,
+            seats,
+            workers,
+            monitor,
             stats,
             rr: AtomicUsize::new(0),
             capacity: config.queue_capacity.max(1),
-            closing: AtomicBool::new(false),
+            closing,
         }
     }
 
@@ -416,28 +640,29 @@ impl Server {
     // the rejection without a clone; the size is fine off the hot path.
     #[allow(clippy::result_large_err)]
     fn route(&self, work: Work) -> Result<(), (Work, Rejected)> {
-        let n = self.shards.len();
+        let n = self.queues.len();
         let start = self.rr.fetch_add(1, Ordering::Relaxed);
         let mut work = work;
         // Pass 1: the round-robin pick — the first alive shard at or
         // after the cursor.
         let Some(primary) = (0..n)
             .map(|k| (start + k) % n)
-            .find(|&i| self.shards[i].seat.alive())
+            .find(|&i| self.seats[i].alive())
         else {
             let reason = if self.closing.load(Ordering::Acquire) {
                 Rejected::ShuttingDown
             } else {
+                // `Cow::Borrowed`: rejecting under total shard loss must
+                // not allocate on the submit path.
                 Rejected::Internal {
-                    reason: "no alive shards".to_string(),
+                    reason: "no alive shards".into(),
                 }
             };
             return Err((work, reason));
         };
-        match self.shards[primary].queue.try_push(work) {
+        match self.queues[primary].try_push(work) {
             Ok(()) => {
-                self.shards[primary]
-                    .seat
+                self.seats[primary]
                     .submitted
                     .fetch_add(1, Ordering::Relaxed);
                 return Ok(());
@@ -446,24 +671,21 @@ impl Server {
         }
         // Pass 2 (cross-shard backpressure): spill to alive shards in
         // ascending queue-depth order before rejecting QueueFull.
-        let mut full = !self.shards[primary].queue.is_closed();
+        let mut full = !self.queues[primary].is_closed();
         let mut by_depth: Vec<usize> = (0..n)
-            .filter(|&i| i != primary && self.shards[i].seat.alive())
+            .filter(|&i| i != primary && self.seats[i].alive())
             .collect();
-        by_depth.sort_by_key(|&i| self.shards[i].queue.len());
+        by_depth.sort_by_key(|&i| self.queues[i].len());
         for i in by_depth {
-            match self.shards[i].queue.try_push(work) {
+            match self.queues[i].try_push(work) {
                 Ok(()) => {
-                    self.shards[i]
-                        .seat
-                        .submitted
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.seats[i].submitted.fetch_add(1, Ordering::Relaxed);
                     telemetry::counter_add("serve.spills", 1);
                     return Ok(());
                 }
                 Err(back) => {
                     work = back;
-                    full = full || !self.shards[i].queue.is_closed();
+                    full = full || !self.queues[i].is_closed();
                 }
             }
         }
@@ -476,7 +698,7 @@ impl Server {
             }
         } else {
             Rejected::Internal {
-                reason: "no alive shards".to_string(),
+                reason: "no alive shards".into(),
             }
         };
         Err((work, reason))
@@ -524,6 +746,7 @@ impl Server {
         let env = Envelope {
             req,
             submitted: Instant::now(),
+            redriven: false,
             tx: tx.clone(),
         };
         if let Err((Work::Price(env), reason)) = self.route(Work::Price(env)) {
@@ -580,6 +803,7 @@ impl Server {
         let env = Envelope {
             req,
             submitted: Instant::now(),
+            redriven: false,
             tx: tx.clone(),
         };
         if let Err((Work::Greeks(env), reason)) = self.route(Work::Greeks(env)) {
@@ -596,12 +820,12 @@ impl Server {
 
     /// Current admission-queue depth, summed over all shards.
     pub fn queue_depth(&self) -> usize {
-        self.shards.iter().map(|s| s.queue.len()).sum()
+        self.queues.iter().map(|q| q.len()).sum()
     }
 
     /// Number of worker shards (alive or not).
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.queues.len()
     }
 
     /// Point-in-time statistics, merged across shards.
@@ -614,32 +838,51 @@ impl Server {
     }
 
     fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
-        self.shards
+        self.seats
             .iter()
             .enumerate()
-            .map(|(i, s)| ShardSnapshot {
+            .map(|(i, seat)| ShardSnapshot {
                 index: i,
-                alive: s.seat.alive(),
-                submitted: s.seat.submitted.load(Ordering::Relaxed),
-                served: s.seat.served.load(Ordering::Relaxed),
-                stolen: s.seat.stolen.load(Ordering::Relaxed),
-                queue_depth: s.queue.len(),
+                alive: seat.alive(),
+                submitted: seat.submitted.load(Ordering::Relaxed),
+                served: seat.served.load(Ordering::Relaxed),
+                stolen: seat.stolen.load(Ordering::Relaxed),
+                respawns: seat.respawns.load(Ordering::Relaxed),
+                redriven: seat.redriven.load(Ordering::Relaxed),
+                mttr: Duration::from_nanos(seat.mttr_nanos.load(Ordering::Relaxed)),
+                queue_depth: self.queues[i].len(),
             })
             .collect()
+    }
+
+    /// Stop the plane: monitor first, then queues, then workers.
+    /// Idempotent (`shutdown` runs it, then `Drop` runs it again on the
+    /// same instance).
+    fn stop(&mut self) {
+        self.closing.store(true, Ordering::Release);
+        // Join the supervisor BEFORE closing queues: a respawn racing
+        // shutdown could otherwise reopen a queue after we closed it,
+        // leaving a fresh worker blocked on a queue nobody will close
+        // again. The monitor checks `closing` every poll, so this join
+        // is bounded by the poll interval plus one respawn.
+        if let Some(m) = self.monitor.take() {
+            let _ = m.join();
+        }
+        for q in &self.queues {
+            q.close();
+        }
+        let mut workers = lock_workers(&self.workers);
+        for slot in workers.iter_mut() {
+            if let Some(h) = slot.take() {
+                let _ = h.join();
+            }
+        }
     }
 
     /// Stop accepting work, drain and answer everything pending, and
     /// return the final statistics.
     pub fn shutdown(mut self) -> ServeSnapshot {
-        self.closing.store(true, Ordering::Release);
-        for s in &self.shards {
-            s.queue.close();
-        }
-        for s in &mut self.shards {
-            if let Some(h) = s.worker.take() {
-                let _ = h.join();
-            }
-        }
+        self.stop();
         let snap = snapshot(&lock_stats(&self.stats));
         ServeSnapshot {
             shards: self.shard_snapshots(),
@@ -650,16 +893,29 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.closing.store(true, Ordering::Release);
-        for s in &self.shards {
-            s.queue.close();
-        }
-        for s in &mut self.shards {
-            if let Some(h) = s.worker.take() {
-                let _ = h.join();
-            }
-        }
+        self.stop();
     }
+}
+
+/// Spawn one worker thread into seat `i`.
+fn spawn_worker(
+    i: usize,
+    queues: &[Arc<AdmissionQueue<Work>>],
+    seats: &[Arc<ShardSeat>],
+    stats: &Arc<Mutex<StatsInner>>,
+    config: ServeConfig,
+) -> JoinHandle<()> {
+    let ctx = ShardCtx {
+        index: i,
+        queues: queues.to_vec(),
+        seats: seats.to_vec(),
+        stats: Arc::clone(stats),
+        config,
+    };
+    std::thread::Builder::new()
+        .name(format!("finbench-serve-{i}"))
+        .spawn(move || shard_loop(ctx))
+        .expect("spawn shard worker")
 }
 
 fn snapshot(st: &StatsInner) -> ServeSnapshot {
@@ -688,10 +944,131 @@ fn snapshot(st: &StatsInner) -> ServeSnapshot {
         shards: Vec::new(),
         shed_queue_full: st.shed_queue_full,
         shed_deadline: st.shed_deadline,
+        shed_deadline_redrive: st.shed_deadline_redrive,
         rejected: st.rejected,
         invalid_input: st.invalid_input,
         internal: st.internal,
     }
+}
+
+/// Everything the supervising monitor thread needs to detect dead seats
+/// and respawn workers into them.
+struct SupervisorCtx {
+    queues: Vec<Arc<AdmissionQueue<Work>>>,
+    seats: Vec<Arc<ShardSeat>>,
+    stats: Arc<Mutex<StatsInner>>,
+    workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    closing: Arc<AtomicBool>,
+    config: ServeConfig,
+}
+
+/// Per-seat supervisor state: one [`Breaker`] carrying the respawn
+/// backoff (`open_after: 1` — a single death opens it), plus edge
+/// detection and the probation clock.
+struct SeatSupervision {
+    breaker: Breaker,
+    /// Liveness observed on the previous scan (edge-detects deaths).
+    was_alive: bool,
+    /// When the seat was last respawned; sustained life past
+    /// `heal_after` closes the breaker and forgives the backoff.
+    respawned_at: Option<Instant>,
+}
+
+/// The monitor loop: scan every seat each `poll` interval.
+///
+/// State machine per seat (mirrors the lane breaker's):
+/// * alive, on probation, `heal_after` elapsed → `on_success` (backoff
+///   forgiven);
+/// * freshly dead → `on_failure` (Closed→Open immediately, or
+///   HalfOpen→Open with a doubled, capped cooldown when it died on
+///   probation);
+/// * dead, cooldown elapsed → respawn (the Open→HalfOpen edge), seat
+///   back on probation.
+fn supervisor_loop(ctx: SupervisorCtx) {
+    let policy = ctx.config.supervisor;
+    let breaker_policy = BreakerPolicy {
+        open_after: 1,
+        cooldown: policy.cooldown,
+        max_cooldown: policy.max_cooldown,
+        promote_after: 1,
+    };
+    let mut sups: Vec<SeatSupervision> = ctx
+        .seats
+        .iter()
+        .map(|_| SeatSupervision {
+            breaker: Breaker::new(breaker_policy),
+            was_alive: true,
+            respawned_at: None,
+        })
+        .collect();
+    loop {
+        if ctx.closing.load(Ordering::Acquire) {
+            return;
+        }
+        let now = Instant::now();
+        for (i, sup) in sups.iter_mut().enumerate() {
+            if ctx.seats[i].alive() {
+                sup.was_alive = true;
+                if let Some(since) = sup.respawned_at {
+                    if now.duration_since(since) >= policy.heal_after {
+                        // Survived probation: backoff resets to the
+                        // initial cooldown.
+                        sup.breaker.on_success();
+                        sup.respawned_at = None;
+                    }
+                }
+                continue;
+            }
+            if sup.was_alive {
+                // Freshly observed death. `at_bottom: true` — there is
+                // no ladder to degrade down, the seat just opens
+                // (doubling the cooldown if it died on probation).
+                sup.breaker.on_failure(now, true);
+                sup.was_alive = false;
+            }
+            if sup.breaker.allow(now).is_ok() {
+                respawn(&ctx, i);
+                sup.was_alive = true;
+                sup.respawned_at = Some(Instant::now());
+            }
+        }
+        std::thread::sleep(policy.poll);
+    }
+}
+
+/// Respawn a fresh worker into dead seat `i`: join the exited thread,
+/// reopen the seat's (drained) queue, spawn, record MTTR, and mark the
+/// seat alive so the router routes here again.
+fn respawn(ctx: &SupervisorCtx, i: usize) {
+    // Join the dead worker outside the workers lock: the kill path has
+    // already run (or is finishing), so this is bounded.
+    let old = lock_workers(&ctx.workers)[i].take();
+    if let Some(h) = old {
+        let _ = h.join();
+    }
+    if ctx.closing.load(Ordering::Acquire) {
+        // Shutdown raced in while we joined; leave the seat dead — the
+        // loop observes `closing` next iteration and exits.
+        return;
+    }
+    let seat = &ctx.seats[i];
+    // The kill path closed and drained the queue; reopen it before the
+    // fresh worker starts so nothing it pops was meant for the corpse.
+    ctx.queues[i].reopen();
+    let worker = spawn_worker(i, &ctx.queues, &ctx.seats, &ctx.stats, ctx.config);
+    lock_workers(&ctx.workers)[i] = Some(worker);
+    // MTTR: kill instant → the seat marked alive below.
+    if let Some(killed_at) = seat.lock_killed_at().take() {
+        let nanos = Instant::now().duration_since(killed_at).as_nanos() as u64;
+        seat.mttr_nanos.fetch_add(nanos, Ordering::Relaxed);
+        telemetry::gauge_set(&format!("serve.shard.{i}.mttr_ms"), nanos as f64 / 1e6);
+    }
+    seat.respawns.fetch_add(1, Ordering::Relaxed);
+    telemetry::counter_add("serve.respawns", 1);
+    telemetry::counter_add(&format!("serve.shard.{i}.respawns"), 1);
+    telemetry::gauge_set(&format!("serve.shard.{i}.alive"), 1.0);
+    // Last: flipping liveness publishes the seat to the router.
+    seat.dead.store(false, Ordering::Release);
 }
 
 /// Everything one worker shard needs: its index, the full queue list
@@ -732,14 +1109,16 @@ fn shard_loop(ctx: ShardCtx) {
                     _ => {}
                 }
             }
-            // Shard-kill fault: this worker dies, answering everything it
-            // holds with typed rejections. Availability degrades;
+            // Shard-kill fault: this worker dies. Stranded work is
+            // redriven once to live siblings (or answered with typed
+            // rejections when it can't be); the supervisor respawns the
+            // seat when respawn is on. Availability degrades;
             // correctness and the rest of the fleet do not.
             if faults::fire(&kill_site)
                 .iter()
                 .any(|k| matches!(k, FaultKind::Kill))
             {
-                kill_shard(ctx.index, &queue, &seat, price_lanes, greeks_lanes, stats);
+                kill_shard(&ctx, price_lanes, greeks_lanes);
                 return;
             }
         }
@@ -844,45 +1223,101 @@ fn steal_from_siblings(ctx: &ShardCtx, seat: &ShardSeat) -> Vec<Work> {
 }
 
 /// Tear one shard down under the kill fault: mark it dead (the router
-/// stops routing here), close its queue, and answer everything pending —
-/// batched in lanes or still queued — with `Rejected::Internal`.
+/// stops routing here), record the kill instant for MTTR, close its
+/// queue, and redrive everything pending — batched in lanes or still
+/// queued — to live siblings (see [`redrive_stranded`]).
 fn kill_shard(
-    index: usize,
-    queue: &AdmissionQueue<Work>,
-    seat: &ShardSeat,
+    ctx: &ShardCtx,
     mut price_lanes: BTreeMap<String, Lane<PriceWorkload>>,
     mut greeks_lanes: BTreeMap<String, Lane<GreeksWorkload>>,
-    stats: &Mutex<StatsInner>,
 ) {
+    let index = ctx.index;
+    let queue = &ctx.queues[index];
+    let seat = &ctx.seats[index];
+    *seat.lock_killed_at() = Some(Instant::now());
     seat.dead.store(true, Ordering::Release);
     queue.close();
     telemetry::counter_add("serve.shard_kills", 1);
     telemetry::gauge_set(&format!("serve.shard.{index}.alive"), 0.0);
-    let reason = format!("shard {index} killed by fault injection");
-    kill_lanes(&mut price_lanes, &reason, stats);
-    kill_lanes(&mut greeks_lanes, &reason, stats);
-    let mut orphans_price: Vec<Envelope<PriceWorkload>> = Vec::new();
-    let mut orphans_greeks: Vec<Envelope<GreeksWorkload>> = Vec::new();
-    for work in queue.steal_up_to(usize::MAX) {
-        match work {
-            Work::Price(env) => orphans_price.push(env),
-            Work::Greeks(env) => orphans_greeks.push(env),
-        }
-    }
-    reject_internal(&mut orphans_price, &reason, stats);
-    reject_internal(&mut orphans_greeks, &reason, stats);
-}
-
-/// Flush every lane's pending batch and answer it with the kill reason.
-fn kill_lanes<W: ServeWorkload>(
-    lanes: &mut BTreeMap<String, Lane<W>>,
-    reason: &str,
-    stats: &Mutex<StatsInner>,
-) {
-    for lane in lanes.values_mut() {
+    // Collect strandees oldest-first: lane batchers hold work admitted
+    // before anything still in the queue.
+    let mut stranded: Vec<Work> = Vec::new();
+    for lane in price_lanes.values_mut() {
         let Lane { batcher, flush, .. } = lane;
         batcher.flush_into(flush);
-        reject_internal(flush, reason, stats);
+        stranded.extend(flush.drain(..).map(Work::Price));
+    }
+    for lane in greeks_lanes.values_mut() {
+        let Lane { batcher, flush, .. } = lane;
+        batcher.flush_into(flush);
+        stranded.extend(flush.drain(..).map(Work::Greeks));
+    }
+    stranded.extend(queue.steal_up_to(usize::MAX));
+    redrive_stranded(ctx, stranded);
+}
+
+/// Redrive the stranded work of a killed shard to live siblings —
+/// response channels ride inside the envelopes, and padded lane-wise
+/// batching makes execution on the sibling bit-identical, so the move
+/// is invisible to clients.
+///
+/// At-most-once: every redriven envelope is flagged, and a flagged item
+/// stranded by a *second* kill is answered `Rejected::Internal` here
+/// instead of re-routed — no request is ever delivered to a worker more
+/// than twice, and since delivery consumes the envelope, each gets
+/// exactly one terminal response. Items whose end-to-end deadline has
+/// already passed are shed rather than retried (the budget spans
+/// admission wait, spill, steal, redrive, and execution because the
+/// deadline is one absolute instant). Like stolen work, redriven items
+/// do not bump the sibling's `submitted` tally — they were already
+/// counted against this seat.
+fn redrive_stranded(ctx: &ShardCtx, stranded: Vec<Work>) {
+    if stranded.is_empty() {
+        return;
+    }
+    let index = ctx.index;
+    let seat = &ctx.seats[index];
+    let stats = &*ctx.stats;
+    // Live siblings in ascending queue-depth order, recomputed once per
+    // kill (not per item: the kill path should finish fast so the
+    // supervisor can respawn the seat).
+    let mut order: Vec<usize> = (0..ctx.queues.len())
+        .filter(|&i| i != index && ctx.seats[i].alive())
+        .collect();
+    order.sort_by_key(|&i| ctx.queues[i].len());
+    let now = Instant::now();
+    for mut work in stranded {
+        if let Some(d) = work.deadline() {
+            if now > d {
+                work.shed_deadline(now.duration_since(d), stats);
+                continue;
+            }
+        }
+        if work.redriven() {
+            work.reject_internal(
+                &Cow::Borrowed("shard killed; redrive budget exhausted"),
+                stats,
+            );
+            continue;
+        }
+        work.mark_redriven();
+        let mut item = Some(work);
+        for &i in &order {
+            match ctx.queues[i].try_push(item.take().expect("item present until placed")) {
+                Ok(()) => {
+                    seat.redriven.fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter_add("serve.redriven", 1);
+                    break;
+                }
+                Err(back) => item = Some(back),
+            }
+        }
+        if let Some(unplaced) = item {
+            unplaced.reject_internal(
+                &Cow::Borrowed("shard killed; no live sibling to redrive to"),
+                stats,
+            );
+        }
     }
 }
 
@@ -964,9 +1399,13 @@ fn make_lane<W: ServeWorkload>(
 }
 
 /// Answer (and drain) every envelope in `live` with `Rejected::Internal`.
+/// Borrowed reasons are cloned for free; owned (formatted) reasons pay
+/// one clone per envelope, same as before the `Cow` migration.
+// `&str` would defeat exactly that: it forces an owned clone per envelope.
+#[allow(clippy::ptr_arg)]
 fn reject_internal<W: ServeWorkload>(
     live: &mut Vec<Envelope<W>>,
-    reason: &str,
+    reason: &Cow<'static, str>,
     stats: &Mutex<StatsInner>,
 ) {
     let n = live.len() as u64;
@@ -979,7 +1418,7 @@ fn reject_internal<W: ServeWorkload>(
         let _ = env.tx.send(W::respond(
             W::id(&env.req),
             Err(Rejected::Internal {
-                reason: reason.to_string(),
+                reason: reason.clone(),
             }),
         ));
     }
@@ -1015,9 +1454,28 @@ fn execute<W: ServeWorkload>(lane: &mut Lane<W>, stats: &Mutex<StatsInner>, seat
     let now = Instant::now();
     lane.flush.retain(|env| match W::deadline(&env.req) {
         Some(d) if now > d => {
+            // The deadline is absolute, so this one check enforces the
+            // end-to-end budget across admission wait, spill, steal,
+            // and redrive. Sheds of redriven work land in their own
+            // bucket: they tell the operator the retry arrived but the
+            // client's budget had already run out.
             let late_by = now.duration_since(d);
-            lock_stats(stats).shed_deadline += 1;
-            telemetry::counter_add(W::COUNTERS.shed_deadline, 1);
+            {
+                let mut st = lock_stats(stats);
+                if env.redriven {
+                    st.shed_deadline_redrive += 1;
+                } else {
+                    st.shed_deadline += 1;
+                }
+            }
+            telemetry::counter_add(
+                if env.redriven {
+                    W::COUNTERS.shed_deadline_redrive
+                } else {
+                    W::COUNTERS.shed_deadline
+                },
+                1,
+            );
             let _ = env.tx.send(W::respond(
                 W::id(&env.req),
                 Err(Rejected::DeadlineExceeded { late_by }),
@@ -1034,7 +1492,7 @@ fn execute<W: ServeWorkload>(lane: &mut Lane<W>, stats: &Mutex<StatsInner>, seat
     match lane.breaker.allow(now) {
         Err(remaining) => {
             let reason = format!("circuit open for {} (retry in {remaining:?})", lane.key);
-            reject_internal(&mut lane.flush, &reason, stats);
+            reject_internal(&mut lane.flush, &Cow::Owned(reason), stats);
             publish_lane_health(lane, stats);
             return;
         }
@@ -1143,7 +1601,11 @@ fn execute<W: ServeWorkload>(lane: &mut Lane<W>, stats: &Mutex<StatsInner>, seat
                 }
                 FailureAction::Tolerate => {}
             }
-            reject_internal(&mut lane.flush, &format!("kernel panic: {reason}"), stats);
+            reject_internal(
+                &mut lane.flush,
+                &Cow::Owned(format!("kernel panic: {reason}")),
+                stats,
+            );
         }
     }
     publish_lane_health(lane, stats);
@@ -1187,6 +1649,7 @@ mod tests {
                 ..PricerConfig::default()
             },
             breaker: BreakerPolicy::default(),
+            supervisor: SupervisorPolicy::default(),
         }
     }
 
@@ -1618,11 +2081,11 @@ mod tests {
         // Occupy shard 0's queue directly (in-module backdoor), so the
         // round-robin primary is full while shard 1 has room.
         let (otx, orx) = mpsc::channel();
-        server.shards[0]
-            .queue
+        server.queues[0]
             .try_push(Work::Price(Envelope {
                 req: PriceRequest::new(0, "black_scholes", 30.0, 35.0, 1.0),
                 submitted: Instant::now(),
+                redriven: false,
                 tx: otx,
             }))
             .unwrap_or_else(|_| panic!("occupant push must succeed"));
@@ -1657,11 +2120,11 @@ mod tests {
         // Load shard 0's queue directly so all depth sits on one shard.
         let (tx, rx) = mpsc::channel();
         for i in 0..20u64 {
-            server.shards[0]
-                .queue
+            server.queues[0]
                 .try_push(Work::Price(Envelope {
                     req: PriceRequest::new(i, "black_scholes", 30.0, 35.0, 1.0),
                     submitted: Instant::now(),
+                    redriven: false,
                     tx: tx.clone(),
                 }))
                 .unwrap_or_else(|_| panic!("direct push must succeed"));
@@ -1686,8 +2149,14 @@ mod tests {
         let _g = PlanGuard::install(
             FaultPlan::new().with(FaultSpec::always("serve.shard.0", FaultKind::Kill)),
         );
+        // Respawn off: this test pins down the *terminal* loss behavior
+        // (the supervisor would otherwise put shard 0 back in service).
         let server = Server::start(ServeConfig {
             shards: 2,
+            supervisor: SupervisorPolicy {
+                respawn: false,
+                ..SupervisorPolicy::default()
+            },
             ..quick_config()
         });
         // Shard 0 dies on its first loop iteration; wait for the router
@@ -1713,5 +2182,161 @@ mod tests {
         assert_eq!(snap.shards[1].submitted, 40);
         assert_eq!(snap.shards[1].served, 40);
         assert!((snap.shards[1].availability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_killed_shard_is_respawned_and_serves_again() {
+        let _l = faults_lock();
+        // Kill shard 0 exactly once; the supervisor (respawn on by
+        // default) must put a fresh worker back in the same seat.
+        let _g = PlanGuard::install(
+            FaultPlan::new().with(FaultSpec::always("serve.shard.0", FaultKind::Kill).limited(1)),
+        );
+        let server = Server::start(ServeConfig {
+            shards: 2,
+            ..quick_config()
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let snap = server.snapshot();
+            if snap.shards[0].alive && snap.shards[0].respawns >= 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "shard 0 never respawned: {snap:?}"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Full capacity is restored: the router round-robins across both
+        // seats again and everything is served.
+        let (tx, rx) = mpsc::channel();
+        for i in 0..40u64 {
+            server.submit_with(PriceRequest::new(i, "black_scholes", 30.0, 35.0, 1.0), &tx);
+        }
+        drop(tx);
+        let got: Vec<PriceResponse> = rx.iter().collect();
+        assert_eq!(got.len(), 40);
+        assert!(got.iter().all(PriceResponse::is_priced));
+        let snap = server.shutdown();
+        assert_eq!(snap.alive_shards(), 2);
+        assert_eq!(snap.total_respawns(), 1);
+        assert_eq!(snap.shards[0].respawns, 1);
+        assert!(snap.shards[0].submitted > 0, "{snap:?}");
+        let mttr = snap.mean_mttr().expect("a respawn must record MTTR");
+        assert!(mttr > Duration::ZERO, "{mttr:?}");
+        assert_eq!(snap.shards[0].mttr, mttr);
+    }
+
+    #[test]
+    fn stranded_work_is_redriven_to_a_live_sibling_with_its_channel_intact() {
+        let _l = faults_lock();
+        // Stall runs *before* the kill check in each loop iteration, so
+        // both workers sleep through a max_delay-long window first. That
+        // window is the deterministic part: we push into shard 0's queue
+        // while it sleeps, it wakes, dies, and must redrive the queued
+        // work to shard 1 — which was also asleep, so it cannot have
+        // stolen anything first.
+        let _g = PlanGuard::install(
+            FaultPlan::new()
+                .with(FaultSpec::always("queue", FaultKind::StallQueue))
+                .with(FaultSpec::always("serve.shard.0", FaultKind::Kill)),
+        );
+        let server = Server::start(ServeConfig {
+            shards: 2,
+            max_delay: Duration::from_millis(200),
+            supervisor: SupervisorPolicy {
+                respawn: false,
+                ..SupervisorPolicy::default()
+            },
+            ..quick_config()
+        });
+        let (tx, rx) = mpsc::channel();
+        for i in 0..4u64 {
+            server.queues[0]
+                .try_push(Work::Price(Envelope {
+                    req: PriceRequest::new(i, "black_scholes", 30.0, 35.0, 1.0),
+                    submitted: Instant::now(),
+                    redriven: false,
+                    tx: tx.clone(),
+                }))
+                .unwrap_or_else(|_| panic!("direct push must succeed"));
+        }
+        drop(tx);
+        // The original response channels must survive the redrive: every
+        // request is priced by shard 1 and answered exactly once.
+        let got: Vec<PriceResponse> = rx.iter().collect();
+        assert_eq!(
+            got.len(),
+            4,
+            "every stranded request got exactly one answer"
+        );
+        assert!(got.iter().all(PriceResponse::is_priced), "{got:?}");
+        let mut ids: Vec<u64> = got.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let snap = server.shutdown();
+        assert_eq!(snap.alive_shards(), 1);
+        assert_eq!(snap.total_redriven(), 4, "{snap:?}");
+        // Redrives are attributed to the seat that lost them.
+        assert_eq!(snap.shards[0].redriven, 4);
+        assert_eq!(snap.shards[1].redriven, 0);
+        assert_eq!(snap.internal, 0);
+        assert_eq!(snap.shed_deadline_redrive, 0);
+    }
+
+    #[test]
+    fn stranded_work_with_no_live_sibling_is_rejected_not_dropped() {
+        let _l = faults_lock();
+        let _g = PlanGuard::install(
+            FaultPlan::new()
+                .with(FaultSpec::always("queue", FaultKind::StallQueue))
+                .with(FaultSpec::always("serve.shard.0", FaultKind::Kill)),
+        );
+        let server = Server::start(ServeConfig {
+            shards: 1,
+            max_delay: Duration::from_millis(200),
+            supervisor: SupervisorPolicy {
+                respawn: false,
+                ..SupervisorPolicy::default()
+            },
+            ..quick_config()
+        });
+        let (tx, rx) = mpsc::channel();
+        for i in 0..4u64 {
+            server.queues[0]
+                .try_push(Work::Price(Envelope {
+                    req: PriceRequest::new(i, "black_scholes", 30.0, 35.0, 1.0),
+                    submitted: Instant::now(),
+                    redriven: false,
+                    tx: tx.clone(),
+                }))
+                .unwrap_or_else(|_| panic!("direct push must succeed"));
+        }
+        drop(tx);
+        let got: Vec<PriceResponse> = rx.iter().collect();
+        assert_eq!(got.len(), 4, "no silent drops even with nowhere to redrive");
+        for r in &got {
+            match &r.outcome {
+                Err(Rejected::Internal { reason }) => {
+                    assert!(reason.contains("no live sibling"), "{reason}");
+                }
+                other => panic!("expected Internal, got {other:?}"),
+            }
+        }
+        // The router also answers (never hangs) once the fleet is empty.
+        let rx = server.submit(PriceRequest::new(99, "black_scholes", 30.0, 35.0, 1.0));
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap().outcome {
+            Err(Rejected::Internal { reason }) => {
+                assert!(reason.contains("no alive shards"), "{reason}");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.alive_shards(), 0);
+        // The 4 stranded rejections are worker-side and tallied; the
+        // router's answer is synchronous on the caller's thread.
+        assert_eq!(snap.internal, 4);
+        assert_eq!(snap.total_redriven(), 0);
     }
 }

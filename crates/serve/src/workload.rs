@@ -62,6 +62,10 @@ pub struct LaneCounters {
     pub served: &'static str,
     /// Requests shed at dispatch because their deadline passed.
     pub shed_deadline: &'static str,
+    /// Requests whose deadline passed *after* a shard-loss redrive — the
+    /// retry budget accounting that distinguishes first-attempt sheds
+    /// from sheds of already-redriven work.
+    pub shed_deadline_redrive: &'static str,
     /// Requests answered `Rejected::Internal`.
     pub internal: &'static str,
     /// Requests rejected for unknown/unservable kernels.
@@ -137,6 +141,11 @@ pub trait ServeWorkload: Sized + 'static {
 pub(crate) struct Envelope<W: ServeWorkload> {
     pub(crate) req: W::Req,
     pub(crate) submitted: Instant,
+    /// True once this request has been redriven off a killed shard to a
+    /// live sibling. At most one redrive per request: a second shard
+    /// loss rejects instead of re-routing again, so a request can never
+    /// ping-pong between dying shards or be delivered twice.
+    pub(crate) redriven: bool,
     pub(crate) tx: std::sync::mpsc::Sender<W::Resp>,
 }
 
@@ -152,6 +161,7 @@ impl ServeWorkload for PriceWorkload {
     const COUNTERS: LaneCounters = LaneCounters {
         served: "serve.served",
         shed_deadline: "serve.shed.deadline",
+        shed_deadline_redrive: "serve.shed.deadline_redrive",
         internal: "serve.internal",
         rejected: "serve.rejected",
         degraded_batches: "serve.degraded_batches",
@@ -228,6 +238,7 @@ impl ServeWorkload for GreeksWorkload {
     const COUNTERS: LaneCounters = LaneCounters {
         served: "greeks.served",
         shed_deadline: "greeks.shed.deadline",
+        shed_deadline_redrive: "greeks.shed.deadline_redrive",
         internal: "greeks.internal",
         rejected: "greeks.rejected",
         degraded_batches: "greeks.degraded_batches",

@@ -12,7 +12,9 @@ use finbench::core::engine::registry;
 use finbench::engine::Engine;
 use finbench::faults::{self, Corruption, FaultKind, FaultPlan, FaultSpec, PlanGuard};
 use finbench::serve::pricer::{self, PricerConfig, ServingRung};
-use finbench::serve::{BreakerPolicy, PriceRequest, Rejected, ServeConfig, Server};
+use finbench::serve::{
+    BreakerPolicy, PriceRequest, Rejected, ServeConfig, Server, SupervisorPolicy,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -115,6 +117,13 @@ proptest! {
                 cooldown: Duration::from_millis(1),
                 promote_after: 4,
                 ..BreakerPolicy::default()
+            },
+            // Pin pre-supervision semantics: a killed shard stays dead and
+            // the router sheds (typed). Respawn interleavings get their own
+            // property coverage in `tests/supervision.rs`.
+            supervisor: SupervisorPolicy {
+                respawn: false,
+                ..SupervisorPolicy::default()
             },
         });
         let (tx, rx) = std::sync::mpsc::channel();
