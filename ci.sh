@@ -92,6 +92,18 @@ echo "$greeks_out" | grep -q "total shed: 0" || {
   exit 1
 }
 
+echo "==> portfolio gate (served fan-out bit-identical to native; VaR converges)"
+portfolio_out=$(cargo run --release -q -p finbench-harness --bin finbench -- portfolio-bench --quick)
+echo "$portfolio_out" | grep -E "portfolio replay|portfolio var check"
+echo "$portfolio_out" | grep -q "portfolio replay: OK" || {
+  echo "portfolio-bench: served fan-out P&L diverged from the native sweep" >&2
+  exit 1
+}
+echo "$portfolio_out" | grep -q "portfolio var check: OK" || {
+  echo "portfolio-bench: VaR estimates did not converge to the reference grid" >&2
+  exit 1
+}
+
 echo "==> perf-regression gate (bench-report vs committed trajectory)"
 # Compare a fresh quick snapshot against the latest committed BENCH_<n>.json.
 # Gated metrics (non-threaded rung medians, serve shed, allocs/iter) fail CI

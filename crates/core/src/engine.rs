@@ -1,7 +1,7 @@
 //! [`Kernel`] implementations for the six paper kernels — thin adapters
 //! over the existing level functions (no numerics change) — plus the
-//! [`GreeksKernel`] risk workload and the shared [`registry`] every
-//! consumer iterates.
+//! [`GreeksKernel`] and [`PortfolioKernel`] risk workloads and the shared
+//! [`registry`] every consumer iterates.
 //!
 //! Each adapter owns three decisions and nothing else:
 //!
@@ -29,6 +29,7 @@ use crate::greeks::bump::{binomial_bump_greeks, bs_bump_greeks, BumpSizes};
 use crate::greeks::mc::{crn_fd_delta, crn_fd_vega, crn_normals, McEstimate, McGreeks};
 use crate::greeks::{greeks_batch_simd, mc, Greeks, GreeksBatchSoa, OptionType};
 use crate::monte_carlo::{reference as mc_ref, simd as mc_simd, GbmTerminal, PathSums};
+use crate::portfolio::{par_revalue, revalue_into, Book, RevalScratch, ScenarioConfig};
 use crate::workload::{MarketParams, OptionBatchAos, OptionBatchSoa, WorkloadRanges};
 use finbench_engine::{fn_body, Check, Kernel, OptLevel, Registry, Rung, WorkloadSpec};
 use finbench_machine::kernels as cost_model;
@@ -1018,12 +1019,128 @@ impl Kernel for GreeksKernel {
 }
 
 // ---------------------------------------------------------------------
+// Portfolio scenario revaluation (market risk)
+// ---------------------------------------------------------------------
+
+/// Full-book scenario revaluation — the production market-risk workload
+/// layered on the Black-Scholes SOA ladders: a fixed book repriced under
+/// a deterministic shocked-scenario grid, one P&L value per scenario.
+///
+/// The observable checked across rungs is the P&L vector itself. The
+/// scalar / W=4 / W=8 sweeps are bit-exact among themselves (the staged
+/// book is padded to the widest lane count, so no width ever takes the
+/// scalar remainder path), and the chunk-parallel rung is Rel-checked:
+/// it is bitwise-identical too (split-invariant grids, fixed-order
+/// reduction), but the declared tolerance documents only what the
+/// schedule guarantees by construction.
+pub struct PortfolioKernel;
+
+/// A book plus its scenario grid, both pure functions of the spec seed.
+pub struct PortfolioWorkload {
+    book: Book,
+    cfg: ScenarioConfig,
+    grid: crate::portfolio::ScenarioGrid,
+}
+
+impl Kernel for PortfolioKernel {
+    type Workload = PortfolioWorkload;
+
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+    fn artifact(&self) -> &'static str {
+        "portfolio_bench"
+    }
+    fn title(&self) -> &'static str {
+        "Portfolio revaluation (pricings/s)"
+    }
+    fn unit(&self) -> &'static str {
+        "pricings/s"
+    }
+
+    fn make_workload(&self, spec: &WorkloadSpec) -> PortfolioWorkload {
+        // `n_hint` scales the scenario axis (the one experiments sweep);
+        // the book is the per-scenario inner loop and stays fixed.
+        let scenarios = spec
+            .n_hint
+            .unwrap_or(if spec.quick { 128 } else { 2048 })
+            .max(8);
+        let positions = if spec.quick { 64 } else { 256 };
+        let cfg = ScenarioConfig::standard(scenarios, spec.seed);
+        PortfolioWorkload {
+            book: Book::random(positions, spec.seed),
+            grid: cfg.grid(),
+            cfg,
+        }
+    }
+
+    fn items(&self, w: &PortfolioWorkload) -> usize {
+        // One item = one option pricing; a sweep does book × scenarios.
+        w.book.len() * w.cfg.scenarios
+    }
+
+    fn ladder(&self) -> Vec<Rung<PortfolioWorkload>> {
+        fn pnl_out(out: &(&PortfolioWorkload, RevalScratch, Vec<f64>)) -> Vec<f64> {
+            out.2.clone()
+        }
+        fn reval_rung<const W: usize>(
+            level: OptLevel,
+            label: &'static str,
+        ) -> Rung<PortfolioWorkload> {
+            Rung::new(level, label, |w: &PortfolioWorkload, _p| {
+                fn_body(
+                    (w, RevalScratch::new(), Vec::new()),
+                    |(w, scratch, pnl)| revalue_into::<W>(&w.book, M, &w.grid, scratch, pnl),
+                    pnl_out,
+                )
+            })
+        }
+        vec![
+            reval_rung::<1>(OptLevel::Basic, "Basic: scalar revaluation sweep").check(Check::None),
+            // Same padded batch, same lane arithmetic at every width.
+            reval_rung::<4>(
+                OptLevel::Intermediate,
+                "Intermediate: SIMD revaluation (W=4)",
+            )
+            .check(Check::BitExact)
+            .cost_level(1),
+            reval_rung::<8>(
+                OptLevel::Intermediate,
+                "Intermediate: SIMD revaluation (W=8)",
+            )
+            .check(Check::BitExact)
+            .cost_level(1),
+            Rung::new(
+                OptLevel::Advanced,
+                "Advanced: chunk-parallel scenarios",
+                |w: &PortfolioWorkload, _p| {
+                    fn_body(
+                        (w, Vec::new()),
+                        |(w, pnl)| par_revalue(&w.book, M, &w.cfg, 256, pnl),
+                        |(_, pnl)| pnl.clone(),
+                    )
+                },
+            )
+            .check(Check::Rel(1e-12))
+            .cost_level(2)
+            .threaded(),
+        ]
+    }
+
+    fn cost(&self, arch: &ArchSpec) -> Vec<CostedLevel> {
+        // Each scenario step is the Black-Scholes SOA sweep with a cheap
+        // restage + reduce wrapped around it.
+        cost_model::black_scholes(arch)
+    }
+}
+
+// ---------------------------------------------------------------------
 // The registry
 // ---------------------------------------------------------------------
 
-/// The six paper kernels in paper-artifact order, plus the greeks risk
-/// workload — the single source of truth the harness ladder loop, the
-/// experiment index, and the planner share.
+/// The six paper kernels in paper-artifact order, plus the greeks and
+/// portfolio risk workloads — the single source of truth the harness
+/// ladder loop, the experiment index, and the planner share.
 pub fn registry() -> Registry {
     let mut reg = Registry::new();
     reg.register(BlackScholes);
@@ -1033,6 +1150,7 @@ pub fn registry() -> Registry {
     reg.register(CrankNicolson);
     reg.register(Rng);
     reg.register(GreeksKernel);
+    reg.register(PortfolioKernel);
     reg
 }
 
@@ -1043,7 +1161,7 @@ mod tests {
     use finbench_machine::{KNC, SNB_EP};
 
     #[test]
-    fn registry_holds_all_seven_kernels() {
+    fn registry_holds_all_eight_kernels() {
         let reg = registry();
         assert_eq!(
             reg.names(),
@@ -1054,7 +1172,8 @@ mod tests {
                 "monte_carlo",
                 "crank_nicolson",
                 "rng",
-                "greeks"
+                "greeks",
+                "portfolio"
             ]
         );
     }
@@ -1166,6 +1285,27 @@ mod tests {
                 "Advanced: bump-and-reprice binomial",
                 "Advanced: MC pathwise (delta/vega)",
                 "Advanced: MC CRN finite difference",
+            ]
+        );
+    }
+
+    #[test]
+    fn portfolio_ladder_spans_serial_and_parallel_revaluation() {
+        let reg = registry();
+        let labels: Vec<&str> = reg
+            .get("portfolio")
+            .expect("portfolio kernel registered")
+            .rungs()
+            .iter()
+            .map(|r| r.label)
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                "Basic: scalar revaluation sweep",
+                "Intermediate: SIMD revaluation (W=4)",
+                "Intermediate: SIMD revaluation (W=8)",
+                "Advanced: chunk-parallel scenarios",
             ]
         );
     }

@@ -19,8 +19,11 @@
 //! machine model's cost descriptors.
 //!
 //! Shared infrastructure: [`workload`] (option-batch generators and
-//! AOS/SOA layouts) and [`greeks`] (closed-form sensitivities and implied
-//! volatility, an extension exercising the same math substrate).
+//! AOS/SOA layouts), [`greeks`] (closed-form sensitivities and implied
+//! volatility, an extension exercising the same math substrate), and
+//! [`portfolio`] (scenario-grid full-book revaluation aggregated into
+//! VaR / expected shortfall — the production market-risk workload built
+//! on top of the pricing ladders).
 
 pub mod binomial;
 pub mod black_scholes;
@@ -29,6 +32,7 @@ pub mod crank_nicolson;
 pub mod engine;
 pub mod greeks;
 pub mod monte_carlo;
+pub mod portfolio;
 pub mod workload;
 
 pub use workload::{MarketParams, OptionBatchAos, OptionBatchSoa, OptionRecord};

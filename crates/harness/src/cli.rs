@@ -56,6 +56,7 @@ pub fn usage_line() -> String {
          \x20 finbench serve-bench           serving-plane load benchmark (alias for `run serve_bench`)\n\
          \x20 finbench chaos-bench           fault-injection chaos benchmark (alias for `run chaos_bench`)\n\
          \x20 finbench greeks-bench          greeks/risk workload benchmark (alias for `run greeks_bench`)\n\
+         \x20 finbench portfolio-bench       portfolio market-risk benchmark (alias for `run portfolio_bench`)\n\
          \x20 finbench bench-report [--quick] [--trials N] [--out FILE]\n\
          \x20     run every kernel ladder + serve/greeks sweep, write BENCH_<n>.json\n\
          \x20 finbench bench-compare OLD.json NEW.json [--threshold PCT]\n\
@@ -183,6 +184,9 @@ where
         Some("serve-bench") => parse_experiment_alias("serve-bench", "serve_bench", &args[1..]),
         Some("chaos-bench") => parse_experiment_alias("chaos-bench", "chaos_bench", &args[1..]),
         Some("greeks-bench") => parse_experiment_alias("greeks-bench", "greeks_bench", &args[1..]),
+        Some("portfolio-bench") => {
+            parse_experiment_alias("portfolio-bench", "portfolio_bench", &args[1..])
+        }
         Some("bench-report") => parse_bench_report(&args[1..]),
         Some("bench-compare") => parse_bench_compare(&args[1..]),
         Some("bench-trend") => parse_bench_trend(&args[1..]),
@@ -370,6 +374,16 @@ mod tests {
         assert!(parse_args(["greeks-bench", "fig4"]).is_err());
         // Also reachable through the plain run grammar.
         assert_eq!(run(&["run", "greeks_bench"]).ids, ["greeks_bench"]);
+    }
+
+    #[test]
+    fn portfolio_bench_subcommand_maps_to_the_portfolio_bench_experiment() {
+        let p = run(&["portfolio-bench", "--quick"]);
+        assert_eq!(p.ids, ["portfolio_bench"]);
+        assert!(p.opts.quick);
+        assert!(parse_args(["portfolio-bench", "fig4"]).is_err());
+        // Also reachable through the plain run grammar.
+        assert_eq!(run(&["run", "portfolio_bench"]).ids, ["portfolio_bench"]);
     }
 
     #[test]

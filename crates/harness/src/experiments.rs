@@ -455,7 +455,9 @@ pub fn serve_bench(opts: &RunOptions) {
 
     let engine = native::engine();
     let mut total_shed = 0usize;
-    let mut total_rejected = 0usize;
+    let mut total_unknown_kernel = 0usize;
+    let mut total_unservable = 0usize;
+    let mut total_shutdown = 0usize;
     let mut total_invalid = 0usize;
     let mut total_internal = 0usize;
     for kernel in &kernels {
@@ -531,7 +533,9 @@ pub fn serve_bench(opts: &RunOptions) {
             );
             closed_peak = closed_peak.max(r.throughput);
             total_shed += r.total_shed();
-            total_rejected += r.rejected;
+            total_unknown_kernel += r.rejected_unknown_kernel;
+            total_unservable += r.rejected_unservable;
+            total_shutdown += r.rejected_shutdown;
             total_invalid += r.invalid_input;
             total_internal += r.internal;
             push(format!("closed x{clients}"), &r, &mut rows, &mut curve);
@@ -555,7 +559,9 @@ pub fn serve_bench(opts: &RunOptions) {
                 }),
             );
             total_shed += r.total_shed();
-            total_rejected += r.rejected;
+            total_unknown_kernel += r.rejected_unknown_kernel;
+            total_unservable += r.rejected_unservable;
+            total_shutdown += r.rejected_shutdown;
             total_invalid += r.invalid_input;
             total_internal += r.internal;
             push(
@@ -579,7 +585,9 @@ pub fn serve_bench(opts: &RunOptions) {
                 None,
             );
             total_shed += r.total_shed();
-            total_rejected += r.rejected;
+            total_unknown_kernel += r.rejected_unknown_kernel;
+            total_unservable += r.rejected_unservable;
+            total_shutdown += r.rejected_shutdown;
             total_invalid += r.invalid_input;
             total_internal += r.internal;
             push(format!("open {:.0}/s", rate), &r, &mut rows, &mut curve);
@@ -639,7 +647,9 @@ pub fn serve_bench(opts: &RunOptions) {
             );
             server.shutdown();
             total_shed += r.total_shed();
-            total_rejected += r.rejected;
+            total_unknown_kernel += r.rejected_unknown_kernel;
+            total_unservable += r.rejected_unservable;
+            total_shutdown += r.rejected_shutdown;
             total_invalid += r.invalid_input;
             total_internal += r.internal;
             if n == 1 {
@@ -691,8 +701,13 @@ pub fn serve_bench(opts: &RunOptions) {
         maybe_write_csv(&opts.csv_dir, "serve_bench_shard_scaling.csv", &scale_csv);
     }
 
+    let total_rejected = total_unknown_kernel + total_unservable + total_shutdown;
     println!("  total shed: {total_shed}");
-    println!("  total rejected: {total_rejected}");
+    println!(
+        "  total rejected: {total_rejected} \
+         (unknown kernel {total_unknown_kernel}, unservable {total_unservable}, \
+         shutdown {total_shutdown})"
+    );
     if total_invalid + total_internal > 0 {
         println!("  total invalid input: {total_invalid}");
         println!("  total internal (faults absorbed): {total_internal}");
@@ -1350,6 +1365,203 @@ pub fn greeks_bench(opts: &RunOptions) {
         }
     );
     println!("  total shed: {shed}");
+}
+
+/// The `portfolio_bench` experiment: the market-risk plane end to end.
+///
+/// Three panels: (a) native ladder throughput of the `portfolio`
+/// kernel's rungs (scalar/SIMD full-book revaluation, chunk-parallel
+/// scenarios); (b) VaR / expected-shortfall convergence over growing
+/// scenario grids, each estimate with its order-statistic confidence
+/// interval, checked for coverage against a much finer reference grid;
+/// (c) one `PortfolioRequest` fanned out across a sharded server and the
+/// merged P&L replayed bit-for-bit against the native single-threaded
+/// sweep of the same book and grid.
+///
+/// `ci.sh` greps the `portfolio replay:` and `portfolio var check:`
+/// lines: served fan-out must merge bit-identically to native, and the
+/// finest grid's VaR must land inside the reference run's neighborhood.
+pub fn portfolio_bench(opts: &RunOptions) {
+    use finbench_core::portfolio::{par_revalue, revalue_into, Book, RevalScratch, ScenarioConfig};
+    use finbench_core::workload::MarketParams;
+    use finbench_serve::{PortfolioRequest, ServeConfig, Server};
+    use std::time::Duration;
+
+    println!(
+        "{}",
+        section("portfolio-bench — market-risk plane (scenario grids -> VaR/ES)")
+    );
+
+    // (a) Native ladder throughput: full-book revaluation driven through
+    // the same engine plane as every other kernel.
+    print_native_for_artifact("portfolio_bench", opts);
+
+    const M: MarketParams = MarketParams::PAPER;
+    const SEED: u64 = 0x9F0C; // book + grid seed shared by every panel
+
+    // (b) VaR/ES convergence: one fixed book revalued over growing
+    // scenario grids. Estimates carry order-statistic CIs; the reference
+    // grid is 4x the finest sweep point, so coverage is checkable.
+    let positions = if opts.quick { 64 } else { 128 };
+    let grids: &[usize] = if opts.quick {
+        &[128, 512, 2048]
+    } else {
+        &[512, 2048, 8192, 32768]
+    };
+    let book = Book::random(positions, SEED);
+    let reference_scenarios = grids.last().unwrap() * 4;
+    println!(
+        "  [convergence] {positions} positions, grids {grids:?}, \
+         reference {reference_scenarios} scenarios"
+    );
+    let sweep = |scenarios: usize| {
+        let cfg = ScenarioConfig::standard(scenarios, SEED);
+        let mut pnl = Vec::new();
+        par_revalue(&book, M, &cfg, 256, &mut pnl);
+        finbench_core::portfolio::var_es(&pnl, &[0.95, 0.99])
+    };
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut csv = String::from(
+        "scenarios,var95,var95_lo,var95_hi,es95,es95_se,var99,var99_lo,var99_hi,es99,es99_se\n",
+    );
+    let mut push =
+        |label: String, scenarios: usize, risk: &[finbench_core::portfolio::RiskSummary]| {
+            let (r95, r99) = (&risk[0], &risk[1]);
+            rows.push(vec![
+                label,
+                format!("{:.3}", r95.var),
+                format!("[{:.3}, {:.3}]", r95.var_ci.0, r95.var_ci.1),
+                format!("{:.3} ± {:.3}", r95.es, r95.es_se),
+                format!("{:.3}", r99.var),
+                format!("[{:.3}, {:.3}]", r99.var_ci.0, r99.var_ci.1),
+                format!("{:.3} ± {:.3}", r99.es, r99.es_se),
+            ]);
+            csv.push_str(&format!(
+                "{scenarios},{},{},{},{},{},{},{},{},{},{}\n",
+                r95.var,
+                r95.var_ci.0,
+                r95.var_ci.1,
+                r95.es,
+                r95.es_se,
+                r99.var,
+                r99.var_ci.0,
+                r99.var_ci.1,
+                r99.es,
+                r99.es_se
+            ));
+        };
+    let mut finest: Vec<finbench_core::portfolio::RiskSummary> = Vec::new();
+    for &scenarios in grids {
+        let risk = sweep(scenarios);
+        push(scenarios.to_string(), scenarios, &risk);
+        finest = risk;
+    }
+    let reference = sweep(reference_scenarios);
+    push(
+        format!("{reference_scenarios} (ref)"),
+        reference_scenarios,
+        &reference,
+    );
+    println!(
+        "{}",
+        table(
+            &[
+                "scenarios",
+                "VaR95",
+                "95% CI",
+                "ES95",
+                "VaR99",
+                "99% CI",
+                "ES99"
+            ],
+            &rows
+        )
+    );
+    maybe_write_csv(&opts.csv_dir, "portfolio_convergence.csv", &csv);
+    println!("  (CIs are order statistics at rank ± 1.96·sqrt(c(1-c)n); ES ± tail std err)");
+    println!();
+
+    // Gate: the finest sweep grid's VaR must sit inside (a slightly
+    // widened copy of) its own CI around the reference value — the
+    // estimator converges toward the reference as the grid grows.
+    let var_check = finest.iter().zip(reference.iter()).all(|(f, r)| {
+        let half = ((f.var_ci.1 - f.var_ci.0) / 2.0).max(1e-9);
+        (f.var - r.var).abs() <= 2.0 * half
+    });
+
+    // (c) One request through the sharded serving plane, replayed
+    // natively. The chunk size forces a real fan-out so the merge path
+    // (spill/steal/redrive territory) is what gets checked, and the
+    // native sweep is the independent single-threaded oracle.
+    let scenarios = if opts.quick { 96 } else { 384 };
+    let replay_positions = if opts.quick { 24 } else { 64 };
+    let chunk = 16;
+    let server = Server::start(ServeConfig {
+        queue_capacity: 1024,
+        max_delay: Duration::from_micros(200),
+        max_batch: 64,
+        shards: 2,
+        ..ServeConfig::default()
+    });
+    let req = PortfolioRequest::new(1, SEED, replay_positions, scenarios).with_chunk(chunk);
+    let resp = server
+        .submit_portfolio(req)
+        .recv()
+        .expect("portfolio response");
+    let snapshot = server.shutdown();
+    let out = match resp.outcome {
+        Ok(out) => out,
+        Err(e) => {
+            println!("  portfolio replay: FAIL (request rejected: {e})");
+            println!(
+                "  portfolio var check: {}",
+                if var_check { "OK" } else { "FAIL" }
+            );
+            return;
+        }
+    };
+    let replay_book = Book::random(replay_positions, SEED);
+    let cfg = ScenarioConfig::standard(scenarios, SEED);
+    let mut scratch = RevalScratch::new();
+    let mut native = Vec::new();
+    revalue_into::<8>(&replay_book, M, &cfg.grid(), &mut scratch, &mut native);
+    let bit_identical = out.pnl.len() == native.len()
+        && out
+            .pnl
+            .iter()
+            .zip(native.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    println!(
+        "  [serve] {} scenarios in {} chunks across {} shards, rungs {:?}, \
+         merged in {:.1} ms",
+        out.scenarios,
+        out.chunks,
+        snapshot.shards.len(),
+        out.rungs,
+        out.latency.as_secs_f64() * 1e3
+    );
+    for r in &out.risk {
+        println!(
+            "  served VaR{:.0}: {:.4} (CI [{:.4}, {:.4}]), ES {:.4} ± {:.4}",
+            r.confidence * 100.0,
+            r.var,
+            r.var_ci.0,
+            r.var_ci.1,
+            r.es,
+            r.es_se
+        );
+    }
+
+    // Gate lines (grepped by ci.sh).
+    println!(
+        "  portfolio replay: {} ({} scenarios bit-identical served vs native)",
+        if bit_identical { "OK" } else { "FAIL" },
+        native.len()
+    );
+    println!(
+        "  portfolio var check: {}",
+        if var_check { "OK" } else { "FAIL" }
+    );
 }
 
 #[cfg(test)]

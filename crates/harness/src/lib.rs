@@ -75,6 +75,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "serve_bench",
     "chaos_bench",
     "greeks_bench",
+    "portfolio_bench",
 ];
 
 /// Run one experiment by id; returns false for an unknown id.
@@ -101,6 +102,7 @@ pub fn run_experiment(id: &str, opts: &RunOptions) -> bool {
         "serve_bench" => experiments::serve_bench(opts),
         "chaos_bench" => experiments::chaos_bench(opts),
         "greeks_bench" => experiments::greeks_bench(opts),
+        "portfolio_bench" => experiments::portfolio_bench(opts),
         _ => unreachable!("id validated against EXPERIMENTS"),
     }
     true

@@ -45,7 +45,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_exposes_all_seven_kernels() {
+    fn registry_exposes_all_eight_kernels() {
         assert_eq!(
             kernel_names(),
             [
@@ -55,7 +55,8 @@ mod tests {
                 "monte_carlo",
                 "crank_nicolson",
                 "rng",
-                "greeks"
+                "greeks",
+                "portfolio"
             ]
         );
     }

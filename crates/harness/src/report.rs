@@ -24,7 +24,8 @@ use finbench_core::greeks::GreeksBatchSoa;
 use finbench_engine::RungSamples;
 use finbench_serve::{
     padded_batch_into, search_peak, GreeksRequest, GreeksResponse, LoadMode, PeakReport,
-    PeakSearchConfig, PeakStep, PricerConfig, Rejected, Scratch, ServeConfig, Server, ServingRung,
+    PeakSearchConfig, PeakStep, PortfolioRequest, PricerConfig, Rejected, Scratch, ServeConfig,
+    Server, ServingRung,
 };
 use finbench_telemetry as telemetry;
 use std::collections::BTreeMap;
@@ -170,6 +171,7 @@ pub fn bench_report(opts: &BenchReportOptions) -> Result<PathBuf, String> {
     let lanes = vec![
         price_lane("black_scholes", pricer, quick),
         greeks_lane(pricer, quick),
+        portfolio_lane(pricer, quick),
     ];
     let lane_rows: Vec<Vec<String>> = lanes
         .iter()
@@ -241,7 +243,7 @@ pub fn bench_report(opts: &BenchReportOptions) -> Result<PathBuf, String> {
     let counters: Vec<(String, u64)> = telemetry::counter_snapshot()
         .into_iter()
         .filter(|(name, _)| {
-            ["serve.", "greeks.", "loadgen."]
+            ["serve.", "greeks.", "portfolio.", "loadgen."]
                 .iter()
                 .any(|p| name.starts_with(p))
         })
@@ -340,7 +342,7 @@ fn price_lane(kernel: &str, pricer: PricerConfig, quick: bool) -> LaneStats {
         offered: closed.offered,
         served: closed.served,
         shed: closed.total_shed(),
-        other_rejected: closed.rejected + closed.invalid_input + closed.internal,
+        other_rejected: closed.rejected_total() + closed.invalid_input + closed.internal,
         throughput_rps: closed.throughput,
         p50_us: closed.p50_us,
         p95_us: closed.p95_us,
@@ -433,6 +435,169 @@ fn greeks_lane(pricer: PricerConfig, quick: bool) -> LaneStats {
         p95_us,
         p99_us,
         peak,
+    }
+}
+
+/// Closed-loop latency + open-loop peak for the portfolio lane. Each
+/// request fans a multi-chunk scenario sweep across the shards and
+/// merges VaR/ES back, so "one request" here is hundreds of pricings —
+/// the lane's req/s is necessarily far below the price lanes'.
+fn portfolio_lane(pricer: PricerConfig, quick: bool) -> LaneStats {
+    let rung = finbench_serve::portfolio_ladder(pricer.market)
+        .first()
+        .map(|r| r.slug.clone())
+        .unwrap_or_default();
+    let clients = 2;
+    let per_client = if quick { 20 } else { 60 };
+    let (positions, scenarios, chunk) = (16usize, 64usize, 16usize);
+    let server = Server::start(serve_config(pricer, 1024));
+    let t0 = Instant::now();
+    let per_client_results: Vec<(Vec<f64>, usize, usize, usize)> = std::thread::scope(|scope| {
+        (0..clients)
+            .map(|c| {
+                let server = &server;
+                scope.spawn(move || {
+                    let mut lat_us = Vec::with_capacity(per_client);
+                    let (mut served, mut shed, mut other) = (0usize, 0usize, 0usize);
+                    for i in 0..per_client {
+                        let id = (c * per_client + i) as u64;
+                        let seed = finbench_serve::mix_seed(0x9F0C, id);
+                        let sent = Instant::now();
+                        let rx = server.submit_portfolio(
+                            PortfolioRequest::new(id, seed, positions, scenarios).with_chunk(chunk),
+                        );
+                        match rx.recv() {
+                            Ok(resp) => tally_portfolio(
+                                &resp,
+                                sent.elapsed(),
+                                &mut lat_us,
+                                &mut served,
+                                &mut shed,
+                                &mut other,
+                            ),
+                            Err(_) => break,
+                        }
+                    }
+                    (lat_us, served, shed, other)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("portfolio client thread"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+    server.shutdown();
+    let mut lat_us = Vec::new();
+    let (mut served, mut shed, mut other) = (0usize, 0usize, 0usize);
+    for (lat, s, sh, o) in per_client_results {
+        lat_us.extend(lat);
+        served += s;
+        shed += sh;
+        other += o;
+    }
+    let throughput_rps = served as f64 / wall.as_secs_f64().max(1e-9);
+    let pct = |q: f64| {
+        if lat_us.is_empty() {
+            0.0
+        } else {
+            telemetry::nearest_rank_unsorted(&lat_us, q)
+        }
+    };
+    let (p50_us, p95_us, p99_us) = (pct(0.50), pct(0.95), pct(0.99));
+    let peak = search_peak(
+        &peak_schedule(throughput_rps, quick),
+        |rate_hz, total, seed| {
+            let server = Server::start(serve_config(pricer, 256));
+            let step = portfolio_open_step(&server, rate_hz, total, seed, positions, scenarios);
+            server.shutdown();
+            step
+        },
+    );
+    LaneStats {
+        lane: "portfolio".into(),
+        rung,
+        offered: clients * per_client,
+        served,
+        shed,
+        other_rejected: other,
+        throughput_rps,
+        p50_us,
+        p95_us,
+        p99_us,
+        peak,
+    }
+}
+
+fn tally_portfolio(
+    resp: &finbench_serve::PortfolioResponse,
+    rtt: Duration,
+    lat_us: &mut Vec<f64>,
+    served: &mut usize,
+    shed: &mut usize,
+    other: &mut usize,
+) {
+    match &resp.outcome {
+        Ok(_) => {
+            *served += 1;
+            lat_us.push(rtt.as_secs_f64() * 1e6);
+        }
+        Err(Rejected::QueueFull { .. }) | Err(Rejected::DeadlineExceeded { .. }) => *shed += 1,
+        Err(_) => *other += 1,
+    }
+}
+
+/// One paced open-loop window of portfolio requests. Fan-out requests
+/// are answered through per-request merge tasks, so the collector drains
+/// one response per submitted request just like the price lanes.
+fn portfolio_open_step(
+    server: &Server,
+    rate_hz: f64,
+    total: usize,
+    seed: u64,
+    positions: usize,
+    scenarios: usize,
+) -> PeakStep {
+    let gap = Duration::from_secs_f64(1.0 / rate_hz.max(1.0));
+    let (tx, rx) = mpsc::channel::<finbench_serve::PortfolioResponse>();
+    let collector = std::thread::spawn(move || {
+        let (mut served, mut shed, mut other) = (0usize, 0usize, 0usize);
+        let mut lat = Vec::new();
+        for resp in rx.iter() {
+            tally_portfolio(
+                &resp,
+                Duration::ZERO,
+                &mut lat,
+                &mut served,
+                &mut shed,
+                &mut other,
+            );
+        }
+        (served, shed, other)
+    });
+    let t0 = Instant::now();
+    for i in 0..total {
+        let due = t0 + gap.mul_f64(i as f64);
+        if let Some(sleep) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(sleep);
+        }
+        let req = PortfolioRequest::new(
+            i as u64,
+            finbench_serve::mix_seed(seed, i as u64),
+            positions,
+            scenarios,
+        )
+        .with_chunk(16);
+        server.submit_portfolio_with(req, &tx);
+    }
+    drop(tx);
+    let (served, shed, other_rejected) = collector.join().expect("portfolio collector thread");
+    PeakStep {
+        rate_hz,
+        offered: total,
+        served,
+        shed,
+        other_rejected,
     }
 }
 

@@ -28,6 +28,13 @@
 //! admission queue into a dedicated [`greeks`] lane that computes all
 //! five sensitivities for both contract sides on the analytic SIMD sweep
 //! (W=8 → W=4 → scalar degradation ladder, every level bit-identical).
+//! [`PortfolioRequest`]s go further: one request **fans out** scenario
+//! chunks of a full-book revaluation across the live shards (riding
+//! spill, steal, and redrive like any work item) and a merge task
+//! stitches the partial P&L tallies back into VaR / expected-shortfall
+//! summaries — bit-identical to a native single-threaded sweep, because
+//! scenario grids are split-invariant and revaluation is padded
+//! lane-wise ([`portfolio`]).
 //!
 //! [`loadgen`] adds closed- and open-loop synthetic load; the harness
 //! exposes it as the `serve_bench` experiment (`finbench serve-bench`),
@@ -60,6 +67,7 @@ pub mod batcher;
 pub mod breaker;
 pub mod greeks;
 pub mod loadgen;
+pub mod portfolio;
 pub mod pricer;
 pub mod queue;
 pub mod request;
@@ -70,16 +78,23 @@ pub use batcher::{target_batch, BatchPolicy, MicroBatcher};
 pub use breaker::{Breaker, BreakerPolicy, BreakerState, FailureAction, Gate};
 pub use greeks::{greeks_ladder, GreeksRung};
 pub use loadgen::{
-    find_peak_sustained, last_sustained_hz, run_load, run_load_hedged, search_peak, HedgePolicy,
-    LoadMode, LoadReport, OptionStream, PeakReport, PeakSearchConfig, PeakStep, ShardLoad,
-    HEDGE_BIT,
+    find_peak_sustained, last_sustained_hz, mix_seed, run_load, run_load_hedged, search_peak,
+    window_total, HedgePolicy, LoadMode, LoadReport, OptionStream, PeakReport, PeakSearchConfig,
+    PeakStep, ShardLoad, HEDGE_BIT, MAX_WINDOW_TOTAL,
+};
+pub use portfolio::{
+    portfolio_ladder, PortfolioChunkOut, PortfolioChunkRequest, PortfolioChunkResponse,
+    PortfolioRung,
 };
 pub use pricer::{padded_batch_into, servable_ladder, PricerConfig, ServingRung};
 pub use queue::AdmissionQueue;
 pub use request::{
-    GreeksOut, GreeksRequest, GreeksResponse, PriceRequest, PriceResponse, Priced, Rejected,
+    GreeksOut, GreeksRequest, GreeksResponse, PortfolioOut, PortfolioRequest, PortfolioResponse,
+    PriceRequest, PriceResponse, Priced, Rejected, MAX_PORTFOLIO_PRICINGS,
 };
 pub use server::{
     KernelSnapshot, ServeConfig, ServeSnapshot, Server, ShardSnapshot, SupervisorPolicy,
 };
-pub use workload::{GreeksWorkload, LaneCounters, PriceWorkload, Scratch, ServeWorkload};
+pub use workload::{
+    GreeksWorkload, LaneCounters, PortfolioWorkload, PriceWorkload, Scratch, ServeWorkload,
+};

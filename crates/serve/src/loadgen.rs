@@ -79,8 +79,15 @@ pub struct LoadReport {
     pub shed_queue_full: usize,
     /// Requests shed for a blown deadline at dispatch.
     pub shed_deadline: usize,
-    /// Requests rejected for other reasons (bad kernel, shutdown).
-    pub rejected: usize,
+    /// Requests rejected because the kernel name failed registry
+    /// resolution ([`Rejected::UnknownKernel`]).
+    pub rejected_unknown_kernel: usize,
+    /// Requests rejected because the kernel has no batch-safe serving
+    /// rung ([`Rejected::Unservable`]).
+    pub rejected_unservable: usize,
+    /// Requests rejected because the server was shutting down
+    /// ([`Rejected::ShuttingDown`]).
+    pub rejected_shutdown: usize,
     /// Requests rejected by admission-side input validation.
     pub invalid_input: usize,
     /// Requests answered [`Rejected::Internal`] (caught kernel panic or
@@ -110,6 +117,13 @@ impl LoadReport {
     /// Queue-full + deadline sheds.
     pub fn total_shed(&self) -> usize {
         self.shed_queue_full + self.shed_deadline
+    }
+
+    /// All "other" rejections: unknown kernel + unservable + shutdown.
+    /// These used to be one collapsed counter, which made a misspelled
+    /// kernel name in a sweep indistinguishable from a mid-run shutdown.
+    pub fn rejected_total(&self) -> usize {
+        self.rejected_unknown_kernel + self.rejected_unservable + self.rejected_shutdown
     }
 
     /// Fraction of offered requests that were answered with a price
@@ -151,6 +165,22 @@ impl ShardLoad {
             self.served as f64 / self.submitted as f64
         }
     }
+}
+
+/// Derive the `index`-th child seed of `seed` through a SplitMix64
+/// finalizer. The load generators used to derive per-client and
+/// per-step seeds additively (`seed + index`), which collides across a
+/// sweep: client `i` of step seeded `s + 1` replayed client `i + 1` of
+/// step seeded `s`, so "independent" streams shared every draw. The
+/// finalizer's avalanche decorrelates neighbouring `(seed, index)`
+/// pairs instead.
+pub fn mix_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Deterministic option-parameter stream (SplitMix64 under the hood) in
@@ -282,13 +312,17 @@ fn closed_loop(
         let handles: Vec<_> = (0..clients.max(1))
             .map(|c| {
                 scope.spawn(move || {
-                    let mut stream = OptionStream::new(seed.wrapping_add(c as u64));
+                    let mut stream = OptionStream::new(mix_seed(seed, c as u64));
                     let mut out = Vec::with_capacity(requests_per_client);
                     let mut hedges = 0usize;
                     let mut wins = 0usize;
                     for i in 0..requests_per_client {
                         let (s, x, t) = stream.next_option();
                         let id = (c * requests_per_client + i) as u64;
+                        // Dense ids stay far below the reserved hedge
+                        // tag; a generator change that grows into bit 63
+                        // would silently corrupt hedge dedup.
+                        debug_assert_eq!(id & HEDGE_BIT, 0, "request id collides with HEDGE_BIT");
                         let mut req = PriceRequest::new(id, kernel, s, x, t);
                         if let Some(d) = slo {
                             req = req.with_slo(d);
@@ -334,6 +368,19 @@ fn one_hedged(
     hedges: &mut usize,
     wins: &mut usize,
 ) -> Option<PriceResponse> {
+    // Bit 63 is the hedge tag (see [`HEDGE_BIT`]). A caller-supplied id
+    // already carrying it would make the original indistinguishable from
+    // its own hedge copy — dedup would mask the "win" back onto a
+    // different logical request. Reject at submission with a typed
+    // error instead of submitting a request we could never account for.
+    if hedge.is_some() && req.id & HEDGE_BIT != 0 {
+        return Some(PriceResponse {
+            id: req.id,
+            outcome: Err(Rejected::InvalidInput {
+                reason: "request id uses bit 63, reserved for hedge tagging".into(),
+            }),
+        });
+    }
     let (tx, rx) = mpsc::channel();
     let hedge_copy = hedge.map(|_| {
         let mut copy = req.clone();
@@ -441,11 +488,18 @@ fn summarize(
     let mut served = 0usize;
     let mut shed_queue_full = 0usize;
     let mut shed_deadline = 0usize;
-    let mut rejected = 0usize;
+    let mut rejected_unknown_kernel = 0usize;
+    let mut rejected_unservable = 0usize;
+    let mut rejected_shutdown = 0usize;
     let mut invalid_input = 0usize;
     let mut internal = 0usize;
     let mut lat_us: Vec<f64> = Vec::with_capacity(offered);
     for (resp, rtt) in &responses {
+        // Exhaustive on purpose: a catch-all `Err(_)` arm here once
+        // collapsed UnknownKernel, Unservable, and ShuttingDown into one
+        // opaque count, and a new Rejected variant would silently join
+        // them. Now adding a variant fails to compile until the report
+        // accounts for it.
         match &resp.outcome {
             Ok(_) => {
                 served += 1;
@@ -459,7 +513,9 @@ fn summarize(
             Err(Rejected::DeadlineExceeded { .. }) => shed_deadline += 1,
             Err(Rejected::InvalidInput { .. }) => invalid_input += 1,
             Err(Rejected::Internal { .. }) => internal += 1,
-            Err(_) => rejected += 1,
+            Err(Rejected::UnknownKernel { .. }) => rejected_unknown_kernel += 1,
+            Err(Rejected::Unservable { .. }) => rejected_unservable += 1,
+            Err(Rejected::ShuttingDown) => rejected_shutdown += 1,
         }
     }
     // Total order even in release builds where the debug_assert above is
@@ -479,7 +535,9 @@ fn summarize(
         served,
         shed_queue_full,
         shed_deadline,
-        rejected,
+        rejected_unknown_kernel,
+        rejected_unservable,
+        rejected_shutdown,
         invalid_input,
         internal,
         wall,
@@ -575,6 +633,28 @@ impl PeakReport {
     }
 }
 
+/// Hard cap on arrivals per peak-search window. A degenerate config
+/// (`rate * window` overflowing, or non-finite) used to convert straight
+/// through `as usize`, allocating a send-timestamp vector for billions
+/// of arrivals; any window that would exceed this cap is almost
+/// certainly a config bug, not a real measurement.
+pub const MAX_WINDOW_TOTAL: usize = 1_000_000;
+
+/// Arrivals for one peak-search window: `rate_hz * window_secs`, clamped
+/// to `[32, MAX_WINDOW_TOTAL]`. Non-finite or non-positive products
+/// (NaN rate, infinite window, negative either) fall back to the floor
+/// instead of whatever `as usize` saturates them to.
+pub fn window_total(rate_hz: f64, window_secs: f64) -> usize {
+    let product = rate_hz * window_secs;
+    if !product.is_finite() || product <= 0.0 {
+        return 32;
+    }
+    if product >= MAX_WINDOW_TOTAL as f64 {
+        return MAX_WINDOW_TOTAL;
+    }
+    (product as usize).clamp(32, MAX_WINDOW_TOTAL)
+}
+
 /// Generic peak search: step the offered rate geometrically per
 /// [`PeakSearchConfig`], driving each step through `step(rate_hz, total,
 /// seed)`, stopping at the first step that wasn't sustained (or at
@@ -588,8 +668,8 @@ pub fn search_peak(
     let growth = cfg.growth.max(1.01);
     let mut last_attempted_hz = 0.0;
     for i in 0..cfg.max_steps {
-        let total = ((rate * cfg.window_secs) as usize).max(32);
-        let s = step(rate, total, cfg.seed.wrapping_add(i as u64));
+        let total = window_total(rate, cfg.window_secs);
+        let s = step(rate, total, mix_seed(cfg.seed, i as u64));
         last_attempted_hz = rate;
         let sustained = s.sustained();
         steps.push(s);
@@ -627,7 +707,7 @@ pub fn find_peak_sustained(
             offered: r.offered,
             served: r.served,
             shed: r.total_shed(),
-            other_rejected: r.rejected + r.invalid_input + r.internal,
+            other_rejected: r.rejected_total() + r.invalid_input + r.internal,
         }
     })
 }
@@ -909,11 +989,156 @@ mod tests {
         );
         assert_eq!(report.offered, 100);
         assert_eq!(
-            report.served + report.total_shed() + report.rejected,
+            report.served + report.total_shed() + report.rejected_total(),
             report.offered,
             "{report:?}"
         );
-        assert_eq!(report.rejected, 0);
+        assert_eq!(report.rejected_total(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn window_total_clamps_degenerate_rates_and_windows() {
+        // The happy path rounds down and respects the floor.
+        assert_eq!(window_total(500.0, 0.2), 100);
+        assert_eq!(window_total(10.0, 0.2), 32, "floor at tiny products");
+        // Pre-fix, `(rate * window) as usize` at these inputs saturated
+        // to usize::MAX (or 0 for NaN), sizing a send-timestamp vector
+        // for billions of arrivals before the first request went out.
+        // Non-finite products fall to the floor (a config bug, not a
+        // measurement); huge-but-finite ones hit the explicit cap.
+        assert_eq!(window_total(f64::INFINITY, 0.2), 32);
+        assert_eq!(window_total(1e18, 1e18), MAX_WINDOW_TOTAL);
+        assert_eq!(window_total(1e9, 1.0), MAX_WINDOW_TOTAL);
+        assert_eq!(window_total(f64::NAN, 0.2), 32);
+        assert_eq!(window_total(500.0, f64::NAN), 32);
+        assert_eq!(window_total(-500.0, 0.2), 32);
+        assert_eq!(window_total(500.0, -0.2), 32);
+        assert_eq!(window_total(0.0, 0.0), 32);
+    }
+
+    #[test]
+    fn peak_search_survives_a_non_finite_schedule() {
+        // End-to-end regression for the search itself: an infinite
+        // window used to blow up sizing the arrival vector before any
+        // step ran. Now a non-finite schedule degrades to floor-sized
+        // windows and a huge finite one to the cap.
+        let run = |window_secs: f64| {
+            let cfg = PeakSearchConfig {
+                start_hz: 100.0,
+                growth: 1.5,
+                max_steps: 2,
+                window_secs,
+                seed: 9,
+            };
+            let mut totals = Vec::new();
+            let report = search_peak(&cfg, |rate_hz, total, _seed| {
+                totals.push(total);
+                step(rate_hz, total, total)
+            });
+            assert_eq!(report.steps.len(), 2);
+            totals
+        };
+        assert!(run(f64::INFINITY).iter().all(|&t| t == 32));
+        assert!(run(1e18).iter().all(|&t| t == MAX_WINDOW_TOTAL));
+    }
+
+    #[test]
+    fn hedged_submission_rejects_ids_carrying_the_reserved_bit() {
+        let server = quick_server(64);
+        let req = PriceRequest::new(HEDGE_BIT | 3, "black_scholes", 20.0, 21.0, 1.0);
+        let (mut hedges, mut wins) = (0, 0);
+        let resp = one_hedged(
+            &server,
+            req,
+            Some(HedgePolicy {
+                delay: Duration::from_millis(1),
+            }),
+            &mut hedges,
+            &mut wins,
+        )
+        .expect("typed rejection, not a dropped channel");
+        assert_eq!(resp.id, HEDGE_BIT | 3, "id echoed unmasked");
+        assert!(
+            matches!(resp.outcome, Err(Rejected::InvalidInput { ref reason }) if reason.contains("bit 63")),
+            "{resp:?}"
+        );
+        assert_eq!((hedges, wins), (0, 0), "nothing was submitted");
+        // Un-hedged submission does not interpret the id: the same
+        // request goes through and prices normally.
+        let unhedged = one_hedged(
+            &server,
+            PriceRequest::new(HEDGE_BIT | 3, "black_scholes", 20.0, 21.0, 1.0),
+            None,
+            &mut hedges,
+            &mut wins,
+        )
+        .expect("response");
+        // The winner-dedup path masks bit 63 off even for the un-hedged
+        // case (it cannot tell a caller tag from a hedge tag — that is
+        // exactly why hedged submission rejects such ids).
+        assert!(unhedged.outcome.is_ok(), "{unhedged:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn mixed_seeds_do_not_collide_where_additive_seeds_did() {
+        // The additive scheme's collision: seed s, index i and seed
+        // s+1, index i-1 derived the *same* stream, so neighbouring
+        // sweep steps replayed each other's clients shifted by one.
+        let (s, i) = (0xBEA7u64, 5u64);
+        assert_eq!(s.wrapping_add(i), (s + 1).wrapping_add(i - 1));
+        assert_ne!(mix_seed(s, i), mix_seed(s + 1, i - 1));
+        // No two derived streams across a whole sweep grid share a seed
+        // (64 steps × 64 clients, two-level derivation as closed-loop
+        // steps would use it).
+        let mut seen = std::collections::HashSet::new();
+        for step_idx in 0..64u64 {
+            let step_seed = mix_seed(0xBEA7, step_idx);
+            for client in 0..64u64 {
+                assert!(
+                    seen.insert(mix_seed(step_seed, client)),
+                    "seed collision at step {step_idx}, client {client}"
+                );
+            }
+        }
+        // And the streams themselves diverge immediately.
+        let a = OptionStream::new(mix_seed(s, i)).next_option();
+        let b = OptionStream::new(mix_seed(s + 1, i - 1)).next_option();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rejection_reasons_are_reported_separately() {
+        let server = quick_server(64);
+        // "nope" fails registry resolution; "rng" is registered but has
+        // no batch-safe serving rung.
+        let unknown = run_load(
+            &server,
+            "nope",
+            LoadMode::Closed {
+                clients: 1,
+                requests_per_client: 3,
+            },
+            1,
+            None,
+        );
+        assert_eq!(unknown.rejected_unknown_kernel, 3, "{unknown:?}");
+        assert_eq!(unknown.rejected_unservable, 0);
+        assert_eq!(unknown.rejected_shutdown, 0);
+        assert_eq!(unknown.rejected_total(), 3);
+        let unservable = run_load(
+            &server,
+            "rng",
+            LoadMode::Closed {
+                clients: 1,
+                requests_per_client: 2,
+            },
+            2,
+            None,
+        );
+        assert_eq!(unservable.rejected_unservable, 2, "{unservable:?}");
+        assert_eq!(unservable.rejected_unknown_kernel, 0);
         server.shutdown();
     }
 }

@@ -39,6 +39,13 @@ fn validate_params(s: f64, x: f64, t: f64) -> Result<(), Rejected> {
 #[derive(Debug, Clone, PartialEq)]
 pub struct PriceRequest {
     /// Caller-chosen correlation id, echoed back on the response.
+    ///
+    /// Bit 63 ([`HEDGE_BIT`](crate::loadgen::HEDGE_BIT)) is **reserved**
+    /// for the client-side hedging protocol: the hedged load generator
+    /// tags duplicate submissions by setting it, and first-response-wins
+    /// dedup masks it back off. Hedged submission paths reject ids with
+    /// the bit already set ([`Rejected::InvalidInput`]); un-hedged
+    /// submission does not interpret the id and accepts any value.
     pub id: u64,
     /// Registry kernel name (e.g. `black_scholes`, `binomial`).
     pub kernel: String,
@@ -117,6 +124,116 @@ impl GreeksRequest {
     /// Admission-side domain validation (see [`validate_params`]).
     pub fn validate(&self) -> Result<(), Rejected> {
         validate_params(self.s, self.x, self.t)
+    }
+}
+
+/// One portfolio market-risk request: a whole deterministic book
+/// repriced under a shocked scenario grid, aggregated into VaR and
+/// expected shortfall.
+///
+/// The book and grid are pure functions of `(positions, scenarios,
+/// seed)` — the request ships parameters, not megabytes of positions,
+/// and the server fans the scenario range out across its shards in
+/// chunks ([`PortfolioChunkRequest`](crate::portfolio::PortfolioChunkRequest)),
+/// merging partial P&L tallies back in scenario order. Split-invariant
+/// grid generation and padded lane-wise revaluation make the fan-out
+/// bit-invisible: the merged P&L vector is bit-identical to a native
+/// single-threaded sweep on the same rung.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioRequest {
+    /// Caller-chosen correlation id, echoed back on the response.
+    pub id: u64,
+    /// Book + grid seed (determinism contract: same `(positions,
+    /// scenarios, seed)` → bit-identical P&L).
+    pub seed: u64,
+    /// Book size in positions.
+    pub positions: usize,
+    /// Scenario-grid size.
+    pub scenarios: usize,
+    /// Fan-out chunk size in scenarios; `0` sizes chunks automatically
+    /// from the shard count.
+    pub chunk: usize,
+    /// Confidence levels for the VaR/ES summaries, each in `(0, 1)`.
+    pub confidence: Vec<f64>,
+    /// Absolute latency SLO shared by every chunk of the fan-out.
+    pub deadline: Option<Instant>,
+}
+
+/// Ceiling on `positions × scenarios` per request — a misconfigured
+/// load generator should get a typed rejection, not a shard pinned on a
+/// multi-hour revaluation.
+pub const MAX_PORTFOLIO_PRICINGS: usize = 1 << 26;
+
+impl PortfolioRequest {
+    /// A request with the default 95%/99% confidence levels, automatic
+    /// chunking, and no deadline.
+    pub fn new(id: u64, seed: u64, positions: usize, scenarios: usize) -> Self {
+        Self {
+            id,
+            seed,
+            positions,
+            scenarios,
+            chunk: 0,
+            confidence: vec![0.95, 0.99],
+            deadline: None,
+        }
+    }
+
+    /// Set an explicit fan-out chunk size (scenarios per chunk).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Replace the confidence levels.
+    pub fn with_confidence(mut self, confidence: Vec<f64>) -> Self {
+        self.confidence = confidence;
+        self
+    }
+
+    /// Attach a deadline `slo` from now.
+    pub fn with_slo(mut self, slo: Duration) -> Self {
+        self.deadline = Some(Instant::now() + slo);
+        self
+    }
+
+    /// Admission-side domain validation: a non-empty book and grid, a
+    /// bounded total pricing count, and confidence levels strictly
+    /// inside `(0, 1)`.
+    pub fn validate(&self) -> Result<(), Rejected> {
+        if self.positions == 0 || self.scenarios == 0 {
+            return Err(Rejected::InvalidInput {
+                reason: format!(
+                    "book and grid must be non-empty (positions {}, scenarios {})",
+                    self.positions, self.scenarios
+                )
+                .into(),
+            });
+        }
+        match self.positions.checked_mul(self.scenarios) {
+            Some(total) if total <= MAX_PORTFOLIO_PRICINGS => {}
+            _ => {
+                return Err(Rejected::InvalidInput {
+                    reason: format!(
+                        "positions x scenarios exceeds {MAX_PORTFOLIO_PRICINGS} pricings"
+                    )
+                    .into(),
+                })
+            }
+        }
+        if self.confidence.is_empty() {
+            return Err(Rejected::InvalidInput {
+                reason: "at least one confidence level is required".into(),
+            });
+        }
+        for &c in &self.confidence {
+            if !c.is_finite() || c <= 0.0 || c >= 1.0 {
+                return Err(Rejected::InvalidInput {
+                    reason: format!("confidence must be in (0, 1) (got {c})").into(),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -254,6 +371,45 @@ impl GreeksResponse {
     }
 }
 
+/// A successfully computed [`PortfolioRequest`]: the full scenario-order
+/// P&L distribution and its risk summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioOut {
+    /// Per-scenario P&L in scenario order, merged across chunks —
+    /// bit-identical to a native full-grid sweep on the same rung.
+    pub pnl: Vec<f64>,
+    /// One VaR/ES summary per requested confidence level, in request
+    /// order.
+    pub risk: Vec<finbench_core::portfolio::RiskSummary>,
+    /// Scenario count (echoes the request; `pnl.len()`).
+    pub scenarios: usize,
+    /// How many chunks the request fanned out into.
+    pub chunks: usize,
+    /// Distinct ladder-rung slugs the chunks were revalued on (sorted;
+    /// more than one means some chunks were served degraded — still
+    /// bit-identical, every rung computes the same bits).
+    pub rungs: Vec<String>,
+    /// Submit-to-merged latency of the whole fan-out.
+    pub latency: Duration,
+}
+
+/// The answer to one [`PortfolioRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioResponse {
+    /// The request's id, echoed back.
+    pub id: u64,
+    /// Computed, or rejected with a typed reason (the first failing
+    /// chunk's rejection — partial results are never surfaced).
+    pub outcome: Result<PortfolioOut, Rejected>,
+}
+
+impl PortfolioResponse {
+    /// True when the request was computed.
+    pub fn is_computed(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +478,44 @@ mod tests {
             }
         }
         let r = GreeksRequest::new(3, 30.0, 35.0, 1.0).with_slo(Duration::from_secs(3600));
+        assert!(r.deadline.unwrap() > Instant::now());
+    }
+
+    #[test]
+    fn portfolio_requests_validate_their_shape() {
+        assert!(PortfolioRequest::new(1, 7, 64, 256).validate().is_ok());
+        for (req, needle) in [
+            (PortfolioRequest::new(1, 7, 0, 256), "non-empty"),
+            (PortfolioRequest::new(1, 7, 64, 0), "non-empty"),
+            (PortfolioRequest::new(1, 7, 1 << 20, 1 << 20), "exceeds"),
+            (
+                PortfolioRequest::new(1, 7, usize::MAX, usize::MAX),
+                "exceeds",
+            ),
+            (
+                PortfolioRequest::new(1, 7, 64, 256).with_confidence(vec![]),
+                "at least one",
+            ),
+            (
+                PortfolioRequest::new(1, 7, 64, 256).with_confidence(vec![1.0]),
+                "(0, 1)",
+            ),
+            (
+                PortfolioRequest::new(1, 7, 64, 256).with_confidence(vec![0.95, f64::NAN]),
+                "(0, 1)",
+            ),
+        ] {
+            match req.validate() {
+                Err(Rejected::InvalidInput { reason }) => {
+                    assert!(reason.contains(needle), "{reason} should contain {needle}");
+                }
+                other => panic!("expected InvalidInput, got {other:?}"),
+            }
+        }
+        let r = PortfolioRequest::new(3, 7, 64, 256)
+            .with_chunk(32)
+            .with_slo(Duration::from_secs(3600));
+        assert_eq!(r.chunk, 32);
         assert!(r.deadline.unwrap() > Instant::now());
     }
 

@@ -96,11 +96,18 @@
 
 use crate::batcher::{target_batch, BatchPolicy, MicroBatcher};
 use crate::breaker::{Breaker, BreakerPolicy, BreakerState, FailureAction, Gate};
+use crate::portfolio::{PortfolioChunkOut, PortfolioChunkRequest, PortfolioChunkResponse};
 use crate::pricer::PricerConfig;
 use crate::queue::AdmissionQueue;
-use crate::request::{GreeksRequest, GreeksResponse, PriceRequest, PriceResponse, Rejected};
-use crate::workload::{Envelope, GreeksWorkload, PriceWorkload, Scratch, ServeWorkload};
+use crate::request::{
+    GreeksRequest, GreeksResponse, PortfolioOut, PortfolioRequest, PortfolioResponse, PriceRequest,
+    PriceResponse, Rejected,
+};
+use crate::workload::{
+    Envelope, GreeksWorkload, PortfolioWorkload, PriceWorkload, Scratch, ServeWorkload,
+};
 use finbench_core::engine::registry;
+use finbench_core::portfolio::var_es;
 use finbench_engine::Engine;
 use finbench_faults::{self as faults, FaultKind};
 use finbench_telemetry::{self as telemetry, Histogram};
@@ -192,6 +199,7 @@ impl Default for SupervisorPolicy {
 enum Work {
     Price(Envelope<PriceWorkload>),
     Greeks(Envelope<GreeksWorkload>),
+    Portfolio(Envelope<PortfolioWorkload>),
 }
 
 impl Work {
@@ -202,6 +210,7 @@ impl Work {
         match self {
             Work::Price(env) => PriceWorkload::deadline(&env.req),
             Work::Greeks(env) => GreeksWorkload::deadline(&env.req),
+            Work::Portfolio(env) => PortfolioWorkload::deadline(&env.req),
         }
     }
 
@@ -210,6 +219,7 @@ impl Work {
         match self {
             Work::Price(env) => env.redriven,
             Work::Greeks(env) => env.redriven,
+            Work::Portfolio(env) => env.redriven,
         }
     }
 
@@ -217,6 +227,7 @@ impl Work {
         match self {
             Work::Price(env) => env.redriven = true,
             Work::Greeks(env) => env.redriven = true,
+            Work::Portfolio(env) => env.redriven = true,
         }
     }
 
@@ -241,6 +252,15 @@ impl Work {
                 telemetry::counter_add(GreeksWorkload::COUNTERS.internal, 1);
                 let _ = env.tx.send(GreeksWorkload::respond(
                     GreeksWorkload::id(&env.req),
+                    Err(Rejected::Internal {
+                        reason: reason.clone(),
+                    }),
+                ));
+            }
+            Work::Portfolio(env) => {
+                telemetry::counter_add(PortfolioWorkload::COUNTERS.internal, 1);
+                let _ = env.tx.send(PortfolioWorkload::respond(
+                    PortfolioWorkload::id(&env.req),
                     Err(Rejected::Internal {
                         reason: reason.clone(),
                     }),
@@ -289,6 +309,21 @@ impl Work {
                 );
                 let _ = env.tx.send(GreeksWorkload::respond(
                     GreeksWorkload::id(&env.req),
+                    Err(Rejected::DeadlineExceeded { late_by }),
+                ));
+            }
+            Work::Portfolio(env) => {
+                let c = PortfolioWorkload::COUNTERS;
+                telemetry::counter_add(
+                    if redriven {
+                        c.shed_deadline_redrive
+                    } else {
+                        c.shed_deadline
+                    },
+                    1,
+                );
+                let _ = env.tx.send(PortfolioWorkload::respond(
+                    PortfolioWorkload::id(&env.req),
                     Err(Rejected::DeadlineExceeded { late_by }),
                 ));
             }
@@ -818,6 +853,96 @@ impl Server {
         }
     }
 
+    /// Submit one portfolio market-risk request; the merged response
+    /// arrives on the returned channel.
+    pub fn submit_portfolio(&self, req: PortfolioRequest) -> Receiver<PortfolioResponse> {
+        let (tx, rx) = mpsc::channel();
+        self.submit_portfolio_with(req, &tx);
+        rx
+    }
+
+    /// Submit one portfolio request, delivering the merged response on
+    /// `tx`. Validation is synchronous, like the other planes; the
+    /// fan-out is not — the scenario range is split into chunks routed
+    /// across the live shards (each chunk spills, is stolen, and is
+    /// redriven like any work item), and a merge task stitches the
+    /// partial P&L tallies back into scenario order, aggregates VaR/ES,
+    /// and answers exactly once. Any chunk-level rejection fails the
+    /// whole request with the first failure's typed reason — partial
+    /// P&L distributions are never surfaced.
+    pub fn submit_portfolio_with(&self, req: PortfolioRequest, tx: &Sender<PortfolioResponse>) {
+        let id = req.id;
+        if let Err(reason) = req.validate() {
+            lock_stats(&self.stats).invalid_input += 1;
+            telemetry::counter_add("portfolio.invalid_input", 1);
+            let _ = tx.send(PortfolioResponse {
+                id,
+                outcome: Err(reason),
+            });
+            return;
+        }
+        telemetry::counter_add("portfolio.requests", 1);
+        let submitted = Instant::now();
+        // Chunk size: explicit, or a few chunks per shard so every live
+        // worker sees fan-out (and work stealing has grains to move).
+        let chunk = if req.chunk > 0 {
+            req.chunk
+        } else {
+            req.scenarios.div_ceil(self.queues.len() * 4).max(16)
+        }
+        .min(req.scenarios)
+        .max(1);
+        let (ctx_tx, ctx_rx) = mpsc::channel();
+        let mut expected = 0usize;
+        let mut route_err: Option<Rejected> = None;
+        let mut lo = 0;
+        while lo < req.scenarios {
+            let hi = (lo + chunk).min(req.scenarios);
+            let env = Envelope {
+                req: PortfolioChunkRequest {
+                    id,
+                    seed: req.seed,
+                    positions: req.positions,
+                    scenarios: req.scenarios,
+                    lo,
+                    hi,
+                    deadline: req.deadline,
+                },
+                submitted,
+                redriven: false,
+                tx: ctx_tx.clone(),
+            };
+            match self.route(Work::Portfolio(env)) {
+                Ok(()) => expected += 1,
+                // Dropping the returned envelope drops its channel clone;
+                // the merger only waits for successfully routed chunks.
+                Err((_env, reason)) => {
+                    if matches!(reason, Rejected::QueueFull { .. }) {
+                        lock_stats(&self.stats).shed_queue_full += 1;
+                        telemetry::counter_add("portfolio.shed.queue_full", 1);
+                    }
+                    route_err.get_or_insert(reason);
+                }
+            }
+            lo = hi;
+        }
+        drop(ctx_tx);
+        let tx = tx.clone();
+        let confidence = req.confidence;
+        let scenarios = req.scenarios;
+        // The merge runs on its own short-lived thread so submit returns
+        // immediately: the fan-out's latency belongs to the server, not
+        // the caller's submit path.
+        std::thread::Builder::new()
+            .name("finbench-portfolio-merge".into())
+            .spawn(move || {
+                merge_portfolio(
+                    id, scenarios, confidence, expected, route_err, ctx_rx, tx, submitted,
+                )
+            })
+            .expect("spawn portfolio merge task");
+    }
+
     /// Current admission-queue depth, summed over all shards.
     pub fn queue_depth(&self) -> usize {
         self.queues.iter().map(|q| q.len()).sum()
@@ -895,6 +1020,81 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
     }
+}
+
+/// Merge one portfolio fan-out: collect every routed chunk's response,
+/// stitch partial P&L tallies back into scenario order, aggregate
+/// VaR/ES, and answer exactly once.
+///
+/// All `expected` chunk responses are drained even after a failure is
+/// seen — a merge task must never abandon a channel a shard is still
+/// scattering into — and the final outcome is either the full merged
+/// distribution or the *first* failure's typed reason.
+#[allow(clippy::too_many_arguments)]
+fn merge_portfolio(
+    id: u64,
+    scenarios: usize,
+    confidence: Vec<f64>,
+    expected: usize,
+    route_err: Option<Rejected>,
+    rx: Receiver<PortfolioChunkResponse>,
+    tx: Sender<PortfolioResponse>,
+    submitted: Instant,
+) {
+    let mut parts: Vec<PortfolioChunkOut> = Vec::with_capacity(expected);
+    let mut first_err = route_err;
+    for _ in 0..expected {
+        match rx.recv() {
+            Ok(resp) => match resp.outcome {
+                Ok(part) => parts.push(part),
+                Err(reason) => {
+                    first_err.get_or_insert(reason);
+                }
+            },
+            Err(_) => {
+                // Every server path answers each envelope exactly once,
+                // so a closed channel with responses still owed is a bug
+                // upstream — fail the request instead of hanging forever.
+                first_err.get_or_insert(Rejected::Internal {
+                    reason: "portfolio chunk response channel closed early".into(),
+                });
+                break;
+            }
+        }
+    }
+    if let Some(reason) = first_err {
+        telemetry::counter_add("portfolio.failed", 1);
+        let _ = tx.send(PortfolioResponse {
+            id,
+            outcome: Err(reason),
+        });
+        return;
+    }
+    // Scenario order is the merge contract: chunks may have executed on
+    // any shard in any order, but `lo` restores the native sweep's
+    // layout, making the concatenation bit-identical to it.
+    parts.sort_by_key(|p| p.lo);
+    let mut pnl = Vec::with_capacity(scenarios);
+    for p in &parts {
+        pnl.extend_from_slice(&p.pnl);
+    }
+    debug_assert_eq!(pnl.len(), scenarios, "chunks must tile the grid");
+    let risk = var_es(&pnl, &confidence);
+    let mut rungs: Vec<String> = parts.iter().map(|p| p.rung.clone()).collect();
+    rungs.sort();
+    rungs.dedup();
+    telemetry::counter_add("portfolio.merged", 1);
+    let _ = tx.send(PortfolioResponse {
+        id,
+        outcome: Ok(PortfolioOut {
+            pnl,
+            risk,
+            scenarios,
+            chunks: parts.len(),
+            rungs,
+            latency: submitted.elapsed(),
+        }),
+    });
 }
 
 /// Spawn one worker thread into seat `i`.
@@ -1090,6 +1290,7 @@ fn shard_loop(ctx: ShardCtx) {
     let engine = Engine::new(registry());
     let mut price_lanes: BTreeMap<String, Lane<PriceWorkload>> = BTreeMap::new();
     let mut greeks_lanes: BTreeMap<String, Lane<GreeksWorkload>> = BTreeMap::new();
+    let mut portfolio_lanes: BTreeMap<String, Lane<PortfolioWorkload>> = BTreeMap::new();
     let queue = Arc::clone(&ctx.queues[ctx.index]);
     let seat = Arc::clone(&ctx.seats[ctx.index]);
     let stats = &*ctx.stats;
@@ -1118,7 +1319,7 @@ fn shard_loop(ctx: ShardCtx) {
                 .iter()
                 .any(|k| matches!(k, FaultKind::Kill))
             {
-                kill_shard(&ctx, price_lanes, greeks_lanes);
+                kill_shard(&ctx, price_lanes, greeks_lanes, portfolio_lanes);
                 return;
             }
         }
@@ -1129,6 +1330,11 @@ fn shard_loop(ctx: ShardCtx) {
             .filter_map(|l| l.batcher.next_deadline())
             .chain(
                 greeks_lanes
+                    .values()
+                    .filter_map(|l| l.batcher.next_deadline()),
+            )
+            .chain(
+                portfolio_lanes
                     .values()
                     .filter_map(|l| l.batcher.next_deadline()),
             )
@@ -1148,6 +1354,9 @@ fn shard_loop(ctx: ShardCtx) {
                     Work::Greeks(env) => {
                         admit(env, &engine, &mut greeks_lanes, stats, config, &seat);
                     }
+                    Work::Portfolio(env) => {
+                        admit(env, &engine, &mut portfolio_lanes, stats, config, &seat);
+                    }
                 }
             }
             None => {
@@ -1166,6 +1375,9 @@ fn shard_loop(ctx: ShardCtx) {
                             Work::Greeks(env) => {
                                 admit(env, &engine, &mut greeks_lanes, stats, config, &seat);
                             }
+                            Work::Portfolio(env) => {
+                                admit(env, &engine, &mut portfolio_lanes, stats, config, &seat);
+                            }
                         }
                     }
                 }
@@ -1183,6 +1395,11 @@ fn shard_loop(ctx: ShardCtx) {
                 execute(lane, stats, &seat);
             }
         }
+        for lane in portfolio_lanes.values_mut() {
+            if lane.batcher.due(now) {
+                execute(lane, stats, &seat);
+            }
+        }
     }
     // Drain: answer everything still pending in the batchers.
     for lane in price_lanes.values_mut() {
@@ -1191,6 +1408,11 @@ fn shard_loop(ctx: ShardCtx) {
         }
     }
     for lane in greeks_lanes.values_mut() {
+        if !lane.batcher.is_empty() {
+            execute(lane, stats, &seat);
+        }
+    }
+    for lane in portfolio_lanes.values_mut() {
         if !lane.batcher.is_empty() {
             execute(lane, stats, &seat);
         }
@@ -1230,6 +1452,7 @@ fn kill_shard(
     ctx: &ShardCtx,
     mut price_lanes: BTreeMap<String, Lane<PriceWorkload>>,
     mut greeks_lanes: BTreeMap<String, Lane<GreeksWorkload>>,
+    mut portfolio_lanes: BTreeMap<String, Lane<PortfolioWorkload>>,
 ) {
     let index = ctx.index;
     let queue = &ctx.queues[index];
@@ -1251,6 +1474,11 @@ fn kill_shard(
         let Lane { batcher, flush, .. } = lane;
         batcher.flush_into(flush);
         stranded.extend(flush.drain(..).map(Work::Greeks));
+    }
+    for lane in portfolio_lanes.values_mut() {
+        let Lane { batcher, flush, .. } = lane;
+        batcher.flush_into(flush);
+        stranded.extend(flush.drain(..).map(Work::Portfolio));
     }
     stranded.extend(queue.steal_up_to(usize::MAX));
     redrive_stranded(ctx, stranded);
@@ -1517,9 +1745,10 @@ fn execute<W: ServeWorkload>(lane: &mut Lane<W>, stats: &Mutex<StatsInner>, seat
     telemetry::set_attr("target", lane.target);
     telemetry::set_attr("degradation_level", level);
 
-    lane.scratch.opts.clear();
+    lane.scratch.begin_flush();
     for env in &lane.flush {
         lane.scratch.opts.push(W::contract(&env.req));
+        W::stage_extra(&env.req, &mut lane.scratch);
     }
     lane.scratch.stage(width);
     telemetry::set_attr("padded", lane.scratch.soa.len());
@@ -1681,6 +1910,89 @@ mod tests {
         }
         assert_eq!(snap.internal, 0);
         assert_eq!(snap.invalid_input, 0);
+    }
+
+    #[test]
+    fn portfolio_fan_out_merges_bit_identically_to_native() {
+        use finbench_core::portfolio::{revalue_into, Book, RevalScratch, ScenarioConfig};
+        let mut config = quick_config();
+        config.shards = 2;
+        let server = Server::start(config);
+        let rx = server.submit_portfolio(PortfolioRequest::new(9, 42, 24, 96).with_chunk(16));
+        let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(resp.id, 9);
+        let out = resp.outcome.unwrap();
+        assert_eq!(out.scenarios, 96);
+        assert_eq!(out.pnl.len(), 96);
+        assert_eq!(out.chunks, 6);
+        // Served on the planned (W=8) rung only — no degradation here.
+        assert_eq!(out.rungs, ["intermediate_simd_revaluation_w_8"]);
+        // Native replay of the same book + grid at the same rung.
+        let book = Book::random(24, 42);
+        let grid = ScenarioConfig::standard(96, 42).grid();
+        let mut scratch = RevalScratch::new();
+        let mut want = Vec::new();
+        revalue_into::<8>(&book, config.pricer.market, &grid, &mut scratch, &mut want);
+        for (j, (got, native)) in out.pnl.iter().zip(&want).enumerate() {
+            assert_eq!(got.to_bits(), native.to_bits(), "scenario {j}");
+        }
+        // Default confidences, losses ordering: VaR99 >= VaR95, ES >= VaR.
+        assert_eq!(out.risk.len(), 2);
+        assert_eq!(out.risk[0].confidence, 0.95);
+        assert!(out.risk[1].var >= out.risk[0].var, "{:?}", out.risk);
+        assert!(out.risk[0].es >= out.risk[0].var, "{:?}", out.risk);
+        let snap = server.shutdown();
+        assert_eq!(snap.total_shed(), 0);
+        assert_eq!(snap.internal, 0);
+        assert!(snap.kernels.iter().any(|k| k.kernel == "portfolio"));
+    }
+
+    #[test]
+    fn portfolio_rejects_invalid_requests_synchronously() {
+        let server = Server::start(quick_config());
+        let rx = server.submit_portfolio(PortfolioRequest::new(1, 7, 0, 64));
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap().outcome {
+            Err(Rejected::InvalidInput { reason }) => {
+                assert!(reason.contains("non-empty"), "{reason}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+        let rx =
+            server.submit_portfolio(PortfolioRequest::new(2, 7, 16, 32).with_confidence(vec![2.0]));
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().outcome,
+            Err(Rejected::InvalidInput { .. })
+        ));
+        let snap = server.shutdown();
+        assert_eq!(snap.invalid_input, 2);
+    }
+
+    #[test]
+    fn portfolio_requests_are_deterministic_across_chunkings() {
+        // Different fan-out shapes (chunk sizes, shard counts) must merge
+        // to bit-identical P&L — the split-invariance contract end to end.
+        let run = |shards: usize, chunk: usize| {
+            let mut config = quick_config();
+            config.shards = shards;
+            let server = Server::start(config);
+            let rx =
+                server.submit_portfolio(PortfolioRequest::new(1, 11, 16, 80).with_chunk(chunk));
+            let out = rx
+                .recv_timeout(Duration::from_secs(30))
+                .unwrap()
+                .outcome
+                .unwrap();
+            server.shutdown();
+            out.pnl
+        };
+        let a = run(1, 80);
+        let b = run(2, 13);
+        let c = run(3, 7);
+        assert_eq!(a.len(), 80);
+        for j in 0..80 {
+            assert_eq!(a[j].to_bits(), b[j].to_bits(), "scenario {j}");
+            assert_eq!(a[j].to_bits(), c[j].to_bits(), "scenario {j}");
+        }
     }
 
     #[test]

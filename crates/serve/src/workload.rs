@@ -5,10 +5,11 @@
 //!
 //! `server.rs` writes its lane plumbing (micro-batching, deadline
 //! shedding, breaker supervision, degrade/promote, scatter-back) exactly
-//! once, generically over this trait; the pricing and greeks planes are
-//! the two implementations. The ROADMAP's portfolio market-risk plane
-//! plugs in here as a third implementation instead of a third copy of
-//! the lane code.
+//! once, generically over this trait; the pricing, greeks, and portfolio
+//! planes are the three implementations — the portfolio plane's unit of
+//! work is a scenario-range *chunk* of a fanned-out market-risk request,
+//! staged through [`ServeWorkload::stage_extra`] instead of the shared
+//! option-contract triple.
 //!
 //! ## Buffer ownership
 //!
@@ -19,11 +20,13 @@
 //! recycled across flushes (grown to the largest batch seen, never
 //! shrunk), so steady-state batch execution allocates nothing.
 
+use crate::portfolio::{PortfolioChunkOut, PortfolioChunkRequest, PortfolioChunkResponse};
 use crate::pricer::{self, padded_batch_into, PricerConfig, ServingRung};
 use crate::request::{
     GreeksOut, GreeksRequest, GreeksResponse, PriceRequest, PriceResponse, Priced, Rejected,
 };
 use finbench_core::greeks::GreeksBatchSoa;
+use finbench_core::portfolio::{Book, RevalScratch, ScenarioConfig, ScenarioGrid};
 use finbench_core::OptionBatchSoa;
 use finbench_engine::Engine;
 use std::time::{Duration, Instant};
@@ -40,6 +43,9 @@ pub struct Scratch {
     pub soa: OptionBatchSoa,
     /// Greeks outputs (resized on demand by the greeks workload).
     pub greeks: GreeksBatchSoa,
+    /// Portfolio chunk staging and revaluation buffers (used only by the
+    /// portfolio lane; empty everywhere else).
+    pub portfolio: PortfolioScratch,
 }
 
 impl Scratch {
@@ -48,11 +54,43 @@ impl Scratch {
         Self::default()
     }
 
+    /// Reset the per-flush staging (the contract triples and any
+    /// plane-specific request state) before a new flush is staged.
+    /// Capacities are kept — this is a `clear`, not a drop.
+    pub fn begin_flush(&mut self) {
+        self.opts.clear();
+        self.portfolio.chunks.clear();
+    }
+
     /// Pad the staged [`opts`](Self::opts) into the SOA batch at the
     /// given lane width. Allocation-free once the batch has grown.
     pub fn stage(&mut self, width: usize) {
         padded_batch_into(&mut self.soa, &self.opts, width);
     }
+}
+
+/// The portfolio lane's staging and revaluation state inside [`Scratch`]:
+/// the chunk requests of the flush being executed (aligned index-for-index
+/// with the lane's flush vector), the cached book, and the reusable grid
+/// / revaluation / P&L buffers. The book cache is keyed by `(seed,
+/// positions)` — consecutive chunks of the same request (the common case:
+/// one fan-out fills a whole micro-batch) rebuild it once, and the other
+/// buffers only ever grow, so a warm lane revalues without allocating.
+#[derive(Default)]
+pub struct PortfolioScratch {
+    /// Chunk requests staged for this flush, in flush order.
+    pub(crate) chunks: Vec<PortfolioChunkRequest>,
+    /// `(seed, positions)` of the cached [`book`](Self::book).
+    book_key: Option<(u64, usize)>,
+    book: Book,
+    grid: ScenarioGrid,
+    reval: RevalScratch,
+    /// Per-chunk revaluation output before it is appended to `pnl`.
+    tmp: Vec<f64>,
+    /// Concatenated per-scenario P&L across the flush's chunks.
+    pnl: Vec<f64>,
+    /// Per-chunk `(offset, len)` spans into [`pnl`](Self::pnl).
+    spans: Vec<(usize, usize)>,
 }
 
 /// The telemetry counter names one request plane tallies under — static
@@ -104,6 +142,13 @@ pub trait ServeWorkload: Sized + 'static {
     fn deadline(req: &Self::Req) -> Option<Instant>;
     /// The option contract `(s, x, t)` to stage into the SOA batch.
     fn contract(req: &Self::Req) -> (f64, f64, f64);
+    /// Stage any plane-specific per-request state into the scratch —
+    /// called once per flushed request, in flush order, right after its
+    /// [`contract`](Self::contract) is staged (the flush has already
+    /// been deadline-shed, so staged state aligns index-for-index with
+    /// the batch that executes). Default: nothing; the portfolio plane
+    /// stages its chunk descriptors here.
+    fn stage_extra(_req: &Self::Req, _scratch: &mut Scratch) {}
     /// Lane key for this request — also the engine registry kernel the
     /// planner sizes the batch trigger from, and the `<key>` in the
     /// `serve.batch.<key>` / `serve.breaker.<key>` telemetry names.
@@ -297,5 +342,111 @@ impl ServeWorkload for GreeksWorkload {
     }
     fn respond(id: u64, outcome: Result<GreeksOut, Rejected>) -> GreeksResponse {
         GreeksResponse { id, outcome }
+    }
+}
+
+/// Stats/telemetry key for the portfolio lane (also the registry kernel
+/// the planner sizes its batch trigger from).
+pub(crate) const PORTFOLIO_LANE: &str = "portfolio";
+
+/// The portfolio plane ([`PortfolioChunkRequest`] →
+/// [`PortfolioChunkOut`]): scenario-range chunks of fanned-out
+/// market-risk requests, riding the same generic lane code. The staged
+/// SOA batch carries benign placeholder contracts — a chunk's real
+/// payload is its descriptor, staged through
+/// [`stage_extra`](ServeWorkload::stage_extra) and reconstructed into
+/// book + grid slice at compute time.
+pub struct PortfolioWorkload;
+
+impl ServeWorkload for PortfolioWorkload {
+    type Req = PortfolioChunkRequest;
+    type Out = PortfolioChunkOut;
+    type Resp = PortfolioChunkResponse;
+    type Rung = crate::portfolio::PortfolioRung;
+
+    const COUNTERS: LaneCounters = LaneCounters {
+        served: "portfolio.served",
+        shed_deadline: "portfolio.shed.deadline",
+        shed_deadline_redrive: "portfolio.shed.deadline_redrive",
+        internal: "portfolio.internal",
+        rejected: "portfolio.rejected",
+        degraded_batches: "portfolio.degraded_batches",
+        degradations: "portfolio.degradations",
+        promotions: "portfolio.promotions",
+        breaker_open: "portfolio.breaker_open",
+        lane_restarts: "portfolio.lane_restarts",
+    };
+
+    fn id(req: &PortfolioChunkRequest) -> u64 {
+        req.id
+    }
+    fn deadline(req: &PortfolioChunkRequest) -> Option<Instant> {
+        req.deadline
+    }
+    fn contract(_req: &PortfolioChunkRequest) -> (f64, f64, f64) {
+        // Placeholder lanes: the portfolio compute never reads the SOA
+        // batch, but staging must stay uniform (and benign — never NaN)
+        // for the generic lane code.
+        (1.0, 1.0, 1.0)
+    }
+    fn stage_extra(req: &PortfolioChunkRequest, scratch: &mut Scratch) {
+        scratch.portfolio.chunks.push(*req);
+    }
+    fn lane_key(_req: &PortfolioChunkRequest) -> &str {
+        PORTFOLIO_LANE
+    }
+
+    fn ladder(
+        _engine: &Engine,
+        _key: &str,
+        config: &PricerConfig,
+    ) -> Result<Vec<crate::portfolio::PortfolioRung>, Rejected> {
+        // Every rung revalues bit-identically; there is no unservable key.
+        Ok(crate::portfolio::portfolio_ladder(config.market))
+    }
+    fn slug(rung: &crate::portfolio::PortfolioRung) -> &str {
+        &rung.slug
+    }
+    fn width(rung: &crate::portfolio::PortfolioRung) -> usize {
+        rung.width
+    }
+
+    fn compute(rung: &crate::portfolio::PortfolioRung, scratch: &mut Scratch) {
+        let p = &mut scratch.portfolio;
+        p.pnl.clear();
+        p.spans.clear();
+        for k in 0..p.chunks.len() {
+            let c = p.chunks[k];
+            if p.book_key != Some((c.seed, c.positions)) {
+                p.book = Book::random(c.positions, c.seed);
+                p.book_key = Some((c.seed, c.positions));
+            }
+            let cfg = ScenarioConfig::standard(c.scenarios, c.seed);
+            cfg.fill_grid(c.lo, c.hi, &mut p.grid);
+            rung.revalue(&p.book, &p.grid, &mut p.reval, &mut p.tmp);
+            let off = p.pnl.len();
+            p.pnl.extend_from_slice(&p.tmp);
+            p.spans.push((off, p.tmp.len()));
+        }
+    }
+    fn payload(
+        scratch: &Scratch,
+        i: usize,
+        slug: &str,
+        batch_len: usize,
+        latency: Duration,
+    ) -> PortfolioChunkOut {
+        let p = &scratch.portfolio;
+        let (off, len) = p.spans[i];
+        PortfolioChunkOut {
+            lo: p.chunks[i].lo,
+            pnl: p.pnl[off..off + len].to_vec(),
+            rung: slug.to_string(),
+            batch_len,
+            latency,
+        }
+    }
+    fn respond(id: u64, outcome: Result<PortfolioChunkOut, Rejected>) -> PortfolioChunkResponse {
+        PortfolioChunkResponse { id, outcome }
     }
 }

@@ -8,9 +8,11 @@ use finbench::core::black_scholes::{price_single, soa};
 use finbench::core::brownian_bridge::{reference::build_path, BridgePlan};
 use finbench::core::greeks::{greeks, OptionType};
 use finbench::core::monte_carlo::{reference::paths_streamed, GbmTerminal};
+use finbench::core::portfolio::var_es;
 use finbench::core::workload::{MarketParams, OptionBatchSoa};
 use finbench::math as fm;
 use finbench::simd::{math as vmath, F64v};
+use finbench::telemetry::nearest_rank;
 use proptest::prelude::*;
 
 fn market() -> impl Strategy<Value = MarketParams> {
@@ -160,4 +162,78 @@ proptest! {
         // Cauchy-Schwarz: (sum x)^2 <= n * sum x^2.
         prop_assert!(sums.v0 * sums.v0 <= 256.0 * sums.v1 * (1.0 + 1e-12) + 1e-12);
     }
+
+    #[test]
+    fn nearest_rank_matches_the_brute_force_oracle(
+        mut sample in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        sample.sort_by(f64::total_cmp);
+        let got = nearest_rank(&sample, q);
+        // Oracle straight from the definition: the smallest sample value
+        // whose cumulative count covers at least ceil(q·n) elements
+        // (rank floored at 1 so q = 0 still selects the minimum).
+        let threshold = ((q * sample.len() as f64).ceil() as usize).max(1);
+        let want = sample
+            .iter()
+            .copied()
+            .find(|&v| sample.iter().filter(|&&e| e <= v).count() >= threshold)
+            .expect("threshold <= n, so some value always covers it");
+        prop_assert_eq!(got.to_bits(), want.to_bits(), "q={} n={}", q, sample.len());
+    }
+
+    #[test]
+    fn extreme_quantiles_pin_to_the_sample_edges(
+        mut sample in proptest::collection::vec(-1e6f64..1e6, 1..100),
+    ) {
+        sample.sort_by(f64::total_cmp);
+        let (min, max) = (sample[0], sample[sample.len() - 1]);
+        // q just above zero is the minimum (rank clamps up to 1), and q
+        // just below one is already the maximum (ceil((1-ε)·n) = n for
+        // any sample this size) — the edges where off-by-one rank
+        // conventions historically diverged.
+        for q in [0.0, 1e-12, 1.0 / (sample.len() as f64 * 2.0)] {
+            prop_assert_eq!(nearest_rank(&sample, q).to_bits(), min.to_bits(), "q={}", q);
+        }
+        for q in [1.0 - 1e-12, 1.0] {
+            prop_assert_eq!(nearest_rank(&sample, q).to_bits(), max.to_bits(), "q={}", q);
+        }
+    }
+
+    #[test]
+    fn expected_shortfall_dominates_var_on_random_pnl(
+        pnl in proptest::collection::vec(-1e4f64..1e4, 4..200),
+        c in 0.5f64..0.999,
+    ) {
+        // ES averages the tail at/beyond the VaR cut, so it can never
+        // sit below VaR; both are finite on finite P&L.
+        let risk = var_es(&pnl, &[c]);
+        prop_assert_eq!(risk.len(), 1);
+        prop_assert!(risk[0].var.is_finite());
+        prop_assert!(risk[0].es >= risk[0].var - 1e-12, "{:?}", risk[0]);
+        prop_assert!(risk[0].var_ci.0 <= risk[0].var && risk[0].var <= risk[0].var_ci.1);
+    }
+}
+
+/// The same numbers anchor `var_es_on_a_known_distribution` in
+/// `crates/core/src/portfolio/mod.rs` — change both together. Losses
+/// 1..=100 make every rank arithmetic error visible: VaR95 must be
+/// exactly the 95th element, and the 95% tail is {95..=100} (6 values,
+/// mean 97.5).
+#[test]
+fn var_es_pins_the_known_distribution_through_the_shared_percentile() {
+    let pnl: Vec<f64> = (1..=100).map(|l| -(l as f64)).collect();
+    let risk = var_es(&pnl, &[0.95, 0.99]);
+    assert_eq!(risk.len(), 2);
+    assert_eq!(risk[0].var, 95.0);
+    assert_eq!(risk[0].es, 97.5);
+    assert_eq!(risk[0].tail_len, 6);
+    assert_eq!(risk[1].var, 99.0);
+    assert_eq!(risk[1].es, 99.5);
+    assert_eq!(risk[1].tail_len, 2);
+    // VaR is definitionally the shared nearest-rank percentile of the
+    // loss distribution — the same function the latency reports use.
+    let losses: Vec<f64> = (1..=100).map(|l| l as f64).collect();
+    assert_eq!(risk[0].var, nearest_rank(&losses, 0.95));
+    assert_eq!(risk[1].var, nearest_rank(&losses, 0.99));
 }
